@@ -1,0 +1,216 @@
+//! Baseline run harness, mirroring `xenic::harness` so Figure 8 compares
+//! five systems with identical load generation and measurement windows.
+
+use crate::engine::{BMsg, Baseline, BaselineKind, BaselineNode};
+use xenic::api::{Partitioning, Workload};
+use xenic::harness::{RunOptions, RunResult};
+use xenic_hw::HwParams;
+use xenic_net::{Cluster, Exec, NetConfig};
+use xenic_sim::{Histogram, SimTime};
+
+/// Builds and runs a baseline cluster under the given workload.
+pub fn run_baseline(
+    kind: BaselineKind,
+    params: HwParams,
+    opts: &RunOptions,
+    mk_workload: impl Fn(usize) -> Box<dyn Workload>,
+) -> RunResult {
+    // RDMA systems replicate 3-way like Xenic's benchmarks.
+    let part = Partitioning::new(params.nodes as u32, 3);
+    let windows = opts.windows;
+    // Baselines never use the LiquidIO path; aggregation knobs are moot.
+    let net = NetConfig::baseline();
+    let mut cluster: Cluster<Baseline> = Cluster::new(params, net, opts.seed, |node| {
+        BaselineNode::new(node, kind, part, mk_workload(node), windows)
+    });
+    let nodes = cluster.rt.node_count();
+    for node in 0..nodes {
+        for slot in 0..windows {
+            cluster.seed(
+                SimTime::from_ns((node * windows + slot) as u64 * 97),
+                node,
+                Exec::Host,
+                BMsg::Start { slot: slot as u32 },
+            );
+        }
+    }
+    cluster.run_until(opts.warmup);
+    let mstart = cluster.rt.now();
+    for st in &mut cluster.states {
+        st.stats.start_measuring(mstart);
+    }
+    let host_busy0: u64 = (0..nodes)
+        .map(|n| cluster.rt.pool_busy_ns(n, Exec::Host))
+        .sum();
+    let cx50: u64 = (0..nodes).map(|n| cluster.rt.cx5_tx_bytes(n)).sum();
+
+    let horizon = SimTime::from_ns(opts.warmup.as_ns() + opts.measure.as_ns());
+    cluster.run_until(horizon);
+    let mend = cluster.rt.now().max(horizon);
+    let secs = mend.since(mstart) as f64 / 1e9;
+    let window_ns = mend.since(mstart) as f64;
+
+    let mut latency = Histogram::new();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    for st in &cluster.states {
+        latency.merge(&st.stats.latency);
+        committed += st.stats.committed.events();
+        aborted += st.stats.aborted.get();
+    }
+    let host_busy: u64 = (0..nodes)
+        .map(|n| cluster.rt.pool_busy_ns(n, Exec::Host))
+        .sum::<u64>()
+        - host_busy0;
+    let cx5_bytes: u64 = (0..nodes).map(|n| cluster.rt.cx5_tx_bytes(n)).sum::<u64>() - cx50;
+    let line_bytes = cluster.rt.params.net_gbps / 8.0 * window_ns;
+    RunResult {
+        tput_per_server: committed as f64 / secs / nodes as f64,
+        p50_ns: latency.median(),
+        p99_ns: latency.p99(),
+        mean_ns: latency.mean(),
+        committed,
+        aborted,
+        host_busy_cores: host_busy as f64 / window_ns / nodes as f64,
+        nic_busy_cores: 0.0,
+        lio_utilization: 0.0,
+        cx5_utilization: cx5_bytes as f64 / (line_bytes * nodes as f64),
+        ops_per_frame: 0.0,
+        dma_vector_fill: 0.0,
+        dma_elements_per_txn: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xenic::api::{make_key, ShipMode, TxnSpec, UpdateOp};
+    use xenic_sim::DetRng;
+    use xenic_store::Value;
+
+    struct MiniWl {
+        keys: u64,
+        remote_frac: f64,
+    }
+
+    impl Workload for MiniWl {
+        fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> TxnSpec {
+            let home = node as u32;
+            let shard = if rng.chance(self.remote_frac) {
+                let mut s = rng.below(6) as u32;
+                if s == home {
+                    s = (s + 1) % 6;
+                }
+                s
+            } else {
+                home
+            };
+            let k1 = make_key(shard, rng.below(self.keys));
+            let k2 = make_key(home, rng.below(self.keys));
+            TxnSpec {
+                reads: vec![k2],
+                updates: vec![(k1, UpdateOp::AddI64(1))],
+                inserts: vec![],
+                exec_host_ns: 200,
+                exec_nic_ns: 650,
+                ship: ShipMode::Nic,
+                ..Default::default()
+            }
+        }
+
+        fn value_bytes(&self) -> u32 {
+            12
+        }
+
+        fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+            (0..self.keys)
+                .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+                .collect()
+        }
+    }
+
+    fn opts() -> RunOptions {
+        RunOptions {
+            windows: 4,
+            warmup: SimTime::from_ms(1),
+            measure: SimTime::from_ms(4),
+            seed: 7,
+        }
+    }
+
+    fn mini(frac: f64) -> impl Fn(usize) -> Box<dyn Workload> {
+        move |_| Box::new(MiniWl { keys: 2000, remote_frac: frac })
+    }
+
+    #[test]
+    fn drtmh_commits() {
+        let r = run_baseline(BaselineKind::DrtmH, HwParams::paper_testbed(), &opts(), mini(0.8));
+        assert!(r.committed > 500, "committed {}", r.committed);
+        assert!(r.p50_ns > 2_000 && r.p50_ns < 300_000, "p50 {}", r.p50_ns);
+    }
+
+    #[test]
+    fn fasst_commits() {
+        let r = run_baseline(BaselineKind::Fasst, HwParams::paper_testbed(), &opts(), mini(0.8));
+        assert!(r.committed > 500, "committed {}", r.committed);
+        assert!(r.host_busy_cores > 0.0);
+    }
+
+    #[test]
+    fn drtmr_commits() {
+        let r = run_baseline(BaselineKind::DrtmR, HwParams::paper_testbed(), &opts(), mini(0.8));
+        assert!(r.committed > 500, "committed {}", r.committed);
+    }
+
+    #[test]
+    fn nc_is_slower_than_cached() {
+        let cached = run_baseline(
+            BaselineKind::DrtmH,
+            HwParams::paper_testbed(),
+            &opts(),
+            mini(0.9),
+        );
+        let nc = run_baseline(
+            BaselineKind::DrtmHNc,
+            HwParams::paper_testbed(),
+            &opts(),
+            mini(0.9),
+        );
+        assert!(
+            nc.p50_ns >= cached.p50_ns,
+            "NC p50 {} must be >= cached p50 {}",
+            nc.p50_ns,
+            cached.p50_ns
+        );
+        assert!(
+            nc.tput_per_server <= cached.tput_per_server * 1.05,
+            "NC tput {} vs cached {}",
+            nc.tput_per_server,
+            cached.tput_per_server
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_baseline(BaselineKind::DrtmH, HwParams::paper_testbed(), &opts(), mini(0.5));
+        let b = run_baseline(BaselineKind::DrtmH, HwParams::paper_testbed(), &opts(), mini(0.5));
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.p50_ns, b.p50_ns);
+    }
+
+    #[test]
+    fn no_lock_leaks_after_quiescence() {
+        // Heavy contention, then verify no residual lock is ancient: run
+        // and check the cluster keeps committing in the last quarter of
+        // the window (a leak would freeze throughput like the Xenic
+        // multihop bug this suite guards against).
+        let r = run_baseline(
+            BaselineKind::DrtmR,
+            HwParams::paper_testbed(),
+            &opts(),
+            move |_| Box::new(MiniWl { keys: 60, remote_frac: 0.8 }),
+        );
+        assert!(r.committed > 200, "committed {} under contention", r.committed);
+        assert!(r.aborted > 0, "contention must abort sometimes");
+    }
+}

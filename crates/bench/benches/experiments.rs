@@ -1,0 +1,200 @@
+//! Criterion benches: reduced versions of each paper experiment, for
+//! regression-tracking the simulator and data-structure performance.
+//!
+//! The *simulated* metrics (txn/s, µs) come from the harness binaries
+//! (`fig2_latency` … `table3_threads`); these benches measure how fast
+//! the reproduction itself runs, and double as smoke tests that every
+//! experiment path stays healthy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xenic::api::Workload;
+use xenic::harness::{run_xenic, RunOptions};
+use xenic::XenicConfig;
+use xenic_baselines::{run_baseline, BaselineKind};
+use xenic_hw::dma::{DmaKind, DmaOp};
+use xenic_hw::{DmaEngine, HwParams};
+use xenic_net::NetConfig;
+use xenic_sim::{DetRng, SimTime};
+use xenic_store::robinhood::{RobinhoodConfig, RobinhoodTable};
+use xenic_store::{ChainedTable, HopscotchTable, Value};
+use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig, Tpcc, TpccConfig, TpccMix};
+
+fn small_opts() -> RunOptions {
+    RunOptions {
+        windows: 8,
+        warmup: SimTime::from_us(500),
+        measure: SimTime::from_ms(2),
+        seed: 42,
+    }
+}
+
+/// Figure 4's substrate: DMA engine vectored submission.
+fn bench_fig4_dma(c: &mut Criterion) {
+    c.bench_function("fig4/dma_vectored_1ms", |b| {
+        b.iter(|| {
+            let p = HwParams::paper_testbed();
+            let mut e = DmaEngine::new(&p);
+            let ops = [DmaOp {
+                kind: DmaKind::Write,
+                bytes: 64,
+            }; 15];
+            let mut t = SimTime::ZERO;
+            while t < SimTime::from_ms(1) {
+                let c = e.submit(t, 0, &ops);
+                t = (t + c.submit_busy_ns).max(e.queue_free_at(0));
+            }
+            black_box(e.elements_done())
+        })
+    });
+}
+
+/// Table 2's substrate: populate + probe each hash structure.
+fn bench_table2_structures(c: &mut Criterion) {
+    let n = 50_000u64;
+    c.bench_function("table2/robinhood_populate_probe", |b| {
+        b.iter(|| {
+            let mut t = RobinhoodTable::new(RobinhoodConfig {
+                capacity: (n as f64 / 0.9) as usize,
+                displacement_limit: Some(8),
+                segment_slots: 4,
+                inline_cap: 256,
+                slot_value_bytes: 64,
+            });
+            let v = Value::filled(64, 1);
+            for k in 0..n {
+                t.insert(k, v.clone());
+            }
+            let mut rng = DetRng::new(1);
+            let mut objs = 0usize;
+            for _ in 0..10_000 {
+                let k = rng.below(n);
+                let seg = t.segment_of_key(k);
+                objs += t.dma_lookup(k, t.seg_max_disp(seg), 1).objects_read;
+            }
+            black_box(objs)
+        })
+    });
+    c.bench_function("table2/hopscotch_populate_probe", |b| {
+        b.iter(|| {
+            let mut t = HopscotchTable::new((n as f64 / 0.9) as usize, 8, 64);
+            let v = Value::filled(64, 1);
+            for k in 0..n {
+                t.insert(k, v.clone());
+            }
+            let mut rng = DetRng::new(2);
+            let mut objs = 0usize;
+            for _ in 0..10_000 {
+                objs += t.remote_lookup(rng.below(n)).objects_read;
+            }
+            black_box(objs)
+        })
+    });
+    c.bench_function("table2/chained_populate_probe", |b| {
+        b.iter(|| {
+            let mut t = ChainedTable::new(((n as f64 / 0.9) as usize).div_ceil(8), 8, 64);
+            let v = Value::filled(64, 1);
+            for k in 0..n {
+                t.insert(k, v.clone());
+            }
+            let mut rng = DetRng::new(3);
+            let mut objs = 0usize;
+            for _ in 0..10_000 {
+                objs += t.remote_lookup(rng.below(n)).objects_read;
+            }
+            black_box(objs)
+        })
+    });
+}
+
+/// Figure 8's engines: one reduced run per system per workload.
+fn bench_fig8_engines(c: &mut Criterion) {
+    let mk_sb = |_: usize| -> Box<dyn Workload> {
+        Box::new(Smallbank::new(SmallbankConfig {
+            accounts_per_node: 20_000,
+            ..SmallbankConfig::sim(6)
+        }))
+    };
+    let mk_rw = |_: usize| -> Box<dyn Workload> {
+        Box::new(Retwis::new(RetwisConfig {
+            keys_per_node: 20_000,
+            ..RetwisConfig::sim(6)
+        }))
+    };
+    let mk_no = |_: usize| -> Box<dyn Workload> {
+        Box::new(Tpcc::new(TpccConfig {
+            warehouses_per_node: 4,
+            ..TpccConfig::sim(6, TpccMix::NewOrderOnly)
+        }))
+    };
+    c.bench_function("fig8/xenic_smallbank_2ms", |b| {
+        b.iter(|| {
+            black_box(run_xenic(
+                HwParams::paper_testbed(),
+                NetConfig::full(),
+                XenicConfig::full(),
+                &small_opts(),
+                mk_sb,
+            ))
+        })
+    });
+    c.bench_function("fig8/drtmh_smallbank_2ms", |b| {
+        b.iter(|| {
+            black_box(run_baseline(
+                BaselineKind::DrtmH,
+                HwParams::paper_testbed(),
+                &small_opts(),
+                mk_sb,
+            ))
+        })
+    });
+    c.bench_function("fig8/fasst_retwis_2ms", |b| {
+        b.iter(|| {
+            black_box(run_baseline(
+                BaselineKind::Fasst,
+                HwParams::paper_testbed(),
+                &small_opts(),
+                mk_rw,
+            ))
+        })
+    });
+    c.bench_function("fig8/xenic_tpcc_no_2ms", |b| {
+        b.iter(|| {
+            black_box(run_xenic(
+                HwParams::paper_testbed(),
+                NetConfig::full(),
+                XenicConfig::full(),
+                &small_opts(),
+                mk_no,
+            ))
+        })
+    });
+}
+
+/// Figure 9's knobs: the ablation configurations stay runnable.
+fn bench_fig9_knobs(c: &mut Criterion) {
+    let mk = |_: usize| -> Box<dyn Workload> {
+        Box::new(Smallbank::new(SmallbankConfig {
+            accounts_per_node: 20_000,
+            ..SmallbankConfig::sim(6)
+        }))
+    };
+    c.bench_function("fig9/xenic_baseline_config_2ms", |b| {
+        b.iter(|| {
+            black_box(run_xenic(
+                HwParams::paper_testbed(),
+                NetConfig::baseline(),
+                XenicConfig::fig9_baseline(),
+                &small_opts(),
+                mk,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4_dma, bench_table2_structures, bench_fig8_engines, bench_fig9_knobs
+}
+criterion_main!(experiments);

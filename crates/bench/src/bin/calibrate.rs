@@ -1,0 +1,37 @@
+//! Quick calibration probe: three load levels per system per workload,
+//! printing the key comparisons the paper reports. This is the
+//! developer's fast sanity check that the calibrated constants still
+//! produce the paper's orderings; the full sweeps live in `fig8_sweep`.
+
+use xenic::api::Workload;
+use xenic::harness::RunOptions;
+use xenic_bench::{run_system, System};
+use xenic_hw::HwParams;
+use xenic_sim::SimTime;
+use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig, Tpcc, TpccConfig, TpccMix};
+
+fn main() {
+    let params = HwParams::paper_testbed();
+    let mk_sb = |_: usize| -> Box<dyn Workload> { Box::new(Smallbank::new(SmallbankConfig::sim(6))) };
+    let mk_rw = |_: usize| -> Box<dyn Workload> { Box::new(Retwis::new(RetwisConfig::sim(6))) };
+    let mk_no = |_: usize| -> Box<dyn Workload> { Box::new(Tpcc::new(TpccConfig::sim(6, TpccMix::NewOrderOnly))) };
+
+    for (name, mk) in [
+        ("smallbank", &mk_sb as &dyn Fn(usize) -> Box<dyn Workload>),
+        ("retwis", &mk_rw),
+        ("tpcc_no", &mk_no),
+    ] {
+        println!("== {name} ==");
+        for w in [1usize, 16, 64] {
+            let opts = RunOptions { windows: w, warmup: SimTime::from_ms(2), measure: SimTime::from_ms(8), seed: 42 };
+            for sys in System::ALL {
+                let r = run_system(sys, params.clone(), &opts, mk);
+                println!(
+                    "{:>10} w={:>3}  tput/srv={:>9.0}  p50={:>7.1}us p99={:>8.1}us aborts={:>6} host={:>5.1} nic={:>5.1} lio={:.2} cx5={:.2}",
+                    sys.label(), w, r.tput_per_server, r.p50_ns as f64/1e3, r.p99_ns as f64/1e3,
+                    r.aborted, r.host_busy_cores, r.nic_busy_cores, r.lio_utilization, r.cx5_utilization
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Figure 2: roundtrip latency of remote operations (paper §3.2).
+//!
+//! (a) LiquidIO SmartNIC — a NIC RPC (NOP at the target NIC), a DMA Read
+//!     or Write of target host memory, and a Host RPC (handled by DPDK on
+//!     the target host), each initiated from the source *host* and from
+//!     the source *NIC*.
+//! (b) CX5 RDMA — one-sided READ / WRITE / ATOMIC and a two-sided RPC
+//!     (host-initiated only; RDMA NICs cannot originate requests, the
+//!     paper's "N/A" column).
+//!
+//! 256 B payloads on an idle cluster, as in the paper.
+
+use xenic_hw::rdma::Verb;
+use xenic_hw::HwParams;
+use xenic_net::{Cluster, Exec, NetConfig, Protocol, Runtime};
+use xenic_sim::SimTime;
+
+const BYTES: u32 = 256;
+
+/// LiquidIO target-side operation flavors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    NicRpc,
+    DmaRead,
+    DmaWrite,
+    HostRpc,
+}
+
+#[derive(Clone, Debug)]
+enum M {
+    /// Source host initiates (travels host → NIC → wire).
+    HostKick { op: Op },
+    /// Source NIC initiates.
+    NicKick { op: Op, dst: usize },
+    /// Relay at the source NIC for host-initiated requests.
+    Relay { op: Op, origin: usize, t0: SimTime },
+    /// Request at the target NIC.
+    Target { op: Op, origin: usize, to_host: bool, t0: SimTime },
+    /// Target-side DMA finished.
+    TargetDma { origin: usize, to_host: bool, t0: SimTime },
+    /// Target host RPC handler.
+    TargetHost { origin: usize, to_host: bool, t0: SimTime },
+    /// Target NIC forwards the host's response to the wire.
+    TargetHostDone { origin: usize, to_host: bool, t0: SimTime },
+    /// Response at the source NIC.
+    Return { to_host: bool, t0: SimTime },
+    /// Completion at the source host.
+    Done { t0: SimTime },
+    /// CX5 cases.
+    RdmaGo { verb: u8, dst: usize },
+    RdmaDone { t0: SimTime },
+    RdmaRpcReq { from: usize, t0: SimTime },
+    RdmaRpcResp { t0: SimTime },
+}
+
+#[derive(Default)]
+struct S {
+    rtts: Vec<u64>,
+}
+
+struct P;
+
+impl Protocol for P {
+    type Msg = M;
+    type State = S;
+
+    fn cost(m: &M, _e: Exec, p: &HwParams) -> u64 {
+        match m {
+            M::HostKick { .. } | M::RdmaGo { .. } => p.host_app_handle_ns,
+            M::NicKick { .. } => 100,
+            M::Relay { .. } | M::Return { .. } | M::TargetHostDone { .. } => {
+                p.nic_rpc_handle_ns / 2
+            }
+            M::Target { .. } => p.nic_rpc_handle_ns,
+            M::TargetDma { .. } => 80,
+            M::TargetHost { .. } | M::RdmaRpcReq { .. } => p.host_rpc_handle_ns,
+            M::Done { .. } | M::RdmaDone { .. } | M::RdmaRpcResp { .. } => 120,
+        }
+    }
+
+    fn handle(st: &mut S, rt: &mut Runtime<M>, me: usize, m: M) {
+        match m {
+            M::HostKick { op } => {
+                let t0 = rt.now();
+                rt.send_pcie(Exec::Nic, M::Relay { op, origin: me, t0 }, BYTES);
+            }
+            M::Relay { op, origin, t0 } => {
+                let dst = (origin + 1) % rt.node_count();
+                rt.send_net(
+                    dst,
+                    Exec::Nic,
+                    M::Target {
+                        op,
+                        origin,
+                        to_host: true,
+                        t0,
+                    },
+                    BYTES,
+                );
+            }
+            M::NicKick { op, dst } => {
+                let t0 = rt.now();
+                rt.send_net(
+                    dst,
+                    Exec::Nic,
+                    M::Target {
+                        op,
+                        origin: me,
+                        to_host: false,
+                        t0,
+                    },
+                    BYTES,
+                );
+            }
+            M::Target {
+                op,
+                origin,
+                to_host,
+                t0,
+            } => match op {
+                Op::NicRpc => rt.send_net(origin, Exec::Nic, M::Return { to_host, t0 }, BYTES),
+                Op::DmaRead => rt.dma_read(BYTES, M::TargetDma { origin, to_host, t0 }),
+                Op::DmaWrite => rt.dma_write(BYTES, M::TargetDma { origin, to_host, t0 }),
+                Op::HostRpc => {
+                    rt.send_pcie(Exec::Host, M::TargetHost { origin, to_host, t0 }, BYTES)
+                }
+            },
+            M::TargetDma { origin, to_host, t0 } => {
+                rt.send_net(origin, Exec::Nic, M::Return { to_host, t0 }, BYTES)
+            }
+            M::TargetHost { origin, to_host, t0 } => {
+                rt.send_pcie(Exec::Nic, M::TargetHostDone { origin, to_host, t0 }, BYTES)
+            }
+            M::TargetHostDone { origin, to_host, t0 } => {
+                rt.send_net(origin, Exec::Nic, M::Return { to_host, t0 }, BYTES)
+            }
+            M::Return { to_host, t0 } => {
+                if to_host {
+                    rt.send_pcie(Exec::Host, M::Done { t0 }, BYTES);
+                } else {
+                    st.rtts.push(rt.now().since(t0));
+                }
+            }
+            M::Done { t0 } => st.rtts.push(rt.now().since(t0)),
+            M::RdmaGo { verb, dst } => {
+                let t0 = rt.now();
+                match verb {
+                    0 => rt.rdma_one_sided(
+                        dst,
+                        Verb::Read { bytes: BYTES },
+                        M::RdmaDone { t0 },
+                        false,
+                    ),
+                    1 => rt.rdma_one_sided(
+                        dst,
+                        Verb::Write { bytes: BYTES },
+                        M::RdmaDone { t0 },
+                        false,
+                    ),
+                    2 => rt.rdma_one_sided(dst, Verb::Atomic, M::RdmaDone { t0 }, false),
+                    _ => rt.rdma_send(dst, M::RdmaRpcReq { from: me, t0 }, BYTES, false),
+                }
+            }
+            M::RdmaDone { t0 } => st.rtts.push(rt.now().since(t0)),
+            M::RdmaRpcReq { from, t0 } => rt.rdma_send(from, M::RdmaRpcResp { t0 }, BYTES, false),
+            M::RdmaRpcResp { t0 } => st.rtts.push(rt.now().since(t0)),
+        }
+    }
+}
+
+/// Runs `n` well-spaced probes and returns the median RTT in µs.
+fn median_rtt(seed_msg: impl Fn(usize) -> M, n: usize) -> f64 {
+    let mut c: Cluster<P> = Cluster::new(HwParams::paper_testbed(), NetConfig::full(), 1, |_| {
+        S::default()
+    });
+    for i in 0..n {
+        let msg = seed_msg(i);
+        let exec = match &msg {
+            M::NicKick { .. } => Exec::Nic,
+            _ => Exec::Host,
+        };
+        c.seed(SimTime::from_us(20 * i as u64), 0, exec, msg);
+    }
+    c.run_until(SimTime::from_ms(40));
+    let mut r = c.states[0].rtts.clone();
+    assert_eq!(r.len(), n, "all probes must complete");
+    r.sort_unstable();
+    r[r.len() / 2] as f64 / 1000.0
+}
+
+fn main() {
+    const N: usize = 64;
+    println!("# Figure 2(a): LiquidIO remote operation RTT, 256 B [us]");
+    println!("{:<12} {:>10} {:>10}", "op", "from-host", "from-NIC");
+    for (name, op) in [
+        ("NIC RPC", Op::NicRpc),
+        ("Read", Op::DmaRead),
+        ("Write", Op::DmaWrite),
+        ("Host RPC", Op::HostRpc),
+    ] {
+        let fh = median_rtt(|_| M::HostKick { op }, N);
+        let fnic = median_rtt(|_| M::NicKick { op, dst: 1 }, N);
+        println!("{name:<12} {fh:>10.2} {fnic:>10.2}");
+    }
+    println!();
+    println!("# Figure 2(b): CX5 RDMA RTT, 256 B [us]");
+    println!("{:<12} {:>10} {:>10}", "op", "from-host", "from-NIC");
+    for (name, verb) in [("READ", 0u8), ("WRITE", 1), ("ATOMIC", 2), ("RPC", 3)] {
+        let fh = median_rtt(|_| M::RdmaGo { verb, dst: 1 }, N);
+        println!("{name:<12} {fh:>10.2} {:>10}", "N/A");
+    }
+}

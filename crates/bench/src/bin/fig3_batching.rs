@@ -1,0 +1,195 @@
+//! Figure 3: remote memory write throughput with and without batching
+//! (paper §3.4).
+//!
+//! Five client servers issue small writes to one target, for 16–256 B
+//! buffers:
+//!
+//! * (a) target = SmartNIC DRAM — the op is absorbed at the target NIC;
+//! * (b) target = host DRAM — each op becomes a PCIe DMA write;
+//! * batching off = one Ethernet frame per op, one DMA per op;
+//!   batching on = opportunistic frame aggregation + 15-element DMA
+//!   vectors (§4.3);
+//! * CX5 RDMA WRITE with doorbell batching for comparison.
+
+use xenic_hw::rdma::Verb;
+use xenic_hw::HwParams;
+use xenic_net::{Cluster, Exec, NetConfig, Protocol, Runtime};
+use xenic_sim::SimTime;
+
+#[derive(Clone, Debug)]
+enum M {
+    /// A client stream issues its next write.
+    Next { stream: u32, to_host: bool, bytes: u32 },
+    /// Write arrives at the target NIC.
+    Write { from: usize, stream: u32, to_host: bool, bytes: u32 },
+    /// Target-side DMA completed.
+    Dma { from: usize, stream: u32, to_host: bool, bytes: u32 },
+    /// Ack back at the client.
+    Ack { stream: u32, to_host: bool, bytes: u32 },
+    /// CX5 stream.
+    RdmaNext { stream: u32, bytes: u32 },
+    RdmaDone { stream: u32, bytes: u32 },
+}
+
+#[derive(Default)]
+struct S {
+    completed: u64,
+}
+
+struct P;
+
+const TARGET: usize = 0;
+
+impl Protocol for P {
+    type Msg = M;
+    type State = S;
+
+    fn cost(m: &M, _e: Exec, p: &HwParams) -> u64 {
+        match m {
+            M::Next { .. } | M::RdmaNext { .. } => 60,
+            M::Write { .. } => p.nic_rpc_handle_ns / 2,
+            M::Dma { .. } => 60,
+            M::Ack { .. } => 60,
+            M::RdmaDone { .. } => p.rdma_post_batched_ns,
+        }
+    }
+
+    fn handle(st: &mut S, rt: &mut Runtime<M>, me: usize, m: M) {
+        match m {
+            M::Next { stream, to_host, bytes } => {
+                rt.send_net(
+                    TARGET,
+                    Exec::Nic,
+                    M::Write {
+                        from: me,
+                        stream,
+                        to_host,
+                        bytes,
+                    },
+                    bytes + 24,
+                );
+            }
+            M::Write {
+                from,
+                stream,
+                to_host,
+                bytes,
+            } => {
+                if to_host {
+                    rt.dma_write(bytes, M::Dma { from, stream, to_host, bytes });
+                } else {
+                    // NIC DRAM write: absorbed at the NIC core.
+                    rt.send_net(from, Exec::Nic, M::Ack { stream, to_host, bytes }, 24);
+                }
+            }
+            M::Dma {
+                from,
+                stream,
+                to_host,
+                bytes,
+            } => {
+                rt.send_net(from, Exec::Nic, M::Ack { stream, to_host, bytes }, 24);
+            }
+            M::Ack { stream, to_host, bytes } => {
+                st.completed += 1;
+                rt.send_local(Exec::Nic, M::Next { stream, to_host, bytes }, 50);
+            }
+            M::RdmaNext { stream, bytes } => {
+                rt.rdma_one_sided(
+                    TARGET,
+                    Verb::Write { bytes },
+                    M::RdmaDone { stream, bytes },
+                    true,
+                );
+            }
+            M::RdmaDone { stream, bytes } => {
+                st.completed += 1;
+                rt.send_local(Exec::Host, M::RdmaNext { stream, bytes }, 50);
+            }
+        }
+    }
+}
+
+/// Total client completion rate in Mops/s.
+fn run(bytes: u32, mode: u8) -> f64 {
+    let net = match mode {
+        0 | 1 => NetConfig::baseline(), // unbatched (and CX5 ignores it)
+        _ => NetConfig::full(),
+    };
+    let mut c: Cluster<P> = Cluster::new(HwParams::paper_testbed(), net, 3, |_| S::default());
+    const STREAMS: u32 = 128;
+    for client in 1..6 {
+        for stream in 0..STREAMS {
+            let msg = match mode {
+                1 => M::RdmaNext { stream, bytes },
+                _ => M::Next {
+                    stream,
+                    to_host: mode == 0 || mode == 2,
+                    bytes,
+                },
+            };
+            let exec = if mode == 1 { Exec::Host } else { Exec::Nic };
+            c.seed(SimTime::from_ns(stream as u64 * 11), client, exec, msg);
+        }
+    }
+    // The "to_host" flag above selects (b); remap for NIC-target runs.
+    let warm = SimTime::from_ms(1);
+    c.run_until(warm);
+    let base: u64 = c.states.iter().map(|s| s.completed).sum();
+    let horizon = SimTime::from_ms(4);
+    c.run_until(horizon);
+    let total: u64 = c.states.iter().map(|s| s.completed).sum::<u64>() - base;
+    total as f64 / (horizon.since(warm) as f64 / 1e9) / 1e6
+}
+
+fn main() {
+    println!("# Figure 3: remote write throughput [Mops/s], 5 clients -> 1 target");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "bytes", "nic-single", "nic-batched", "host-single", "host-batched", "cx5-rdma"
+    );
+    for bytes in [16u32, 32, 64, 128, 256] {
+        // mode: 0 = LIO unbatched host, 1 = CX5, 2 = LIO batched host,
+        // NIC-target variants run with to_host=false via mode 3/4 below.
+        let nic_single = run_nic(bytes, false);
+        let nic_batched = run_nic(bytes, true);
+        let host_single = run(bytes, 0);
+        let host_batched = run(bytes, 2);
+        let cx5 = run(bytes, 1);
+        println!(
+            "{bytes:>6} {nic_single:>12.1} {nic_batched:>12.1} {host_single:>12.1} {host_batched:>12.1} {cx5:>10.1}"
+        );
+    }
+}
+
+/// NIC-DRAM-target variant.
+fn run_nic(bytes: u32, batched: bool) -> f64 {
+    let net = if batched {
+        NetConfig::full()
+    } else {
+        NetConfig::baseline()
+    };
+    let mut c: Cluster<P> = Cluster::new(HwParams::paper_testbed(), net, 3, |_| S::default());
+    const STREAMS: u32 = 128;
+    for client in 1..6 {
+        for stream in 0..STREAMS {
+            c.seed(
+                SimTime::from_ns(stream as u64 * 11),
+                client,
+                Exec::Nic,
+                M::Next {
+                    stream,
+                    to_host: false,
+                    bytes,
+                },
+            );
+        }
+    }
+    let warm = SimTime::from_ms(1);
+    c.run_until(warm);
+    let base: u64 = c.states.iter().map(|s| s.completed).sum();
+    let horizon = SimTime::from_ms(4);
+    c.run_until(horizon);
+    let total: u64 = c.states.iter().map(|s| s.completed).sum::<u64>() - base;
+    total as f64 / (horizon.since(warm) as f64 / 1e9) / 1e6
+}

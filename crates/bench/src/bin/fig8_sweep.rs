@@ -1,0 +1,106 @@
+//! Figure 8: throughput–latency curves for the five systems on all four
+//! workloads (paper §5.2–§5.5).
+//!
+//! Usage: `fig8_sweep [tpcc_no|tpcc_full|retwis|smallbank|all] [--fast]`
+//!
+//! Each curve sweeps the closed-loop window count per node and reports
+//! per-server throughput of metric transactions against median latency.
+//! Results print as aligned tables and are also written as CSV to
+//! `results/fig8_<workload>.csv`.
+
+use std::fs;
+use xenic::api::Workload;
+use xenic_bench::{curves_csv, print_curve, sweep, System};
+use xenic_hw::HwParams;
+use xenic_sim::SimTime;
+use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig, Tpcc, TpccConfig, TpccMix};
+
+fn mk(name: &str) -> Box<dyn Fn(usize) -> Box<dyn Workload>> {
+    match name {
+        "tpcc_no" => Box::new(|_| {
+            Box::new(Tpcc::new(TpccConfig::sim(6, TpccMix::NewOrderOnly))) as Box<dyn Workload>
+        }),
+        "tpcc_full" => Box::new(|_| {
+            Box::new(Tpcc::new(TpccConfig::sim(6, TpccMix::Full))) as Box<dyn Workload>
+        }),
+        "retwis" => {
+            Box::new(|_| Box::new(Retwis::new(RetwisConfig::sim(6))) as Box<dyn Workload>)
+        }
+        "smallbank" => {
+            Box::new(|_| Box::new(Smallbank::new(SmallbankConfig::sim(6))) as Box<dyn Workload>)
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+fn run_workload(name: &str, fast: bool) {
+    let params = HwParams::paper_testbed();
+    let windows: &[usize] = if fast {
+        &[2, 16, 64]
+    } else {
+        &[2, 8, 24, 64, 96]
+    };
+    let measure = if fast {
+        SimTime::from_ms(4)
+    } else {
+        SimTime::from_ms(6)
+    };
+    let mkw = mk(name);
+    let mut curves = Vec::new();
+    println!("==== Figure 8 [{name}] ====");
+    for sys in System::ALL {
+        let curve = sweep(
+            sys,
+            &params,
+            windows,
+            SimTime::from_ms(2),
+            measure,
+            42,
+            mkw.as_ref(),
+        );
+        print_curve(&format!("{name} / {}", sys.label()), &curve);
+        curves.push((sys, curve));
+    }
+    // Headline comparisons, paper-style.
+    let xenic_peak = xenic_bench::peak_tput(&curves[0].1);
+    let best_alt = curves[1..]
+        .iter()
+        .map(|(s, c)| (xenic_bench::peak_tput(c), s.label()))
+        .fold((0.0, ""), |a, b| if b.0 > a.0 { b } else { a });
+    let xenic_lat = xenic_bench::min_p50(&curves[0].1);
+    let alt_lat = curves[1..]
+        .iter()
+        .map(|(s, c)| (xenic_bench::min_p50(c), s.label()))
+        .fold((f64::INFINITY, ""), |a, b| if b.0 < a.0 { b } else { a });
+    println!();
+    println!(
+        "headline: Xenic peak {:.0}/s/server = {:.2}x best alternative ({} at {:.0})",
+        xenic_peak,
+        xenic_peak / best_alt.0,
+        best_alt.1,
+        best_alt.0
+    );
+    println!(
+        "          Xenic min p50 {:.1}us vs best alternative {:.1}us ({}) -> {:+.0}%",
+        xenic_lat,
+        alt_lat.0,
+        alt_lat.1,
+        (xenic_lat / alt_lat.0 - 1.0) * 100.0
+    );
+    fs::create_dir_all("results").ok();
+    fs::write(format!("results/fig8_{name}.csv"), curves_csv(&curves)).ok();
+    println!("(CSV written to results/fig8_{name}.csv)");
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which: Vec<&str> = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(w) if w != "all" => vec![w.as_str()],
+        _ => vec!["tpcc_no", "tpcc_full", "retwis", "smallbank"],
+    };
+    for w in which {
+        run_workload(w, fast);
+    }
+}

@@ -1,0 +1,98 @@
+//! Table 3: normalized thread counts at peak throughput (paper §5.6).
+//!
+//! The paper measures the minimum threads each system needs to stay
+//! within 95% of its peak. The simulator charges only *productive*
+//! nanoseconds — it cannot see the DPDK busy-polling reservations that
+//! inflate the paper's host thread counts — so this harness reports two
+//! honest views:
+//!
+//! 1. productive busy-core occupancy at each system's own peak,
+//!    normalized (NIC × 0.31) as the paper does;
+//! 2. Xenic's occupancy at the load level *matching the best baseline's
+//!    peak throughput* — the "threads saved for the same work" framing.
+
+use xenic::api::Workload;
+
+/// A factory for per-node workload generators.
+type WorkloadFactory = Box<dyn Fn(usize) -> Box<dyn Workload>>;
+use xenic::harness::RunOptions;
+use xenic_bench::{run_system, System};
+use xenic_hw::HwParams;
+use xenic_sim::SimTime;
+use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig, Tpcc, TpccConfig, TpccMix};
+
+fn main() {
+    let params = HwParams::paper_testbed();
+    let opts = RunOptions {
+        windows: 64,
+        warmup: SimTime::from_ms(2),
+        measure: SimTime::from_ms(8),
+        seed: 42,
+    };
+    println!("# Table 3: busy cores at peak (host, NIC) and normalized total");
+    println!("#          normalized = host + NIC x {:.2}", params.nic_core_ratio);
+    println!(
+        "{:<12} {:<10} {:>8} {:>8} {:>12}",
+        "benchmark", "system", "host", "NIC", "normalized"
+    );
+    let workloads: [(&str, WorkloadFactory); 3] = [
+        (
+            "tpcc_no",
+            Box::new(|_| {
+                Box::new(Tpcc::new(TpccConfig::sim(6, TpccMix::NewOrderOnly)))
+                    as Box<dyn Workload>
+            }),
+        ),
+        (
+            "retwis",
+            Box::new(|_| Box::new(Retwis::new(RetwisConfig::sim(6))) as Box<dyn Workload>),
+        ),
+        (
+            "smallbank",
+            Box::new(|_| Box::new(Smallbank::new(SmallbankConfig::sim(6))) as Box<dyn Workload>),
+        ),
+    ];
+    for (name, mkw) in &workloads {
+        let mut drtmh_peak = 0.0f64;
+        for sys in [System::Xenic, System::DrtmH, System::Fasst] {
+            let r = run_system(sys, params.clone(), &opts, mkw.as_ref());
+            if sys == System::DrtmH {
+                drtmh_peak = r.tput_per_server;
+            }
+            let norm = r.host_busy_cores + r.nic_busy_cores * params.nic_core_ratio;
+            println!(
+                "{name:<12} {:<10} {:>8.1} {:>8.1} {:>12.1}",
+                sys.label(),
+                r.host_busy_cores,
+                r.nic_busy_cores,
+                norm
+            );
+        }
+        // Matched-throughput view: Xenic at ≈ DrTM+H's peak.
+        let mut matched = None;
+        for w in [2usize, 4, 8, 16, 32, 64] {
+            let o = RunOptions { windows: w, ..opts.clone() };
+            let r = run_system(System::Xenic, params.clone(), &o, mkw.as_ref());
+            if r.tput_per_server >= drtmh_peak * 0.95 || w == 64 {
+                matched = Some((w, r));
+                break;
+            }
+        }
+        if let Some((w, r)) = matched {
+            let norm = r.host_busy_cores + r.nic_busy_cores * params.nic_core_ratio;
+            println!(
+                "{name:<12} {:<10} {:>8.1} {:>8.1} {:>12.1}   (w={w}, {:.0}/s ≈ DrTM+H peak {:.0}/s)",
+                "Xenic@eq",
+                r.host_busy_cores,
+                r.nic_busy_cores,
+                norm,
+                r.tput_per_server,
+                drtmh_peak
+            );
+        }
+    }
+    println!();
+    println!("(paper: Xenic normalized 21.7 (18,12) TPC-C NO, 9.9 (5,16) Retwis,");
+    println!(" 9.9 (5,16) Smallbank; DrTM+H 24/18/20; FaSST 32/24/28 — Xenic");
+    println!(" saves 2.3 / 8.1 / 10.1 threads per server vs DrTM+H)");
+}

@@ -1,0 +1,388 @@
+//! The workload-facing transaction API shared by Xenic and the baselines.
+//!
+//! A workload produces [`TxnSpec`]s — declarative descriptions of a
+//! transaction's read set, write set (as [`UpdateOp`]s computable from the
+//! read values), inserts, and compute cost. Because the write logic is
+//! *data*, not host code, it can be executed anywhere: on the coordinator
+//! host, on the coordinator-side SmartNIC (§4.2.2 function shipping), or
+//! on a remote primary NIC (§4.2.3 multi-hop) — exactly the paper's
+//! "abstract interface for execution logic ... exposing the transaction's
+//! read and write sets and the external state associated with the
+//! transaction".
+
+use xenic_store::{Key, Value};
+
+/// Number of bits of a [`Key`] reserved for the shard id (top byte).
+pub const SHARD_SHIFT: u32 = 56;
+
+/// Packs a shard id and a shard-local key into a global [`Key`].
+pub fn make_key(shard: u32, local: u64) -> Key {
+    debug_assert!(shard < 256);
+    debug_assert!(local < (1 << SHARD_SHIFT));
+    (u64::from(shard) << SHARD_SHIFT) | local
+}
+
+/// Extracts the shard id from a global key.
+pub fn shard_of(key: Key) -> u32 {
+    (key >> SHARD_SHIFT) as u32
+}
+
+/// Extracts the shard-local part of a global key.
+pub fn local_of(key: Key) -> u64 {
+    key & ((1 << SHARD_SHIFT) - 1)
+}
+
+/// Keyspace partitioning and replica placement.
+///
+/// Shard `s`'s primary is node `s`; its `replication - 1` backups are the
+/// next nodes ring-wise ("each node acts as ... a primary replica of one
+/// database shard, and a backup replica for \[other\] shards", §4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Number of nodes (= number of shards).
+    pub nodes: u32,
+    /// Total replicas per shard (paper's benchmarks: 3 = 1 primary + 2
+    /// backups).
+    pub replication: u32,
+}
+
+impl Partitioning {
+    /// Creates a partitioning; `replication` must fit the cluster.
+    pub fn new(nodes: u32, replication: u32) -> Self {
+        assert!(replication >= 1 && replication <= nodes);
+        Partitioning { nodes, replication }
+    }
+
+    /// The primary node of a shard.
+    pub fn primary(&self, shard: u32) -> usize {
+        (shard % self.nodes) as usize
+    }
+
+    /// The backup nodes of a shard, in ring order.
+    pub fn backups(&self, shard: u32) -> Vec<usize> {
+        (1..self.replication)
+            .map(|i| ((shard + i) % self.nodes) as usize)
+            .collect()
+    }
+
+    /// All replica nodes of a shard: primary first.
+    pub fn replicas(&self, shard: u32) -> Vec<usize> {
+        let mut v = vec![self.primary(shard)];
+        v.extend(self.backups(shard));
+        v
+    }
+
+    /// Whether `node` hosts a replica (primary or backup) of `shard`.
+    pub fn holds(&self, node: usize, shard: u32) -> bool {
+        self.replicas(shard).contains(&node)
+    }
+
+    /// The shards for which `node` is a backup.
+    pub fn backup_shards(&self, node: usize) -> Vec<u32> {
+        (0..self.nodes)
+            .filter(|&s| self.backups(s).contains(&node))
+            .collect()
+    }
+}
+
+/// A write computable from the transaction's read values — the shippable
+/// execution logic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateOp {
+    /// Blind write of a new value.
+    Put(Value),
+    /// Interpret the first 8 bytes as a little-endian `i64` counter and
+    /// add the delta (Smallbank balances, TPC-C stock quantities).
+    AddI64(i64),
+    /// Rewrite with a same-size value derived from the old one (models
+    /// read-modify-write record edits whose exact bytes don't affect
+    /// protocol behaviour).
+    Mutate,
+}
+
+impl UpdateOp {
+    /// Applies the op to the current value, producing the new value.
+    pub fn apply(&self, old: &Value) -> Value {
+        match self {
+            UpdateOp::Put(v) => v.clone(),
+            UpdateOp::AddI64(delta) => {
+                let mut bytes = old.bytes().to_vec();
+                if bytes.len() < 8 {
+                    bytes.resize(8, 0);
+                }
+                let mut ctr = i64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+                ctr = ctr.wrapping_add(*delta);
+                bytes[..8].copy_from_slice(&ctr.to_le_bytes());
+                Value::from_bytes(&bytes)
+            }
+            UpdateOp::Mutate => {
+                let mut bytes = old.bytes().to_vec();
+                if let Some(b) = bytes.first_mut() {
+                    *b = b.wrapping_add(1);
+                }
+                Value::from_bytes(&bytes)
+            }
+        }
+    }
+}
+
+/// Where a transaction's execution logic may run (the paper's
+/// per-transaction user annotation, §4.3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ShipMode {
+    /// Execute on the coordinator host (compute-heavy or local logic).
+    #[default]
+    Host,
+    /// Shippable to the coordinator-side or a remote primary NIC (small
+    /// state, cheap compute).
+    Nic,
+}
+
+/// One additional execution round of a multi-shot transaction
+/// (§4.2 step 3: "the coordinator may issue subsequent execute requests
+/// to read and/or lock additional keys until execution is finished").
+#[derive(Clone, Debug, Default)]
+pub struct TxnRound {
+    /// Keys read in this round.
+    pub reads: Vec<Key>,
+    /// Keys locked and updated in this round.
+    pub updates: Vec<(Key, UpdateOp)>,
+}
+
+/// A declarative transaction.
+#[derive(Clone, Debug)]
+pub struct TxnSpec {
+    /// Keys read but not written.
+    pub reads: Vec<Key>,
+    /// Keys read-modified-written: locked during Execute, rewritten at
+    /// Commit with `op.apply(read value)`.
+    pub updates: Vec<(Key, UpdateOp)>,
+    /// Brand-new keys inserted at Commit.
+    pub inserts: Vec<(Key, Value)>,
+    /// Application compute on the coordinator host (e.g. B+tree work),
+    /// charged when execution runs on the host, in ns.
+    pub exec_host_ns: u64,
+    /// The same compute on a NIC core (scaled by the Coremark ratio when
+    /// built via [`TxnSpec::with_exec_cost`]), in ns.
+    pub exec_nic_ns: u64,
+    /// Whether the application allows shipping this transaction's logic.
+    pub ship: ShipMode,
+    /// Unshippable coordinator-host work charged when the transaction is
+    /// initiated (e.g. TPC-C's local B+tree manipulations), in ns.
+    pub local_work_ns: u64,
+    /// Whether this transaction counts toward reported throughput and
+    /// latency (TPC-C full mix reports only new-order transactions).
+    pub metric: bool,
+    /// Additional execution rounds (multi-shot transactions). Rounds run
+    /// sequentially after the initial read/lock round; function shipping
+    /// to remote NICs is limited to single-round transactions, exactly as
+    /// in the paper (§4.2.3).
+    pub rounds: Vec<TxnRound>,
+}
+
+impl Default for TxnSpec {
+    fn default() -> Self {
+        TxnSpec {
+            reads: Vec::new(),
+            updates: Vec::new(),
+            inserts: Vec::new(),
+            exec_host_ns: 0,
+            exec_nic_ns: 0,
+            ship: ShipMode::Host,
+            local_work_ns: 0,
+            metric: true,
+            rounds: Vec::new(),
+        }
+    }
+}
+
+impl TxnSpec {
+    /// Sets execution cost from a host-core figure, deriving the NIC cost
+    /// from the Coremark ratio (NIC core ≈ 1/0.31 ≈ 3.2× slower).
+    pub fn with_exec_cost(mut self, host_ns: u64, nic_core_ratio: f64) -> Self {
+        self.exec_host_ns = host_ns;
+        self.exec_nic_ns = (host_ns as f64 / nic_core_ratio).round() as u64;
+        self
+    }
+
+    /// True if the spec writes nothing.
+    pub fn is_read_only(&self) -> bool {
+        self.updates.is_empty() && self.inserts.is_empty()
+    }
+
+    /// All keys the transaction touches, across every round.
+    pub fn all_keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.reads
+            .iter()
+            .copied()
+            .chain(self.updates.iter().map(|(k, _)| *k))
+            .chain(self.inserts.iter().map(|(k, _)| *k))
+            .chain(self.rounds.iter().flat_map(|r| {
+                r.reads
+                    .iter()
+                    .copied()
+                    .chain(r.updates.iter().map(|(k, _)| *k))
+            }))
+    }
+
+    /// All write-set keys (updates + inserts), across every round.
+    pub fn write_keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.updates
+            .iter()
+            .map(|(k, _)| *k)
+            .chain(self.inserts.iter().map(|(k, _)| *k))
+            .chain(self.rounds.iter().flat_map(|r| r.updates.iter().map(|(k, _)| *k)))
+    }
+
+    /// All update operations (initial round plus followups).
+    pub fn all_updates(&self) -> impl Iterator<Item = &(Key, UpdateOp)> + '_ {
+        self.updates
+            .iter()
+            .chain(self.rounds.iter().flat_map(|r| r.updates.iter()))
+    }
+
+    /// All read-set keys (initial round plus followups).
+    pub fn all_reads(&self) -> impl Iterator<Item = Key> + '_ {
+        self.reads
+            .iter()
+            .copied()
+            .chain(self.rounds.iter().flat_map(|r| r.reads.iter().copied()))
+    }
+
+    /// True if this is a single-round transaction (shippable).
+    pub fn single_round(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The distinct shards the transaction touches, sorted.
+    pub fn shards(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.all_keys().map(shard_of).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Serialized size estimate for PCIe/wire transfer of the spec.
+    pub fn spec_bytes(&self) -> u32 {
+        let keys = self.reads.len() + self.updates.len() + self.inserts.len();
+        let insert_payload: usize = self.inserts.iter().map(|(_, v)| v.len()).sum();
+        let update_payload: usize = self
+            .updates
+            .iter()
+            .map(|(_, op)| match op {
+                UpdateOp::Put(v) => v.len(),
+                _ => 8,
+            })
+            .sum();
+        (24 + keys * 12 + insert_payload + update_payload) as u32
+    }
+}
+
+/// A workload: a deterministic generator of transactions for a node.
+pub trait Workload {
+    /// Produces the next transaction a coordinator on `node` should run.
+    fn next_txn(&mut self, node: usize, rng: &mut xenic_sim::DetRng) -> TxnSpec;
+
+    /// Value size hint for sizing data-store slots.
+    fn value_bytes(&self) -> u32 {
+        64
+    }
+
+    /// Keys per shard to preload, as `(local key, value)` pairs.
+    fn preload(&self, shard: u32) -> Vec<(Key, Value)>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_packing_roundtrips() {
+        let k = make_key(5, 123_456);
+        assert_eq!(shard_of(k), 5);
+        assert_eq!(local_of(k), 123_456);
+        let k2 = make_key(0, 0);
+        assert_eq!(shard_of(k2), 0);
+        assert_eq!(local_of(k2), 0);
+    }
+
+    #[test]
+    fn partitioning_ring_placement() {
+        let p = Partitioning::new(6, 3);
+        assert_eq!(p.primary(0), 0);
+        assert_eq!(p.backups(0), vec![1, 2]);
+        assert_eq!(p.backups(5), vec![0, 1]);
+        assert_eq!(p.replicas(4), vec![4, 5, 0]);
+        assert!(p.holds(0, 0));
+        assert!(p.holds(2, 0));
+        assert!(!p.holds(3, 0));
+    }
+
+    #[test]
+    fn backup_shards_inverse_of_backups() {
+        let p = Partitioning::new(6, 3);
+        for node in 0..6 {
+            for s in p.backup_shards(node) {
+                assert!(p.backups(s).contains(&node));
+            }
+            // With RF=3 each node backs exactly 2 shards.
+            assert_eq!(p.backup_shards(node).len(), 2);
+        }
+    }
+
+    #[test]
+    fn add_i64_update() {
+        let v = Value::from_bytes(&100i64.to_le_bytes());
+        let op = UpdateOp::AddI64(-30);
+        let out = op.apply(&v);
+        assert_eq!(i64::from_le_bytes(out.bytes()[..8].try_into().unwrap()), 70);
+    }
+
+    #[test]
+    fn add_i64_pads_short_values() {
+        let v = Value::from_bytes(&[5]);
+        let out = UpdateOp::AddI64(2).apply(&v);
+        assert_eq!(i64::from_le_bytes(out.bytes()[..8].try_into().unwrap()), 7);
+    }
+
+    #[test]
+    fn put_and_mutate() {
+        let old = Value::filled(12, 1);
+        let new = Value::filled(12, 9);
+        assert_eq!(UpdateOp::Put(new.clone()).apply(&old), new);
+        let m = UpdateOp::Mutate.apply(&old);
+        assert_eq!(m.len(), 12);
+        assert_ne!(m, old);
+    }
+
+    #[test]
+    fn spec_queries() {
+        let spec = TxnSpec {
+            reads: vec![make_key(0, 1), make_key(1, 2)],
+            updates: vec![(make_key(1, 3), UpdateOp::AddI64(1))],
+            inserts: vec![(make_key(2, 4), Value::filled(8, 0))],
+            ..Default::default()
+        };
+        assert!(!spec.is_read_only());
+        assert_eq!(spec.all_keys().count(), 4);
+        assert_eq!(spec.write_keys().count(), 2);
+        assert_eq!(spec.shards(), vec![0, 1, 2]);
+        assert!(spec.spec_bytes() > 24);
+    }
+
+    #[test]
+    fn exec_cost_scaling() {
+        let spec = TxnSpec::default().with_exec_cost(310, 0.31);
+        assert_eq!(spec.exec_host_ns, 310);
+        assert_eq!(spec.exec_nic_ns, 1000);
+    }
+
+    #[test]
+    fn read_only_spec() {
+        let spec = TxnSpec {
+            reads: vec![make_key(0, 1)],
+            ..Default::default()
+        };
+        assert!(spec.is_read_only());
+    }
+}

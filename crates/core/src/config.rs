@@ -1,0 +1,85 @@
+//! Xenic engine configuration — including the Figure 9 ablation knobs.
+
+/// Configuration for the Xenic protocol engine.
+#[derive(Clone, Copy, Debug)]
+pub struct XenicConfig {
+    /// Combined remote commit operations: one Execute request both locks
+    /// write-set keys and returns read-set values, and Validate piggybacks
+    /// version checks in one message per shard. Off = the Figure 9
+    /// baseline, which mimics DrTM+H's one-sided restrictions with
+    /// *separate* read, lock, and validate requests per key group.
+    pub smart_remote_ops: bool,
+    /// Function-ship execution logic to the coordinator-side NIC for
+    /// transactions annotated [`crate::api::ShipMode::Nic`], eliminating
+    /// the mid-transaction PCIe roundtrip (§4.2.2).
+    pub nic_execution: bool,
+    /// Multi-hop OCC communication: ship single-remote-shard transactions
+    /// to the remote primary NIC, whose Log requests are acknowledged
+    /// directly to the coordinator NIC (§4.2.3, Figure 7b).
+    pub occ_multihop: bool,
+    /// Cache hot objects in SmartNIC memory. Off = every remote lookup
+    /// pays a DMA read.
+    pub nic_cache: bool,
+    /// Replication factor (primary + backups). Paper benchmarks use 3.
+    pub replication: u32,
+    /// NIC cache budget in values per node. The LiquidIO's 16 GB DRAM
+    /// holds the paper's benchmark datasets outright (Retwis 64 MB,
+    /// Smallbank 58 MB, TPC-C ~3.4 GB), so the default budget admits the
+    /// full sim-scale keyspace; shrink it to study cache pressure
+    /// (§4.3.3).
+    pub nic_cache_values: usize,
+    /// Abort retry backoff range in ns (uniform draw).
+    pub retry_backoff_ns: (u64, u64),
+    /// Host-memory commit-log ring capacity in bytes ("a hugepage of
+    /// host memory reserved for logging", §4.2 step 5). When the ring
+    /// fills, NICs retry appends until host workers drain it.
+    pub log_capacity_bytes: u64,
+}
+
+impl XenicConfig {
+    /// The full Xenic design as evaluated in §5.
+    pub fn full() -> Self {
+        XenicConfig {
+            smart_remote_ops: true,
+            nic_execution: true,
+            occ_multihop: true,
+            nic_cache: true,
+            replication: 3,
+            nic_cache_values: 1 << 20,
+            retry_backoff_ns: (2_000, 12_000),
+            log_capacity_bytes: 1 << 30,
+        }
+    }
+
+    /// The Figure 9 "Xenic baseline": same remote-operation set as
+    /// DrTM+H, no shipping, no multi-hop.
+    pub fn fig9_baseline() -> Self {
+        XenicConfig {
+            smart_remote_ops: false,
+            nic_execution: false,
+            occ_multihop: false,
+            ..Self::full()
+        }
+    }
+}
+
+impl Default for XenicConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_fig9_knobs() {
+        let full = XenicConfig::full();
+        let base = XenicConfig::fig9_baseline();
+        assert!(full.smart_remote_ops && full.nic_execution && full.occ_multihop);
+        assert!(!base.smart_remote_ops && !base.nic_execution && !base.occ_multihop);
+        assert_eq!(full.replication, 3);
+        assert!(base.nic_cache);
+    }
+}

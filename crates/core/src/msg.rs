@@ -1,0 +1,424 @@
+//! Xenic protocol messages and their wire-size accounting.
+//!
+//! Every remote message charges `wire_bytes()` of frame payload: a 24-byte
+//! operation header (transaction id, op kind, shard, flags — the paper's
+//! `xenic_op_header_bytes`) plus 12 bytes per key reference and the value
+//! payloads it carries. Bandwidth efficiency — fewer, leaner messages —
+//! is where Xenic's throughput advantage comes from, so these sizes are
+//! the load-bearing part of the model.
+
+use crate::api::TxnSpec;
+use xenic_store::{Key, TxnId, Value, Version, WritePayload};
+
+/// A replicated write set: key, payload (full value or shipped delta),
+/// and the new version.
+pub type WriteSet = Vec<(Key, WritePayload, Version)>;
+
+/// Per-message operation header bytes.
+pub const OP_HEADER: u32 = 24;
+/// Bytes per key reference in a message.
+pub const KEY_BYTES: u32 = 12;
+/// Bytes per (key, version) check.
+pub const CHECK_BYTES: u32 = 16;
+/// Bytes per returned (key, value-header, version) before the payload.
+pub const VALUE_HDR: u32 = 16;
+
+/// What a server-side Execute request does (smart mode combines; the
+/// Figure 9 baseline splits, mimicking one-sided RDMA's restrictions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Lock write-set keys *and* read read-set values in one request.
+    Combined,
+    /// Read values only.
+    ReadOnly,
+    /// Acquire locks only.
+    LockOnly,
+}
+
+/// The Xenic message set.
+#[derive(Clone, Debug)]
+pub enum XMsg {
+    // ---- Coordinator host ----
+    /// An application thread slot starts (or restarts) a transaction.
+    StartTxn {
+        /// The app-thread slot index.
+        slot: u32,
+    },
+    /// Backoff expired; retry the slot's aborted transaction.
+    RetryTxn {
+        /// The app-thread slot index.
+        slot: u32,
+    },
+    /// C-NIC returns the read set for host-side execution (§4.2 step 3).
+    ReadSet {
+        /// Coordinator-local transaction sequence.
+        seq: u64,
+        /// Read values and versions.
+        values: Vec<(Key, Value, Version)>,
+    },
+    /// Host finished execution; hand write payloads back to the C-NIC
+    /// (versions are filled in by the C-NIC from its lock metadata).
+    WritesReady {
+        /// Coordinator-local transaction sequence.
+        seq: u64,
+        /// Computed write set.
+        writes: WriteSet,
+    },
+    /// Final outcome reported to the host (§4.2 step 6).
+    Outcome {
+        /// Coordinator-local transaction sequence.
+        seq: u64,
+        /// True if committed.
+        committed: bool,
+    },
+    /// A host worker thread applies one log record (§4.2 step 7).
+    ApplyLog {
+        /// The record's LSN in this node's log.
+        lsn: u64,
+    },
+    /// Host acknowledges applied records through `lsn`; NIC reclaims log
+    /// space and unpins cache entries.
+    AppliedAck {
+        /// Highest applied LSN.
+        lsn: u64,
+    },
+
+    // ---- Coordinator host → coordinator NIC ----
+    /// Transaction state shipped to the local SmartNIC (§4.2 step 1).
+    TxnSubmit {
+        /// Coordinator-local sequence.
+        seq: u64,
+        /// The transaction.
+        spec: TxnSpec,
+    },
+    /// A local write transaction, pre-executed on the host (§4.2.4): the
+    /// NIC validates, locks, and replicates.
+    LocalCommit {
+        /// Coordinator-local sequence.
+        seq: u64,
+        /// Versions observed by the host's optimistic reads.
+        checks: Vec<(Key, Version)>,
+        /// Computed writes.
+        writes: WriteSet,
+    },
+
+    // ---- NIC ↔ NIC remote operations ----
+    /// Execute-phase request to a primary NIC.
+    Execute {
+        /// Transaction id.
+        txn: TxnId,
+        /// Coordinator node to respond to.
+        reply_to: u32,
+        /// Request flavor.
+        mode: ExecMode,
+        /// Keys to read (Combined/ReadOnly).
+        reads: Vec<Key>,
+        /// Keys to write-lock (Combined/LockOnly).
+        locks: Vec<Key>,
+    },
+    /// Execute-phase response.
+    ExecuteResp {
+        /// Transaction id.
+        txn: TxnId,
+        /// Responding shard.
+        shard: u32,
+        /// False if a lock was unavailable.
+        ok: bool,
+        /// Read values and their versions.
+        values: Vec<(Key, Value, Version)>,
+        /// Current versions of the locked (write-set) keys — all the
+        /// coordinator needs for delta updates; the value bytes stay home.
+        lock_versions: Vec<(Key, Version)>,
+    },
+    /// Validate-phase version check (§4.2 step 4).
+    Validate {
+        /// Transaction id.
+        txn: TxnId,
+        /// Coordinator node to respond to.
+        reply_to: u32,
+        /// Keys and the versions observed at Execute.
+        checks: Vec<(Key, Version)>,
+    },
+    /// Validate-phase response.
+    ValidateResp {
+        /// Transaction id.
+        txn: TxnId,
+        /// Responding shard.
+        shard: u32,
+        /// True if all versions match and no key is locked.
+        ok: bool,
+    },
+    /// Log-phase request to a backup NIC (§4.2 step 5).
+    LogReq {
+        /// Transaction id.
+        txn: TxnId,
+        /// Shard whose backup should log this write set.
+        shard: u32,
+        /// Node to acknowledge (the coordinator — possibly not the
+        /// sender, in the multi-hop pattern of Figure 7b).
+        reply_to: u32,
+        /// The write set.
+        writes: WriteSet,
+    },
+    /// Log-phase acknowledgement (sent after the log DMA completes).
+    LogResp {
+        /// Transaction id.
+        txn: TxnId,
+        /// Acknowledging node.
+        from: u32,
+        /// Always true in the steady state (backups retry full rings
+        /// rather than refuse); the coordinator aborts defensively on
+        /// false.
+        ok: bool,
+    },
+    /// Commit-phase request to a primary NIC (§4.2 step 6).
+    CommitReq {
+        /// Transaction id.
+        txn: TxnId,
+        /// Target shard.
+        shard: u32,
+        /// The write set to apply.
+        writes: WriteSet,
+    },
+    /// Abort: release the locks this shard holds for `txn`.
+    AbortReq {
+        /// Transaction id.
+        txn: TxnId,
+        /// Keys to unlock.
+        unlock: Vec<Key>,
+    },
+
+    // ---- Multi-hop / shipped execution (§4.2.3) ----
+    /// Ship a whole transaction to a remote primary NIC for execution.
+    ExecShip {
+        /// Transaction id.
+        txn: TxnId,
+        /// Coordinator node.
+        reply_to: u32,
+        /// The transaction (remote + local keys).
+        spec: TxnSpec,
+        /// Values of the coordinator-local keys, read and locked by the
+        /// coordinator NIC before shipping.
+        local_vals: Vec<(Key, Value, Version)>,
+    },
+    /// The remote primary's response: execution outcome plus the write
+    /// values for the coordinator's local shard.
+    ExecShipResp {
+        /// Transaction id.
+        txn: TxnId,
+        /// False if locking or validation failed at the remote primary.
+        ok: bool,
+        /// Writes belonging to the coordinator's local shard.
+        local_writes: WriteSet,
+    },
+
+    // ---- DMA continuations (same node, NIC pool) ----
+    /// One roundtrip of a chained DMA lookup finished.
+    DmaLookupDone {
+        /// The pending server-side operation this lookup serves.
+        op: u64,
+        /// The key being looked up.
+        key: Key,
+        /// Remaining chained read sizes (next is issued immediately).
+        remaining: Vec<u32>,
+        /// The final result (applied when `remaining` is empty).
+        result: Option<(Value, Version)>,
+    },
+    /// A primary's Commit append found the log ring full: retry after
+    /// the host drains (locks stay held; cache entries stay pinned).
+    RetryCommitApply {
+        /// Transaction id.
+        txn: TxnId,
+        /// The write set to apply.
+        writes: WriteSet,
+        /// Keys to unlock once durable.
+        unlock: Vec<Key>,
+    },
+    /// A backup's Log append found the ring full: retry.
+    RetryBackupLog {
+        /// Transaction id.
+        txn: TxnId,
+        /// Shard whose backup should log.
+        shard: u32,
+        /// Coordinator to acknowledge.
+        reply_to: u32,
+        /// The write set.
+        writes: WriteSet,
+    },
+    /// A log-append DMA write became durable; acknowledge and hand the
+    /// record to a host worker.
+    DmaLogDone {
+        /// Transaction id.
+        txn: TxnId,
+        /// Who gets the LogResp (None for primary-side Commit records).
+        reply_to: Option<u32>,
+        /// The record's LSN.
+        lsn: u64,
+        /// Write-set keys to unlock once durable (Commit records).
+        unlock: Vec<Key>,
+    },
+}
+
+impl XMsg {
+    /// Frame payload bytes this message occupies on the wire (Ethernet
+    /// NIC-to-NIC or PCIe host↔NIC). Local-only continuations are free.
+    pub fn wire_bytes(&self) -> u32 {
+        fn vals(v: &[(Key, Value, Version)]) -> u32 {
+            v.iter()
+                .map(|(_, val, _)| VALUE_HDR + val.len() as u32)
+                .sum()
+        }
+        fn ws(v: &[(Key, WritePayload, Version)]) -> u32 {
+            v.iter().map(|(_, p, _)| 8 + p.wire_bytes()).sum()
+        }
+        match self {
+            XMsg::StartTxn { .. } | XMsg::RetryTxn { .. } => 0,
+            XMsg::ReadSet { values, .. } => OP_HEADER + vals(values),
+            XMsg::WritesReady { writes, .. } => OP_HEADER + ws(writes),
+            XMsg::Outcome { .. } => OP_HEADER,
+            XMsg::ApplyLog { .. } => 0,
+            XMsg::AppliedAck { .. } => OP_HEADER,
+            XMsg::TxnSubmit { spec, .. } => spec.spec_bytes(),
+            XMsg::LocalCommit { checks, writes, .. } => {
+                OP_HEADER + checks.len() as u32 * CHECK_BYTES + ws(writes)
+            }
+            XMsg::Execute { reads, locks, .. } => {
+                OP_HEADER + (reads.len() + locks.len()) as u32 * KEY_BYTES
+            }
+            XMsg::ExecuteResp {
+                values,
+                lock_versions,
+                ..
+            } => OP_HEADER + vals(values) + lock_versions.len() as u32 * CHECK_BYTES,
+            XMsg::Validate { checks, .. } => OP_HEADER + checks.len() as u32 * CHECK_BYTES,
+            XMsg::ValidateResp { .. } => OP_HEADER,
+            XMsg::LogReq { writes, .. } => OP_HEADER + ws(writes),
+            XMsg::LogResp { .. } => OP_HEADER,
+            XMsg::CommitReq { writes, .. } => OP_HEADER + ws(writes),
+            XMsg::AbortReq { unlock, .. } => OP_HEADER + unlock.len() as u32 * KEY_BYTES,
+            XMsg::ExecShip {
+                spec, local_vals, ..
+            } => spec.spec_bytes() + vals(local_vals),
+            XMsg::ExecShipResp { local_writes, .. } => OP_HEADER + ws(local_writes),
+            XMsg::DmaLookupDone { .. }
+            | XMsg::DmaLogDone { .. }
+            | XMsg::RetryCommitApply { .. }
+            | XMsg::RetryBackupLog { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::make_key;
+
+    fn v(n: usize) -> Value {
+        Value::filled(n, 1)
+    }
+
+    #[test]
+    fn execute_size_scales_with_keys() {
+        let small = XMsg::Execute {
+            txn: TxnId::new(0, 1),
+            reply_to: 0,
+            mode: ExecMode::Combined,
+            reads: vec![make_key(1, 1)],
+            locks: vec![],
+        };
+        let large = XMsg::Execute {
+            txn: TxnId::new(0, 1),
+            reply_to: 0,
+            mode: ExecMode::Combined,
+            reads: vec![make_key(1, 1); 10],
+            locks: vec![make_key(1, 2); 5],
+        };
+        assert_eq!(small.wire_bytes(), 24 + 12);
+        assert_eq!(large.wire_bytes(), 24 + 15 * 12);
+    }
+
+    #[test]
+    fn value_messages_include_payload() {
+        let resp = XMsg::ExecuteResp {
+            txn: TxnId::new(0, 1),
+            shard: 2,
+            ok: true,
+            values: vec![(1, v(64), 1), (2, v(12), 3)],
+            lock_versions: vec![(3, 7)],
+        };
+        assert_eq!(resp.wire_bytes(), 24 + (16 + 64) + (16 + 12) + 16);
+
+        // Delta payloads keep big objects off the wire — the function-
+        // shipping payoff: a 320-byte stock row's decrement costs 28 B.
+        let log_full = XMsg::LogReq {
+            txn: TxnId::new(0, 1),
+            shard: 0,
+            reply_to: 0,
+            writes: vec![(9, WritePayload::Full(v(320)), 2)],
+        };
+        let log_delta = XMsg::LogReq {
+            txn: TxnId::new(0, 1),
+            shard: 0,
+            reply_to: 0,
+            writes: vec![(9, WritePayload::AddI64(-3), 2)],
+        };
+        assert_eq!(log_full.wire_bytes(), 24 + 8 + 16 + 320);
+        assert_eq!(log_delta.wire_bytes(), 24 + 8 + 20);
+    }
+
+    #[test]
+    fn continuations_are_free() {
+        let m = XMsg::DmaLogDone {
+            txn: TxnId::new(0, 1),
+            reply_to: None,
+            lsn: 9,
+            unlock: vec![1, 2, 3],
+        };
+        assert_eq!(m.wire_bytes(), 0);
+        assert_eq!(XMsg::ApplyLog { lsn: 1 }.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn smart_vs_split_total_bytes() {
+        // One combined Execute (2 reads + 1 lock) is leaner than three
+        // separate requests — the arithmetic behind Figure 9's "smart
+        // remote ops" gain.
+        let combined = XMsg::Execute {
+            txn: TxnId::new(0, 1),
+            reply_to: 0,
+            mode: ExecMode::Combined,
+            reads: vec![1, 2],
+            locks: vec![3],
+        }
+        .wire_bytes();
+        let split: u32 = [
+            XMsg::Execute {
+                txn: TxnId::new(0, 1),
+                reply_to: 0,
+                mode: ExecMode::ReadOnly,
+                reads: vec![1],
+                locks: vec![],
+            }
+            .wire_bytes(),
+            XMsg::Execute {
+                txn: TxnId::new(0, 1),
+                reply_to: 0,
+                mode: ExecMode::ReadOnly,
+                reads: vec![2],
+                locks: vec![],
+            }
+            .wire_bytes(),
+            XMsg::Execute {
+                txn: TxnId::new(0, 1),
+                reply_to: 0,
+                mode: ExecMode::LockOnly,
+                reads: vec![],
+                locks: vec![3],
+            }
+            .wire_bytes(),
+        ]
+        .iter()
+        .sum();
+        assert!(split as f64 > combined as f64 * 1.5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-node protocol statistics.
+
+use xenic_sim::{Counter, Histogram, Meter, SimTime};
+
+/// Counters and distributions one node accumulates during a run.
+#[derive(Default)]
+pub struct NodeStats {
+    /// Committed metric transactions (e.g. TPC-C new orders) — the
+    /// numerator of reported throughput.
+    pub committed: Meter,
+    /// All committed transactions, metric or not.
+    pub committed_all: Counter,
+    /// Aborted attempts (each retry that fails counts once).
+    pub aborted: Counter,
+    /// End-to-end latency of committed metric transactions, ns.
+    pub latency: Histogram,
+    /// Local-fast-path transactions (no network involved).
+    pub local_fast_path: Counter,
+    /// Transactions executed via NIC function shipping.
+    pub nic_executed: Counter,
+    /// Transactions committed via the multi-hop pattern.
+    pub multihop: Counter,
+    /// Coordinator-NIC Execute-phase duration (submit → all responses).
+    pub phase_exec: Histogram,
+    /// Validate-phase duration (when a validation round runs).
+    pub phase_validate: Histogram,
+    /// Log-phase duration (first LogReq → all acks).
+    pub phase_log: Histogram,
+    /// Whether measurement is active (set after warmup; latency and
+    /// committed are only recorded while true).
+    pub measuring: bool,
+}
+
+impl NodeStats {
+    /// Starts the measurement window at `now`, discarding warmup data.
+    pub fn start_measuring(&mut self, now: SimTime) {
+        self.measuring = true;
+        self.committed.restart(now);
+        self.latency.clear();
+        self.phase_exec.clear();
+        self.phase_validate.clear();
+        self.phase_log.clear();
+        self.aborted = Counter::new();
+        self.committed_all = Counter::new();
+    }
+
+    /// Records a committed transaction.
+    pub fn record_commit(&mut self, metric: bool, started: SimTime, now: SimTime) {
+        if !self.measuring {
+            return;
+        }
+        self.committed_all.inc();
+        if metric {
+            self.committed.mark(1);
+            self.latency.record_span(started, now);
+        }
+    }
+
+    /// Records an abort.
+    pub fn record_abort(&mut self) {
+        if self.measuring {
+            self.aborted.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_data_discarded() {
+        let mut s = NodeStats::default();
+        // Pre-measurement commits are ignored.
+        s.record_commit(true, SimTime::ZERO, SimTime::from_us(5));
+        assert_eq!(s.latency.count(), 0);
+        s.start_measuring(SimTime::from_ms(1));
+        s.record_commit(true, SimTime::from_ms(1), SimTime::from_ms(1) + 3_000);
+        assert_eq!(s.latency.count(), 1);
+        assert_eq!(s.committed.events(), 1);
+    }
+
+    #[test]
+    fn non_metric_commits_counted_separately() {
+        let mut s = NodeStats::default();
+        s.start_measuring(SimTime::ZERO);
+        s.record_commit(false, SimTime::ZERO, SimTime::from_us(1));
+        assert_eq!(s.committed.events(), 0);
+        assert_eq!(s.committed_all.get(), 1);
+        assert_eq!(s.latency.count(), 0);
+    }
+
+    #[test]
+    fn aborts_only_while_measuring() {
+        let mut s = NodeStats::default();
+        s.record_abort();
+        assert_eq!(s.aborted.get(), 0);
+        s.start_measuring(SimTime::ZERO);
+        s.record_abort();
+        assert_eq!(s.aborted.get(), 1);
+    }
+}

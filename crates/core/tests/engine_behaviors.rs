@@ -1,0 +1,461 @@
+//! Behavioural tests for the Xenic engine: abort/retry paths, validation
+//! conflicts, configuration edges (no cache, no replication, baseline op
+//! set), inserts, and the local fast path.
+
+use xenic::api::{make_key, Partitioning, ShipMode, TxnSpec, UpdateOp, Workload};
+use xenic::engine::{Xenic, XenicNode};
+use xenic::msg::XMsg;
+use xenic::XenicConfig;
+use xenic_hw::HwParams;
+use xenic_net::{Cluster, Exec, NetConfig};
+use xenic_sim::{DetRng, SimTime};
+use xenic_store::Value;
+
+/// A scripted workload: every coordinator repeatedly runs the same spec.
+struct Fixed {
+    spec: TxnSpec,
+}
+
+impl Workload for Fixed {
+    fn next_txn(&mut self, _node: usize, _rng: &mut DetRng) -> TxnSpec {
+        self.spec.clone()
+    }
+    fn value_bytes(&self) -> u32 {
+        16
+    }
+    fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+        (0..100)
+            .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+            .collect()
+    }
+}
+
+fn cluster_of(
+    cfg: XenicConfig,
+    net: NetConfig,
+    windows: usize,
+    mk: impl Fn(usize) -> TxnSpec,
+) -> Cluster<Xenic> {
+    let part = Partitioning::new(6, cfg.replication);
+    let mut cluster: Cluster<Xenic> =
+        Cluster::new(HwParams::paper_testbed(), net, 1, |node| {
+            XenicNode::new(node, cfg, part, Box::new(Fixed { spec: mk(node) }), windows)
+        });
+    for node in 0..6 {
+        for slot in 0..windows {
+            cluster.seed(
+                SimTime::from_ns(slot as u64 * 97),
+                node,
+                Exec::Host,
+                XMsg::StartTxn { slot: slot as u32 },
+            );
+        }
+    }
+    for st in &mut cluster.states {
+        st.stats.start_measuring(SimTime::ZERO);
+    }
+    cluster
+}
+
+fn drain(cluster: &mut Cluster<Xenic>) {
+    for st in &mut cluster.states {
+        st.draining = true;
+    }
+    cluster.run_until(SimTime::from_ms(100));
+}
+
+fn committed(cluster: &Cluster<Xenic>) -> u64 {
+    cluster
+        .states
+        .iter()
+        .map(|s| s.stats.committed_all.get())
+        .sum()
+}
+
+fn aborted(cluster: &Cluster<Xenic>) -> u64 {
+    cluster.states.iter().map(|s| s.stats.aborted.get()).sum()
+}
+
+#[test]
+fn single_hot_key_contention_stays_live_and_exact() {
+    // Every coordinator hammers ONE key on shard 0: maximal write-write
+    // conflict. The system must keep committing (no lock leak, no
+    // deadlock), and the counter must equal the commit count exactly.
+    let hot = make_key(0, 7);
+    let mut cluster = cluster_of(
+        XenicConfig::full(),
+        NetConfig::full(),
+        4,
+        |_| TxnSpec {
+            updates: vec![(hot, UpdateOp::AddI64(1))],
+            ship: ShipMode::Nic,
+            exec_host_ns: 100,
+            exec_nic_ns: 320,
+            ..Default::default()
+        },
+    );
+    cluster.run_until(SimTime::from_ms(5));
+    drain(&mut cluster);
+    let c = committed(&cluster);
+    let a = aborted(&cluster);
+    // One key fully serializes: the ceiling is window / lock-hold time
+    // (~5 ms / ~5.6 µs ≈ 890 commits). Anything in the hundreds proves
+    // liveness; a lock leak would freeze it near zero.
+    assert!(c > 400, "hot-key throughput collapsed: {c}");
+    assert!(a > 50, "contention must cause aborts, got {a}");
+    let (v, _) = cluster.states[0].host_table.get(hot).expect("hot key");
+    let count = i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
+    assert_eq!(count as u64, c, "increments lost or doubled under contention");
+    // No residual locks anywhere.
+    for st in &cluster.states {
+        assert!(
+            st.nic_index.held_locks().is_empty(),
+            "locks leaked after drain"
+        );
+    }
+}
+
+#[test]
+fn read_write_conflict_aborts_are_detected() {
+    // Half the coordinators read a hot key (multi-shard read-only so a
+    // Validate phase runs), half write it: validation must catch writer
+    // interference at least occasionally, and read-only txns never block
+    // writers.
+    let hot = make_key(0, 3);
+    let other = make_key(1, 4);
+    let mut cluster = cluster_of(
+        XenicConfig::full(),
+        NetConfig::full(),
+        4,
+        |node| {
+            if node % 2 == 0 {
+                TxnSpec {
+                    reads: vec![hot, other],
+                    ..Default::default()
+                }
+            } else {
+                TxnSpec {
+                    updates: vec![(hot, UpdateOp::AddI64(1))],
+                    ship: ShipMode::Nic,
+                    ..Default::default()
+                }
+            }
+        },
+    );
+    cluster.run_until(SimTime::from_ms(5));
+    drain(&mut cluster);
+    assert!(committed(&cluster) > 1_000);
+    assert!(aborted(&cluster) > 0, "validation conflicts expected");
+}
+
+#[test]
+fn inserts_become_visible_at_the_primary() {
+    // Each coordinator inserts fresh keys into shard 0's table.
+    let mut next = 1_000u64;
+    let part = Partitioning::new(6, 3);
+    let cfg = XenicConfig::full();
+    struct Inserter {
+        next: u64,
+        node: usize,
+    }
+    impl Workload for Inserter {
+        fn next_txn(&mut self, _node: usize, _rng: &mut DetRng) -> TxnSpec {
+            self.next += 1;
+            TxnSpec {
+                inserts: vec![(
+                    make_key(0, self.next * 16 + self.node as u64),
+                    Value::from_bytes(&42i64.to_le_bytes()),
+                )],
+                ship: ShipMode::Nic,
+                ..Default::default()
+            }
+        }
+        fn value_bytes(&self) -> u32 {
+            16
+        }
+        fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+            (0..100)
+                .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+                .collect()
+        }
+    }
+    let _ = &mut next;
+    let mut cluster: Cluster<Xenic> =
+        Cluster::new(HwParams::paper_testbed(), NetConfig::full(), 2, |node| {
+            XenicNode::new(
+                node,
+                cfg,
+                part,
+                Box::new(Inserter { next: 1_000, node }),
+                2,
+            )
+        });
+    for node in 0..6 {
+        for slot in 0..2 {
+            cluster.seed(SimTime::from_ns(slot as u64), node, Exec::Host, XMsg::StartTxn { slot });
+        }
+    }
+    for st in &mut cluster.states {
+        st.stats.start_measuring(SimTime::ZERO);
+    }
+    cluster.run_until(SimTime::from_ms(3));
+    for st in &mut cluster.states {
+        st.draining = true;
+    }
+    cluster.run_until(SimTime::from_ms(60));
+    let inserted = committed(&cluster);
+    assert!(inserted > 100, "inserted {inserted}");
+    // Count fresh keys (local > 16_000) at shard 0's primary.
+    let fresh = cluster.states[0]
+        .host_table
+        .iter_keys()
+        .filter(|(k, _)| xenic::api::local_of(*k) > 16_000)
+        .count() as u64;
+    assert_eq!(fresh, inserted, "every committed insert must be visible");
+}
+
+#[test]
+fn local_read_only_txns_use_no_network() {
+    let mut cluster = cluster_of(
+        XenicConfig::full(),
+        NetConfig::full(),
+        4,
+        |node| TxnSpec {
+            reads: vec![make_key(node as u32, 5)],
+            ..Default::default()
+        },
+    );
+    cluster.run_until(SimTime::from_ms(3));
+    let c = committed(&cluster);
+    assert!(c > 10_000, "local fast path too slow: {c}");
+    for node in 0..6 {
+        assert_eq!(
+            cluster.rt.lio_tx_bytes(node),
+            0,
+            "read-only local txns must not touch the wire"
+        );
+    }
+    let fast: u64 = cluster
+        .states
+        .iter()
+        .map(|s| s.stats.local_fast_path.get())
+        .sum();
+    assert!(fast >= c, "all commits should be fast-path");
+}
+
+#[test]
+fn replication_factor_one_commits_without_logs() {
+    let cfg = XenicConfig {
+        replication: 1,
+        ..XenicConfig::full()
+    };
+    let mut cluster = cluster_of(cfg, NetConfig::full(), 2, |node| TxnSpec {
+        updates: vec![(
+            make_key(((node + 1) % 6) as u32, 9),
+            UpdateOp::AddI64(1),
+        )],
+        ship: ShipMode::Nic,
+        ..Default::default()
+    });
+    cluster.run_until(SimTime::from_ms(3));
+    drain(&mut cluster);
+    assert!(committed(&cluster) > 500);
+}
+
+#[test]
+fn baseline_op_set_and_no_cache_still_correct() {
+    // Figure 9 baseline op set, NIC cache disabled: every read pays DMA,
+    // ops are split per key — slower, but exactly as correct.
+    let cfg = XenicConfig {
+        nic_cache: false,
+        ..XenicConfig::fig9_baseline()
+    };
+    let hot = make_key(2, 11);
+    let mut cluster = cluster_of(cfg, NetConfig::baseline(), 2, |_| TxnSpec {
+        updates: vec![(hot, UpdateOp::AddI64(1))],
+        ..Default::default()
+    });
+    cluster.run_until(SimTime::from_ms(5));
+    drain(&mut cluster);
+    let c = committed(&cluster);
+    assert!(c > 200, "committed {c}");
+    let (v, _) = cluster.states[2].host_table.get(hot).expect("hot key");
+    let count = i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
+    assert_eq!(count as u64, c);
+}
+
+#[test]
+fn multihop_toggle_changes_path_not_outcome() {
+    let spec_for = |node: usize| TxnSpec {
+        reads: vec![make_key(node as u32, 1)],
+        updates: vec![(make_key(((node + 2) % 6) as u32, 2), UpdateOp::AddI64(1))],
+        ship: ShipMode::Nic,
+        ..Default::default()
+    };
+    let mut with = cluster_of(XenicConfig::full(), NetConfig::full(), 2, spec_for);
+    with.run_until(SimTime::from_ms(4));
+    drain(&mut with);
+    let cfg = XenicConfig {
+        occ_multihop: false,
+        ..XenicConfig::full()
+    };
+    let mut without = cluster_of(cfg, NetConfig::full(), 2, spec_for);
+    without.run_until(SimTime::from_ms(4));
+    drain(&mut without);
+
+    let mh_with: u64 = with.states.iter().map(|s| s.stats.multihop.get()).sum();
+    let mh_without: u64 = without.states.iter().map(|s| s.stats.multihop.get()).sum();
+    assert!(mh_with > 100, "multihop engaged {mh_with}");
+    assert_eq!(mh_without, 0, "toggle must disable multihop");
+    // Both end with the identical invariant: counter == commits.
+    for cl in [&with, &without] {
+        let total: i64 = (0..6)
+            .map(|n| {
+                let k = make_key(((n + 2) % 6) as u32, 2);
+                let st = &cl.states[(n + 2) % 6];
+                st.host_table
+                    .get(k)
+                    .map(|(v, _)| i64::from_le_bytes(v.bytes()[..8].try_into().unwrap()))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total as u64, committed(cl));
+    }
+}
+
+#[test]
+fn multi_shot_transactions_commit_all_rounds() {
+    use xenic::api::TxnRound;
+    // Round 0 reads+locks on two shards; round 1 adds a third shard's
+    // update — the §4.2 step-3 "subsequent execute requests" path.
+    let mut cluster = cluster_of(XenicConfig::full(), NetConfig::full(), 2, |node| {
+        let a = make_key(((node + 1) % 6) as u32, 1);
+        let b = make_key(((node + 2) % 6) as u32, 2);
+        let c = make_key(((node + 3) % 6) as u32, 3);
+        TxnSpec {
+            reads: vec![a],
+            updates: vec![(b, UpdateOp::AddI64(1))],
+            rounds: vec![TxnRound {
+                reads: vec![],
+                updates: vec![(c, UpdateOp::AddI64(1))],
+            }],
+            ship: ShipMode::Nic,
+            ..Default::default()
+        }
+    });
+    cluster.run_until(SimTime::from_ms(4));
+    drain(&mut cluster);
+    let c = committed(&cluster);
+    assert!(c > 500, "multi-shot commits: {c}");
+    // Both rounds' updates must land: total of key-2 counters == total of
+    // key-3 counters == commits.
+    let mut sum_b = 0i64;
+    let mut sum_c = 0i64;
+    for shard in 0..6u32 {
+        let st = &cluster.states[shard as usize];
+        if let Some((v, _)) = st.host_table.get(make_key(shard, 2)) {
+            sum_b += i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
+        }
+        if let Some((v, _)) = st.host_table.get(make_key(shard, 3)) {
+            sum_c += i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
+        }
+    }
+    assert_eq!(sum_b as u64, c, "round-0 updates lost");
+    assert_eq!(sum_c as u64, c, "round-1 updates lost");
+    // Multi-shot transactions must not take the (single-round-only)
+    // multi-hop path.
+    let mh: u64 = cluster.states.iter().map(|s| s.stats.multihop.get()).sum();
+    assert_eq!(mh, 0);
+}
+
+#[test]
+fn tiny_log_ring_backpressures_without_corruption() {
+    // A deliberately tiny commit-log ring forces LogFull retries on both
+    // the backup and primary paths; the exact-conservation audit must
+    // still hold and the system must stay live.
+    let cfg = XenicConfig {
+        log_capacity_bytes: 512, // a handful of records
+        ..XenicConfig::full()
+    };
+    let hot = make_key(0, 1);
+    let mut cluster = cluster_of(cfg, NetConfig::full(), 4, |node| TxnSpec {
+        updates: vec![(
+            make_key(((node + 1) % 6) as u32, 1),
+            UpdateOp::AddI64(1),
+        )],
+        reads: vec![hot],
+        ship: ShipMode::Nic,
+        ..Default::default()
+    });
+    cluster.run_until(SimTime::from_ms(5));
+    drain(&mut cluster);
+    let c = committed(&cluster);
+    assert!(c > 500, "backpressured cluster wedged: {c}");
+    let mut sum = 0i64;
+    for shard in 0..6u32 {
+        let st = &cluster.states[shard as usize];
+        if let Some((v, _)) = st.host_table.get(make_key(shard, 1)) {
+            sum += i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
+        }
+    }
+    assert_eq!(sum as u64, c, "backpressure corrupted the counters");
+    let outstanding: usize = cluster.states.iter().map(|s| s.log.outstanding()).sum();
+    assert_eq!(outstanding, 0);
+}
+
+#[test]
+fn batching_factors_grow_with_load() {
+    // §4.3 observability: opportunistic aggregation and DMA vector fill
+    // must both increase when the cluster moves from idle to saturated.
+    use xenic::harness::{run_xenic, RunOptions};
+    struct Spread;
+    impl Workload for Spread {
+        fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> TxnSpec {
+            let s = ((node as u64 + 1 + rng.below(5)) % 6) as u32;
+            TxnSpec {
+                reads: vec![make_key(node as u32, rng.below(5_000))],
+                updates: vec![(make_key(s, rng.below(5_000)), UpdateOp::AddI64(1))],
+                ship: ShipMode::Nic,
+                ..Default::default()
+            }
+        }
+        fn value_bytes(&self) -> u32 {
+            16
+        }
+        fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+            (0..5_000)
+                .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+                .collect()
+        }
+    }
+    let mk = |_: usize| -> Box<dyn Workload> { Box::new(Spread) };
+    let run = |windows| {
+        run_xenic(
+            HwParams::paper_testbed(),
+            NetConfig::full(),
+            XenicConfig::full(),
+            &RunOptions {
+                windows,
+                warmup: SimTime::from_ms(1),
+                measure: SimTime::from_ms(4),
+                seed: 2,
+            },
+            mk,
+        )
+    };
+    let low = run(2);
+    let high = run(64);
+    assert!(low.ops_per_frame >= 1.0);
+    assert!(
+        high.ops_per_frame > low.ops_per_frame * 1.3,
+        "aggregation must grow with load: {} -> {}",
+        low.ops_per_frame,
+        high.ops_per_frame
+    );
+    assert!(
+        high.dma_vector_fill >= low.dma_vector_fill,
+        "vector fill must not shrink with load: {} -> {}",
+        low.dma_vector_fill,
+        high.dma_vector_fill
+    );
+}

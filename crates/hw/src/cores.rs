@@ -1,0 +1,194 @@
+//! CPU core pools.
+//!
+//! Each node has two pools: host hardware threads (Xeon) and SmartNIC cores
+//! (ARM). A pool is a set of FIFO servers: the cluster runtime asks for the
+//! earliest-available core, reserves a busy period on it, and the pool
+//! keeps utilization accounting used by the Table 3 experiment (minimum
+//! thread counts at ≥95% of peak throughput).
+
+use xenic_sim::SimTime;
+
+/// Which processor complex a pool models. NIC cores are "wimpier" —
+/// workload costs are expressed directly in ns of that core's time, so the
+/// class is informational plus the Coremark scaling helper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoreClass {
+    /// Host Xeon hardware threads.
+    Host,
+    /// SmartNIC ARM cores.
+    Nic,
+}
+
+/// A pool of identical cores with per-core busy-until tracking.
+#[derive(Clone, Debug)]
+pub struct CorePool {
+    class: CoreClass,
+    free_at: Vec<SimTime>,
+    busy_ns: Vec<u64>,
+}
+
+impl CorePool {
+    /// Creates a pool of `n` idle cores.
+    pub fn new(class: CoreClass, n: usize) -> Self {
+        assert!(n > 0, "empty core pool");
+        CorePool {
+            class,
+            free_at: vec![SimTime::ZERO; n],
+            busy_ns: vec![0; n],
+        }
+    }
+
+    /// The pool's class.
+    pub fn class(&self) -> CoreClass {
+        self.class
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// True if the pool has no cores (never: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+
+    /// Index and free-time of the earliest-available core.
+    pub fn earliest(&self) -> (usize, SimTime) {
+        let mut best = 0;
+        for i in 1..self.free_at.len() {
+            if self.free_at[i] < self.free_at[best] {
+                best = i;
+            }
+        }
+        (best, self.free_at[best])
+    }
+
+    /// True if some core is idle at `now`.
+    pub fn has_idle(&self, now: SimTime) -> bool {
+        self.earliest().1 <= now
+    }
+
+    /// Reserves `work_ns` on the earliest-available core.
+    ///
+    /// Returns `(core, start, end)`: the work begins at
+    /// `max(now, core free time)` and occupies the core until `end`.
+    pub fn reserve(&mut self, now: SimTime, work_ns: u64) -> (usize, SimTime, SimTime) {
+        let (core, free) = self.earliest();
+        let start = free.max(now);
+        let end = start + work_ns;
+        self.free_at[core] = end;
+        self.busy_ns[core] += work_ns;
+        (core, start, end)
+    }
+
+    /// Extends the busy period of a specific core by `extra_ns` (a handler
+    /// discovered more work mid-execution, e.g. a cache miss path).
+    pub fn extend(&mut self, core: usize, extra_ns: u64) -> SimTime {
+        self.free_at[core] += extra_ns;
+        self.busy_ns[core] += extra_ns;
+        self.free_at[core]
+    }
+
+    /// When `core` becomes free.
+    pub fn free_at(&self, core: usize) -> SimTime {
+        self.free_at[core]
+    }
+
+    /// Total busy nanoseconds accumulated across all cores.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().sum()
+    }
+
+    /// Mean utilization in `[0, 1]` over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let horizon = now.as_ns();
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.total_busy_ns() as f64 / (horizon as f64 * self.len() as f64)
+    }
+
+    /// Equivalent number of fully-busy cores over `[0, now]` — the metric
+    /// behind Table 3's "minimum threads" analysis.
+    pub fn busy_cores(&self, now: SimTime) -> f64 {
+        let horizon = now.as_ns();
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.total_busy_ns() as f64 / horizon as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_starts_immediately_when_idle() {
+        let mut p = CorePool::new(CoreClass::Host, 2);
+        let (c, start, end) = p.reserve(SimTime::from_ns(100), 50);
+        assert_eq!(start.as_ns(), 100);
+        assert_eq!(end.as_ns(), 150);
+        assert!(c < 2);
+    }
+
+    #[test]
+    fn reserve_spreads_across_cores() {
+        let mut p = CorePool::new(CoreClass::Nic, 2);
+        let (c0, s0, _) = p.reserve(SimTime::ZERO, 100);
+        let (c1, s1, _) = p.reserve(SimTime::ZERO, 100);
+        assert_ne!(c0, c1);
+        assert_eq!(s0, s1);
+        // Third reservation queues behind the earliest finisher.
+        let (_, s2, e2) = p.reserve(SimTime::ZERO, 100);
+        assert_eq!(s2.as_ns(), 100);
+        assert_eq!(e2.as_ns(), 200);
+    }
+
+    #[test]
+    fn queueing_delay_emerges_under_load() {
+        let mut p = CorePool::new(CoreClass::Host, 1);
+        for i in 0..10 {
+            let (_, start, _) = p.reserve(SimTime::ZERO, 100);
+            assert_eq!(start.as_ns(), i * 100);
+        }
+    }
+
+    #[test]
+    fn extend_pushes_free_time() {
+        let mut p = CorePool::new(CoreClass::Host, 1);
+        let (c, _, end) = p.reserve(SimTime::ZERO, 100);
+        assert_eq!(end.as_ns(), 100);
+        let new_end = p.extend(c, 40);
+        assert_eq!(new_end.as_ns(), 140);
+        let (_, start, _) = p.reserve(SimTime::ZERO, 10);
+        assert_eq!(start.as_ns(), 140);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut p = CorePool::new(CoreClass::Host, 2);
+        p.reserve(SimTime::ZERO, 500);
+        p.reserve(SimTime::ZERO, 500);
+        let now = SimTime::from_ns(1000);
+        assert!((p.utilization(now) - 0.5).abs() < 1e-9);
+        assert!((p.busy_cores(now) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_zero_at_t0() {
+        let p = CorePool::new(CoreClass::Host, 4);
+        assert_eq!(p.utilization(SimTime::ZERO), 0.0);
+        assert_eq!(p.busy_cores(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn has_idle_tracks_reservations() {
+        let mut p = CorePool::new(CoreClass::Nic, 1);
+        assert!(p.has_idle(SimTime::ZERO));
+        p.reserve(SimTime::ZERO, 100);
+        assert!(!p.has_idle(SimTime::from_ns(50)));
+        assert!(p.has_idle(SimTime::from_ns(100)));
+    }
+}

@@ -1,0 +1,311 @@
+//! The LiquidIO PCIe DMA engine model (§3.5, Figure 4).
+//!
+//! Measured characteristics the model reproduces:
+//!
+//! * **8 hardware request queues**, each typically owned by one NIC core.
+//! * **Vectored submission** of up to **15** reads or writes per request.
+//!   Submission costs the *core* up to 190 ns per vector, amortized across
+//!   its elements; full vectors do not add completion latency (Fig 4b).
+//! * Per-queue element throughput peaks at **8.7 Mops/s** (115 ns/element).
+//! * **Completion latency** — up to 1295 ns for reads and 570 ns for
+//!   writes — is pipeline depth, not occupancy: it delays the callback, not
+//!   the next element. §3.5: "the significant DMA completion latency ...
+//!   must be hidden to efficiently utilize the NIC cores", which is exactly
+//!   what Xenic's continuation-passing framework does.
+//! * Payload bytes additionally occupy the shared PCIe link.
+
+use crate::params::HwParams;
+use xenic_sim::SimTime;
+
+/// Direction of a DMA element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DmaKind {
+    /// Host memory → NIC (completion 1295 ns).
+    Read,
+    /// NIC → host memory (completion 570 ns).
+    Write,
+}
+
+/// One scatter/gather element in a DMA vector.
+#[derive(Clone, Copy, Debug)]
+pub struct DmaOp {
+    /// Direction.
+    pub kind: DmaKind,
+    /// Payload size in bytes.
+    pub bytes: u32,
+}
+
+/// Completion schedule for one submitted vector: the time each element's
+/// data is available (read) or durable in host memory (write).
+#[derive(Clone, Debug)]
+pub struct DmaCompletion {
+    /// Core-side time consumed by the submission itself.
+    pub submit_busy_ns: u64,
+    /// Per-element completion times, in submission order.
+    pub element_done: Vec<SimTime>,
+}
+
+/// The per-node DMA engine: `q` queues, each a serial element processor,
+/// sharing one PCIe link for payload bytes.
+#[derive(Clone, Debug)]
+pub struct DmaEngine {
+    queue_free: Vec<SimTime>,
+    pcie_free: SimTime,
+    element_ns: u64,
+    submit_ns: u64,
+    read_latency_ns: u64,
+    write_latency_ns: u64,
+    pcie_gbps: f64,
+    max_vector: usize,
+    elements_done: u64,
+    vectors_submitted: u64,
+    bytes_moved: u64,
+}
+
+impl DmaEngine {
+    /// Builds the engine from hardware parameters.
+    pub fn new(p: &HwParams) -> Self {
+        DmaEngine {
+            queue_free: vec![SimTime::ZERO; p.dma_queues],
+            pcie_free: SimTime::ZERO,
+            element_ns: p.dma_element_ns,
+            submit_ns: p.dma_submit_ns,
+            read_latency_ns: p.dma_read_latency_ns,
+            write_latency_ns: p.dma_write_latency_ns,
+            pcie_gbps: p.pcie_gbps,
+            max_vector: p.dma_max_vector,
+            elements_done: 0,
+            vectors_submitted: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Maximum elements per vector (15 on the LiquidIO).
+    pub fn max_vector(&self) -> usize {
+        self.max_vector
+    }
+
+    /// Total elements processed so far.
+    pub fn elements_done(&self) -> u64 {
+        self.elements_done
+    }
+
+    /// Total vectors submitted.
+    pub fn vectors_submitted(&self) -> u64 {
+        self.vectors_submitted
+    }
+
+    /// Mean elements per submitted vector — how well the asynchronous
+    /// framework fills the 15-slot hardware vectors (§4.3.1).
+    pub fn mean_vector_fill(&self) -> f64 {
+        if self.vectors_submitted == 0 {
+            0.0
+        } else {
+            self.elements_done as f64 / self.vectors_submitted as f64
+        }
+    }
+
+    /// Total payload bytes moved over PCIe.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Submits a vector of up to [`Self::max_vector`] elements on `queue`
+    /// at time `now`, returning the completion schedule.
+    ///
+    /// The submission cost (≤190 ns) is charged to the *calling core* —
+    /// returned as `submit_busy_ns`, for the runtime to add to the core's
+    /// busy period. Elements then flow through the queue at 115 ns each;
+    /// each element's payload also reserves PCIe link time; the completion
+    /// callback fires after the direction-specific pipeline latency.
+    pub fn submit(&mut self, now: SimTime, queue: usize, ops: &[DmaOp]) -> DmaCompletion {
+        assert!(!ops.is_empty(), "empty DMA vector");
+        assert!(
+            ops.len() <= self.max_vector,
+            "vector of {} exceeds hardware max {}",
+            ops.len(),
+            self.max_vector
+        );
+        let queue = queue % self.queue_free.len();
+        // The engine sees the vector after the core finishes writing the
+        // descriptor (a fraction of the submission cost; we charge it all
+        // up front, which matches Fig 4b's "submission time" bars).
+        self.vectors_submitted += 1;
+        let visible = now + self.submit_ns;
+        let mut cursor = self.queue_free[queue].max(visible);
+        let mut element_done = Vec::with_capacity(ops.len());
+        for op in ops {
+            // Engine occupancy: fixed element cost.
+            let engine_done = cursor + self.element_ns;
+            // PCIe link occupancy for the payload (shared across queues).
+            let ser = HwParams::ser_ns(u64::from(op.bytes), self.pcie_gbps);
+            let link_start = self.pcie_free.max(engine_done);
+            let link_done = link_start + ser;
+            self.pcie_free = link_done;
+            // Completion latency is pipelined: it delays observation only.
+            let latency = match op.kind {
+                DmaKind::Read => self.read_latency_ns,
+                DmaKind::Write => self.write_latency_ns,
+            };
+            element_done.push(link_done + latency.saturating_sub(self.element_ns + ser));
+            cursor = engine_done;
+            self.elements_done += 1;
+            self.bytes_moved += u64::from(op.bytes);
+        }
+        self.queue_free[queue] = cursor;
+        DmaCompletion {
+            submit_busy_ns: self.submit_ns,
+            element_done,
+        }
+    }
+
+    /// Earliest time `queue` can accept new work.
+    pub fn queue_free_at(&self, queue: usize) -> SimTime {
+        self.queue_free[queue % self.queue_free.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> DmaEngine {
+        DmaEngine::new(&HwParams::paper_testbed())
+    }
+
+    fn read(bytes: u32) -> DmaOp {
+        DmaOp {
+            kind: DmaKind::Read,
+            bytes,
+        }
+    }
+
+    fn write(bytes: u32) -> DmaOp {
+        DmaOp {
+            kind: DmaKind::Write,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn single_read_completion_near_measured_latency() {
+        let mut e = engine();
+        let c = e.submit(SimTime::ZERO, 0, &[read(64)]);
+        let done = c.element_done[0].as_ns();
+        // Submit (190) + completion pipeline ≈ 1295 → within [1295, 1600].
+        assert!(
+            (1295..=1600).contains(&done),
+            "read completion at {done} ns"
+        );
+        assert_eq!(c.submit_busy_ns, 190);
+    }
+
+    #[test]
+    fn write_completes_faster_than_read() {
+        let mut e = engine();
+        let r = e.submit(SimTime::ZERO, 0, &[read(64)]);
+        let w = e.submit(SimTime::from_us(100), 1, &[write(64)]);
+        let r_lat = r.element_done[0].as_ns();
+        let w_lat = w.element_done[0].as_ns() - 100_000;
+        assert!(w_lat < r_lat, "write {w_lat} vs read {r_lat}");
+    }
+
+    #[test]
+    fn full_vector_amortizes_submission() {
+        // Fig 4: full 15-element vectors reach 8.7 Mops/s; singles do not.
+        let p = HwParams::paper_testbed();
+        let mut single = DmaEngine::new(&p);
+        let mut vectored = DmaEngine::new(&p);
+        let horizon = SimTime::from_us(100);
+        // Back-to-back single submissions on one queue: each costs
+        // submit + element serially.
+        let mut t = SimTime::ZERO;
+        let mut singles = 0u64;
+        while t < horizon {
+            let c = single.submit(t, 0, &[write(64)]);
+            t = (t + c.submit_busy_ns).max(single.queue_free_at(0));
+            singles += 1;
+        }
+        // Full vectors: one submit per 15 elements.
+        let mut t = SimTime::ZERO;
+        let mut vec_elems = 0u64;
+        let ops = [write(64); 15];
+        while t < horizon {
+            let c = vectored.submit(t, 0, &ops);
+            t = (t + c.submit_busy_ns).max(vectored.queue_free_at(0));
+            vec_elems += 15;
+        }
+        assert!(
+            vec_elems as f64 > singles as f64 * 1.8,
+            "vectored {vec_elems} vs single {singles}"
+        );
+        // Per-queue vectored rate ≈ 8.7 Mops/s → 870 elements in 100 µs
+        // (minus submission overhead ≈ 10%).
+        assert!((700..=900).contains(&vec_elems), "vectored {vec_elems}");
+    }
+
+    #[test]
+    fn full_vector_does_not_add_completion_latency() {
+        // Fig 4b: a 15-element vector's first element completes about as
+        // fast as a single request.
+        let mut e1 = engine();
+        let single = e1.submit(SimTime::ZERO, 0, &[write(64)]).element_done[0];
+        let mut e2 = engine();
+        let first = e2.submit(SimTime::ZERO, 0, &[write(64); 15]).element_done[0];
+        let delta = first.as_ns().abs_diff(single.as_ns());
+        assert!(delta <= 200, "delta {delta} ns");
+    }
+
+    #[test]
+    fn queues_process_in_parallel() {
+        let p = HwParams::paper_testbed();
+        let mut e = DmaEngine::new(&p);
+        let ops = [write(16); 15];
+        let a = e.submit(SimTime::ZERO, 0, &ops);
+        let b = e.submit(SimTime::ZERO, 1, &ops);
+        // Tiny payloads: PCIe link is not the bottleneck, so both queues
+        // finish their last element at (nearly) the same time.
+        let last_a = a.element_done.last().unwrap().as_ns();
+        let last_b = b.element_done.last().unwrap().as_ns();
+        assert!(last_b < last_a + p.dma_element_ns * 15 / 2);
+    }
+
+    #[test]
+    fn pcie_link_throttles_large_payloads() {
+        let mut e = engine();
+        // 4 KB reads: link serialization (~520 ns at 63 Gbps) dominates the
+        // 115 ns element cost, so two queues contend.
+        let ops = [read(4096); 15];
+        let a = e.submit(SimTime::ZERO, 0, &ops);
+        let b = e.submit(SimTime::ZERO, 1, &ops);
+        let last_serial = b.element_done.last().unwrap().as_ns();
+        let one_queue_alone = a.element_done.last().unwrap().as_ns();
+        assert!(last_serial > one_queue_alone, "link contention must slow queue 1");
+    }
+
+    #[test]
+    fn element_counters_track() {
+        let mut e = engine();
+        e.submit(SimTime::ZERO, 0, &[read(100), write(50)]);
+        assert_eq!(e.elements_done(), 2);
+        assert_eq!(e.bytes_moved(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds hardware max")]
+    fn oversized_vector_rejected() {
+        let mut e = engine();
+        let ops = vec![write(8); 16];
+        e.submit(SimTime::ZERO, 0, &ops);
+    }
+
+    #[test]
+    fn successive_vectors_on_one_queue_serialize() {
+        let mut e = engine();
+        let ops = [write(64); 15];
+        e.submit(SimTime::ZERO, 0, &ops);
+        let free = e.queue_free_at(0);
+        // 190 submit + 15 × 115 = 1915 ns of engine occupancy.
+        assert_eq!(free.as_ns(), 190 + 15 * 115);
+    }
+}

@@ -1,0 +1,32 @@
+//! Hardware models calibrated to the Xenic paper's §3 measurements.
+//!
+//! The paper characterizes three pieces of hardware and then designs around
+//! their measured constants:
+//!
+//! * the **Marvell LiquidIO 3** on-path SmartNIC (24 ARM cores @ 2.2 GHz,
+//!   16 GB DRAM, PCIe 3.0 x8, 2×50 GbE),
+//! * its **PCIe DMA engine** (8 queues, 15-element vectors, 190 ns
+//!   submission, 1295/570 ns read/write completion latency, §3.5/Fig 4),
+//! * the **Mellanox CX5** RDMA NIC (one-sided verb RTTs ≈ 2 µs, verb rate
+//!   13.5–15 Mops/s for 16–256 B with doorbell batching, §3.2/§3.4).
+//!
+//! This crate encodes those constants ([`HwParams`]) and provides the
+//! resource models on which the cluster runtime schedules work: CPU core
+//! pools ([`cores::CorePool`]), the DMA engine ([`dma::DmaEngine`]), network
+//! ports ([`link::Port`]), and the RDMA NIC ([`rdma::RdmaNic`]).
+//!
+//! All models are *deterministic reservation structures*: they map an
+//! arrival time plus a work description to start/finish times, tracking
+//! busy periods so queueing delay emerges under load.
+
+pub mod cores;
+pub mod dma;
+pub mod link;
+pub mod params;
+pub mod rdma;
+
+pub use cores::{CoreClass, CorePool};
+pub use dma::{DmaEngine, DmaKind, DmaOp};
+pub use link::Port;
+pub use params::HwParams;
+pub use rdma::{RdmaNic, Verb};

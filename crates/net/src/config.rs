@@ -1,0 +1,60 @@
+//! Runtime feature toggles.
+//!
+//! These are the knobs Figure 9 sweeps: the ablation benches build the
+//! same protocol with aggregation and asynchronous DMA selectively
+//! disabled to measure each mechanism's contribution.
+
+/// Communication-layer configuration for a [`crate::Cluster`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Aggregate NIC outputs to the same destination within a poll burst
+    /// into shared Ethernet frames (§4.3.2). Off = one frame per message.
+    pub eth_aggregation: bool,
+    /// Aggregate host↔NIC PCIe messages the same way.
+    pub pcie_aggregation: bool,
+    /// Accumulate DMA requests into 15-element vectors with completion
+    /// callbacks (§4.3.1). Off = one submission per request, and the
+    /// issuing core blocks for the completion (synchronous model).
+    pub async_dma: bool,
+}
+
+impl NetConfig {
+    /// Everything on — the full Xenic runtime.
+    pub fn full() -> Self {
+        NetConfig {
+            eth_aggregation: true,
+            pcie_aggregation: true,
+            async_dma: true,
+        }
+    }
+
+    /// Everything off — the Figure 9 baseline runtime.
+    pub fn baseline() -> Self {
+        NetConfig {
+            eth_aggregation: false,
+            pcie_aggregation: false,
+            async_dma: false,
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let f = NetConfig::full();
+        assert!(f.eth_aggregation && f.pcie_aggregation && f.async_dma);
+        let b = NetConfig::baseline();
+        assert!(!b.eth_aggregation && !b.pcie_aggregation && !b.async_dma);
+        let d = NetConfig::default();
+        assert!(d.eth_aggregation);
+    }
+}

@@ -1,0 +1,1299 @@
+//! The deterministic cluster runtime.
+//!
+//! A [`Cluster`] owns per-node hardware resources ([`xenic_hw`] models)
+//! plus per-node protocol state, and drives one shared event queue. See
+//! the crate docs for the execution model; the short version:
+//!
+//! * [`Protocol::handle`] runs when a message reaches the front of a core
+//!   pool's run queue — queueing delay under load is real;
+//! * handlers call [`Runtime`] methods to send messages, issue DMAs and
+//!   RDMA verbs, and charge extra core time;
+//! * every outcome is scheduled; nothing consults wall-clock time.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use xenic_hw::cores::CoreClass;
+use xenic_hw::dma::{DmaKind, DmaOp};
+use xenic_hw::link::Port;
+use xenic_hw::rdma::Verb;
+use xenic_hw::{CorePool, DmaEngine, HwParams, RdmaNic};
+use xenic_sim::{DetRng, EventQueue, SimTime};
+
+use crate::config::NetConfig;
+
+/// Which of a node's processor complexes executes a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Exec {
+    /// Host CPU threads.
+    Host,
+    /// SmartNIC cores.
+    Nic,
+}
+
+/// A protocol engine: per-node state plus a message handler.
+pub trait Protocol: Sized {
+    /// The message type exchanged between nodes (and used for timers and
+    /// completion callbacks).
+    type Msg: Clone + fmt::Debug;
+    /// Per-node protocol state.
+    type State;
+
+    /// Core nanoseconds consumed by handling `msg` on `exec`. Handlers
+    /// may add more via [`Runtime::charge`] for data-dependent work.
+    fn cost(msg: &Self::Msg, exec: Exec, params: &HwParams) -> u64;
+
+    /// Handles a message on `node`. Runs at the message's service-start
+    /// time; sends initiated here depart when the charged work completes.
+    fn handle(state: &mut Self::State, rt: &mut Runtime<Self::Msg>, node: usize, msg: Self::Msg);
+}
+
+/// Internal event kinds.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// A message arrives at a node's core pool run queue.
+    Deliver {
+        /// Destination node.
+        node: usize,
+        /// Destination pool.
+        exec: Exec,
+        /// Payload.
+        msg: M,
+    },
+    /// A core finished its work item; pump the run queue.
+    CoreFree {
+        /// Node.
+        node: usize,
+        /// Pool.
+        exec: Exec,
+    },
+    /// Flush the Ethernet aggregation buffer for `(node, dst)`.
+    FlushNet {
+        /// Source node.
+        node: usize,
+        /// Destination node.
+        dst: usize,
+    },
+    /// Flush a PCIe message aggregation buffer.
+    FlushPcie {
+        /// Node.
+        node: usize,
+        /// Direction: true = host→NIC.
+        up: bool,
+    },
+    /// Flush the pending DMA vector.
+    FlushDma {
+        /// Node.
+        node: usize,
+    },
+    /// An Ethernet frame's first bit reaches a node: reserve ingress
+    /// serialization *at arrival time* (reserving from the sender's
+    /// handler would let out-of-order future reservations head-of-line
+    /// block the receiver).
+    NetArrive {
+        /// Receiving node.
+        dst: usize,
+        /// Frame payload bytes (overhead added by the port).
+        payload_bytes: u64,
+        /// Messages in the frame.
+        msgs: Vec<(Exec, M)>,
+    },
+    /// An RDMA packet reaches the responder NIC.
+    RdmaArrive {
+        /// Responder node.
+        dst: usize,
+        /// The verb.
+        verb: Verb,
+        /// What happens after the responder processes it.
+        cont: RdmaCont<M>,
+    },
+    /// The responder NIC finished a one-sided verb: emit the response.
+    RdmaServed {
+        /// Responder node.
+        dst: usize,
+        /// The verb.
+        verb: Verb,
+        /// Requester and completion message.
+        cont: RdmaCont<M>,
+    },
+    /// A response packet reaches the requester NIC.
+    RdmaReturn {
+        /// Requester node.
+        to: usize,
+        /// The verb (for response sizing).
+        verb: Verb,
+        /// Completion message for the requester host.
+        msg: M,
+    },
+}
+
+/// What the responder does once an RDMA request is served.
+#[derive(Debug)]
+pub enum RdmaCont<M> {
+    /// Pure one-sided verb: the runtime emits the response itself and the
+    /// completion lands at the requester's host pool.
+    OneSided {
+        /// Requesting node.
+        requester: usize,
+        /// Completion message.
+        done: M,
+    },
+    /// A protocol-visible one-sided memory op: delivered to the responder
+    /// NIC pool (zero cost) so its handler can apply it and answer with
+    /// [`Runtime::rdma_response`].
+    Request {
+        /// The request message.
+        msg: M,
+    },
+    /// Two-sided SEND: delivered to the responder's host pool.
+    Send {
+        /// The message.
+        msg: M,
+    },
+}
+
+/// An Ethernet/PCIe aggregation buffer: messages awaiting a shared frame.
+struct AggBuf<M> {
+    msgs: Vec<(Exec, M, u32)>,
+    scheduled: bool,
+}
+
+impl<M> Default for AggBuf<M> {
+    fn default() -> Self {
+        AggBuf {
+            msgs: Vec::new(),
+            scheduled: false,
+        }
+    }
+}
+
+/// Per-node hardware resources and queues.
+struct NodeRes<M> {
+    host: CorePool,
+    nic: CorePool,
+    /// LiquidIO Ethernet port (Xenic traffic).
+    lio: Port,
+    /// CX5 Ethernet port (baseline RDMA traffic).
+    cx5: Port,
+    /// Host↔NIC PCIe message path (descriptor rings).
+    pcie: Port,
+    dma: DmaEngine,
+    rdma: RdmaNic,
+    inbox_host: VecDeque<M>,
+    inbox_nic: VecDeque<M>,
+    agg_net: Vec<AggBuf<M>>,
+    agg_pcie_up: AggBuf<M>,
+    agg_pcie_down: AggBuf<M>,
+    dma_pending: Vec<(DmaOp, M)>,
+    dma_scheduled: bool,
+    dma_rr: usize,
+    /// Protocol messages sent over the LiquidIO fabric (for batching
+    /// observability: messages / frames = mean aggregation factor).
+    net_msgs_sent: u64,
+}
+
+/// PCIe TLP-ish per-message overhead bytes on the descriptor-ring path.
+const PCIE_MSG_OVERHEAD: u64 = 30;
+/// Scheduling cost of a purely local hand-off (same pool, no wire).
+const LOCAL_HOP_NS: u64 = 50;
+/// Minimum sync delay before an aggregation buffer flushes when the port
+/// is idle — one short poll-loop iteration (§4.3.2). When the egress
+/// serializer is busy, the flush instead waits for it to free, which is
+/// what makes batches grow under load (opportunistic batching).
+const AGG_SYNC_NS: u64 = 60;
+/// Delay before a partially-filled DMA vector is submitted when the
+/// engine is idle; larger batches accumulate behind a busy queue.
+const DMA_WINDOW_NS: u64 = 60;
+
+/// The runtime handed to protocol handlers: clock, fabric, DMA, RDMA.
+pub struct Runtime<M> {
+    /// Calibrated hardware parameters.
+    pub params: HwParams,
+    /// Feature toggles.
+    pub cfg: NetConfig,
+    /// The event queue (exposed for harness horizon control).
+    pub queue: EventQueue<Event<M>>,
+    /// Deterministic randomness for protocol engines.
+    pub rng: DetRng,
+    nodes: Vec<NodeRes<M>>,
+    cur_node: usize,
+    cur_exec: Exec,
+    cur_core: usize,
+    cur_end: SimTime,
+    in_handler: bool,
+}
+
+impl<M: Clone + fmt::Debug> Runtime<M> {
+    fn new(params: HwParams, cfg: NetConfig, seed: u64) -> Self {
+        let n = params.nodes;
+        let nodes = (0..n)
+            .map(|_| NodeRes {
+                host: CorePool::new(CoreClass::Host, params.host_threads),
+                nic: CorePool::new(CoreClass::Nic, params.nic_cores),
+                lio: Port::new(&params),
+                cx5: Port::with(params.net_gbps, 0),
+                pcie: Port::with(params.pcie_gbps, PCIE_MSG_OVERHEAD),
+                dma: DmaEngine::new(&params),
+                rdma: RdmaNic::new(&params),
+                inbox_host: VecDeque::new(),
+                inbox_nic: VecDeque::new(),
+                agg_net: (0..n).map(|_| AggBuf::default()).collect(),
+                agg_pcie_up: AggBuf::default(),
+                agg_pcie_down: AggBuf::default(),
+                dma_pending: Vec::new(),
+                dma_scheduled: false,
+                dma_rr: 0,
+                net_msgs_sent: 0,
+            })
+            .collect();
+        Runtime {
+            params,
+            cfg,
+            queue: EventQueue::new(),
+            rng: DetRng::new(seed),
+            nodes,
+            cur_node: 0,
+            cur_exec: Exec::Host,
+            cur_core: 0,
+            cur_end: SimTime::ZERO,
+            in_handler: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node whose handler is currently running.
+    pub fn current_node(&self) -> usize {
+        self.cur_node
+    }
+
+    /// When the current handler's charged work completes — the departure
+    /// time for anything it sends.
+    fn departure(&self) -> SimTime {
+        if self.in_handler {
+            self.cur_end
+        } else {
+            self.now()
+        }
+    }
+
+    /// Adds `ns` of work to the current handler's core reservation
+    /// (data-dependent compute, e.g. a B+tree traversal).
+    pub fn charge(&mut self, ns: u64) {
+        if !self.in_handler {
+            return;
+        }
+        let pool = match self.cur_exec {
+            Exec::Host => &mut self.nodes[self.cur_node].host,
+            Exec::Nic => &mut self.nodes[self.cur_node].nic,
+        };
+        self.cur_end = pool.extend(self.cur_core, ns);
+    }
+
+    /// Schedules `msg` for `node`/`exec` at an absolute time (harness
+    /// seeding and protocol timers).
+    pub fn schedule_at(&mut self, at: SimTime, node: usize, exec: Exec, msg: M) {
+        self.queue.push(at, Event::Deliver { node, exec, msg });
+    }
+
+    /// Delivers `msg` to this node after `delay_ns` (timer / self-send).
+    pub fn send_local(&mut self, exec: Exec, msg: M, delay_ns: u64) {
+        let t = self.departure() + delay_ns.max(LOCAL_HOP_NS);
+        let node = self.cur_node;
+        self.queue.push(t, Event::Deliver { node, exec, msg });
+    }
+
+    /// Sends over the LiquidIO Ethernet fabric to `dst` (NIC-to-NIC).
+    /// `wire_bytes` is the message's share of frame payload (op header +
+    /// data). With aggregation enabled, messages to the same destination
+    /// within the poll window share frame overhead.
+    pub fn send_net(&mut self, dst: usize, exec: Exec, msg: M, wire_bytes: u32) {
+        let src = self.cur_node;
+        if dst == src {
+            self.send_local(exec, msg, LOCAL_HOP_NS);
+            return;
+        }
+        let t0 = self.departure();
+        if self.cfg.eth_aggregation {
+            let port_free = self.nodes[src].lio.egress_free_at();
+            let buf = &mut self.nodes[src].agg_net[dst];
+            buf.msgs.push((exec, msg, wire_bytes));
+            if !buf.scheduled {
+                buf.scheduled = true;
+                // Opportunistic: flush almost immediately when the port is
+                // idle; coalesce behind the serializer when it is busy.
+                let at = (t0 + AGG_SYNC_NS).max(port_free);
+                self.queue.push(at, Event::FlushNet { node: src, dst });
+            }
+        } else {
+            self.transmit_net(t0, src, dst, vec![(exec, msg, wire_bytes)]);
+        }
+    }
+
+    /// Flushes the (src, dst) Ethernet aggregation buffer.
+    pub(crate) fn flush_net(&mut self, src: usize, dst: usize) {
+        let buf = &mut self.nodes[src].agg_net[dst];
+        buf.scheduled = false;
+        if buf.msgs.is_empty() {
+            return;
+        }
+        let msgs = std::mem::take(&mut buf.msgs);
+        let t = self.now();
+        self.transmit_net(t, src, dst, msgs);
+    }
+
+    /// Serializes messages into MTU-bounded frames and delivers them.
+    fn transmit_net(&mut self, t0: SimTime, src: usize, dst: usize, msgs: Vec<(Exec, M, u32)>) {
+        self.nodes[src].net_msgs_sent += msgs.len() as u64;
+        let mtu = u64::from(self.params.mtu_payload_bytes);
+        let oneway = self.params.wire_oneway_ns;
+        let mut frame: Vec<(Exec, M)> = Vec::new();
+        let mut frame_bytes = 0u64;
+        let flush_frame =
+            |rt_nodes: &mut Vec<NodeRes<M>>,
+             queue: &mut EventQueue<Event<M>>,
+             frame: &mut Vec<(Exec, M)>,
+             frame_bytes: &mut u64| {
+                if frame.is_empty() {
+                    return;
+                }
+                let tx_done = rt_nodes[src].lio.send_frame(t0, *frame_bytes);
+                let arrival = tx_done + oneway;
+                queue.push(
+                    arrival,
+                    Event::NetArrive {
+                        dst,
+                        payload_bytes: *frame_bytes,
+                        msgs: std::mem::take(frame),
+                    },
+                );
+                *frame_bytes = 0;
+            };
+        for (exec, msg, bytes) in msgs {
+            if frame_bytes + u64::from(bytes) > mtu && !frame.is_empty() {
+                flush_frame(&mut self.nodes, &mut self.queue, &mut frame, &mut frame_bytes);
+            }
+            frame_bytes += u64::from(bytes);
+            frame.push((exec, msg));
+        }
+        flush_frame(&mut self.nodes, &mut self.queue, &mut frame, &mut frame_bytes);
+    }
+
+    /// Sends a message across PCIe between this node's host and NIC. The
+    /// direction is inferred from the executing pool: host handlers send
+    /// up to the NIC, NIC handlers send down to the host.
+    pub fn send_pcie(&mut self, exec: Exec, msg: M, wire_bytes: u32) {
+        let node = self.cur_node;
+        let up = self.cur_exec == Exec::Host;
+        let t0 = self.departure();
+        if self.cfg.pcie_aggregation {
+            let port_free = self.nodes[node].pcie.egress_free_at();
+            let buf = if up {
+                &mut self.nodes[node].agg_pcie_up
+            } else {
+                &mut self.nodes[node].agg_pcie_down
+            };
+            buf.msgs.push((exec, msg, wire_bytes));
+            if !buf.scheduled {
+                buf.scheduled = true;
+                let at = (t0 + AGG_SYNC_NS).max(port_free);
+                self.queue.push(at, Event::FlushPcie { node, up });
+            }
+        } else {
+            self.transmit_pcie(t0, node, up, vec![(exec, msg, wire_bytes)]);
+        }
+    }
+
+    /// Flushes a PCIe aggregation buffer.
+    pub(crate) fn flush_pcie(&mut self, node: usize, up: bool) {
+        let buf = if up {
+            &mut self.nodes[node].agg_pcie_up
+        } else {
+            &mut self.nodes[node].agg_pcie_down
+        };
+        buf.scheduled = false;
+        if buf.msgs.is_empty() {
+            return;
+        }
+        let msgs = std::mem::take(&mut buf.msgs);
+        let t = self.now();
+        self.transmit_pcie(t, node, up, msgs);
+    }
+
+    fn transmit_pcie(&mut self, t0: SimTime, node: usize, up: bool, msgs: Vec<(Exec, M, u32)>) {
+        let total: u64 = msgs.iter().map(|(_, _, b)| u64::from(*b)).sum();
+        let done = if up {
+            self.nodes[node].pcie.send_frame(t0, total)
+        } else {
+            self.nodes[node].pcie.recv_frame(t0, total)
+        };
+        let lat = if up {
+            self.params.pcie_msg_oneway_ns
+        } else {
+            self.params.pcie_down_ns
+        };
+        let arrival = done + lat;
+        for (exec, msg, _) in msgs {
+            self.queue.push(arrival, Event::Deliver { node, exec, msg });
+        }
+    }
+
+    /// Issues a DMA read of host memory from the NIC; `done` is delivered
+    /// to this node's NIC pool when the data is available.
+    pub fn dma_read(&mut self, bytes: u32, done: M) {
+        self.dma_op(
+            DmaOp {
+                kind: DmaKind::Read,
+                bytes,
+            },
+            done,
+        );
+    }
+
+    /// Issues a DMA write to host memory from the NIC; `done` is
+    /// delivered to this node's NIC pool when the write is durable.
+    pub fn dma_write(&mut self, bytes: u32, done: M) {
+        self.dma_op(
+            DmaOp {
+                kind: DmaKind::Write,
+                bytes,
+            },
+            done,
+        );
+    }
+
+    fn dma_op(&mut self, op: DmaOp, done: M) {
+        let node = self.cur_node;
+        if self.cfg.async_dma {
+            self.nodes[node].dma_pending.push((op, done));
+            let full = self.nodes[node].dma_pending.len() >= self.params.dma_max_vector;
+            if full {
+                self.flush_dma(node);
+            } else if !self.nodes[node].dma_scheduled {
+                self.nodes[node].dma_scheduled = true;
+                // Submit almost immediately when the engine is idle;
+                // accumulate bigger vectors behind a busy queue.
+                let queue_free = {
+                    let res = &self.nodes[node];
+                    res.dma.queue_free_at(res.dma_rr)
+                };
+                let t = (self.departure() + DMA_WINDOW_NS).max(queue_free);
+                self.queue.push(t, Event::FlushDma { node });
+            }
+        } else {
+            // Synchronous model (Figure 9 baseline): submit immediately
+            // and block the issuing core until completion.
+            let t0 = self.departure();
+            let res = &mut self.nodes[node];
+            let queue_id = res.dma_rr;
+            res.dma_rr = (res.dma_rr + 1) % self.params.dma_queues;
+            let completion = res.dma.submit(t0, queue_id, &[op]);
+            let done_at = completion.element_done[0];
+            if self.in_handler && self.cur_exec == Exec::Nic {
+                let block = done_at.since(self.cur_end) + completion.submit_busy_ns;
+                self.charge(block);
+            }
+            self.queue.push(
+                done_at,
+                Event::Deliver {
+                    node,
+                    exec: Exec::Nic,
+                    msg: done,
+                },
+            );
+        }
+    }
+
+    /// Flushes the pending DMA vector: one core submission, vectored
+    /// elements, per-element completion callbacks (§4.3.1).
+    pub(crate) fn flush_dma(&mut self, node: usize) {
+        self.nodes[node].dma_scheduled = false;
+        if self.nodes[node].dma_pending.is_empty() {
+            return;
+        }
+        let now = self.now().max(self.departure());
+        let max_vec = self.params.dma_max_vector;
+        while !self.nodes[node].dma_pending.is_empty() {
+            let take = self.nodes[node].dma_pending.len().min(max_vec);
+            let batch: Vec<(DmaOp, M)> =
+                self.nodes[node].dma_pending.drain(..take).collect();
+            let ops: Vec<DmaOp> = batch.iter().map(|(op, _)| *op).collect();
+            let res = &mut self.nodes[node];
+            let queue_id = res.dma_rr;
+            res.dma_rr = (res.dma_rr + 1) % self.params.dma_queues;
+            // The submitting NIC core pays the (amortized) submission cost.
+            let (_, _, submit_end) = res.nic.reserve(now, self.params.dma_submit_ns);
+            let completion = res.dma.submit(submit_end, queue_id, &ops);
+            for ((_, done), at) in batch.into_iter().zip(completion.element_done) {
+                self.queue.push(
+                    at,
+                    Event::Deliver {
+                        node,
+                        exec: Exec::Nic,
+                        msg: done,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Processes a frame arrival: ingress serialization at arrival time,
+    /// plus per-frame RX descriptor/buffer work on a NIC core. With burst
+    /// batching the work is small and amortized (§4.3.2); without it each
+    /// packet pays the full path — the §3.3 batched-vs-unbatched gap.
+    pub(crate) fn net_arrive(&mut self, dst: usize, payload_bytes: u64, msgs: Vec<(Exec, M)>) {
+        let now = self.now();
+        let rx_done = self.nodes[dst].lio.recv_frame(now, payload_bytes);
+        let rx_cpu = if self.cfg.eth_aggregation {
+            self.params.nic_burst_per_frame_ns
+        } else {
+            self.params.nic_pkt_rx_ns
+        };
+        let (_, _, frame_ready) = self.nodes[dst].nic.reserve(rx_done, rx_cpu);
+        for (exec, msg) in msgs {
+            self.queue.push(
+                frame_ready,
+                Event::Deliver { node: dst, exec, msg },
+            );
+        }
+    }
+
+    /// Processes an RDMA request arrival at the responder NIC.
+    pub(crate) fn rdma_arrive(&mut self, dst: usize, verb: Verb, cont: RdmaCont<M>) {
+        let now = self.now();
+        let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
+        let req_bytes = half_overhead + u64::from(verb.request_payload());
+        let rx_done = self.nodes[dst].cx5.recv_frame(now, req_bytes);
+        match cont {
+            RdmaCont::OneSided { requester, done } => {
+                let served = self.nodes[dst].rdma.reserve_rx(rx_done)
+                    + self.nodes[dst].rdma.responder_fixed_ns(verb);
+                self.queue.push(
+                    served,
+                    Event::RdmaServed {
+                        dst,
+                        verb,
+                        cont: RdmaCont::OneSided { requester, done },
+                    },
+                );
+            }
+            RdmaCont::Request { msg } => {
+                let served = self.nodes[dst].rdma.reserve_rx(rx_done)
+                    + self.nodes[dst].rdma.responder_fixed_ns(verb);
+                self.queue.push(
+                    served,
+                    Event::Deliver {
+                        node: dst,
+                        exec: Exec::Nic,
+                        msg,
+                    },
+                );
+            }
+            RdmaCont::Send { msg } => {
+                // Two-sided: the remote host's RPC stack (burst polling,
+                // buffer handling, dispatch) adds latency beyond the
+                // handler compute charged at delivery.
+                let nic_done = self.nodes[dst].rdma.reserve_rx(rx_done)
+                    + self.params.host_rpc_extra_ns;
+                self.queue.push(
+                    nic_done.max(rx_done),
+                    Event::Deliver {
+                        node: dst,
+                        exec: Exec::Host,
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Responder NIC finished a one-sided verb: emit the response frame.
+    pub(crate) fn rdma_served(&mut self, dst: usize, verb: Verb, cont: RdmaCont<M>) {
+        let RdmaCont::OneSided { requester, done } = cont else {
+            return;
+        };
+        let now = self.now();
+        let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
+        let resp_bytes = half_overhead + u64::from(verb.response_payload());
+        let resp_tx = self.nodes[dst].cx5.send_frame(now, resp_bytes);
+        self.queue.push(
+            resp_tx + self.params.wire_oneway_ns,
+            Event::RdmaReturn {
+                to: requester,
+                verb,
+                msg: done,
+            },
+        );
+    }
+
+    /// A response packet reaches the requester: ingress, then completion.
+    pub(crate) fn rdma_return(&mut self, to: usize, verb: Verb, msg: M) {
+        let now = self.now();
+        let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
+        let resp_bytes = half_overhead + u64::from(verb.response_payload());
+        let done_at = self.nodes[to].cx5.recv_frame(now, resp_bytes);
+        self.queue.push(
+            done_at,
+            Event::Deliver {
+                node: to,
+                exec: Exec::Host,
+                msg,
+            },
+        );
+    }
+
+    /// Issues a one-sided RDMA verb from this node (host side) to `dst`;
+    /// `done` is delivered back to this node's host pool at completion.
+    ///
+    /// Composes: host post cost → requester CX5 pipeline → wire →
+    /// responder CX5 pipeline + host-DRAM access → wire back. The
+    /// responder's host CPU is never involved — the whole point of
+    /// one-sided RDMA (§2.1).
+    pub fn rdma_one_sided(&mut self, dst: usize, verb: Verb, done: M, doorbell_batched: bool) {
+        let src = self.cur_node;
+        let post = self.nodes[src].rdma.post_cost_ns(doorbell_batched);
+        self.charge(post);
+        let t0 = self.departure();
+        let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
+        let req_bytes = half_overhead + u64::from(verb.request_payload());
+        let issued = self.nodes[src].rdma.reserve_tx(t0);
+        let tx_done = self.nodes[src].cx5.send_frame(issued, req_bytes);
+        self.queue.push(
+            tx_done + self.params.wire_oneway_ns,
+            Event::RdmaArrive {
+                dst,
+                verb,
+                cont: RdmaCont::OneSided {
+                    requester: src,
+                    done,
+                },
+            },
+        );
+    }
+
+    /// Issues a one-sided verb whose *responder-side memory operation*
+    /// needs protocol state (a CAS on a lock word, a read of a real data
+    /// structure): `req` is delivered to the destination's **NIC pool at
+    /// zero handler cost** at the moment the responder NIC serves the verb
+    /// — it stands in for the RDMA NIC's DMA engine, not a CPU. The
+    /// responder's handler applies the memory op and answers with
+    /// [`Runtime::rdma_response`].
+    ///
+    /// All pipeline, wire, and host-DRAM costs are identical to
+    /// [`Runtime::rdma_one_sided`]; only the completion routing differs.
+    pub fn rdma_request(&mut self, dst: usize, verb: Verb, req: M, doorbell_batched: bool) {
+        let src = self.cur_node;
+        let post = self.nodes[src].rdma.post_cost_ns(doorbell_batched);
+        self.charge(post);
+        let t0 = self.departure();
+        let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
+        let req_bytes = half_overhead + u64::from(verb.request_payload());
+        if dst == src {
+            // Loopback verb: skip the wire but keep the NIC pipeline.
+            let served = self.nodes[src].rdma.reserve_rx(t0)
+                + self.nodes[src].rdma.responder_fixed_ns(verb);
+            self.queue.push(
+                served,
+                Event::Deliver {
+                    node: dst,
+                    exec: Exec::Nic,
+                    msg: req,
+                },
+            );
+            return;
+        }
+        let issued = self.nodes[src].rdma.reserve_tx(t0);
+        let tx_done = self.nodes[src].cx5.send_frame(issued, req_bytes);
+        let _ = req_bytes;
+        self.queue.push(
+            tx_done + self.params.wire_oneway_ns,
+            Event::RdmaArrive {
+                dst,
+                verb,
+                cont: RdmaCont::Request { msg: req },
+            },
+        );
+    }
+
+    /// Sends a one-sided verb's response back to the requester (see
+    /// [`Runtime::rdma_request`]): wire time for the response payload,
+    /// delivered to the requester's **host** pool (its completion queue).
+    pub fn rdma_response(&mut self, requester: usize, verb: Verb, resp: M) {
+        let me = self.cur_node;
+        let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
+        let resp_bytes = half_overhead + u64::from(verb.response_payload());
+        let t0 = self.departure();
+        if requester == me {
+            self.queue.push(
+                t0 + LOCAL_HOP_NS,
+                Event::Deliver {
+                    node: requester,
+                    exec: Exec::Host,
+                    msg: resp,
+                },
+            );
+            return;
+        }
+        let tx_done = self.nodes[me].cx5.send_frame(t0, resp_bytes);
+        self.queue.push(
+            tx_done + self.params.wire_oneway_ns,
+            Event::RdmaReturn {
+                to: requester,
+                verb,
+                msg: resp,
+            },
+        );
+    }
+
+    /// Sends a two-sided RDMA message (SEND/RECV RPC transport) to `dst`,
+    /// delivered to its **host** pool — the remote CPU must poll and
+    /// handle it, unlike one-sided verbs.
+    pub fn rdma_send(&mut self, dst: usize, msg: M, payload_bytes: u32, doorbell_batched: bool) {
+        let src = self.cur_node;
+        let post = self.nodes[src].rdma.post_cost_ns(doorbell_batched);
+        self.charge(post);
+        let t0 = self.departure();
+        let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
+        let bytes = half_overhead + u64::from(payload_bytes);
+        if dst == src {
+            self.send_local(Exec::Host, msg, LOCAL_HOP_NS);
+            return;
+        }
+        let issued = self.nodes[src].rdma.reserve_tx(t0);
+        let tx_done = self.nodes[src].cx5.send_frame(issued, bytes);
+        self.queue.push(
+            tx_done + self.params.wire_oneway_ns,
+            Event::RdmaArrive {
+                dst,
+                verb: Verb::Send {
+                    bytes: payload_bytes,
+                },
+                cont: RdmaCont::Send { msg },
+            },
+        );
+    }
+
+    // ---- Measurement accessors ----
+
+    /// Cumulative busy nanoseconds of a node's pool.
+    pub fn pool_busy_ns(&self, node: usize, exec: Exec) -> u64 {
+        match exec {
+            Exec::Host => self.nodes[node].host.total_busy_ns(),
+            Exec::Nic => self.nodes[node].nic.total_busy_ns(),
+        }
+    }
+
+    /// Equivalent fully-busy cores of a pool over `[0, now]`.
+    pub fn busy_cores(&self, node: usize, exec: Exec) -> f64 {
+        match exec {
+            Exec::Host => self.nodes[node].host.busy_cores(self.now()),
+            Exec::Nic => self.nodes[node].nic.busy_cores(self.now()),
+        }
+    }
+
+    /// LiquidIO egress utilization of a node.
+    pub fn lio_tx_utilization(&self, node: usize) -> f64 {
+        self.nodes[node].lio.tx_utilization(self.now())
+    }
+
+    /// CX5 egress utilization of a node.
+    pub fn cx5_tx_utilization(&self, node: usize) -> f64 {
+        self.nodes[node].cx5.tx_utilization(self.now())
+    }
+
+    /// Total bytes the node's LiquidIO port has transmitted.
+    pub fn lio_tx_bytes(&self, node: usize) -> u64 {
+        self.nodes[node].lio.tx_bytes()
+    }
+
+    /// Total bytes the node's CX5 port has transmitted.
+    pub fn cx5_tx_bytes(&self, node: usize) -> u64 {
+        self.nodes[node].cx5.tx_bytes()
+    }
+
+    /// DMA elements the node's engine has processed.
+    pub fn dma_elements(&self, node: usize) -> u64 {
+        self.nodes[node].dma.elements_done()
+    }
+
+    /// Mean elements per DMA vector at a node (§4.3.1 fill factor).
+    pub fn dma_vector_fill(&self, node: usize) -> f64 {
+        self.nodes[node].dma.mean_vector_fill()
+    }
+
+    /// Frames the node's LiquidIO port has sent.
+    pub fn lio_tx_frames(&self, node: usize) -> u64 {
+        self.nodes[node].lio.tx_frames()
+    }
+
+    /// Protocol messages the node has sent over the LiquidIO fabric.
+    pub fn net_msgs_sent(&self, node: usize) -> u64 {
+        self.nodes[node].net_msgs_sent
+    }
+
+    /// Mean protocol messages per Ethernet frame at a node — the
+    /// opportunistic-batching factor of §4.3.2.
+    pub fn ops_per_frame(&self, node: usize) -> f64 {
+        let frames = self.nodes[node].lio.tx_frames();
+        if frames == 0 {
+            0.0
+        } else {
+            self.nodes[node].net_msgs_sent as f64 / frames as f64
+        }
+    }
+
+    /// RDMA verbs the node's CX5 has processed.
+    pub fn rdma_verbs(&self, node: usize) -> u64 {
+        self.nodes[node].rdma.verbs()
+    }
+}
+
+/// A cluster: protocol states plus the runtime, driving the event loop.
+pub struct Cluster<P: Protocol> {
+    /// Per-node protocol state.
+    pub states: Vec<P::State>,
+    /// The shared runtime.
+    pub rt: Runtime<P::Msg>,
+}
+
+impl<P: Protocol> Cluster<P> {
+    /// Builds a cluster; `mk_state` constructs each node's state.
+    pub fn new(
+        params: HwParams,
+        cfg: NetConfig,
+        seed: u64,
+        mut mk_state: impl FnMut(usize) -> P::State,
+    ) -> Self {
+        let n = params.nodes;
+        Cluster {
+            states: (0..n).map(&mut mk_state).collect(),
+            rt: Runtime::new(params, cfg, seed),
+        }
+    }
+
+    /// Schedules an initial message.
+    pub fn seed(&mut self, at: SimTime, node: usize, exec: Exec, msg: P::Msg) {
+        self.rt.schedule_at(at, node, exec, msg);
+    }
+
+    /// Runs until the queue drains or the clock passes `horizon`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.rt.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (_, ev) = self.rt.queue.pop().expect("peeked");
+            processed += 1;
+            match ev {
+                Event::Deliver { node, exec, msg } => {
+                    match exec {
+                        Exec::Host => self.rt.nodes[node].inbox_host.push_back(msg),
+                        Exec::Nic => self.rt.nodes[node].inbox_nic.push_back(msg),
+                    }
+                    self.service(node, exec);
+                }
+                Event::CoreFree { node, exec } => self.service(node, exec),
+                Event::FlushNet { node, dst } => self.rt.flush_net(node, dst),
+                Event::FlushPcie { node, up } => self.rt.flush_pcie(node, up),
+                Event::FlushDma { node } => self.rt.flush_dma(node),
+                Event::NetArrive {
+                    dst,
+                    payload_bytes,
+                    msgs,
+                } => self.rt.net_arrive(dst, payload_bytes, msgs),
+                Event::RdmaArrive { dst, verb, cont } => self.rt.rdma_arrive(dst, verb, cont),
+                Event::RdmaServed { dst, verb, cont } => self.rt.rdma_served(dst, verb, cont),
+                Event::RdmaReturn { to, verb, msg } => self.rt.rdma_return(to, verb, msg),
+            }
+        }
+        processed
+    }
+
+    /// Pumps a node's run queue while idle cores and pending messages
+    /// exist.
+    fn service(&mut self, node: usize, exec: Exec) {
+        loop {
+            let now = self.rt.queue.now();
+            let res = &mut self.rt.nodes[node];
+            let (pool, inbox) = match exec {
+                Exec::Host => (&mut res.host, &mut res.inbox_host),
+                Exec::Nic => (&mut res.nic, &mut res.inbox_nic),
+            };
+            if inbox.is_empty() || !pool.has_idle(now) {
+                return;
+            }
+            let msg = inbox.pop_front().expect("checked non-empty");
+            let cost = P::cost(&msg, exec, &self.rt.params);
+            let (core, _start, end) = pool.reserve(now, cost);
+            self.rt.cur_node = node;
+            self.rt.cur_exec = exec;
+            self.rt.cur_core = core;
+            self.rt.cur_end = end;
+            self.rt.in_handler = true;
+            P::handle(&mut self.states[node], &mut self.rt, node, msg);
+            self.rt.in_handler = false;
+            let free = match exec {
+                Exec::Host => self.rt.nodes[node].host.free_at(core),
+                Exec::Nic => self.rt.nodes[node].nic.free_at(core),
+            };
+            self.rt.queue.push(free, Event::CoreFree { node, exec });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy echo protocol exercising every runtime lane.
+    struct Echo;
+
+    #[derive(Clone, Debug)]
+    enum EMsg {
+        PingNet { from: usize, t0: SimTime },
+        PongNet { t0: SimTime },
+        PingRpc { from: usize, t0: SimTime },
+        PongRpc { t0: SimTime },
+        Dma { t0: SimTime },
+        DmaDone { t0: SimTime },
+        ReadDone { t0: SimTime },
+        Spin(u64),
+    }
+
+    #[derive(Default)]
+    struct EState {
+        rtts: Vec<u64>,
+        dma_lat: Vec<u64>,
+        handled: u64,
+    }
+
+    impl Protocol for Echo {
+        type Msg = EMsg;
+        type State = EState;
+
+        fn cost(msg: &EMsg, _exec: Exec, p: &HwParams) -> u64 {
+            match msg {
+                EMsg::PingNet { .. } | EMsg::PongNet { .. } => p.nic_rpc_handle_ns,
+                EMsg::PingRpc { .. } | EMsg::PongRpc { .. } => p.host_rpc_handle_ns,
+                EMsg::Dma { .. } => 80,
+                EMsg::DmaDone { .. } | EMsg::ReadDone { .. } => 60,
+                EMsg::Spin(ns) => *ns,
+            }
+        }
+
+        fn handle(st: &mut EState, rt: &mut Runtime<EMsg>, _node: usize, msg: EMsg) {
+            st.handled += 1;
+            match msg {
+                EMsg::PingNet { from, t0 } => {
+                    rt.send_net(from, Exec::Nic, EMsg::PongNet { t0 }, 80);
+                }
+                EMsg::PongNet { t0 } => st.rtts.push(rt.now().since(t0)),
+                EMsg::PingRpc { from, t0 } => {
+                    rt.rdma_send(from, EMsg::PongRpc { t0 }, 80, false);
+                }
+                EMsg::PongRpc { t0 } => st.rtts.push(rt.now().since(t0)),
+                EMsg::Dma { t0 } => rt.dma_write(64, EMsg::DmaDone { t0 }),
+                EMsg::DmaDone { t0 } | EMsg::ReadDone { t0 } => {
+                    st.dma_lat.push(rt.now().since(t0))
+                }
+                EMsg::Spin(_) => {}
+            }
+        }
+    }
+
+    fn cluster(cfg: NetConfig) -> Cluster<Echo> {
+        Cluster::new(HwParams::paper_testbed(), cfg, 7, |_| EState::default())
+    }
+
+    #[test]
+    fn net_ping_pong_rtt_in_expected_band() {
+        let mut c = cluster(NetConfig::baseline());
+        c.seed(
+            SimTime::ZERO,
+            0,
+            Exec::Nic,
+            EMsg::Spin(0), // warm the queue
+        );
+        // Node 0's NIC pings node 1's NIC.
+        c.seed(
+            SimTime::from_ns(10),
+            1,
+            Exec::Nic,
+            EMsg::PingNet {
+                from: 0,
+                t0: SimTime::from_ns(10),
+            },
+        );
+        c.run_until(SimTime::from_ms(1));
+        // NIC→NIC RTT without aggregation: two handler costs + two wire
+        // hops ≈ 0.22*2 + 0.6*2 + serialization ≈ 1.7–2.2 µs... but the
+        // ping was seeded *at* node 1, so we only measure the pong leg
+        // plus handling. Just check a sane sub-3µs bound.
+        assert_eq!(c.states[0].rtts.len(), 1);
+        let rtt = c.states[0].rtts[0];
+        assert!((500..3_000).contains(&rtt), "one-leg latency {rtt} ns");
+    }
+
+    #[test]
+    fn rpc_over_cx5_reaches_host_pool() {
+        let mut c = cluster(NetConfig::baseline());
+        c.seed(
+            SimTime::ZERO,
+            1,
+            Exec::Host,
+            EMsg::PingRpc {
+                from: 0,
+                t0: SimTime::ZERO,
+            },
+        );
+        c.run_until(SimTime::from_ms(1));
+        assert_eq!(c.states[0].rtts.len(), 1);
+        assert!(c.rt.rdma_verbs(1) >= 1, "responder verb must be counted");
+    }
+
+    #[test]
+    fn aggregation_reduces_frames_for_bursts() {
+        // 20 messages to the same destination in one burst: aggregated
+        // mode must emit far fewer frames than one-per-message.
+        let run = |agg: bool| -> u64 {
+            let cfg = if agg {
+                NetConfig::full()
+            } else {
+                NetConfig::baseline()
+            };
+            let mut c = cluster(cfg);
+            for i in 0..20 {
+                c.seed(
+                    SimTime::from_ns(i),
+                    1,
+                    Exec::Nic,
+                    EMsg::PingNet {
+                        from: 0,
+                        t0: SimTime::from_ns(i),
+                    },
+                );
+            }
+            c.run_until(SimTime::from_ms(1));
+            assert_eq!(c.states[0].rtts.len(), 20);
+            c.rt.nodes[1].lio.tx_frames()
+        };
+        let frames_solo = run(false);
+        let frames_agg = run(true);
+        assert_eq!(frames_solo, 20);
+        assert!(
+            frames_agg <= frames_solo / 2,
+            "aggregated {frames_agg} vs solo {frames_solo}"
+        );
+    }
+
+    #[test]
+    fn async_dma_batches_and_completes() {
+        let mut c = cluster(NetConfig::full());
+        // Handlers on node 0's NIC issue 20 DMA writes in a burst; the
+        // async framework must vector them (≥2 elements per submission)
+        // and deliver every completion.
+        for i in 0..20u64 {
+            c.seed(SimTime::from_ns(i), 0, Exec::Nic, EMsg::Dma { t0: SimTime::from_ns(i) });
+        }
+        c.run_until(SimTime::from_ms(1));
+        assert_eq!(c.states[0].dma_lat.len(), 20, "all completions arrive");
+        assert_eq!(c.rt.dma_elements(0), 20);
+        assert!(
+            c.rt.dma_vector_fill(0) >= 2.0,
+            "burst must batch into vectors: fill {}",
+            c.rt.dma_vector_fill(0)
+        );
+        // Completion latency includes the write pipeline depth.
+        assert!(c.states[0].dma_lat.iter().all(|&l| l >= 570));
+    }
+
+    #[test]
+    fn core_pool_queueing_limits_throughput() {
+        // Flood one node's NIC pool: with 24 cores at 1 µs per message, a
+        // 1 ms horizon completes ≈ 24k messages, not 100k.
+        let mut c = cluster(NetConfig::baseline());
+        for i in 0..100_000u64 {
+            c.seed(SimTime::from_ns(i % 1000), 2, Exec::Nic, EMsg::Spin(1_000));
+        }
+        c.run_until(SimTime::from_ms(1));
+        let handled = c.states[2].handled;
+        assert!(
+            (20_000..=26_000).contains(&handled),
+            "handled {handled}, expected ~24k (24 cores × 1k msg/ms)"
+        );
+        let busy = c.rt.busy_cores(2, Exec::Nic);
+        assert!(busy > 23.0, "pool saturated: {busy}");
+    }
+
+    #[test]
+    fn one_sided_rdma_read_rtt_matches_calibration() {
+        // Issue a READ via the runtime from a pseudo-handler context by
+        // seeding a Spin and hooking: easiest is to call the runtime
+        // directly outside a handler (departure = now).
+        let mut c = cluster(NetConfig::baseline());
+        c.rt.cur_node = 0;
+        c.rt.rdma_one_sided(
+            1,
+            Verb::Read { bytes: 256 },
+            EMsg::ReadDone { t0: SimTime::ZERO },
+            false,
+        );
+        c.run_until(SimTime::from_ms(1));
+        assert_eq!(c.states[0].dma_lat.len(), 1);
+        let rtt = c.states[0].dma_lat[0];
+        // Calibrated READ RTT plus serialization and completion cost.
+        let base = c.rt.params.rdma_read_rtt_ns;
+        assert!(
+            (base - 100..=base + 600).contains(&rtt),
+            "RDMA READ RTT {rtt} ns vs calibrated {base}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut c = cluster(NetConfig::full());
+            for i in 0..50u64 {
+                c.seed(
+                    SimTime::from_ns(i * 13),
+                    (i % 3) as usize + 1,
+                    Exec::Nic,
+                    EMsg::PingNet {
+                        from: 0,
+                        t0: SimTime::from_ns(i * 13),
+                    },
+                );
+            }
+            c.run_until(SimTime::from_ms(2));
+            c.states[0].rtts.clone()
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod lane_tests {
+    use super::*;
+
+    /// A minimal protocol for exercising individual runtime lanes.
+    struct Lane;
+
+    #[derive(Clone, Debug)]
+    enum LMsg {
+        Up { t0: SimTime },
+        Down { t0: SimTime },
+        GotHost { t0: SimTime },
+        GotNic { t0: SimTime },
+        Req { from: usize, t0: SimTime },
+        Done { t0: SimTime },
+    }
+
+    #[derive(Default)]
+    struct LState {
+        latencies: Vec<u64>,
+    }
+
+    impl Protocol for Lane {
+        type Msg = LMsg;
+        type State = LState;
+
+        fn cost(m: &LMsg, _e: Exec, _p: &HwParams) -> u64 {
+            match m {
+                LMsg::Up { .. } | LMsg::Down { .. } => 100,
+                _ => 0,
+            }
+        }
+
+        fn handle(st: &mut LState, rt: &mut Runtime<LMsg>, _me: usize, m: LMsg) {
+            match m {
+                LMsg::Up { t0 } => rt.send_pcie(Exec::Nic, LMsg::GotNic { t0 }, 64),
+                LMsg::Down { t0 } => rt.send_pcie(Exec::Host, LMsg::GotHost { t0 }, 64),
+                LMsg::GotHost { t0 } | LMsg::GotNic { t0 } => {
+                    st.latencies.push(rt.now().since(t0))
+                }
+                LMsg::Req { from, t0 } => {
+                    rt.rdma_response(from, Verb::Read { bytes: 64 }, LMsg::Done { t0 })
+                }
+                LMsg::Done { t0 } => st.latencies.push(rt.now().since(t0)),
+            }
+        }
+    }
+
+    #[test]
+    fn pcie_down_is_cheaper_than_up() {
+        // NIC→host completions are DMA writes to a polled buffer; the
+        // host→NIC descriptor-ring path costs more (params asymmetry).
+        let p = HwParams::paper_testbed();
+        let mut up_c: Cluster<Lane> =
+            Cluster::new(p.clone(), NetConfig::baseline(), 1, |_| LState::default());
+        up_c.seed(SimTime::ZERO, 0, Exec::Host, LMsg::Up { t0: SimTime::ZERO });
+        up_c.run_until(SimTime::from_ms(1));
+        let up = up_c.states[0].latencies[0];
+
+        let mut down_c: Cluster<Lane> =
+            Cluster::new(p.clone(), NetConfig::baseline(), 1, |_| LState::default());
+        down_c.seed(SimTime::ZERO, 0, Exec::Nic, LMsg::Down { t0: SimTime::ZERO });
+        down_c.run_until(SimTime::from_ms(1));
+        let down = down_c.states[0].latencies[0];
+
+        assert!(up > down, "up {up} ns must exceed down {down} ns");
+        assert!(up as i64 - down as i64 >= (p.pcie_msg_oneway_ns - p.pcie_down_ns) as i64 - 100);
+    }
+
+    #[test]
+    fn rdma_request_response_roundtrip_is_calibrated() {
+        // The event-hop decomposition (issue → RdmaArrive → handler →
+        // rdma_response → RdmaReturn) must reassemble the calibrated RTT.
+        let p = HwParams::paper_testbed();
+        let mut c: Cluster<Lane> =
+            Cluster::new(p.clone(), NetConfig::baseline(), 1, |_| LState::default());
+        c.rt.cur_node = 0;
+        c.rt.rdma_request(
+            1,
+            Verb::Read { bytes: 64 },
+            LMsg::Req {
+                from: 0,
+                t0: SimTime::ZERO,
+            },
+            false,
+        );
+        c.run_until(SimTime::from_ms(1));
+        let rtt = c.states[0].latencies[0];
+        let base = p.rdma_read_rtt_ns;
+        assert!(
+            (base - 200..=base + 600).contains(&rtt),
+            "request/response RTT {rtt} vs calibrated {base}"
+        );
+    }
+
+    #[test]
+    fn frames_and_message_counters_reconcile() {
+        // ops_per_frame = msgs / frames must match raw counters.
+        let p = HwParams::paper_testbed();
+        let mut c: Cluster<Lane> =
+            Cluster::new(p, NetConfig::full(), 1, |_| LState::default());
+        // Drive a few NIC→NIC messages via the public API from a pseudo
+        // handler context.
+        c.rt.cur_node = 0;
+        for _ in 0..10 {
+            c.rt.send_net(1, Exec::Nic, LMsg::Done { t0: SimTime::ZERO }, 64);
+        }
+        c.run_until(SimTime::from_ms(1));
+        assert_eq!(c.rt.net_msgs_sent(0), 10);
+        assert!(c.rt.lio_tx_frames(0) >= 1);
+        let expect = c.rt.net_msgs_sent(0) as f64 / c.rt.lio_tx_frames(0) as f64;
+        assert!((c.rt.ops_per_frame(0) - expect).abs() < 1e-9);
+        // Aggregation put several of the burst into shared frames.
+        assert!(c.rt.ops_per_frame(0) > 1.5, "fill {}", c.rt.ops_per_frame(0));
+    }
+}

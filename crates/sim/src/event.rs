@@ -1,0 +1,232 @@
+//! The event queue at the heart of the simulator.
+//!
+//! A binary heap keyed on `(time, sequence)` gives a total order: events at
+//! equal timestamps pop in insertion order. This FIFO tie-break is what
+//! makes whole-cluster simulations reproducible across runs and platforms.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue. Ordered by `(time, seq)` ascending; we wrap it so
+/// the max-heap `BinaryHeap` behaves as a min-heap.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the smallest (time, seq) must be the heap maximum.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// `E` is the simulation's event payload type; the kernel imposes no
+/// structure on it. Protocol crates define their own event enums and drive
+/// the loop themselves:
+///
+/// ```
+/// use xenic_sim::{EventQueue, SimTime};
+///
+/// enum Ev { Tick }
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_us(1), Ev::Tick);
+/// while let Some((t, _ev)) = q.pop() {
+///     assert_eq!(t, SimTime::from_us(1));
+/// }
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far (popped).
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; the kernel
+    /// clamps it to `now` rather than silently travelling backwards, so a
+    /// buggy component degrades to zero-latency instead of corrupting the
+    /// clock. Debug builds assert.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "event scheduled in the past: {:?} < {:?}",
+            time,
+            self.now
+        );
+        let time = time.max(self.now);
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay in nanoseconds.
+    pub fn push_after(&mut self, delay_ns: u64, event: E) {
+        let t = self.now + delay_ns;
+        self.push(t, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drops all pending events (used by harnesses at the measurement
+    /// horizon). The clock is left where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), 3);
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(20), 2);
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_ns(5), i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let want: Vec<i32> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        q.push(SimTime::from_ns(10), ());
+        q.push(SimTime::from_ns(25), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(last, SimTime::from_ns(25));
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(100), "first");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_ns(), 100);
+        q.push_after(50, "second");
+        let (t2, e) = q.pop().unwrap();
+        assert_eq!(t2.as_ns(), 150);
+        assert_eq!(e, "second");
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(40), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::from_ns(20), 2);
+        q.push(SimTime::from_ns(30), 3);
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn processed_counts_pops() {
+        let mut q = EventQueue::new();
+        for _ in 0..5 {
+            q.push_after(1, ());
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.processed(), 5);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,311 @@
+//! Deterministic randomness with labeled stream splitting.
+//!
+//! Workload generators (TPC-C warehouse picks, Retwis Zipf draws, Smallbank
+//! hotspots) and the protocol engines all need randomness, but a single
+//! shared stream would make results change whenever any consumer draws one
+//! extra value. [`DetRng::stream`] derives an independent child generator
+//! from a textual label, so each consumer owns its own sequence.
+
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator.
+///
+/// Wraps `rand::SmallRng` (xoshiro256++) seeded from a `u64`, adding
+/// labeled splitting and the samplers the workloads need (Zipf,
+/// NURand for TPC-C).
+pub struct DetRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Equal seeds give equal sequences.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator from a label.
+    ///
+    /// Uses an FNV-1a hash of the label mixed with the parent seed, so the
+    /// child stream depends only on `(seed, label)` — never on how much the
+    /// parent has already been consumed.
+    pub fn stream(&self, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Final avalanche (splitmix64 finalizer) so nearby labels diverge.
+        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        DetRng::new(z)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// A raw `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Samples from an arbitrary `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.inner)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        let n = xs.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// TPC-C NURand(A, x, y): non-uniform random per the TPC-C spec §2.1.6,
+    /// with the constant C fixed to 0 (allowed for non-audited runs).
+    pub fn nurand(&mut self, a: u64, x: u64, y: u64) -> u64 {
+        let lhs = self.range_inclusive(0, a);
+        let rhs = self.range_inclusive(x, y);
+        ((lhs | rhs) % (y - x + 1)) + x
+    }
+}
+
+/// Zipf-distributed sampler over `[0, n)` with exponent `alpha`.
+///
+/// Retwis uses α = 0.5 (paper §5.4). Implemented by inverting the CDF with
+/// binary search over precomputed cumulative weights; construction is
+/// O(n), sampling is O(log n). For the multi-million-key tables in the
+/// benchmarks this costs a few MB, built once per run.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler for `n` items with exponent `alpha >= 0`.
+    ///
+    /// `alpha == 0` degenerates to the uniform distribution.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(alpha >= 0.0 && alpha.is_finite());
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point leaving the last entry < 1.0.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the domain is empty (never: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws an item index in `[0, n)`; index 0 is the most popular.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.f64();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index whose cumulative weight reaches u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.u64() == b.u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn streams_are_label_stable() {
+        let root = DetRng::new(7);
+        let mut s1 = root.stream("workload");
+        let mut consumed = DetRng::new(7);
+        consumed.u64(); // consume from the parent
+        let mut s2 = consumed.stream("workload");
+        for _ in 0..16 {
+            assert_eq!(s1.u64(), s2.u64());
+        }
+    }
+
+    #[test]
+    fn streams_with_different_labels_diverge() {
+        let root = DetRng::new(7);
+        let mut a = root.stream("a");
+        let mut b = root.stream("b");
+        let same = (0..64).filter(|_| a.u64() == b.u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = DetRng::new(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            match r.range_inclusive(1, 3) {
+                1 => saw_lo = true,
+                3 => saw_hi = true,
+                2 => {}
+                _ => panic!("out of range"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(9);
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let want: Vec<u32> = (0..50).collect();
+        assert_eq!(sorted, want);
+        assert_ne!(v, want, "50 elements staying in place is astronomically unlikely");
+    }
+
+    #[test]
+    fn nurand_in_bounds() {
+        let mut r = DetRng::new(13);
+        for _ in 0..1000 {
+            let v = r.nurand(255, 0, 999);
+            assert!(v <= 999);
+        }
+        for _ in 0..1000 {
+            let v = r.nurand(1023, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_when_alpha_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = DetRng::new(17);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10_000; allow 10% slop.
+            assert!((9_000..=11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_head() {
+        let z = Zipf::new(1000, 0.99);
+        let mut r = DetRng::new(19);
+        let mut head = 0usize;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            if z.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        // With α≈1 the top 1% of keys draw a large share; uniform would be 1%.
+        assert!(head > N / 10, "head draws: {head}");
+    }
+
+    #[test]
+    fn zipf_alpha_half_matches_retwis_config() {
+        // Sanity: α = 0.5 over 1M keys is buildable and samples in range.
+        let z = Zipf::new(1_000_000, 0.5);
+        let mut r = DetRng::new(23);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn zipf_sample_covers_domain_ends() {
+        let z = Zipf::new(4, 0.5);
+        let mut r = DetRng::new(29);
+        let mut seen = [false; 4];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,424 @@
+//! Measurement machinery: histograms, counters, and rate meters.
+//!
+//! The paper reports *median* latency against *per-server throughput*
+//! (Figure 8), plus percentile behaviour near saturation (§5.2 discusses
+//! FaSST latency at 95% of peak). [`Histogram`] is a log-linear bucket
+//! histogram in the spirit of HdrHistogram: constant-time recording,
+//! bounded relative error, no allocation after construction.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets
+/// bounds relative quantile error at ~3%.
+const SUB_BUCKETS: usize = 32;
+/// Number of power-of-two ranges covered (2^0 .. 2^47 ns ≈ 39 hours).
+const RANGES: usize = 48;
+
+/// A log-linear histogram of `u64` samples (typically nanoseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; RANGES * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        let v = value.max(1);
+        let range = (63 - v.leading_zeros()) as usize; // floor(log2 v)
+        let range = range.min(RANGES - 1);
+        // Position within the power-of-two range, scaled to SUB_BUCKETS.
+        let base = 1u64 << range;
+        let offset = ((v - base) as u128 * SUB_BUCKETS as u128 / base as u128) as usize;
+        range * SUB_BUCKETS + offset.min(SUB_BUCKETS - 1)
+    }
+
+    /// Representative (midpoint) value for a bucket index.
+    fn value_of(index: usize) -> u64 {
+        let range = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = 1u64 << range;
+        base + (base * sub + base / 2) / SUB_BUCKETS as u64
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration sample in nanoseconds.
+    pub fn record_span(&mut self, start: SimTime, end: SimTime) {
+        self.record(end.since(start));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact minimum sample (not bucketed), or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample (not bucketed), or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, to bucket resolution. Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to empty.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// A compact summary snapshot.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.median(),
+            p95: self.quantile(0.95),
+            p99: self.p99(),
+            max: self.max(),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.summary())
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum value.
+    pub max: u64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.0} min={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// A simple monotonically increasing counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An event-rate meter over a measurement window.
+///
+/// Harnesses call [`Meter::mark`] per completion and read the rate with
+/// [`Meter::rate_per_sec`] over `[window_start, now]`. Supports discarding
+/// a warmup prefix by restarting the window.
+#[derive(Clone, Copy, Debug)]
+pub struct Meter {
+    events: u64,
+    window_start: SimTime,
+}
+
+impl Default for Meter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Meter {
+    /// Creates a meter with the window starting at t = 0.
+    pub fn new() -> Self {
+        Meter {
+            events: 0,
+            window_start: SimTime::ZERO,
+        }
+    }
+
+    /// Records `n` events.
+    pub fn mark(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Restarts the window at `now`, zeroing the count (end of warmup).
+    pub fn restart(&mut self, now: SimTime) {
+        self.events = 0;
+        self.window_start = now;
+    }
+
+    /// Events recorded since the window started.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Event rate in events/second over `[window_start, now]`.
+    pub fn rate_per_sec(&self, now: SimTime) -> f64 {
+        let dt = now.since(self.window_start) as f64 / 1e9;
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / dt
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 1000);
+        // Bucketed median must be within resolution of the sample.
+        let m = h.median();
+        assert!((968..=1063).contains(&m), "median {m}");
+    }
+
+    #[test]
+    fn median_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let m = h.median() as f64;
+        assert!((m - 5000.0).abs() / 5000.0 < 0.05, "median {m}");
+        let p99 = h.p99() as f64;
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.05, "p99 {p99}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn record_zero_is_fine() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn large_values_do_not_overflow_buckets() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(10_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 10_000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.median(), 0);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            h.record(x);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1) % 1_000_000 + 1;
+        }
+        let mut last = 0;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0);
+            assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn record_span_measures_duration() {
+        let mut h = Histogram::new();
+        h.record_span(SimTime::from_us(1), SimTime::from_us(3));
+        assert_eq!(h.min(), 2000);
+    }
+
+    #[test]
+    fn summary_display_formats() {
+        let mut h = Histogram::new();
+        h.record(100);
+        let s = format!("{}", h.summary());
+        assert!(s.contains("n=1"));
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn meter_rate_and_restart() {
+        let mut m = Meter::new();
+        m.mark(1000);
+        // 1000 events in 1 ms → 1M events/s.
+        assert!((m.rate_per_sec(SimTime::from_ms(1)) - 1e6).abs() < 1.0);
+        m.restart(SimTime::from_ms(1));
+        assert_eq!(m.events(), 0);
+        m.mark(500);
+        let r = m.rate_per_sec(SimTime::from_ms(2));
+        assert!((r - 5e5).abs() < 1.0);
+    }
+
+    #[test]
+    fn meter_zero_window_is_zero_rate() {
+        let m = Meter::new();
+        assert_eq!(m.rate_per_sec(SimTime::ZERO), 0.0);
+    }
+}

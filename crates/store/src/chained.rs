@@ -1,0 +1,286 @@
+//! DrTM+H's chained bucket hash table (paper §2.2.2, §4.1.4).
+//!
+//! "DrTM+H applies a simpler hash design, with a closed array of B-element
+//! fixed-size buckets and additional linked buckets allocated as
+//! necessary. A remote lookup traverses bucket links until finding the
+//! object." Every hop of the chain is a one-sided READ of a full bucket,
+//! so lookups read `B` objects per roundtrip — the read-amplification
+//! versus roundtrip trade-off Table 2 quantifies for B = 4, 8, 16.
+//!
+//! DrTM+H itself avoids traversal in the common case by caching each
+//! remote object's *address* at every coordinator (the "location cache").
+//! That cache lives in the baseline protocol engine; this structure is
+//! what a cache miss (or the NC configuration) walks.
+
+use crate::hash::slot_for;
+use crate::types::{Key, Value, Version};
+
+/// Per-slot metadata bytes, aligned with the other tables' accounting.
+const SLOT_HEADER_BYTES: u32 = 24;
+
+/// One stored object.
+#[derive(Clone, Debug)]
+struct Slot {
+    key: Key,
+    version: Version,
+    value: Value,
+}
+
+/// A bucket of up to `B` slots plus an optional chained bucket.
+#[derive(Clone, Debug, Default)]
+struct Bucket {
+    slots: Vec<Slot>,
+    next: Option<Box<Bucket>>,
+}
+
+/// The cost of one simulated remote lookup.
+#[derive(Clone, Debug)]
+pub struct ChainedTrace {
+    /// Value and version if found.
+    pub found: Option<(Value, Version)>,
+    /// Objects read (B per visited bucket).
+    pub objects_read: usize,
+    /// One-sided READ roundtrips (chain hops).
+    pub roundtrips: usize,
+    /// Bytes transferred.
+    pub bytes_read: u64,
+}
+
+/// The chained-bucket table.
+pub struct ChainedTable {
+    buckets: Vec<Bucket>,
+    b: usize,
+    slot_value_bytes: u32,
+    len: usize,
+}
+
+impl ChainedTable {
+    /// Creates a table with `main_buckets` primary buckets of `b` slots.
+    pub fn new(main_buckets: usize, b: usize, slot_value_bytes: u32) -> Self {
+        assert!(main_buckets > 0 && b > 0);
+        ChainedTable {
+            buckets: vec![Bucket::default(); main_buckets],
+            b,
+            slot_value_bytes,
+            len: 0,
+        }
+    }
+
+    /// Bucket width `B`.
+    pub fn bucket_width(&self) -> usize {
+        self.b
+    }
+
+    /// Stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Occupancy relative to main-bucket capacity (`main_buckets × B`),
+    /// the load metric Table 2 fixes at 90%.
+    pub fn occupancy(&self) -> f64 {
+        self.len as f64 / (self.buckets.len() * self.b) as f64
+    }
+
+    /// Bytes per slot for transfer accounting.
+    pub fn slot_bytes(&self) -> u32 {
+        SLOT_HEADER_BYTES + self.slot_value_bytes
+    }
+
+    fn bucket_of(&self, key: Key) -> usize {
+        slot_for(key, self.buckets.len())
+    }
+
+    /// Inserts or updates a key. Always succeeds (chains grow).
+    pub fn insert(&mut self, key: Key, value: Value) {
+        if self.update(key, value.clone(), 1) {
+            return;
+        }
+        let b = self.b;
+        let idx = self.bucket_of(key);
+        let mut bucket = &mut self.buckets[idx];
+        loop {
+            if bucket.slots.len() < b {
+                bucket.slots.push(Slot {
+                    key,
+                    version: 1,
+                    value,
+                });
+                self.len += 1;
+                return;
+            }
+            if bucket.next.is_none() {
+                bucket.next = Some(Box::default());
+            }
+            bucket = bucket.next.as_mut().expect("chain just extended");
+        }
+    }
+
+    /// Local lookup.
+    pub fn get(&self, key: Key) -> Option<(&Value, Version)> {
+        let mut bucket = Some(&self.buckets[self.bucket_of(key)]);
+        while let Some(b) = bucket {
+            if let Some(s) = b.slots.iter().find(|s| s.key == key) {
+                return Some((&s.value, s.version));
+            }
+            bucket = b.next.as_deref();
+        }
+        None
+    }
+
+    /// Updates an existing key; returns false if absent.
+    pub fn update(&mut self, key: Key, value: Value, version: Version) -> bool {
+        let idx = self.bucket_of(key);
+        let mut bucket = Some(&mut self.buckets[idx]);
+        while let Some(b) = bucket {
+            if let Some(s) = b.slots.iter_mut().find(|s| s.key == key) {
+                s.value = value;
+                s.version = version;
+                return true;
+            }
+            bucket = b.next.as_deref_mut();
+        }
+        false
+    }
+
+    /// Simulates a remote lookup without a location cache: read the main
+    /// bucket, then each chained bucket, one roundtrip per hop.
+    pub fn remote_lookup(&self, key: Key) -> ChainedTrace {
+        let slot_bytes = u64::from(self.slot_bytes());
+        let mut trace = ChainedTrace {
+            found: None,
+            objects_read: 0,
+            roundtrips: 0,
+            bytes_read: 0,
+        };
+        let mut bucket = Some(&self.buckets[self.bucket_of(key)]);
+        while let Some(b) = bucket {
+            trace.roundtrips += 1;
+            // A remote READ fetches the full fixed-size bucket.
+            trace.objects_read += self.b;
+            trace.bytes_read += self.b as u64 * slot_bytes;
+            if let Some(s) = b.slots.iter().find(|s| s.key == key) {
+                trace.found = Some((s.value.clone(), s.version));
+                return trace;
+            }
+            bucket = b.next.as_deref();
+        }
+        trace
+    }
+
+    /// Simulates a remote lookup *with* a valid location cache entry (the
+    /// default DrTM+H path): a single READ of exactly one object.
+    pub fn remote_lookup_cached(&self, key: Key) -> ChainedTrace {
+        let slot_bytes = u64::from(self.slot_bytes());
+        ChainedTrace {
+            found: self.get(key).map(|(v, ver)| (v.clone(), ver)),
+            objects_read: 1,
+            roundtrips: 1,
+            bytes_read: slot_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(n: u8) -> Value {
+        Value::filled(8, n)
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let mut t = ChainedTable::new(16, 4, 64);
+        t.insert(1, val(1));
+        t.insert(2, val(2));
+        assert_eq!(t.get(1).unwrap().0.bytes()[0], 1);
+        t.insert(1, val(9));
+        assert_eq!(t.get(1).unwrap().0.bytes()[0], 9);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(5).is_none());
+    }
+
+    #[test]
+    fn chains_grow_beyond_bucket_width() {
+        let mut t = ChainedTable::new(1, 2, 64);
+        for k in 0..10 {
+            t.insert(k, val(k as u8));
+        }
+        assert_eq!(t.len(), 10);
+        for k in 0..10 {
+            assert_eq!(t.get(k).unwrap().0.bytes()[0], k as u8);
+        }
+        assert!(t.occupancy() > 1.0, "all keys share the single bucket");
+    }
+
+    #[test]
+    fn remote_lookup_costs_match_chain_depth() {
+        let mut t = ChainedTable::new(1, 2, 64);
+        for k in 0..5 {
+            t.insert(k, val(0));
+        }
+        // Key 0 and 1 are in the main bucket: 1 roundtrip, 2 objects.
+        let tr = t.remote_lookup(0);
+        assert_eq!(tr.roundtrips, 1);
+        assert_eq!(tr.objects_read, 2);
+        // Key 4 is in the third bucket: 3 roundtrips, 6 objects.
+        let tr = t.remote_lookup(4);
+        assert!(tr.found.is_some());
+        assert_eq!(tr.roundtrips, 3);
+        assert_eq!(tr.objects_read, 6);
+        assert_eq!(tr.bytes_read, 6 * 88);
+    }
+
+    #[test]
+    fn cached_lookup_is_single_object() {
+        let mut t = ChainedTable::new(4, 4, 64);
+        t.insert(7, val(7));
+        let tr = t.remote_lookup_cached(7);
+        assert!(tr.found.is_some());
+        assert_eq!(tr.objects_read, 1);
+        assert_eq!(tr.roundtrips, 1);
+        assert_eq!(tr.bytes_read, 88);
+    }
+
+    #[test]
+    fn absent_key_still_pays_traversal() {
+        let mut t = ChainedTable::new(2, 2, 64);
+        for k in 0..8 {
+            t.insert(k, val(0));
+        }
+        let tr = t.remote_lookup(999);
+        assert!(tr.found.is_none());
+        assert!(tr.roundtrips >= 1);
+    }
+
+    #[test]
+    fn table2_configuration_bands() {
+        // At 90% occupancy with B=4, mean objects ≈ 4.65 and roundtrips
+        // ≈ 1.16 in the paper; verify our measured values land in a
+        // sensible band around that.
+        let main = 32_768;
+        let mut t = ChainedTable::new(main, 4, 64);
+        let n = (main as f64 * 4.0 * 0.9) as u64;
+        for k in 0..n {
+            t.insert(k, val(0));
+        }
+        let mut objects = 0usize;
+        let mut rts = 0usize;
+        let probes = 20_000;
+        for k in 0..probes {
+            let tr = t.remote_lookup(k as u64 % n);
+            objects += tr.objects_read;
+            rts += tr.roundtrips;
+        }
+        let mean_obj = objects as f64 / probes as f64;
+        let mean_rt = rts as f64 / probes as f64;
+        assert!((4.0..=6.0).contains(&mean_obj), "objects {mean_obj}");
+        assert!((1.0..=1.5).contains(&mean_rt), "roundtrips {mean_rt}");
+    }
+}

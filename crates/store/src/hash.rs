@@ -1,0 +1,73 @@
+//! Key hashing.
+//!
+//! All tables share one strong 64-bit mixer so probe distributions are
+//! comparable across structures (the Table 2 experiment hashes the same
+//! 8 M uniform keys into each design).
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer. Every input bit
+/// affects every output bit, so sequential workload keys spread uniformly.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Maps a key to a slot index in `[0, capacity)`.
+///
+/// Uses the high-bits multiply trick (Lemire reduction) instead of `%` so
+/// the mapping stays uniform for non-power-of-two capacities.
+pub fn slot_for(key: u64, capacity: usize) -> usize {
+    debug_assert!(capacity > 0);
+    let h = mix64(key);
+    ((u128::from(h) * capacity as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_avalanching() {
+        assert_eq!(mix64(1), mix64(1));
+        // Flipping one input bit flips roughly half the output bits.
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5679);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "flipped {flipped}");
+    }
+
+    #[test]
+    fn slot_for_stays_in_range() {
+        for cap in [1usize, 7, 100, 1 << 20] {
+            for k in 0..1000u64 {
+                assert!(slot_for(k, cap) < cap);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_for_is_roughly_uniform() {
+        let cap = 100;
+        let mut counts = vec![0usize; cap];
+        for k in 0..100_000u64 {
+            counts[slot_for(k, cap)] += 1;
+        }
+        let (min, max) = counts
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        // Expected 1000 per slot; allow ±20%.
+        assert!(min > 800 && max < 1200, "min {min} max {max}");
+    }
+
+    #[test]
+    fn sequential_keys_do_not_cluster() {
+        // Sequential keys (typical workload ids) must not land in
+        // sequential slots.
+        let cap = 1 << 16;
+        let s0 = slot_for(1000, cap);
+        let s1 = slot_for(1001, cap);
+        let s2 = slot_for(1002, cap);
+        assert!(s0.abs_diff(s1) > 2 || s1.abs_diff(s2) > 2);
+    }
+}

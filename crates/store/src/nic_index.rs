@@ -1,0 +1,587 @@
+//! The SmartNIC caching index (paper §4.1.3).
+//!
+//! NIC DRAM holds, per host-table segment, an *index entry* with:
+//!
+//! * a cache of hot objects homed in that segment (value + version),
+//! * transaction metadata — the **lock** and cached **version** — for
+//!   objects touched by ongoing transactions (locks live *only* here;
+//!   §4.2.1: "lock state is maintained in only one location (SmartNIC
+//!   memory) and rebuilt upon recovery"),
+//! * the highest known displacement `d_i` of objects homed in the
+//!   segment, plus an overflow-page flag — the hints that let a cache
+//!   miss be served with a single bounded DMA read, and
+//! * a pin count per object: write-set objects stay pinned from Commit
+//!   until the host applies the log, so NIC lookups never return a stale
+//!   object (§4.2 step 6).
+//!
+//! Each entry has a fixed number of cache positions with chained overflow
+//! pages as needed; a global NIC-memory budget drives clock eviction of
+//! unpinned, unlocked, value-holding records.
+
+use crate::types::{Key, LockState, TxnId, Value, Version};
+
+/// Configuration for a [`NicIndex`].
+#[derive(Clone, Debug)]
+pub struct NicIndexConfig {
+    /// Number of host-table segments (one index entry each).
+    pub segments: usize,
+    /// Global budget of cached *values* (NIC DRAM is small; §4.3.3).
+    pub max_cached_values: usize,
+    /// The paper's `k`: extra slots read beyond `d_i` to tolerate hint
+    /// staleness (set to 1 from experimentation, §4.1.3).
+    pub slack_k: u32,
+}
+
+impl Default for NicIndexConfig {
+    fn default() -> Self {
+        NicIndexConfig {
+            segments: 128,
+            max_cached_values: 1 << 16,
+            slack_k: 1,
+        }
+    }
+}
+
+/// One object's record inside an index entry.
+#[derive(Clone, Debug)]
+struct ObjRecord {
+    key: Key,
+    /// Cached value, if NIC memory holds one.
+    value: Option<Value>,
+    /// Cached version (meaningful when `value.is_some()` or the object is
+    /// mid-transaction).
+    version: Version,
+    lock: LockState,
+    /// True once a version has been learned for this object (execute-phase
+    /// reads note versions so Validate is NIC-local).
+    has_version: bool,
+    /// Commit pins: > 0 means the host has not yet applied this object's
+    /// latest committed write, so the record must not be evicted.
+    pins: u32,
+    /// Clock-eviction reference bit.
+    referenced: bool,
+}
+
+impl ObjRecord {
+    fn evictable(&self) -> bool {
+        self.pins == 0 && !self.lock.is_held()
+    }
+}
+
+/// One per host-table segment.
+#[derive(Clone, Debug, Default)]
+struct IndexEntry {
+    /// Known displacement hint for the segment.
+    d_i: u32,
+    /// Whether the segment has an overflow page on the host.
+    has_overflow: bool,
+    records: Vec<ObjRecord>,
+}
+
+/// Result of a NIC-side lookup.
+#[derive(Clone, Debug)]
+pub enum NicLookup {
+    /// Served from NIC memory — no PCIe access (the "hot object" path).
+    Hit {
+        /// The cached value.
+        value: Value,
+        /// Its cached version.
+        version: Version,
+        /// Current lock state.
+        lock: LockState,
+    },
+    /// Not cached: the caller must issue a DMA read planned with these
+    /// hints (see [`crate::robinhood::RobinhoodTable::dma_lookup`]).
+    Miss {
+        /// The segment's displacement hint `d_i`.
+        d_hint: u32,
+        /// The configured slack `k`.
+        slack: u32,
+        /// Whether the segment has a host-side overflow page.
+        has_overflow: bool,
+    },
+}
+
+/// Cache/index statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Lookups served from NIC memory.
+    pub hits: u64,
+    /// Lookups requiring a DMA read.
+    pub misses: u64,
+    /// Values evicted under memory pressure.
+    pub evictions: u64,
+}
+
+/// The SmartNIC caching index.
+pub struct NicIndex {
+    cfg: NicIndexConfig,
+    entries: Vec<IndexEntry>,
+    cached_values: usize,
+    clock_hand: usize,
+    stats: IndexStats,
+}
+
+impl NicIndex {
+    /// Creates an index with one (empty) entry per segment.
+    pub fn new(cfg: NicIndexConfig) -> Self {
+        assert!(cfg.segments > 0);
+        NicIndex {
+            entries: vec![IndexEntry::default(); cfg.segments],
+            cached_values: 0,
+            clock_hand: 0,
+            stats: IndexStats::default(),
+            cfg,
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Currently cached values.
+    pub fn cached_values(&self) -> usize {
+        self.cached_values
+    }
+
+    /// Configured slack `k`.
+    pub fn slack(&self) -> u32 {
+        self.cfg.slack_k
+    }
+
+    fn record(&self, segment: usize, key: Key) -> Option<&ObjRecord> {
+        self.entries[segment].records.iter().find(|r| r.key == key)
+    }
+
+    fn record_mut(&mut self, segment: usize, key: Key) -> Option<&mut ObjRecord> {
+        self.entries[segment]
+            .records
+            .iter_mut()
+            .find(|r| r.key == key)
+    }
+
+    fn ensure_record(&mut self, segment: usize, key: Key) -> &mut ObjRecord {
+        let idx = self.entries[segment]
+            .records
+            .iter()
+            .position(|r| r.key == key);
+        let idx = match idx {
+            Some(i) => i,
+            None => {
+                self.entries[segment].records.push(ObjRecord {
+                    key,
+                    value: None,
+                    version: 0,
+                    lock: LockState::Free,
+                    has_version: false,
+                    pins: 0,
+                    referenced: true,
+                });
+                self.entries[segment].records.len() - 1
+            }
+        };
+        &mut self.entries[segment].records[idx]
+    }
+
+    /// True if `key`'s value is cached (no stats side effects) — used by
+    /// the multi-hop gate: shipping execution away only pays off when the
+    /// coordinator's local part resolves without PCIe.
+    pub fn peek_cached(&self, segment: usize, key: Key) -> bool {
+        self.record(segment, key)
+            .map(|r| r.value.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Looks up `key` (homed in `segment`) in NIC memory.
+    pub fn lookup(&mut self, segment: usize, key: Key) -> NicLookup {
+        if let Some(r) = self.record_mut(segment, key) {
+            if let Some(v) = &r.value {
+                r.referenced = true;
+                let out = NicLookup::Hit {
+                    value: v.clone(),
+                    version: r.version,
+                    lock: r.lock,
+                };
+                self.stats.hits += 1;
+                return out;
+            }
+        }
+        self.stats.misses += 1;
+        let e = &self.entries[segment];
+        NicLookup::Miss {
+            d_hint: e.d_i,
+            slack: self.cfg.slack_k,
+            has_overflow: e.has_overflow,
+        }
+    }
+
+    /// Installs a value fetched by DMA (or committed) into the cache,
+    /// evicting under memory pressure.
+    pub fn install(&mut self, segment: usize, key: Key, value: Value, version: Version) {
+        let was_cached = self
+            .record(segment, key)
+            .map(|r| r.value.is_some())
+            .unwrap_or(false);
+        if !was_cached && self.cached_values >= self.cfg.max_cached_values {
+            self.evict_one();
+        }
+        let r = self.ensure_record(segment, key);
+        let newly = r.value.is_none();
+        r.value = Some(value);
+        r.version = version;
+        r.has_version = true;
+        r.referenced = true;
+        if newly {
+            self.cached_values += 1;
+        }
+    }
+
+    /// Records the version of an object without caching its value — the
+    /// "transaction metadata" the paper keeps for objects touched by
+    /// ongoing transactions, making Validate NIC-local (§4.1.3).
+    pub fn note_version(&mut self, segment: usize, key: Key, version: Version) {
+        let r = self.ensure_record(segment, key);
+        r.version = version;
+        r.has_version = true;
+    }
+
+    /// Clock eviction: sweep segments for an unpinned, unlocked,
+    /// value-holding record; clear reference bits as the hand passes.
+    fn evict_one(&mut self) {
+        let segments = self.entries.len();
+        // Two full sweeps guarantee progress: the first clears reference
+        // bits, the second finds a victim (unless everything is pinned).
+        for _ in 0..(2 * segments) {
+            let seg = self.clock_hand % segments;
+            self.clock_hand = (self.clock_hand + 1) % segments;
+            let entry = &mut self.entries[seg];
+            let mut victim = None;
+            for (i, r) in entry.records.iter_mut().enumerate() {
+                if r.value.is_some() && r.evictable() {
+                    if r.referenced {
+                        r.referenced = false;
+                    } else {
+                        victim = Some(i);
+                        break;
+                    }
+                }
+            }
+            if let Some(i) = victim {
+                let r = &mut entry.records[i];
+                r.value = None;
+                self.cached_values -= 1;
+                self.stats.evictions += 1;
+                // Drop the record entirely if it carries no metadata.
+                if !r.lock.is_held() && r.pins == 0 {
+                    entry.records.swap_remove(i);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Attempts to write-lock `key` for `txn`, allocating a metadata
+    /// record if needed. Returns false if another transaction holds it.
+    /// Re-locking by the same transaction succeeds (idempotent).
+    pub fn try_lock(&mut self, segment: usize, key: Key, txn: TxnId) -> bool {
+        let r = self.ensure_record(segment, key);
+        match r.lock {
+            LockState::Free => {
+                r.lock = LockState::Held(txn);
+                true
+            }
+            LockState::Held(t) => t == txn,
+        }
+    }
+
+    /// Releases `key`'s lock if held by `txn`. Valueless, pin-free
+    /// records are garbage-collected.
+    pub fn unlock(&mut self, segment: usize, key: Key, txn: TxnId) {
+        let entry = &mut self.entries[segment];
+        if let Some(i) = entry.records.iter().position(|r| r.key == key) {
+            if entry.records[i].lock.held_by(txn) {
+                entry.records[i].lock = LockState::Free;
+            }
+            let r = &entry.records[i];
+            if r.value.is_none() && r.pins == 0 && !r.lock.is_held() && !r.has_version {
+                entry.records.swap_remove(i);
+            }
+        }
+    }
+
+    /// Current lock state for `key`.
+    pub fn lock_state(&self, segment: usize, key: Key) -> LockState {
+        self.record(segment, key).map(|r| r.lock).unwrap_or_default()
+    }
+
+    /// Cached version, if NIC memory knows one.
+    pub fn version_of(&self, segment: usize, key: Key) -> Option<Version> {
+        self.record(segment, key)
+            .filter(|r| r.has_version || r.value.is_some() || r.pins > 0)
+            .map(|r| r.version)
+    }
+
+    /// Records a committed write: updates the cached entry (if present)
+    /// and pins it until the host applies the log (§4.2 step 6: "the
+    /// write-set objects are pinned in the NIC's index cache and cannot
+    /// yet be evicted").
+    pub fn commit_write(&mut self, segment: usize, key: Key, value: Value, version: Version) {
+        // A committed write refreshes the cache: the new value is hot.
+        let was_cached = self
+            .record(segment, key)
+            .map(|r| r.value.is_some())
+            .unwrap_or(false);
+        if !was_cached && self.cached_values >= self.cfg.max_cached_values {
+            self.evict_one();
+        }
+        let r = self.ensure_record(segment, key);
+        let newly = r.value.is_none();
+        r.value = Some(value);
+        r.version = version;
+        r.has_version = true;
+        r.pins += 1;
+        r.referenced = true;
+        if newly {
+            self.cached_values += 1;
+        }
+    }
+
+    /// Like [`NicIndex::commit_write`] but stores only the version
+    /// metadata (used when object caching is disabled): the version is
+    /// updated and the record pinned, without holding the value.
+    pub fn commit_write_meta(&mut self, segment: usize, key: Key, version: Version) {
+        let r = self.ensure_record(segment, key);
+        r.version = version;
+        r.has_version = true;
+        r.pins += 1;
+        r.referenced = true;
+    }
+
+    /// Host acknowledged applying this key's write: unpin.
+    pub fn unpin(&mut self, segment: usize, key: Key) {
+        if let Some(r) = self.record_mut(segment, key) {
+            if r.pins > 0 {
+                r.pins -= 1;
+            }
+        }
+    }
+
+    /// Sets a segment's displacement hint (learned at insert time or from
+    /// a deeper-than-expected DMA read).
+    pub fn set_hint(&mut self, segment: usize, d_i: u32, has_overflow: bool) {
+        let e = &mut self.entries[segment];
+        e.d_i = e.d_i.max(d_i);
+        e.has_overflow |= has_overflow;
+    }
+
+    /// Reads a segment's hint.
+    pub fn hint(&self, segment: usize) -> (u32, bool) {
+        let e = &self.entries[segment];
+        (e.d_i, e.has_overflow)
+    }
+
+    /// Drops all lock state (primary failover rebuild starts empty; locks
+    /// are then re-acquired from surviving logs, §4.2.1).
+    pub fn clear_locks(&mut self) {
+        for e in &mut self.entries {
+            for r in &mut e.records {
+                r.lock = LockState::Free;
+            }
+            e.records
+                .retain(|r| r.value.is_some() || r.pins > 0 || r.lock.is_held());
+        }
+    }
+
+    /// All currently held locks (diagnostics / recovery assertions).
+    pub fn held_locks(&self) -> Vec<(Key, TxnId)> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            for r in &e.records {
+                if let LockState::Held(t) = r.lock {
+                    out.push((r.key, t));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(max_values: usize) -> NicIndex {
+        NicIndex::new(NicIndexConfig {
+            segments: 4,
+            max_cached_values: max_values,
+            slack_k: 1,
+        })
+    }
+
+    fn val(n: u8) -> Value {
+        Value::filled(8, n)
+    }
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(0, n)
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut ix = idx(16);
+        match ix.lookup(0, 42) {
+            NicLookup::Miss { d_hint, slack, .. } => {
+                assert_eq!(d_hint, 0);
+                assert_eq!(slack, 1);
+            }
+            _ => panic!("expected miss"),
+        }
+        ix.install(0, 42, val(7), 3);
+        match ix.lookup(0, 42) {
+            NicLookup::Hit { value, version, lock } => {
+                assert_eq!(value.bytes()[0], 7);
+                assert_eq!(version, 3);
+                assert_eq!(lock, LockState::Free);
+            }
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(ix.stats().hits, 1);
+        assert_eq!(ix.stats().misses, 1);
+    }
+
+    #[test]
+    fn hint_propagates_to_miss() {
+        let mut ix = idx(16);
+        ix.set_hint(2, 5, true);
+        match ix.lookup(2, 9) {
+            NicLookup::Miss {
+                d_hint,
+                has_overflow,
+                ..
+            } => {
+                assert_eq!(d_hint, 5);
+                assert!(has_overflow);
+            }
+            _ => panic!("expected miss"),
+        }
+        // Hints are monotone (highest known).
+        ix.set_hint(2, 3, false);
+        assert_eq!(ix.hint(2), (5, true));
+    }
+
+    #[test]
+    fn lock_conflict_and_idempotence() {
+        let mut ix = idx(16);
+        assert!(ix.try_lock(1, 5, t(1)));
+        assert!(ix.try_lock(1, 5, t(1)), "re-lock by owner is fine");
+        assert!(!ix.try_lock(1, 5, t(2)), "conflicting lock must fail");
+        assert_eq!(ix.lock_state(1, 5), LockState::Held(t(1)));
+        ix.unlock(1, 5, t(2)); // non-owner unlock is a no-op
+        assert!(ix.lock_state(1, 5).is_held());
+        ix.unlock(1, 5, t(1));
+        assert_eq!(ix.lock_state(1, 5), LockState::Free);
+        assert!(ix.try_lock(1, 5, t(2)));
+    }
+
+    #[test]
+    fn lock_without_value_creates_metadata_only() {
+        let mut ix = idx(16);
+        assert!(ix.try_lock(0, 77, t(9)));
+        assert_eq!(ix.cached_values(), 0);
+        // Lookup still misses: metadata records are not value hits.
+        assert!(matches!(ix.lookup(0, 77), NicLookup::Miss { .. }));
+        ix.unlock(0, 77, t(9));
+        assert!(ix.held_locks().is_empty());
+    }
+
+    #[test]
+    fn eviction_respects_budget() {
+        let mut ix = idx(4);
+        for k in 0..10 {
+            ix.install(0, k, val(k as u8), 1);
+        }
+        assert!(ix.cached_values() <= 4);
+        assert!(ix.stats().evictions >= 6);
+    }
+
+    #[test]
+    fn pinned_records_survive_eviction() {
+        let mut ix = idx(2);
+        ix.commit_write(0, 1, val(1), 2); // pinned
+        ix.commit_write(0, 2, val(2), 2); // pinned
+        for k in 10..20 {
+            ix.install(1, k, val(0), 1);
+        }
+        // The pinned records must still hit.
+        assert!(matches!(ix.lookup(0, 1), NicLookup::Hit { .. }));
+        assert!(matches!(ix.lookup(0, 2), NicLookup::Hit { .. }));
+    }
+
+    #[test]
+    fn unpin_makes_evictable() {
+        let mut ix = idx(1);
+        ix.commit_write(0, 1, val(1), 2);
+        ix.unpin(0, 1);
+        ix.install(1, 50, val(5), 1);
+        ix.install(2, 60, val(6), 1);
+        // Key 1 can now be evicted; budget is 1 so at most one value stays.
+        assert!(ix.cached_values() <= 1);
+    }
+
+    #[test]
+    fn locked_records_survive_eviction() {
+        let mut ix = idx(1);
+        ix.install(0, 1, val(1), 1);
+        assert!(ix.try_lock(0, 1, t(3)));
+        ix.install(1, 2, val(2), 1);
+        ix.install(2, 3, val(3), 1);
+        assert!(
+            matches!(ix.lookup(0, 1), NicLookup::Hit { .. }),
+            "locked record must not be evicted"
+        );
+    }
+
+    #[test]
+    fn commit_write_updates_version_and_pins() {
+        let mut ix = idx(16);
+        ix.install(0, 5, val(1), 1);
+        ix.commit_write(0, 5, val(9), 2);
+        match ix.lookup(0, 5) {
+            NicLookup::Hit { value, version, .. } => {
+                assert_eq!(value.bytes()[0], 9);
+                assert_eq!(version, 2);
+            }
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(ix.version_of(0, 5), Some(2));
+    }
+
+    #[test]
+    fn version_of_unknown_key_is_none() {
+        let ix = idx(16);
+        assert_eq!(ix.version_of(0, 123), None);
+    }
+
+    #[test]
+    fn clear_locks_rebuild_path() {
+        let mut ix = idx(16);
+        ix.try_lock(0, 1, t(1));
+        ix.try_lock(1, 2, t(2));
+        ix.install(2, 3, val(3), 1);
+        ix.clear_locks();
+        assert!(ix.held_locks().is_empty());
+        // Cached values survive a lock wipe.
+        assert!(matches!(ix.lookup(2, 3), NicLookup::Hit { .. }));
+    }
+
+    #[test]
+    fn held_locks_lists_owners() {
+        let mut ix = idx(16);
+        ix.try_lock(0, 1, t(1));
+        ix.try_lock(3, 9, t(2));
+        let mut locks = ix.held_locks();
+        locks.sort();
+        assert_eq!(locks, vec![(1, t(1)), (9, t(2))]);
+    }
+}

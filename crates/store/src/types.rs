@@ -1,0 +1,216 @@
+//! Common data-store types: keys, values, versions, transaction ids, and
+//! lock state.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A database key. Workloads map their composite keys (warehouse id,
+/// account number, post id, ...) into this 64-bit space; see
+/// `xenic-workloads::keys`.
+pub type Key = u64;
+
+/// An object version number ("Seq" in the paper's Figure 5). Incremented
+/// by the Commit phase; compared by the Validate phase.
+pub type Version = u64;
+
+/// A value payload. `Arc` keeps cloning cheap while transactions carry
+/// read-set snapshots around the cluster.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Value(Arc<[u8]>);
+
+impl Value {
+    /// Creates a value from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Value(Arc::from(bytes))
+    }
+
+    /// A value of `len` copies of `fill` — handy for synthetic workloads.
+    pub fn filled(len: usize, fill: u8) -> Self {
+        Value(Arc::from(vec![fill; len].as_slice()))
+    }
+
+    /// The payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix: Vec<u8> = self.0.iter().take(4).copied().collect();
+        write!(f, "Value[{}B {:02x?}..]", self.0.len(), prefix)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(b: &[u8]) -> Self {
+        Value::from_bytes(b)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value(Arc::from(b.as_slice()))
+    }
+}
+
+/// What a replicated write carries on the wire and in the log: either the
+/// full new value, or a small self-contained operation ("delta") that each
+/// replica applies to its own copy — the payoff of function shipping: a
+/// TPC-C stock decrement travels as ~20 bytes instead of a 320-byte row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WritePayload {
+    /// The complete new value.
+    Full(Value),
+    /// Add to the leading little-endian i64 counter.
+    AddI64(i64),
+    /// Deterministic same-size rewrite (first byte incremented).
+    Mutate,
+}
+
+impl WritePayload {
+    /// Applies the payload to the replica's current value.
+    pub fn apply(&self, current: &Value) -> Value {
+        match self {
+            WritePayload::Full(v) => v.clone(),
+            WritePayload::AddI64(d) => {
+                let mut bytes = current.bytes().to_vec();
+                if bytes.len() < 8 {
+                    bytes.resize(8, 0);
+                }
+                let ctr = i64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
+                    .wrapping_add(*d);
+                bytes[..8].copy_from_slice(&ctr.to_le_bytes());
+                Value::from_bytes(&bytes)
+            }
+            WritePayload::Mutate => {
+                let mut bytes = current.bytes().to_vec();
+                if let Some(b) = bytes.first_mut() {
+                    *b = b.wrapping_add(1);
+                }
+                Value::from_bytes(&bytes)
+            }
+        }
+    }
+
+    /// Wire/log bytes of the payload (16-byte header + value for full
+    /// writes; 20 bytes for a delta).
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            WritePayload::Full(v) => 16 + v.len() as u32,
+            _ => 20,
+        }
+    }
+}
+
+/// A cluster-wide transaction identifier: coordinator node index plus a
+/// per-coordinator sequence number (§4.2 step 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId {
+    /// Coordinator node index.
+    pub node: u32,
+    /// Per-coordinator sequence number.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Creates a transaction id.
+    pub fn new(node: u32, seq: u64) -> Self {
+        TxnId { node, seq }
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}.{}", self.node, self.seq)
+    }
+}
+
+/// Lock state for a key, held in SmartNIC memory (§4.1.3). The paper keeps
+/// lock state "in only one location (SmartNIC memory)" — primaries own it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LockState {
+    /// Unlocked.
+    #[default]
+    Free,
+    /// Write-locked by a transaction.
+    Held(TxnId),
+}
+
+impl LockState {
+    /// True if any transaction holds the lock.
+    pub fn is_held(&self) -> bool {
+        matches!(self, LockState::Held(_))
+    }
+
+    /// True if `txn` specifically holds the lock.
+    pub fn held_by(&self, txn: TxnId) -> bool {
+        matches!(self, LockState::Held(t) if *t == txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::from_bytes(&[1, 2, 3]);
+        assert_eq!(v.bytes(), &[1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn value_filled() {
+        let v = Value::filled(12, 0xAB);
+        assert_eq!(v.len(), 12);
+        assert!(v.bytes().iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn value_clone_is_cheap_and_equal() {
+        let v = Value::filled(1000, 7);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert!(std::ptr::eq(v.bytes().as_ptr(), w.bytes().as_ptr()));
+    }
+
+    #[test]
+    fn value_debug_is_compact() {
+        let v = Value::filled(100, 1);
+        let s = format!("{v:?}");
+        assert!(s.contains("100B"));
+        assert!(s.len() < 40);
+    }
+
+    #[test]
+    fn txn_id_ordering_is_node_then_seq() {
+        let a = TxnId::new(0, 5);
+        let b = TxnId::new(1, 2);
+        assert!(a < b);
+        assert_eq!(format!("{:?}", TxnId::new(3, 9)), "T3.9");
+    }
+
+    #[test]
+    fn lock_state_queries() {
+        let t = TxnId::new(1, 1);
+        let u = TxnId::new(1, 2);
+        let l = LockState::Held(t);
+        assert!(l.is_held());
+        assert!(l.held_by(t));
+        assert!(!l.held_by(u));
+        assert!(!LockState::Free.is_held());
+        assert_eq!(LockState::default(), LockState::Free);
+    }
+}

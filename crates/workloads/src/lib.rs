@@ -1,0 +1,28 @@
+//! The paper's three evaluation workloads (paper §5.2–§5.5), implemented
+//! against the shared `xenic::api::Workload` interface so all five
+//! systems run identical transaction streams.
+//!
+//! * [`tpcc`] — TPC-C: nine tables, the five-type standard mix, plus the
+//!   new-order-only variant DrTM+H evaluates (random-partition item
+//!   supply). Distributed tables (warehouse, district, customer, stock)
+//!   live in the replicated KV store; ORDER / NEW-ORDER / ORDER-LINE /
+//!   HISTORY are real coordinator-local B+trees whose measured node
+//!   visits become host CPU cost; ITEM is a read-only local replica.
+//! * [`retwis`] — Retwis: a Twitter-like mix, 50% read-only, 1–10 keys
+//!   per transaction, 64 B values, Zipf α = 0.5.
+//! * [`smallbank`] — Smallbank: six H-Store transaction types over 12 B
+//!   account balances, 15% read-only, 90% of accesses to 4% of keys.
+//!
+//! Each workload has a `paper()` scale (the evaluation's sizes: 72
+//! warehouses/server, 1 M keys/server, 2.4 M accounts/server) and a
+//! `sim()` scale that divides the keyspace by 10 while preserving the
+//! access skew, so the full Figure 8 sweeps run in seconds of wall-clock
+//! time. DESIGN.md documents this substitution.
+
+pub mod retwis;
+pub mod smallbank;
+pub mod tpcc;
+
+pub use retwis::{Retwis, RetwisConfig};
+pub use smallbank::{Smallbank, SmallbankConfig};
+pub use tpcc::{Tpcc, TpccConfig, TpccMix};

@@ -1,0 +1,289 @@
+//! The Smallbank benchmark (paper §5.5; H-Store specification).
+//!
+//! "Simple transactions on a database of account balances, with small 12 B
+//! objects. 15% of transactions are read-only, and the remainder involves
+//! additions and subtractions of balances, with up to 3 keys per
+//! transaction. 90% of transactions access 4% of keys."
+//!
+//! Each account has a **checking** and a **savings** row (two tables).
+//! The six H-Store transaction types and their standard mix:
+//!
+//! | type | mix | keys | effect |
+//! |---|---|---|---|
+//! | Balance | 15% | 2 reads | read both balances |
+//! | DepositChecking | 15% | 1 update | checking += x |
+//! | TransactSavings | 15% | 1 update | savings += x |
+//! | Amalgamate | 15% | 3 updates | move A's balances into B's checking |
+//! | WriteCheck | 15% | 1 read + 1 update | checking −= x after a balance read |
+//! | SendPayment | 25% | 2 updates | checking A → checking B |
+
+use xenic::api::{make_key, ShipMode, TxnSpec, UpdateOp, Workload};
+use xenic_sim::DetRng;
+use xenic_store::{Key, Value};
+
+/// Table tags inside the shard-local key space.
+const CHECKING: u64 = 0;
+const SAVINGS: u64 = 1;
+/// Bits reserved for the account id below the table tag.
+const TABLE_SHIFT: u32 = 48;
+
+/// Packs a (table, account) pair into a shard-local key.
+fn local_key(table: u64, account: u64) -> u64 {
+    (table << TABLE_SHIFT) | account
+}
+
+/// Smallbank configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SmallbankConfig {
+    /// Accounts per server.
+    pub accounts_per_node: u64,
+    /// Cluster size (shards).
+    pub nodes: u32,
+    /// Fraction of accounts that are hot (paper: 4%).
+    pub hot_fraction: f64,
+    /// Probability a transaction draws from the hot set (paper: 90%).
+    pub hot_probability: f64,
+}
+
+impl SmallbankConfig {
+    /// The paper's scale: 2.4 M accounts per server.
+    pub fn paper(nodes: u32) -> Self {
+        SmallbankConfig {
+            accounts_per_node: 2_400_000,
+            nodes,
+            hot_fraction: 0.04,
+            hot_probability: 0.9,
+        }
+    }
+
+    /// Simulation scale: 1/10th of the keyspace, same skew.
+    pub fn sim(nodes: u32) -> Self {
+        SmallbankConfig {
+            accounts_per_node: 240_000,
+            ..Self::paper(nodes)
+        }
+    }
+}
+
+/// The Smallbank workload generator for one node.
+pub struct Smallbank {
+    cfg: SmallbankConfig,
+}
+
+impl Smallbank {
+    /// Creates a generator.
+    pub fn new(cfg: SmallbankConfig) -> Self {
+        Smallbank { cfg }
+    }
+
+    /// Draws an account: hot-set biased, uniform across shards (the
+    /// benchmark's accounts are partitioned; coordinators access accounts
+    /// cluster-wide).
+    fn pick_account(&self, rng: &mut DetRng) -> (u32, u64) {
+        let shard = rng.below(u64::from(self.cfg.nodes)) as u32;
+        let n = self.cfg.accounts_per_node;
+        let hot = (n as f64 * self.cfg.hot_fraction).max(1.0) as u64;
+        let account = if rng.chance(self.cfg.hot_probability) {
+            rng.below(hot)
+        } else {
+            hot + rng.below(n - hot)
+        };
+        (shard, account)
+    }
+
+    fn checking(&self, shard: u32, account: u64) -> Key {
+        make_key(shard, local_key(CHECKING, account))
+    }
+
+    fn savings(&self, shard: u32, account: u64) -> Key {
+        make_key(shard, local_key(SAVINGS, account))
+    }
+}
+
+impl Workload for Smallbank {
+    fn next_txn(&mut self, _node: usize, rng: &mut DetRng) -> TxnSpec {
+        let (s1, a1) = self.pick_account(rng);
+        let (mut s2, mut a2) = self.pick_account(rng);
+        if s1 == s2 && a1 == a2 {
+            a2 = (a2 + 1) % self.cfg.accounts_per_node;
+            s2 = s1;
+        }
+        let amount = rng.range_inclusive(1, 100) as i64;
+        let kind = rng.below(100);
+        let mut spec = match kind {
+            // Balance (read-only, 15%).
+            0..=14 => TxnSpec {
+                reads: vec![self.checking(s1, a1), self.savings(s1, a1)],
+                ..Default::default()
+            },
+            // DepositChecking (15%).
+            15..=29 => TxnSpec {
+                updates: vec![(self.checking(s1, a1), UpdateOp::AddI64(amount))],
+                ..Default::default()
+            },
+            // TransactSavings (15%).
+            30..=44 => TxnSpec {
+                updates: vec![(self.savings(s1, a1), UpdateOp::AddI64(amount))],
+                ..Default::default()
+            },
+            // Amalgamate (15%): zero A's accounts into B's checking. The
+            // exact transferred amount depends on A's balances; modeled as
+            // three read-modify-writes (same key/lock/abort behaviour).
+            45..=59 => TxnSpec {
+                updates: vec![
+                    (self.checking(s1, a1), UpdateOp::AddI64(-amount)),
+                    (self.savings(s1, a1), UpdateOp::AddI64(-amount)),
+                    (self.checking(s2, a2), UpdateOp::AddI64(2 * amount)),
+                ],
+                ..Default::default()
+            },
+            // WriteCheck (15%).
+            60..=74 => TxnSpec {
+                reads: vec![self.savings(s1, a1)],
+                updates: vec![(self.checking(s1, a1), UpdateOp::AddI64(-amount))],
+                ..Default::default()
+            },
+            // SendPayment (25%).
+            _ => TxnSpec {
+                updates: vec![
+                    (self.checking(s1, a1), UpdateOp::AddI64(-amount)),
+                    (self.checking(s2, a2), UpdateOp::AddI64(amount)),
+                ],
+                ..Default::default()
+            },
+        };
+        // Balance arithmetic is trivial: cheap on either processor, so
+        // Smallbank ships all execution to the NIC (§5.6: "Smallbank and
+        // Retwis offload all execution to the NIC").
+        spec.ship = ShipMode::Nic;
+        spec.exec_host_ns = 100;
+        spec.exec_nic_ns = 320;
+        spec
+    }
+
+    fn value_bytes(&self) -> u32 {
+        12
+    }
+
+    fn preload(&self, shard: u32) -> Vec<(Key, Value)> {
+        let template = Value::from_bytes(&{
+            let mut b = [0u8; 12];
+            b[..8].copy_from_slice(&1_000i64.to_le_bytes());
+            b
+        });
+        let mut out = Vec::with_capacity(2 * self.cfg.accounts_per_node as usize);
+        for a in 0..self.cfg.accounts_per_node {
+            out.push((self.checking(shard, a), template.clone()));
+            out.push((self.savings(shard, a), template.clone()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> Smallbank {
+        Smallbank::new(SmallbankConfig {
+            accounts_per_node: 10_000,
+            nodes: 6,
+            hot_fraction: 0.04,
+            hot_probability: 0.9,
+        })
+    }
+
+    #[test]
+    fn mix_fractions_roughly_match_spec() {
+        let mut w = wl();
+        let mut rng = DetRng::new(1);
+        let mut ro = 0;
+        let mut keys = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let s = w.next_txn(0, &mut rng);
+            if s.is_read_only() {
+                ro += 1;
+            }
+            let k = s.all_keys().count();
+            assert!((1..=3).contains(&k), "keys {k}");
+            keys += k;
+        }
+        let ro_frac = ro as f64 / N as f64;
+        assert!((0.12..=0.18).contains(&ro_frac), "read-only {ro_frac}");
+        let mean_keys = keys as f64 / N as f64;
+        assert!((1.5..=2.2).contains(&mean_keys), "mean keys {mean_keys}");
+    }
+
+    #[test]
+    fn hotspot_skew() {
+        let mut w = wl();
+        let mut rng = DetRng::new(2);
+        let hot = (10_000.0f64 * 0.04) as u64;
+        let mut hot_hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..10_000 {
+            let s = w.next_txn(0, &mut rng);
+            for k in s.all_keys() {
+                let account = xenic::api::local_of(k) & ((1 << TABLE_SHIFT) - 1);
+                if account < hot {
+                    hot_hits += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = hot_hits as f64 / total as f64;
+        assert!((0.85..=0.95).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn preload_covers_both_tables() {
+        let w = wl();
+        let data = w.preload(3);
+        assert_eq!(data.len(), 20_000);
+        assert!(data.iter().all(|(_, v)| v.len() == 12));
+        // Checking and savings keys are distinct.
+        let (k1, _) = data[0];
+        let (k2, _) = data[1];
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn all_txns_ship_to_nic() {
+        let mut w = wl();
+        let mut rng = DetRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(w.next_txn(0, &mut rng).ship, ShipMode::Nic);
+        }
+    }
+
+    #[test]
+    fn money_deltas_sum_to_zero_for_transfers() {
+        // SendPayment must conserve money: +x and -x.
+        let mut w = wl();
+        let mut rng = DetRng::new(4);
+        for _ in 0..1000 {
+            let s = w.next_txn(0, &mut rng);
+            if s.updates.len() == 2 && s.reads.is_empty() {
+                let sum: i64 = s
+                    .updates
+                    .iter()
+                    .map(|(_, op)| match op {
+                        UpdateOp::AddI64(d) => *d,
+                        _ => panic!("non-additive"),
+                    })
+                    .sum();
+                assert_eq!(sum, 0, "transfer must conserve");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_and_sim_scales() {
+        let p = SmallbankConfig::paper(6);
+        assert_eq!(p.accounts_per_node, 2_400_000);
+        let s = SmallbankConfig::sim(6);
+        assert_eq!(s.accounts_per_node, 240_000);
+        assert_eq!(s.hot_fraction, p.hot_fraction);
+    }
+}

@@ -1,0 +1,62 @@
+//! Retwis head-to-head: Xenic versus the RDMA baselines on the same
+//! social-network transaction stream.
+//!
+//! ```sh
+//! cargo run --release --example retwis_app
+//! ```
+
+use xenic::api::Workload;
+use xenic::harness::{run_xenic, RunOptions};
+use xenic::XenicConfig;
+use xenic_baselines::{run_baseline, BaselineKind};
+use xenic_hw::HwParams;
+use xenic_net::NetConfig;
+use xenic_sim::SimTime;
+use xenic_workloads::{Retwis, RetwisConfig};
+
+fn main() {
+    let params = HwParams::paper_testbed();
+    let mk = |_: usize| -> Box<dyn Workload> { Box::new(Retwis::new(RetwisConfig::sim(6))) };
+    let opts = RunOptions {
+        windows: 48,
+        warmup: SimTime::from_ms(2),
+        measure: SimTime::from_ms(8),
+        seed: 3,
+    };
+    println!("Retwis (Zipf 0.5, 50% read-only, 1-10 keys/txn), 48 windows/node\n");
+    println!(
+        "{:<10} {:>14} {:>10} {:>10} {:>9}",
+        "system", "txn/s/server", "p50[us]", "p99[us]", "aborts"
+    );
+    let x = run_xenic(
+        params.clone(),
+        NetConfig::full(),
+        XenicConfig::full(),
+        &opts,
+        mk,
+    );
+    println!(
+        "{:<10} {:>14.0} {:>10.1} {:>10.1} {:>9}",
+        "Xenic",
+        x.tput_per_server,
+        x.p50_ns as f64 / 1e3,
+        x.p99_ns as f64 / 1e3,
+        x.aborted
+    );
+    for (name, kind) in [
+        ("DrTM+H", BaselineKind::DrtmH),
+        ("FaSST", BaselineKind::Fasst),
+        ("DrTM+R", BaselineKind::DrtmR),
+    ] {
+        let r = run_baseline(kind, params.clone(), &opts, mk);
+        println!(
+            "{name:<10} {:>14.0} {:>10.1} {:>10.1} {:>9}",
+            r.tput_per_server,
+            r.p50_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+            r.aborted
+        );
+    }
+    println!("\n(paper headline at peak: 2.07x throughput over DrTM+H, 42% lower");
+    println!(" median latency; FaSST min median 2.12x Xenic's)");
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates every paper table and figure into results/.
+# Full runtime: ~30-60 minutes on one core (the simulator is
+# single-threaded and deterministic). Add --fast to fig8_sweep for a
+# quick pass.
+set -e
+cargo build --release -p xenic-bench --bins
+mkdir -p results
+run() { echo "== $1"; ./target/release/"$1" ${2:-} | tee "results/$1.txt"; }
+run fig2_latency
+run fig3_batching
+run fig4_dma
+run table1_cores
+run table2_lookup
+echo "== fig8_sweep all"; ./target/release/fig8_sweep all | tee results/fig8_all.txt
+run table3_threads
+run fig9_ablation
+run drtmr_comparison
+run cache_pressure
+run phase_breakdown
+echo "All experiments complete; outputs in results/."

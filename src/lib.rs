@@ -1,0 +1,10 @@
+//! Workspace root crate: re-exports the Xenic reproduction crates so the
+//! examples and integration tests can use one import root.
+
+pub use xenic;
+pub use xenic_baselines as baselines;
+pub use xenic_hw as hw;
+pub use xenic_net as net;
+pub use xenic_sim as sim;
+pub use xenic_store as store;
+pub use xenic_workloads as workloads;

@@ -1,0 +1,324 @@
+//! Cross-crate integration tests: whole-cluster runs spanning the
+//! simulator, hardware models, data stores, protocol engines, and
+//! workloads.
+
+use xenic::api::{make_key, Partitioning, ShipMode, TxnSpec, UpdateOp, Workload};
+use xenic::engine::{Xenic, XenicNode};
+use xenic::harness::{run_xenic, RunOptions};
+use xenic::msg::XMsg;
+use xenic::recovery::{audit_recovery, recover_shard};
+use xenic::XenicConfig;
+use xenic_baselines::{run_baseline, BaselineKind};
+use xenic_hw::HwParams;
+use xenic_net::{Cluster, Exec, NetConfig};
+use xenic_sim::{DetRng, SimTime};
+use xenic_store::Value;
+use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig, Tpcc, TpccConfig, TpccMix};
+
+/// A factory for per-node workload generators.
+type WorkloadFactory = Box<dyn Fn(usize) -> Box<dyn Workload>>;
+
+/// Counter workload whose committed effects are exactly auditable.
+struct Counters {
+    keys: u64,
+    remote_frac: f64,
+}
+
+impl Workload for Counters {
+    fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> TxnSpec {
+        let shard = if rng.chance(self.remote_frac) {
+            rng.below(6) as u32
+        } else {
+            node as u32
+        };
+        TxnSpec {
+            reads: vec![make_key(node as u32, rng.below(self.keys))],
+            updates: vec![(make_key(shard, rng.below(self.keys)), UpdateOp::AddI64(1))],
+            exec_host_ns: 150,
+            exec_nic_ns: 480,
+            ship: ShipMode::Nic,
+            ..Default::default()
+        }
+    }
+
+    fn value_bytes(&self) -> u32 {
+        16
+    }
+
+    fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+        (0..self.keys)
+            .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+            .collect()
+    }
+}
+
+fn counter_cluster(windows: usize, seed: u64) -> Cluster<Xenic> {
+    let part = Partitioning::new(6, 3);
+    let mut cluster: Cluster<Xenic> =
+        Cluster::new(HwParams::paper_testbed(), NetConfig::full(), seed, |node| {
+            XenicNode::new(
+                node,
+                XenicConfig::full(),
+                part,
+                Box::new(Counters {
+                    keys: 3000,
+                    remote_frac: 0.7,
+                }),
+                windows,
+            )
+        });
+    for node in 0..6 {
+        for slot in 0..windows {
+            cluster.seed(
+                SimTime::from_ns((node * windows + slot) as u64 * 97),
+                node,
+                Exec::Host,
+                XMsg::StartTxn { slot: slot as u32 },
+            );
+        }
+    }
+    for st in &mut cluster.states {
+        st.stats.start_measuring(SimTime::ZERO);
+    }
+    cluster
+}
+
+fn drain(cluster: &mut Cluster<Xenic>, until: SimTime) {
+    for st in &mut cluster.states {
+        st.draining = true;
+    }
+    cluster.run_until(until);
+}
+
+#[test]
+fn committed_increments_are_exactly_conserved() {
+    // The strongest end-to-end serializability audit available: after a
+    // full drain, the sum of all counters must equal the number of
+    // committed increment transactions — any lost, doubled, or phantom
+    // write breaks the equality exactly.
+    let mut cluster = counter_cluster(8, 21);
+    cluster.run_until(SimTime::from_ms(6));
+    drain(&mut cluster, SimTime::from_ms(80));
+    let committed: u64 = cluster
+        .states
+        .iter()
+        .map(|s| s.stats.committed_all.get())
+        .sum();
+    assert!(committed > 5_000, "committed {committed}");
+    let mut sum = 0i64;
+    for st in &cluster.states {
+        for (k, _) in st.host_table.iter_keys() {
+            let (v, _) = st.host_table.get(k).expect("key present");
+            sum += i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
+        }
+    }
+    assert_eq!(sum as u64, committed, "increments lost or duplicated");
+    let outstanding: usize = cluster.states.iter().map(|s| s.log.outstanding()).sum();
+    assert_eq!(outstanding, 0, "drain must apply every log record");
+}
+
+#[test]
+fn replicas_converge_after_drain() {
+    let mut cluster = counter_cluster(6, 33);
+    cluster.run_until(SimTime::from_ms(5));
+    drain(&mut cluster, SimTime::from_ms(80));
+    let part = Partitioning::new(6, 3);
+    // Every backup's copy of a shard must equal the primary's table.
+    for shard in 0..6u32 {
+        let primary = &cluster.states[part.primary(shard)];
+        for &b in &part.backups(shard) {
+            let map = cluster.states[b]
+                .backups
+                .get(&shard)
+                .expect("backup map exists");
+            for (k, (bv, bver)) in map {
+                let (pv, pver) = primary.host_table.get(*k).expect("primary has key");
+                assert_eq!(pver, *bver, "version diverged for key {k}");
+                assert_eq!(pv, bv, "value diverged for key {k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn failover_mid_run_loses_nothing_committed() {
+    let mut cluster = counter_cluster(6, 55);
+    cluster.run_until(SimTime::from_ms(4));
+    let part = Partitioning::new(6, 3);
+    const FAILED: usize = 1;
+    let mut refs: Vec<Option<&mut XenicNode>> = cluster
+        .states
+        .iter_mut()
+        .enumerate()
+        .map(|(i, s)| if i == FAILED { None } else { Some(s) })
+        .collect();
+    let report = recover_shard(&mut refs, &part, FAILED);
+    assert!(report.keys_recovered >= 3000);
+    let ro: Vec<Option<&XenicNode>> = cluster
+        .states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| if i == FAILED { None } else { Some(s) })
+        .collect();
+    audit_recovery(&ro, &part, FAILED, report.new_primary).expect("recovery audit");
+}
+
+#[test]
+fn all_five_systems_run_every_workload() {
+    let opts = RunOptions {
+        windows: 4,
+        warmup: SimTime::from_ms(1),
+        measure: SimTime::from_ms(3),
+        seed: 5,
+    };
+    let params = HwParams::paper_testbed();
+    let workloads: [(&str, WorkloadFactory); 3] = [
+        (
+            "smallbank",
+            Box::new(|_| {
+                Box::new(Smallbank::new(SmallbankConfig {
+                    accounts_per_node: 20_000,
+                    ..SmallbankConfig::sim(6)
+                })) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "retwis",
+            Box::new(|_| {
+                Box::new(Retwis::new(RetwisConfig {
+                    keys_per_node: 20_000,
+                    ..RetwisConfig::sim(6)
+                })) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "tpcc",
+            Box::new(|_| {
+                Box::new(Tpcc::new(TpccConfig {
+                    warehouses_per_node: 4,
+                    ..TpccConfig::sim(6, TpccMix::Full)
+                })) as Box<dyn Workload>
+            }),
+        ),
+    ];
+    for (name, mkw) in &workloads {
+        let x = run_xenic(
+            params.clone(),
+            NetConfig::full(),
+            XenicConfig::full(),
+            &opts,
+            mkw.as_ref(),
+        );
+        assert!(x.committed > 100, "{name}/xenic committed {}", x.committed);
+        for kind in [
+            BaselineKind::DrtmH,
+            BaselineKind::DrtmHNc,
+            BaselineKind::Fasst,
+            BaselineKind::DrtmR,
+        ] {
+            let r = run_baseline(kind, params.clone(), &opts, mkw.as_ref());
+            assert!(
+                r.committed > 50,
+                "{name}/{kind:?} committed {}",
+                r.committed
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = |seed| {
+        let r = run_xenic(
+            HwParams::paper_testbed(),
+            NetConfig::full(),
+            XenicConfig::full(),
+            &RunOptions {
+                windows: 6,
+                warmup: SimTime::from_ms(1),
+                measure: SimTime::from_ms(4),
+                seed,
+            },
+            |_| {
+                Box::new(Counters {
+                    keys: 2000,
+                    remote_frac: 0.6,
+                })
+            },
+        );
+        (r.committed, r.p50_ns, r.aborted)
+    };
+    assert_eq!(run(9), run(9), "same seed, same universe");
+    assert_ne!(run(9), run(10), "different seed, different schedule");
+}
+
+#[test]
+fn half_bandwidth_lowers_peak_throughput() {
+    let mk = |_: usize| -> Box<dyn Workload> {
+        Box::new(Tpcc::new(TpccConfig {
+            warehouses_per_node: 8,
+            ..TpccConfig::sim(6, TpccMix::NewOrderOnly)
+        }))
+    };
+    let opts = RunOptions {
+        windows: 48,
+        warmup: SimTime::from_ms(2),
+        measure: SimTime::from_ms(5),
+        seed: 3,
+    };
+    let full = run_xenic(
+        HwParams::paper_testbed(),
+        NetConfig::full(),
+        XenicConfig::full(),
+        &opts,
+        mk,
+    );
+    let half = run_xenic(
+        HwParams::paper_testbed_half_bandwidth(),
+        NetConfig::full(),
+        XenicConfig::full(),
+        &opts,
+        mk,
+    );
+    assert!(
+        half.tput_per_server < full.tput_per_server,
+        "halving bandwidth must cost throughput: {} vs {}",
+        half.tput_per_server,
+        full.tput_per_server
+    );
+}
+
+#[test]
+fn xenic_beats_best_baseline_on_paper_benchmarks() {
+    // The headline claim at a fixed moderate-to-high load level.
+    let opts = RunOptions {
+        windows: 48,
+        warmup: SimTime::from_ms(2),
+        measure: SimTime::from_ms(5),
+        seed: 42,
+    };
+    let params = HwParams::paper_testbed();
+    let mk = |_: usize| -> Box<dyn Workload> {
+        Box::new(Smallbank::new(SmallbankConfig {
+            accounts_per_node: 60_000,
+            ..SmallbankConfig::sim(6)
+        }))
+    };
+    let x = run_xenic(
+        params.clone(),
+        NetConfig::full(),
+        XenicConfig::full(),
+        &opts,
+        mk,
+    );
+    let best_baseline = [BaselineKind::DrtmH, BaselineKind::Fasst, BaselineKind::DrtmR]
+        .into_iter()
+        .map(|k| run_baseline(k, params.clone(), &opts, mk).tput_per_server)
+        .fold(0.0f64, f64::max);
+    assert!(
+        x.tput_per_server > best_baseline * 1.2,
+        "Xenic {} vs best baseline {}",
+        x.tput_per_server,
+        best_baseline
+    );
+}

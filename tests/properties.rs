@@ -1,0 +1,322 @@
+//! Property-based tests (proptest) over the core data structures and
+//! simulator invariants.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use xenic_sim::{DetRng, EventQueue, Histogram, SimTime, Zipf};
+use xenic_store::nic_index::{NicIndex, NicIndexConfig};
+use xenic_store::robinhood::{InsertOutcome, RobinhoodConfig, RobinhoodTable};
+use xenic_store::{BTree, ChainedTable, HopscotchTable, TxnId, Value, WritePayload};
+
+/// An operation against a keyed store.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u8),
+    Update(u64, u8),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_space, any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_space, any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
+        (0..key_space).prop_map(Op::Remove),
+        (0..key_space).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Robinhood table agrees with a HashMap model under arbitrary
+    /// operation sequences, including deletions (backward shift and
+    /// overflow promotion paths).
+    #[test]
+    fn robinhood_matches_model(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
+        let mut table = RobinhoodTable::new(RobinhoodConfig {
+            capacity: 512,
+            displacement_limit: Some(6),
+            segment_slots: 4,
+            inline_cap: 64,
+            slot_value_bytes: 8,
+        });
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) | Op::Update(k, v) => {
+                    let out = table.insert(k, Value::filled(4, v));
+                    prop_assert_ne!(out, InsertOutcome::TableFull);
+                    model.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    let t = table.remove(k);
+                    let m = model.remove(&k).is_some();
+                    prop_assert_eq!(t, m, "remove({}) diverged", k);
+                }
+                Op::Get(k) => {
+                    let t = table.get(k).map(|(v, _)| v.bytes()[0]);
+                    let m = model.get(&k).copied();
+                    prop_assert_eq!(t, m, "get({}) diverged", k);
+                }
+            }
+        }
+        // Final sweep: every model key present with the right value.
+        for (k, v) in &model {
+            let got = table.get(*k).map(|(val, _)| val.bytes()[0]);
+            prop_assert_eq!(got, Some(*v));
+        }
+        prop_assert_eq!(table.len() + table.overflow_len(), model.len());
+    }
+
+    /// DMA lookups with accurate hints find every present key in at most
+    /// one table read plus one overflow read.
+    #[test]
+    fn robinhood_dma_lookup_bounded(keys in proptest::collection::hash_set(0u64..5_000, 50..400)) {
+        let mut table = RobinhoodTable::new(RobinhoodConfig {
+            capacity: 1024,
+            displacement_limit: Some(8),
+            segment_slots: 4,
+            inline_cap: 64,
+            slot_value_bytes: 8,
+        });
+        for k in &keys {
+            table.insert(*k, Value::filled(8, (*k % 251) as u8));
+        }
+        for k in &keys {
+            let seg = table.segment_of_key(*k);
+            let tr = table.dma_lookup(*k, table.seg_max_disp(seg), 1);
+            prop_assert!(tr.found.is_some(), "key {} not found", k);
+            prop_assert!(tr.roundtrips <= 2, "key {} took {} roundtrips", k, tr.roundtrips);
+            let (v, _) = tr.found.unwrap();
+            prop_assert_eq!(v.bytes()[0], (*k % 251) as u8);
+        }
+    }
+
+    /// Hopscotch and chained tables agree with a HashMap model for
+    /// insert/get/update (their remote traces must find present keys).
+    #[test]
+    fn baseline_tables_match_model(ops in proptest::collection::vec(op_strategy(200), 1..200)) {
+        let mut hop = HopscotchTable::new(512, 8, 8);
+        let mut chain = ChainedTable::new(64, 4, 8);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) | Op::Update(k, v) => {
+                    prop_assert!(hop.insert(k, Value::filled(4, v)));
+                    chain.insert(k, Value::filled(4, v));
+                    model.insert(k, v);
+                }
+                // These tables don't need deletion for the baselines.
+                Op::Remove(_) => {}
+                Op::Get(k) => {
+                    let m = model.get(&k).copied();
+                    prop_assert_eq!(hop.get(k).map(|(v, _)| v.bytes()[0]), m);
+                    prop_assert_eq!(chain.get(k).map(|(v, _)| v.bytes()[0]), m);
+                }
+            }
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(hop.remote_lookup(*k).found.map(|(val, _)| val.bytes()[0]), Some(*v));
+            prop_assert_eq!(chain.remote_lookup(*k).found.map(|(val, _)| val.bytes()[0]), Some(*v));
+        }
+    }
+
+    /// The B+tree agrees with std's BTreeMap, including range queries and
+    /// deletions.
+    #[test]
+    fn btree_matches_model(
+        ops in proptest::collection::vec(op_strategy(500), 1..500),
+        lo in 0u64..500,
+        span in 0u64..200,
+    ) {
+        let mut tree = BTree::with_order(8);
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) | Op::Update(k, v) => {
+                    tree.insert(k, v);
+                    model.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(k).copied(), model.get(&k).copied());
+                }
+            }
+        }
+        let hi = lo + span;
+        let got: Vec<(u64, u8)> = tree.range(lo, hi).into_iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(u64, u8)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want, "range [{}, {}] diverged", lo, hi);
+    }
+
+    /// NIC index locks are exclusive and lookups return the last
+    /// installed value; pinned entries survive arbitrary eviction
+    /// pressure.
+    #[test]
+    fn nic_index_lock_exclusivity(
+        keys in proptest::collection::vec(0u64..64, 2..40),
+        budget in 1usize..16,
+    ) {
+        let mut ix = NicIndex::new(NicIndexConfig {
+            segments: 8,
+            max_cached_values: budget,
+            slack_k: 1,
+        });
+        let a = TxnId::new(0, 1);
+        let b = TxnId::new(1, 1);
+        let mut locked_by_a = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            let seg = (*k % 8) as usize;
+            if i % 2 == 0 {
+                if ix.try_lock(seg, *k, a) {
+                    locked_by_a.push((seg, *k));
+                }
+            } else {
+                ix.install(seg, *k, Value::filled(4, *k as u8), 1);
+            }
+        }
+        // B can never steal A's locks.
+        for (seg, k) in &locked_by_a {
+            prop_assert!(!ix.try_lock(*seg, *k, b), "lock stolen for {}", k);
+        }
+        // Unlocks release exactly A's locks.
+        for (seg, k) in &locked_by_a {
+            ix.unlock(*seg, *k, a);
+            prop_assert!(ix.try_lock(*seg, *k, b));
+            ix.unlock(*seg, *k, b);
+        }
+        // Locked (or pinned) records are exempt from eviction, so the
+        // budget may be exceeded by at most the number of unevictable
+        // entries at install time.
+        prop_assert!(
+            ix.cached_values() <= budget + locked_by_a.len(),
+            "cached {} vs budget {} + locked {}",
+            ix.cached_values(),
+            budget,
+            locked_by_a.len()
+        );
+    }
+
+    /// WritePayload deltas compose: applying AddI64 deltas one at a time
+    /// equals adding their sum, regardless of order.
+    #[test]
+    fn delta_payloads_compose(deltas in proptest::collection::vec(-1000i64..1000, 1..30)) {
+        let mut v = Value::from_bytes(&0i64.to_le_bytes());
+        for d in &deltas {
+            v = WritePayload::AddI64(*d).apply(&v);
+        }
+        let total: i64 = deltas.iter().sum();
+        let got = i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
+        prop_assert_eq!(got, total);
+    }
+
+    /// The event queue pops in nondecreasing time order with FIFO ties,
+    /// for arbitrary interleavings of pushes and pops.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_ns(*t), (i, *t));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (seq, t))) = q.pop() {
+            prop_assert_eq!(at.as_ns(), t);
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t > lt || (t == lt && seq > lseq), "order violated");
+            }
+            last = Some((t, seq));
+        }
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_sane(samples in proptest::collection::vec(1u64..10_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let mn = *samples.iter().min().unwrap();
+        let mx = *samples.iter().max().unwrap();
+        let mut last = 0;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= last, "quantiles must be monotone");
+            prop_assert!(q >= mn && q <= mx, "quantile {} outside [{}, {}]", q, mn, mx);
+            last = q;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Zipf samples stay in range and the head outweighs the tail.
+    #[test]
+    fn zipf_in_range(n in 10usize..5_000, alpha in 0.0f64..1.2, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = DetRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After interleaved inserts and deletes, hint-guided DMA lookups
+    /// still find every surviving key (exercising overflow promotion and
+    /// backward shift against the hint machinery).
+    #[test]
+    fn robinhood_hints_survive_deletions(
+        keys in proptest::collection::hash_set(0u64..2_000, 100..300),
+        delete_every in 2usize..5,
+    ) {
+        let mut table = RobinhoodTable::new(RobinhoodConfig {
+            capacity: 512,
+            displacement_limit: Some(6),
+            segment_slots: 4,
+            inline_cap: 64,
+            slot_value_bytes: 8,
+        });
+        let keys: Vec<u64> = keys.into_iter().collect();
+        for k in &keys {
+            table.insert(*k, Value::filled(8, (*k % 251) as u8));
+        }
+        let mut surviving = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            if i % delete_every == 0 {
+                prop_assert!(table.remove(*k));
+            } else {
+                surviving.push(*k);
+            }
+        }
+        for k in &surviving {
+            let seg = table.segment_of_key(*k);
+            let tr = table.dma_lookup(*k, table.seg_max_disp(seg), 1);
+            prop_assert!(tr.found.is_some(), "key {} lost after deletions", k);
+            prop_assert!(tr.roundtrips <= 2);
+        }
+    }
+
+    /// The deterministic RNG's labeled streams are insensitive to parent
+    /// consumption, and NURand stays within its bounds for arbitrary
+    /// parameters.
+    #[test]
+    fn rng_streams_and_nurand(seed in any::<u64>(), a in 1u64..10_000, span in 1u64..100_000) {
+        let root = DetRng::new(seed);
+        let mut s1 = root.stream("x");
+        let mut parent = DetRng::new(seed);
+        parent.u64();
+        parent.u64();
+        let mut s2 = parent.stream("x");
+        for _ in 0..8 {
+            prop_assert_eq!(s1.u64(), s2.u64());
+        }
+        let mut r = DetRng::new(seed);
+        for _ in 0..50 {
+            let v = r.nurand(a, 10, 10 + span);
+            prop_assert!((10..=10 + span).contains(&v));
+        }
+    }
+}
