@@ -1,13 +1,15 @@
-//! Criterion benches: reduced versions of each paper experiment, for
+//! Self-timed benches: reduced versions of each paper experiment, for
 //! regression-tracking the simulator and data-structure performance.
 //!
 //! The *simulated* metrics (txn/s, µs) come from the harness binaries
 //! (`fig2_latency` … `table3_threads`); these benches measure how fast
 //! the reproduction itself runs, and double as smoke tests that every
-//! experiment path stays healthy.
+//! experiment path stays healthy. Timing uses `std::time::Instant`
+//! directly (no external harness dependency): each case runs a warmup
+//! iteration, then reports the best-of-N wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use xenic::api::Workload;
 use xenic::harness::{run_xenic, RunOptions};
 use xenic::XenicConfig;
@@ -20,6 +22,27 @@ use xenic_store::robinhood::{RobinhoodConfig, RobinhoodTable};
 use xenic_store::{ChainedTable, HopscotchTable, Value};
 use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig, Tpcc, TpccConfig, TpccMix};
 
+const SAMPLES: usize = 5;
+
+/// Runs `f` once for warmup, then `SAMPLES` timed iterations, printing
+/// best / mean wall time.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<40} best {best:>9.3} ms   mean {:>9.3} ms   ({SAMPLES} samples)",
+        total / SAMPLES as f64
+    );
+}
+
 fn small_opts() -> RunOptions {
     RunOptions {
         windows: 8,
@@ -30,85 +53,77 @@ fn small_opts() -> RunOptions {
 }
 
 /// Figure 4's substrate: DMA engine vectored submission.
-fn bench_fig4_dma(c: &mut Criterion) {
-    c.bench_function("fig4/dma_vectored_1ms", |b| {
-        b.iter(|| {
-            let p = HwParams::paper_testbed();
-            let mut e = DmaEngine::new(&p);
-            let ops = [DmaOp {
-                kind: DmaKind::Write,
-                bytes: 64,
-            }; 15];
-            let mut t = SimTime::ZERO;
-            while t < SimTime::from_ms(1) {
-                let c = e.submit(t, 0, &ops);
-                t = (t + c.submit_busy_ns).max(e.queue_free_at(0));
-            }
-            black_box(e.elements_done())
-        })
+fn bench_fig4_dma() {
+    bench("fig4/dma_vectored_1ms", || {
+        let p = HwParams::paper_testbed();
+        let mut e = DmaEngine::new(&p);
+        let ops = [DmaOp {
+            kind: DmaKind::Write,
+            bytes: 64,
+        }; 15];
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_ms(1) {
+            let c = e.submit(t, 0, &ops);
+            t = (t + c.submit_busy_ns).max(e.queue_free_at(0));
+        }
+        e.elements_done()
     });
 }
 
 /// Table 2's substrate: populate + probe each hash structure.
-fn bench_table2_structures(c: &mut Criterion) {
+fn bench_table2_structures() {
     let n = 50_000u64;
-    c.bench_function("table2/robinhood_populate_probe", |b| {
-        b.iter(|| {
-            let mut t = RobinhoodTable::new(RobinhoodConfig {
-                capacity: (n as f64 / 0.9) as usize,
-                displacement_limit: Some(8),
-                segment_slots: 4,
-                inline_cap: 256,
-                slot_value_bytes: 64,
-            });
-            let v = Value::filled(64, 1);
-            for k in 0..n {
-                t.insert(k, v.clone());
-            }
-            let mut rng = DetRng::new(1);
-            let mut objs = 0usize;
-            for _ in 0..10_000 {
-                let k = rng.below(n);
-                let seg = t.segment_of_key(k);
-                objs += t.dma_lookup(k, t.seg_max_disp(seg), 1).objects_read;
-            }
-            black_box(objs)
-        })
+    bench("table2/robinhood_populate_probe", || {
+        let mut t = RobinhoodTable::new(RobinhoodConfig {
+            capacity: (n as f64 / 0.9) as usize,
+            displacement_limit: Some(8),
+            segment_slots: 4,
+            inline_cap: 256,
+            slot_value_bytes: 64,
+        });
+        let v = Value::filled(64, 1);
+        for k in 0..n {
+            t.insert(k, v.clone());
+        }
+        let mut rng = DetRng::new(1);
+        let mut objs = 0usize;
+        for _ in 0..10_000 {
+            let k = rng.below(n);
+            let seg = t.segment_of_key(k);
+            objs += t.dma_lookup(k, t.seg_max_disp(seg), 1).objects_read;
+        }
+        objs
     });
-    c.bench_function("table2/hopscotch_populate_probe", |b| {
-        b.iter(|| {
-            let mut t = HopscotchTable::new((n as f64 / 0.9) as usize, 8, 64);
-            let v = Value::filled(64, 1);
-            for k in 0..n {
-                t.insert(k, v.clone());
-            }
-            let mut rng = DetRng::new(2);
-            let mut objs = 0usize;
-            for _ in 0..10_000 {
-                objs += t.remote_lookup(rng.below(n)).objects_read;
-            }
-            black_box(objs)
-        })
+    bench("table2/hopscotch_populate_probe", || {
+        let mut t = HopscotchTable::new((n as f64 / 0.9) as usize, 8, 64);
+        let v = Value::filled(64, 1);
+        for k in 0..n {
+            t.insert(k, v.clone());
+        }
+        let mut rng = DetRng::new(2);
+        let mut objs = 0usize;
+        for _ in 0..10_000 {
+            objs += t.remote_lookup(rng.below(n)).objects_read;
+        }
+        objs
     });
-    c.bench_function("table2/chained_populate_probe", |b| {
-        b.iter(|| {
-            let mut t = ChainedTable::new(((n as f64 / 0.9) as usize).div_ceil(8), 8, 64);
-            let v = Value::filled(64, 1);
-            for k in 0..n {
-                t.insert(k, v.clone());
-            }
-            let mut rng = DetRng::new(3);
-            let mut objs = 0usize;
-            for _ in 0..10_000 {
-                objs += t.remote_lookup(rng.below(n)).objects_read;
-            }
-            black_box(objs)
-        })
+    bench("table2/chained_populate_probe", || {
+        let mut t = ChainedTable::new(((n as f64 / 0.9) as usize).div_ceil(8), 8, 64);
+        let v = Value::filled(64, 1);
+        for k in 0..n {
+            t.insert(k, v.clone());
+        }
+        let mut rng = DetRng::new(3);
+        let mut objs = 0usize;
+        for _ in 0..10_000 {
+            objs += t.remote_lookup(rng.below(n)).objects_read;
+        }
+        objs
     });
 }
 
 /// Figure 8's engines: one reduced run per system per workload.
-fn bench_fig8_engines(c: &mut Criterion) {
+fn bench_fig8_engines() {
     let mk_sb = |_: usize| -> Box<dyn Workload> {
         Box::new(Smallbank::new(SmallbankConfig {
             accounts_per_node: 20_000,
@@ -127,74 +142,64 @@ fn bench_fig8_engines(c: &mut Criterion) {
             ..TpccConfig::sim(6, TpccMix::NewOrderOnly)
         }))
     };
-    c.bench_function("fig8/xenic_smallbank_2ms", |b| {
-        b.iter(|| {
-            black_box(run_xenic(
-                HwParams::paper_testbed(),
-                NetConfig::full(),
-                XenicConfig::full(),
-                &small_opts(),
-                mk_sb,
-            ))
-        })
+    bench("fig8/xenic_smallbank_2ms", || {
+        run_xenic(
+            HwParams::paper_testbed(),
+            NetConfig::full(),
+            XenicConfig::full(),
+            &small_opts(),
+            mk_sb,
+        )
     });
-    c.bench_function("fig8/drtmh_smallbank_2ms", |b| {
-        b.iter(|| {
-            black_box(run_baseline(
-                BaselineKind::DrtmH,
-                HwParams::paper_testbed(),
-                &small_opts(),
-                mk_sb,
-            ))
-        })
+    bench("fig8/drtmh_smallbank_2ms", || {
+        run_baseline(
+            BaselineKind::DrtmH,
+            HwParams::paper_testbed(),
+            &small_opts(),
+            mk_sb,
+        )
     });
-    c.bench_function("fig8/fasst_retwis_2ms", |b| {
-        b.iter(|| {
-            black_box(run_baseline(
-                BaselineKind::Fasst,
-                HwParams::paper_testbed(),
-                &small_opts(),
-                mk_rw,
-            ))
-        })
+    bench("fig8/fasst_retwis_2ms", || {
+        run_baseline(
+            BaselineKind::Fasst,
+            HwParams::paper_testbed(),
+            &small_opts(),
+            mk_rw,
+        )
     });
-    c.bench_function("fig8/xenic_tpcc_no_2ms", |b| {
-        b.iter(|| {
-            black_box(run_xenic(
-                HwParams::paper_testbed(),
-                NetConfig::full(),
-                XenicConfig::full(),
-                &small_opts(),
-                mk_no,
-            ))
-        })
+    bench("fig8/xenic_tpcc_no_2ms", || {
+        run_xenic(
+            HwParams::paper_testbed(),
+            NetConfig::full(),
+            XenicConfig::full(),
+            &small_opts(),
+            mk_no,
+        )
     });
 }
 
 /// Figure 9's knobs: the ablation configurations stay runnable.
-fn bench_fig9_knobs(c: &mut Criterion) {
+fn bench_fig9_knobs() {
     let mk = |_: usize| -> Box<dyn Workload> {
         Box::new(Smallbank::new(SmallbankConfig {
             accounts_per_node: 20_000,
             ..SmallbankConfig::sim(6)
         }))
     };
-    c.bench_function("fig9/xenic_baseline_config_2ms", |b| {
-        b.iter(|| {
-            black_box(run_xenic(
-                HwParams::paper_testbed(),
-                NetConfig::baseline(),
-                XenicConfig::fig9_baseline(),
-                &small_opts(),
-                mk,
-            ))
-        })
+    bench("fig9/xenic_baseline_config_2ms", || {
+        run_xenic(
+            HwParams::paper_testbed(),
+            NetConfig::baseline(),
+            XenicConfig::fig9_baseline(),
+            &small_opts(),
+            mk,
+        )
     });
 }
 
-criterion_group! {
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig4_dma, bench_table2_structures, bench_fig8_engines, bench_fig9_knobs
+fn main() {
+    bench_fig4_dma();
+    bench_table2_structures();
+    bench_fig8_engines();
+    bench_fig9_knobs();
 }
-criterion_main!(experiments);

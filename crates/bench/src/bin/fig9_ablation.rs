@@ -55,9 +55,8 @@ fn main() {
                 ..base_cfg
             },
             NetConfig {
-                eth_aggregation: true,
-                pcie_aggregation: true,
                 async_dma: false,
+                ..NetConfig::full()
             },
         ),
         (
@@ -71,7 +70,7 @@ fn main() {
     ];
     let mut base_tput = 0.0;
     for (i, (label, cfg, net)) in steps_a.iter().enumerate() {
-        let r = run_xenic(params.clone(), *net, *cfg, &tput_opts, mk_rw);
+        let r = run_xenic(params.clone(), net.clone(), *cfg, &tput_opts, mk_rw);
         if i == 0 {
             base_tput = r.tput_per_server;
         }

@@ -34,6 +34,20 @@ pub struct XenicConfig {
     /// host memory reserved for logging", §4.2 step 5). When the ring
     /// fills, NICs retry appends until host workers drain it.
     pub log_capacity_bytes: u64,
+    /// Commit-phase timeout (ns): when fault injection is active, a
+    /// coordinator NIC that has not heard back from every shard within
+    /// this window retransmits the outstanding Execute/Validate/Log
+    /// requests (Log retransmits forever; Execute/Validate give up after
+    /// [`Self::max_phase_retries`] and abort). Ignored on a reliable
+    /// fabric.
+    pub phase_timeout_ns: u64,
+    /// Retransmission period (ns) for unacknowledged CommitReq messages
+    /// when fault injection is active; backs off linearly per attempt.
+    pub commit_ack_timeout_ns: u64,
+    /// Execute/Validate retransmission budget before the coordinator
+    /// aborts the transaction. Log-phase and commit-phase messages are
+    /// never abandoned — backups may already have applied the record.
+    pub max_phase_retries: u32,
 }
 
 impl XenicConfig {
@@ -48,6 +62,9 @@ impl XenicConfig {
             nic_cache_values: 1 << 20,
             retry_backoff_ns: (2_000, 12_000),
             log_capacity_bytes: 1 << 30,
+            phase_timeout_ns: 30_000,
+            commit_ack_timeout_ns: 30_000,
+            max_phase_retries: 4,
         }
     }
 

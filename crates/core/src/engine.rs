@@ -37,7 +37,7 @@
 //!   coordinator reports the outcome as soon as all Log acks arrive, per
 //!   §4.2 step 6), so they are elided from the wire.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use xenic_net::{Exec, Protocol, Runtime};
 use xenic_sim::SimTime;
@@ -121,6 +121,33 @@ struct CoordTxn {
     /// Phase timestamps for the latency breakdown (submit time, then the
     /// time each phase completed).
     phase_mark: SimTime,
+
+    // ---- Loss tolerance (populated only when fault injection is on) ----
+    /// Phase epoch: bumped on every phase entry so stale [`XMsg::PhaseTimeout`]
+    /// timers are ignored.
+    epoch: u64,
+    /// Retransmission attempts in the current Exec/Validate phase.
+    attempts: u32,
+    /// Outstanding Execute/Validate requests by request id, with the
+    /// destination node, for dedup and retransmission.
+    awaiting: BTreeMap<u64, (usize, XMsg)>,
+    /// Retransmittable sends for the Log/LocalRepl phases (LogReqs, keyed
+    /// by `(dst, shard)`) and the MhShipped phase (the ExecShip).
+    resend: Vec<(usize, u32, XMsg)>,
+    /// Log acks already counted, keyed by `(from, shard)`.
+    acks: HashSet<(u32, u32)>,
+    /// The multi-hop ExecShipResp was already counted.
+    mh_ship_seen: bool,
+}
+
+impl CoordTxn {
+    fn enter_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+        self.epoch += 1;
+        self.attempts = 0;
+        self.awaiting.clear();
+        self.resend.clear();
+    }
 }
 
 /// Server-side pending operation (waiting on DMA chains).
@@ -128,6 +155,7 @@ enum PendingOp {
     /// An Execute request resolving read values.
     Exec {
         txn: TxnId,
+        req: u64,
         reply_to: u32,
         shard: u32,
         awaiting: usize,
@@ -142,6 +170,7 @@ enum PendingOp {
     /// A Validate request that needed DMA version fetches.
     Val {
         txn: TxnId,
+        req: u64,
         reply_to: u32,
         shard: u32,
         awaiting: usize,
@@ -198,6 +227,21 @@ pub struct XenicNode {
     // In-order log application.
     apply_ready: BTreeMap<u64, ()>,
     next_apply_lsn: u64,
+
+    // ---- Loss tolerance (populated only when fault injection is on) ----
+    // Next Execute/Validate request id.
+    next_req: u64,
+    // Commit retransmission: seq → unacked (shard, dst, CommitReq).
+    committing: BTreeMap<u64, Vec<(u32, usize, XMsg)>>,
+    // CommitReqs already applied at this primary (dedup + re-ack).
+    commit_seen: HashSet<TxnId>,
+    // Backup log records by (txn, shard): false while the append's DMA is
+    // in flight, true once durable (a duplicate LogReq then re-acks).
+    backup_log_acked: HashMap<(TxnId, u32), bool>,
+    // Shipped-execution outcomes: the ExecShipResp plus the LogReq
+    // fan-out, replayed verbatim when a retransmitted ExecShip arrives
+    // (re-executing could re-lock keys the commit already released).
+    ship_resp: HashMap<TxnId, (XMsg, Vec<(usize, XMsg)>)>,
 }
 
 impl XenicNode {
@@ -271,6 +315,11 @@ impl XenicNode {
             ship_locked: HashMap::new(),
             apply_ready: BTreeMap::new(),
             next_apply_lsn: 1,
+            next_req: 1,
+            committing: BTreeMap::new(),
+            commit_seen: HashSet::new(),
+            backup_log_acked: HashMap::new(),
+            ship_resp: HashMap::new(),
         }
     }
 
@@ -360,13 +409,24 @@ impl Protocol for Xenic {
             XMsg::TxnSubmit { seq, spec } => cnic_submit(st, rt, me, seq, spec),
             XMsg::ExecuteResp {
                 txn,
+                req,
                 shard,
                 ok,
                 values,
                 lock_versions,
-            } => cnic_execute_resp(st, rt, me, txn, shard, ok, values, lock_versions),
-            XMsg::ValidateResp { txn, ok, .. } => cnic_validate_resp(st, rt, me, txn, ok),
-            XMsg::LogResp { txn, ok, .. } => cnic_log_resp(st, rt, me, txn, ok),
+            } => cnic_execute_resp(st, rt, me, txn, req, shard, ok, values, lock_versions),
+            XMsg::ValidateResp { txn, req, ok, .. } => {
+                cnic_validate_resp(st, rt, me, txn, req, ok)
+            }
+            XMsg::LogResp {
+                txn,
+                from,
+                shard,
+                ok,
+            } => cnic_log_resp(st, rt, me, txn, from, shard, ok),
+            XMsg::CommitAck { txn, shard } => cnic_commit_ack(st, txn, shard),
+            XMsg::PhaseTimeout { seq, epoch } => cnic_phase_timeout(st, rt, me, seq, epoch),
+            XMsg::CommitTick { seq, attempt } => cnic_commit_tick(st, rt, me, seq, attempt),
             XMsg::ExecShipResp {
                 txn,
                 ok,
@@ -382,22 +442,24 @@ impl Protocol for Xenic {
             // ---------------- Server NIC ----------------
             XMsg::Execute {
                 txn,
+                req,
                 reply_to,
                 mode,
                 reads,
                 locks,
-            } => snic_execute(st, rt, me, txn, reply_to, mode, reads, locks, None),
+            } => snic_execute(st, rt, me, txn, req, reply_to, mode, reads, locks, None),
             XMsg::Validate {
                 txn,
+                req,
                 reply_to,
                 checks,
-            } => snic_validate(st, rt, me, txn, reply_to, checks),
+            } => snic_validate(st, rt, me, txn, req, reply_to, checks),
             XMsg::LogReq {
                 txn,
                 shard,
                 reply_to,
                 writes,
-            } => snic_log(st, rt, me, txn, shard, reply_to, writes),
+            } => snic_log(st, rt, me, txn, shard, reply_to, writes, false),
             XMsg::CommitReq { txn, shard, writes } => snic_commit(st, rt, me, txn, shard, writes),
             XMsg::AbortReq { txn, unlock } => {
                 for k in unlock {
@@ -411,6 +473,20 @@ impl Protocol for Xenic {
                 spec,
                 local_vals,
             } => {
+                // A retransmitted ExecShip replays the cached outcome —
+                // re-executing could re-lock keys the commit already
+                // released, or double-log at the backups.
+                if rt.faults_active() {
+                    if let Some((resp, fanout)) = st.ship_resp.get(&txn).cloned() {
+                        for (dst, msg) in fanout {
+                            let bytes = msg.wire_bytes();
+                            rt.send_net(dst, Exec::Nic, msg, bytes);
+                        }
+                        let bytes = resp.wire_bytes();
+                        rt.send_net(reply_to as usize, Exec::Nic, resp, bytes);
+                        return;
+                    }
+                }
                 let reads: Vec<Key> = spec
                     .reads
                     .iter()
@@ -428,6 +504,7 @@ impl Protocol for Xenic {
                     rt,
                     me,
                     txn,
+                    0,
                     reply_to,
                     ExecMode::Combined,
                     reads,
@@ -455,7 +532,7 @@ impl Protocol for Xenic {
                 shard,
                 reply_to,
                 writes,
-            } => snic_log(st, rt, me, txn, shard, reply_to, writes),
+            } => snic_log(st, rt, me, txn, shard, reply_to, writes, true),
             XMsg::AppliedAck { lsn } => {
                 let released = st.log.ack_through(lsn);
                 for (_, kind, keys) in released {
@@ -468,6 +545,87 @@ impl Protocol for Xenic {
                 }
             }
         }
+    }
+
+    /// Crash-stop recovery hook: node memory (stores, log, protocol
+    /// tables) survived, but every in-flight event targeting this node —
+    /// DMA completions, ApplyLog hand-offs, retransmission timers — was
+    /// discarded. Re-prime the pipelines that those events were driving.
+    fn on_restart(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize) {
+        // Revive the log-apply pipeline: any unacked record whose
+        // DmaLogDone or ApplyLog event died with the crash is re-handed
+        // to a host worker (host_apply_log applies strictly in LSN order
+        // and tolerates duplicates).
+        let lsns: Vec<u64> = st
+            .log
+            .unacked()
+            .map(|e| e.lsn)
+            .filter(|l| *l >= st.next_apply_lsn)
+            .collect();
+        for lsn in lsns {
+            rt.send_local(Exec::Host, XMsg::ApplyLog { lsn }, WORKER_POLL_NS);
+        }
+        // Every backup record present in the log is durable, but its
+        // LogResp (or the DMA completion that would have sent it) may have
+        // died. Mark those acknowledgeable so retransmitted LogReqs re-ack.
+        // An in-flight entry with *no* record (the append hit ring-full
+        // backpressure and its retry event died with the crash) is dropped
+        // instead, so the coordinator's retransmission appends it fresh —
+        // acking it would commit a record this backup never logged.
+        let logged: HashSet<(TxnId, u32)> = st
+            .log
+            .unacked()
+            .filter(|e| e.kind == LogKind::Backup)
+            .map(|e| (e.txn, e.shard))
+            .collect();
+        st.backup_log_acked
+            .retain(|key, acked| *acked || logged.contains(key));
+        for acked in st.backup_log_acked.values_mut() {
+            *acked = true;
+        }
+        // Restart coordinator-side retransmission timers for every
+        // in-flight transaction in a network-bound phase. The old timer
+        // chains died with the crash; epoch bumps keep any stragglers
+        // (scheduled pre-crash, delivered post-restart) inert.
+        let fa = rt.faults_active();
+        if fa {
+            // Sorted scan: HashMap iteration order is per-instance random,
+            // and the timer-arm order decides event-queue FIFO ties.
+            let mut seqs: Vec<u64> = st.coord.keys().copied().collect();
+            seqs.sort_unstable();
+            for seq in seqs {
+                let ct = st.coord.get_mut(&seq).expect("coord exists");
+                match ct.phase {
+                    Phase::Exec
+                    | Phase::Validate
+                    | Phase::Log
+                    | Phase::MhShipped
+                    | Phase::LocalRepl => {
+                        ct.epoch += 1;
+                        let epoch = ct.epoch;
+                        rt.send_local(
+                            Exec::Nic,
+                            XMsg::PhaseTimeout { seq, epoch },
+                            st.cfg.phase_timeout_ns,
+                        );
+                    }
+                    // PCIe and intra-NIC hand-offs died with the crash and
+                    // cannot be retransmitted from here; these transactions
+                    // stall (their slots stay idle) but hold no remote
+                    // protocol obligations that block others.
+                    Phase::WaitHost | Phase::MhLocal => {}
+                }
+            }
+            let pending_commits: Vec<u64> = st.committing.keys().copied().collect();
+            for seq in pending_commits {
+                rt.send_local(
+                    Exec::Nic,
+                    XMsg::CommitTick { seq, attempt: 0 },
+                    st.cfg.commit_ack_timeout_ns,
+                );
+            }
+        }
+        let _ = me;
     }
 }
 
@@ -598,8 +756,9 @@ fn host_outcome(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64
         return;
     };
     if committed {
-        let started = st.slots[slot as usize].first_started;
-        st.stats.record_commit(metric, started, rt.now());
+        // Commit statistics were already recorded NIC-side (atomically
+        // with the commit decision); only the slot turns over here.
+        let _ = metric;
         st.slots[slot as usize].spec = None;
         rt.send_local(Exec::Host, XMsg::StartTxn { slot }, 50);
     } else {
@@ -706,6 +865,7 @@ fn compute_writes(
 // =====================================================================
 
 fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, spec: TxnSpec) {
+    let fa = rt.faults_active();
     let txn = TxnId::new(me as u32, seq);
     let shards = spec.shards();
     let remote_shards: Vec<u32> = shards.iter().copied().filter(|&s| s != st.shard).collect();
@@ -746,6 +906,12 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
         local_writes: Vec::new(),
         local_locked: Vec::new(),
         phase_mark: rt.now(),
+        epoch: 0,
+        attempts: 0,
+        awaiting: BTreeMap::new(),
+        resend: Vec::new(),
+        acks: HashSet::new(),
+        mh_ship_seen: false,
     };
 
     if multihop_ok {
@@ -766,6 +932,9 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             };
             let bytes = msg.wire_bytes();
             let dst = st.part.primary(remote_shards[0]);
+            if fa {
+                ct.resend.push((dst, remote_shards[0], msg.clone()));
+            }
             rt.send_net(dst, Exec::Nic, msg, bytes);
             st.stats.multihop.inc();
         } else {
@@ -782,6 +951,27 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                 .copied()
                 .filter(|k| shard_of(*k) == st.shard)
                 .collect();
+            let req = st.next_req;
+            st.next_req += 1;
+            if fa {
+                // Self-delivery is reliable; the entry exists for dedup
+                // symmetry, never for retransmission (MhLocal arms no
+                // timer).
+                ct.awaiting.insert(
+                    req,
+                    (
+                        me,
+                        XMsg::Execute {
+                            txn,
+                            req,
+                            reply_to: me as u32,
+                            mode: ExecMode::Combined,
+                            reads: local_reads.clone(),
+                            locks: local_keys.clone(),
+                        },
+                    ),
+                );
+            }
             st.stats.multihop.inc();
             st.coord.insert(seq, ct);
             rt.charge(30 * local_keys.len() as u64);
@@ -790,6 +980,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                 rt,
                 me,
                 txn,
+                req,
                 me as u32,
                 ExecMode::Combined,
                 local_reads,
@@ -799,6 +990,9 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             return;
         }
         st.coord.insert(seq, ct);
+        if fa {
+            arm_phase_timer(st, rt, seq);
+        }
         return;
     }
 
@@ -817,13 +1011,19 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
         let dst = st.part.primary(shard);
         if st.cfg.smart_remote_ops {
             ct.pending += 1;
+            let req = st.next_req;
+            st.next_req += 1;
             let msg = XMsg::Execute {
                 txn,
+                req,
                 reply_to: me as u32,
                 mode: ExecMode::Combined,
                 reads,
                 locks,
             };
+            if fa {
+                ct.awaiting.insert(req, (dst, msg.clone()));
+            }
             let bytes = msg.wire_bytes();
             rt.send_net(dst, Exec::Nic, msg, bytes);
         } else {
@@ -831,25 +1031,37 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             // mirroring one-sided RDMA's one-op-one-request structure.
             for k in reads {
                 ct.pending += 1;
+                let req = st.next_req;
+                st.next_req += 1;
                 let msg = XMsg::Execute {
                     txn,
+                    req,
                     reply_to: me as u32,
                     mode: ExecMode::ReadOnly,
                     reads: vec![k],
                     locks: vec![],
                 };
+                if fa {
+                    ct.awaiting.insert(req, (dst, msg.clone()));
+                }
                 let bytes = msg.wire_bytes();
                 rt.send_net(dst, Exec::Nic, msg, bytes);
             }
             for k in locks {
                 ct.pending += 1;
+                let req = st.next_req;
+                st.next_req += 1;
                 let msg = XMsg::Execute {
                     txn,
+                    req,
                     reply_to: me as u32,
                     mode: ExecMode::LockOnly,
                     reads: vec![],
                     locks: vec![k],
                 };
+                if fa {
+                    ct.awaiting.insert(req, (dst, msg.clone()));
+                }
                 let bytes = msg.wire_bytes();
                 rt.send_net(dst, Exec::Nic, msg, bytes);
             }
@@ -860,7 +1072,23 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
     if pending == 0 {
         // Nothing to wait for (degenerate spec): advance immediately.
         exec_complete(st, rt, me, seq, txn);
+    } else if fa {
+        arm_phase_timer(st, rt, seq);
     }
+}
+
+/// Arms one retransmission-timer chain for the coordinator transaction's
+/// current phase epoch (fault injection only).
+fn arm_phase_timer(st: &mut XenicNode, rt: &mut Runtime<XMsg>, seq: u64) {
+    let Some(ct) = st.coord.get(&seq) else {
+        return;
+    };
+    let epoch = ct.epoch;
+    rt.send_local(
+        Exec::Nic,
+        XMsg::PhaseTimeout { seq, epoch },
+        st.cfg.phase_timeout_ns,
+    );
 }
 
 /// Expected multi-hop acknowledgements: the ExecShipResp plus one LogResp
@@ -884,6 +1112,7 @@ fn cnic_execute_resp(
     rt: &mut Runtime<XMsg>,
     me: usize,
     txn: TxnId,
+    req: u64,
     shard: u32,
     ok: bool,
     values: Vec<(Key, Value, Version)>,
@@ -893,6 +1122,12 @@ fn cnic_execute_resp(
     let Some(ct) = st.coord.get_mut(&seq) else {
         return;
     };
+    // Count each request's response exactly once: a duplicated frame or a
+    // response to a request we already retransmitted-and-heard must not
+    // decrement `pending` again.
+    if rt.faults_active() && ct.awaiting.remove(&req).is_none() {
+        return;
+    }
     if !ok {
         ct.ok = false;
     } else if ct.ok {
@@ -932,7 +1167,7 @@ fn cnic_execute_resp(
             // Local part locked & read; ship to the remote primary. Lock
             // versions travel as value-less entries (16 B each).
             let ct = st.coord.get_mut(&seq).expect("coord exists");
-            ct.phase = Phase::MhShipped;
+            ct.enter_phase(Phase::MhShipped);
             let remote = ct.remote_shard.expect("multihop has remote");
             let spec = ct.spec.clone();
             let mut local_vals = ct.values.clone();
@@ -952,7 +1187,14 @@ fn cnic_execute_resp(
             };
             let bytes = msg.wire_bytes();
             let dst = st.part.primary(remote);
+            let fa = rt.faults_active();
+            if fa {
+                ct.resend.push((dst, remote, msg.clone()));
+            }
             rt.send_net(dst, Exec::Nic, msg, bytes);
+            if fa {
+                arm_phase_timer(st, rt, seq);
+            }
         }
         Some(Phase::Exec) => exec_complete(st, rt, me, seq, txn),
         _ => {}
@@ -979,21 +1221,41 @@ fn exec_complete(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64
             }
             ct.pending = by_shard.len();
             ct.shards_contacted += by_shard.len();
+            // New round, new wait: bump the epoch so the previous round's
+            // timer chain dies, and start a fresh retransmission budget.
+            ct.epoch += 1;
+            ct.attempts = 0;
             let sends: Vec<(u32, Vec<Key>, Vec<Key>)> = by_shard
                 .into_iter()
                 .map(|(s, (r, l))| (s, r, l))
                 .collect();
+            let fa = rt.faults_active();
+            let mut msgs: Vec<(usize, u64, XMsg)> = Vec::with_capacity(sends.len());
             for (shard, reads, locks) in sends {
-                let st_part = st.part;
+                let req = st.next_req;
+                st.next_req += 1;
                 let msg = XMsg::Execute {
                     txn,
+                    req,
                     reply_to: me as u32,
                     mode: ExecMode::Combined,
                     reads,
                     locks,
                 };
+                msgs.push((st.part.primary(shard), req, msg));
+            }
+            if fa {
+                let ct = st.coord.get_mut(&seq).expect("coord exists");
+                for (dst, req, msg) in &msgs {
+                    ct.awaiting.insert(*req, (*dst, msg.clone()));
+                }
+            }
+            for (dst, _, msg) in msgs {
                 let bytes = msg.wire_bytes();
-                rt.send_net(st_part.primary(shard), Exec::Nic, msg, bytes);
+                rt.send_net(dst, Exec::Nic, msg, bytes);
+            }
+            if fa {
+                arm_phase_timer(st, rt, seq);
             }
             return;
         }
@@ -1027,7 +1289,7 @@ fn exec_complete(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64
     } else {
         // Return the read set to the host for execution (§4.2 step 3).
         let ct = st.coord.get_mut(&seq).expect("coord exists");
-        ct.phase = Phase::WaitHost;
+        ct.enter_phase(Phase::WaitHost);
         let msg = XMsg::ReadSet {
             seq,
             values: ct.values.clone(),
@@ -1076,6 +1338,7 @@ fn cnic_writes_ready(
 /// advances straight to Log if nothing needs checking.
 fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, txn: TxnId) {
     let ct = st.coord.get_mut(&seq).expect("coord exists");
+    ct.enter_phase(Phase::Validate);
     // Only pure reads validate; updates hold locks.
     let checks: Vec<(Key, Version)> = ct
         .spec
@@ -1111,25 +1374,51 @@ fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u6
             }
         }
     }
-    let ct = st.coord.get_mut(&seq).expect("coord exists");
-    ct.pending = to_send.len();
+    let fa = rt.faults_active();
+    let mut msgs: Vec<(usize, u64, XMsg)> = Vec::with_capacity(to_send.len());
     for (shard, checks) in to_send {
+        let req = st.next_req;
+        st.next_req += 1;
         let msg = XMsg::Validate {
             txn,
+            req,
             reply_to: me as u32,
             checks,
         };
+        msgs.push((st.part.primary(shard), req, msg));
+    }
+    let ct = st.coord.get_mut(&seq).expect("coord exists");
+    ct.pending = msgs.len();
+    if fa {
+        for (dst, req, msg) in &msgs {
+            ct.awaiting.insert(*req, (*dst, msg.clone()));
+        }
+    }
+    for (dst, _, msg) in msgs {
         let bytes = msg.wire_bytes();
-        rt.send_net(st.part.primary(shard), Exec::Nic, msg, bytes);
+        rt.send_net(dst, Exec::Nic, msg, bytes);
+    }
+    if fa {
+        arm_phase_timer(st, rt, seq);
     }
 }
 
-fn cnic_validate_resp(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, txn: TxnId, ok: bool) {
+fn cnic_validate_resp(
+    st: &mut XenicNode,
+    rt: &mut Runtime<XMsg>,
+    me: usize,
+    txn: TxnId,
+    req: u64,
+    ok: bool,
+) {
     let seq = txn.seq;
     let Some(ct) = st.coord.get_mut(&seq) else {
         return;
     };
     if ct.phase != Phase::Validate {
+        return;
+    }
+    if rt.faults_active() && ct.awaiting.remove(&req).is_none() {
         return;
     }
     if !ok {
@@ -1165,7 +1454,8 @@ fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, tx
         finish_commit_readonly(st, rt, me, seq);
         return;
     }
-    ct.phase = Phase::Log;
+    ct.enter_phase(Phase::Log);
+    ct.acks.clear();
     let mut by_shard: BTreeMap<u32, WriteSet> = BTreeMap::new();
     for (k, p, ver) in &ct.writes {
         by_shard
@@ -1179,6 +1469,7 @@ fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, tx
             sends.push((b, shard, writes.clone()));
         }
     }
+    let fa = rt.faults_active();
     let ct = st.coord.get_mut(&seq).expect("coord exists");
     ct.pending = sends.len();
     if sends.is_empty() {
@@ -1186,6 +1477,7 @@ fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, tx
         finish_commit(st, rt, me, seq, txn);
         return;
     }
+    let mut msgs: Vec<(usize, XMsg)> = Vec::with_capacity(sends.len());
     for (backup, shard, writes) in sends {
         let msg = XMsg::LogReq {
             txn,
@@ -1193,16 +1485,45 @@ fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, tx
             reply_to: me as u32,
             writes,
         };
+        if fa {
+            ct.resend.push((backup, shard, msg.clone()));
+        }
+        msgs.push((backup, msg));
+    }
+    for (backup, msg) in msgs {
         let bytes = msg.wire_bytes();
         rt.send_net(backup, Exec::Nic, msg, bytes);
     }
+    if fa {
+        arm_phase_timer(st, rt, seq);
+    }
 }
 
-fn cnic_log_resp(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, txn: TxnId, ok: bool) {
+fn cnic_log_resp(
+    st: &mut XenicNode,
+    rt: &mut Runtime<XMsg>,
+    me: usize,
+    txn: TxnId,
+    from: u32,
+    shard: u32,
+    ok: bool,
+) {
     let seq = txn.seq;
     let Some(ct) = st.coord.get_mut(&seq) else {
         return;
     };
+    if rt.faults_active() {
+        // Acks only count in log-awaiting phases, and each backup's ack
+        // for each shard's record counts once — retransmitted LogReqs
+        // produce duplicate LogResps.
+        match ct.phase {
+            Phase::Log | Phase::MhShipped | Phase::LocalRepl => {}
+            _ => return,
+        }
+        if !ct.acks.insert((from, shard)) {
+            return;
+        }
+    }
     if !ok {
         ct.ok = false;
     }
@@ -1276,36 +1597,61 @@ fn cnic_log_resp(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, txn: Txn
 
 /// §4.2 step 6: all Log acks in — report Committed, then send Commit
 /// requests to the primaries.
-fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, txn: TxnId) {
-    let ct = st.coord.remove(&seq).expect("coord exists");
-    if st.stats.measuring {
-        st.stats.phase_log.record_span(ct.phase_mark, rt.now());
+/// Reports a commit to the host. Statistics are recorded *here*, on the
+/// NIC, atomically with the commit decision: the Outcome message crossing
+/// PCIe only recycles the slot, so a crash that swallows it can stall the
+/// slot but can never make a committed transaction vanish from the
+/// counters the conservation audits check against applied state.
+fn report_committed(st: &mut XenicNode, rt: &mut Runtime<XMsg>, seq: u64) {
+    if let Some((slot, metric)) = st.host_txns.get(&seq) {
+        let started = st.slots[*slot as usize].first_started;
+        st.stats.record_commit(*metric, started, rt.now());
     }
-    let msg = XMsg::Outcome {
-        seq,
-        committed: true,
-    };
-    rt.send_pcie(Exec::Host, msg.clone(), msg.wire_bytes());
-    let mut by_shard: BTreeMap<u32, WriteSet> = BTreeMap::new();
-    for (k, p, ver) in ct.writes {
-        by_shard.entry(shard_of(k)).or_default().push((k, p, ver));
-    }
-    for (shard, writes) in by_shard {
-        let dst = st.part.primary(shard);
-        let msg = XMsg::CommitReq { txn, shard, writes };
-        let bytes = msg.wire_bytes();
-        rt.send_net(dst, Exec::Nic, msg, bytes);
-    }
-}
-
-fn finish_commit_readonly(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64) {
-    st.coord.remove(&seq);
     let msg = XMsg::Outcome {
         seq,
         committed: true,
     };
     let bytes = msg.wire_bytes();
     rt.send_pcie(Exec::Host, msg, bytes);
+}
+
+fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, txn: TxnId) {
+    let ct = st.coord.remove(&seq).expect("coord exists");
+    if st.stats.measuring {
+        st.stats.phase_log.record_span(ct.phase_mark, rt.now());
+    }
+    report_committed(st, rt, seq);
+    let mut by_shard: BTreeMap<u32, WriteSet> = BTreeMap::new();
+    for (k, p, ver) in ct.writes {
+        by_shard.entry(shard_of(k)).or_default().push((k, p, ver));
+    }
+    let fa = rt.faults_active();
+    let mut unacked: Vec<(u32, usize, XMsg)> = Vec::new();
+    for (shard, writes) in by_shard {
+        let dst = st.part.primary(shard);
+        let msg = XMsg::CommitReq { txn, shard, writes };
+        if fa {
+            unacked.push((shard, dst, msg.clone()));
+        }
+        let bytes = msg.wire_bytes();
+        rt.send_net(dst, Exec::Nic, msg, bytes);
+    }
+    if fa && !unacked.is_empty() {
+        // The outcome is already reported: CommitReqs must eventually land
+        // at every primary or the commit evaporates. Retransmit until each
+        // target acks.
+        st.committing.insert(seq, unacked);
+        rt.send_local(
+            Exec::Nic,
+            XMsg::CommitTick { seq, attempt: 0 },
+            st.cfg.commit_ack_timeout_ns,
+        );
+    }
+}
+
+fn finish_commit_readonly(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64) {
+    st.coord.remove(&seq);
+    report_committed(st, rt, seq);
 }
 
 fn finish_commit_multihop(
@@ -1316,20 +1662,25 @@ fn finish_commit_multihop(
     txn: TxnId,
 ) {
     let ct = st.coord.remove(&seq).expect("coord exists");
-    let msg = XMsg::Outcome {
-        seq,
-        committed: true,
-    };
-    rt.send_pcie(Exec::Host, msg.clone(), msg.wire_bytes());
+    report_committed(st, rt, seq);
     // Slim Commit to the remote primary (it staged its writes).
     if let Some(remote) = ct.remote_shard {
+        let dst = st.part.primary(remote);
         let msg = XMsg::CommitReq {
             txn,
             shard: remote,
             writes: Vec::new(),
         };
+        if rt.faults_active() {
+            st.committing.insert(seq, vec![(remote, dst, msg.clone())]);
+            rt.send_local(
+                Exec::Nic,
+                XMsg::CommitTick { seq, attempt: 0 },
+                st.cfg.commit_ack_timeout_ns,
+            );
+        }
         let bytes = msg.wire_bytes();
-        rt.send_net(st.part.primary(remote), Exec::Nic, msg, bytes);
+        rt.send_net(dst, Exec::Nic, msg, bytes);
     }
     // Apply the local-shard commit here (locks released after the DMA).
     if !ct.local_writes.is_empty() {
@@ -1373,6 +1724,12 @@ fn cnic_ship_resp(
     let Some(ct) = st.coord.get_mut(&seq) else {
         return;
     };
+    if rt.faults_active() {
+        if ct.phase != Phase::MhShipped || ct.mh_ship_seen {
+            return;
+        }
+        ct.mh_ship_seen = true;
+    }
     ct.local_writes = local_writes;
     ct.pending -= 1;
     if ct.pending == 0 {
@@ -1405,6 +1762,110 @@ fn abort_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, t
     };
     let bytes = msg.wire_bytes();
     rt.send_pcie(Exec::Host, msg, bytes);
+}
+
+// =====================================================================
+// Loss-tolerance handlers (reached only when fault injection is active)
+// =====================================================================
+
+/// A primary acknowledged a CommitReq: stop retransmitting it.
+fn cnic_commit_ack(st: &mut XenicNode, txn: TxnId, shard: u32) {
+    let seq = txn.seq;
+    if let Some(unacked) = st.committing.get_mut(&seq) {
+        unacked.retain(|(s, _, _)| *s != shard);
+        if unacked.is_empty() {
+            st.committing.remove(&seq);
+        }
+    }
+}
+
+/// A phase timer fired: retransmit whatever is still outstanding, or —
+/// for the abortable Exec/Validate phases — give up once the budget is
+/// spent. Log-awaiting phases retransmit forever: backups apply log
+/// records on receipt, so the coordinator may never walk a commit back.
+fn cnic_phase_timeout(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, epoch: u64) {
+    let max_retries = st.cfg.max_phase_retries;
+    let Some(ct) = st.coord.get_mut(&seq) else {
+        return;
+    };
+    if ct.epoch != epoch {
+        return;
+    }
+    let txn = TxnId::new(me as u32, seq);
+    match ct.phase {
+        Phase::Exec | Phase::Validate => {
+            if ct.attempts >= max_retries {
+                // A server may have locked and had its response lost, so
+                // release at every write-key shard, not only the shards
+                // whose locks we heard about.
+                ct.ok = false;
+                let extra: Vec<u32> = ct.spec.write_keys().map(shard_of).collect();
+                for s in extra {
+                    if !ct.locked_shards.contains(&s) {
+                        ct.locked_shards.push(s);
+                    }
+                }
+                abort_txn(st, rt, me, seq, txn);
+                return;
+            }
+            ct.attempts += 1;
+            let resends: Vec<(usize, XMsg)> = ct.awaiting.values().cloned().collect();
+            for (dst, msg) in resends {
+                let bytes = msg.wire_bytes();
+                rt.send_net(dst, Exec::Nic, msg, bytes);
+            }
+            arm_phase_timer(st, rt, seq);
+        }
+        Phase::Log | Phase::LocalRepl => {
+            let resends: Vec<(usize, XMsg)> = ct
+                .resend
+                .iter()
+                .filter(|(dst, shard, _)| !ct.acks.contains(&(*dst as u32, *shard)))
+                .map(|(dst, _, msg)| (*dst, msg.clone()))
+                .collect();
+            for (dst, msg) in resends {
+                let bytes = msg.wire_bytes();
+                rt.send_net(dst, Exec::Nic, msg, bytes);
+            }
+            arm_phase_timer(st, rt, seq);
+        }
+        Phase::MhShipped => {
+            // Resend the ExecShip; the remote primary replays its cached
+            // outcome and LogReq fan-out, and the backups re-ack.
+            let resends: Vec<(usize, XMsg)> = ct
+                .resend
+                .iter()
+                .map(|(dst, _, msg)| (*dst, msg.clone()))
+                .collect();
+            for (dst, msg) in resends {
+                let bytes = msg.wire_bytes();
+                rt.send_net(dst, Exec::Nic, msg, bytes);
+            }
+            arm_phase_timer(st, rt, seq);
+        }
+        // PCIe and intra-node hand-offs are reliable; a stale timer from
+        // the preceding phase has nothing to do here.
+        Phase::WaitHost | Phase::MhLocal => {}
+    }
+}
+
+/// Commit-retransmission timer: re-send every unacknowledged CommitReq
+/// with linear backoff, forever — the outcome was already reported.
+fn cnic_commit_tick(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, attempt: u32) {
+    let Some(unacked) = st.committing.get(&seq) else {
+        return;
+    };
+    let resends: Vec<(usize, XMsg)> = unacked
+        .iter()
+        .map(|(_, dst, msg)| (*dst, msg.clone()))
+        .collect();
+    for (dst, msg) in resends {
+        let bytes = msg.wire_bytes();
+        rt.send_net(dst, Exec::Nic, msg, bytes);
+    }
+    let next = attempt.saturating_add(1);
+    let delay = st.cfg.commit_ack_timeout_ns * u64::from(next.min(8) + 1);
+    rt.send_local(Exec::Nic, XMsg::CommitTick { seq, attempt: next }, delay);
 }
 
 /// §4.2.4 local fast path: the NIC validates host-read versions, locks,
@@ -1479,31 +1940,42 @@ fn cnic_local_commit(
         local_writes: Vec::new(),
         local_locked: locked,
         phase_mark: rt.now(),
+        epoch: 0,
+        attempts: 0,
+        awaiting: BTreeMap::new(),
+        resend: Vec::new(),
+        acks: HashSet::new(),
+        mh_ship_seen: false,
     };
     st.coord.insert(seq, ct);
     if backups.is_empty() {
         finish_commit_local(st, rt, me, seq, txn);
         return;
     }
+    let fa = rt.faults_active();
+    let my_shard = st.shard;
     for b in backups {
         let msg = XMsg::LogReq {
             txn,
-            shard: st.shard,
+            shard: my_shard,
             reply_to: me as u32,
             writes: writes.clone(),
         };
+        if fa {
+            let ct = st.coord.get_mut(&seq).expect("coord exists");
+            ct.resend.push((b, my_shard, msg.clone()));
+        }
         let bytes = msg.wire_bytes();
         rt.send_net(b, Exec::Nic, msg, bytes);
+    }
+    if fa {
+        arm_phase_timer(st, rt, seq);
     }
 }
 
 fn finish_commit_local(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, txn: TxnId) {
     let ct = st.coord.remove(&seq).expect("coord exists");
-    let msg = XMsg::Outcome {
-        seq,
-        committed: true,
-    };
-    rt.send_pcie(Exec::Host, msg.clone(), msg.wire_bytes());
+    report_committed(st, rt, seq);
     apply_commit_records(st, rt, me, txn, ct.writes, ct.local_locked);
 }
 
@@ -1582,6 +2054,7 @@ fn snic_execute(
     rt: &mut Runtime<XMsg>,
     me: usize,
     txn: TxnId,
+    req: u64,
     reply_to: u32,
     _mode: ExecMode,
     reads: Vec<Key>,
@@ -1605,11 +2078,17 @@ fn snic_execute(
                     ok: false,
                     local_writes: Vec::new(),
                 };
+                if rt.faults_active() {
+                    // Cache the refusal: a retransmitted ExecShip must not
+                    // re-attempt the locks after the coordinator aborted.
+                    st.ship_resp.insert(txn, (msg.clone(), Vec::new()));
+                }
                 let bytes = msg.wire_bytes();
                 rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
             } else {
                 let msg = XMsg::ExecuteResp {
                     txn,
+                    req,
                     shard: st.shard,
                     ok: false,
                     values: Vec::new(),
@@ -1666,6 +2145,7 @@ fn snic_execute(
     }
     let op = PendingOp::Exec {
         txn,
+        req,
         reply_to,
         shard: st.shard,
         awaiting,
@@ -1786,13 +2266,14 @@ fn snic_dma_lookup_done(
                 let op = st.pending.remove(&op_id).expect("present");
                 if let PendingOp::Val {
                     txn,
+                    req,
                     reply_to,
                     shard,
                     ok,
                     ..
                 } = op
                 {
-                    let msg = XMsg::ValidateResp { txn, shard, ok };
+                    let msg = XMsg::ValidateResp { txn, req, shard, ok };
                     let bytes = msg.wire_bytes();
                     rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
                 }
@@ -1807,6 +2288,7 @@ fn snic_dma_lookup_done(
 fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: PendingOp) {
     let PendingOp::Exec {
         txn,
+        req,
         reply_to,
         shard,
         values,
@@ -1821,6 +2303,7 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
         None => {
             let msg = XMsg::ExecuteResp {
                 txn,
+                req,
                 shard,
                 ok: true,
                 values,
@@ -1848,6 +2331,7 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
                 .collect();
             // Fan out Log requests for both shards, acks direct to the
             // coordinator (the multi-hop pattern).
+            let mut fanout: Vec<(usize, XMsg)> = Vec::new();
             if !mine.is_empty() {
                 for b in st.part.backups(st.shard) {
                     let msg = XMsg::LogReq {
@@ -1856,8 +2340,7 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
                         reply_to,
                         writes: mine.clone(),
                     };
-                    let bytes = msg.wire_bytes();
-                    rt.send_net(b, Exec::Nic, msg, bytes);
+                    fanout.push((b, msg));
                 }
             }
             if !local_writes.is_empty() {
@@ -1868,9 +2351,12 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
                         reply_to,
                         writes: local_writes.clone(),
                     };
-                    let bytes = msg.wire_bytes();
-                    rt.send_net(b, Exec::Nic, msg, bytes);
+                    fanout.push((b, msg));
                 }
+            }
+            for (b, msg) in &fanout {
+                let bytes = msg.wire_bytes();
+                rt.send_net(*b, Exec::Nic, msg.clone(), bytes);
             }
             if !mine.is_empty() {
                 st.ship_staged.insert(txn, mine);
@@ -1880,6 +2366,11 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
                 ok: true,
                 local_writes,
             };
+            if rt.faults_active() {
+                // Remember the outcome so a retransmitted ExecShip replays
+                // it instead of re-executing.
+                st.ship_resp.insert(txn, (msg.clone(), fanout));
+            }
             let bytes = msg.wire_bytes();
             rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
             let _ = me;
@@ -1892,6 +2383,7 @@ fn snic_validate(
     rt: &mut Runtime<XMsg>,
     _me: usize,
     txn: TxnId,
+    req: u64,
     reply_to: u32,
     checks: Vec<(Key, Version)>,
 ) {
@@ -1928,6 +2420,7 @@ fn snic_validate(
     if !ok || dma_fetch.is_empty() {
         let msg = XMsg::ValidateResp {
             txn,
+            req,
             shard: st.shard,
             ok,
         };
@@ -1943,6 +2436,7 @@ fn snic_validate(
         op_id,
         PendingOp::Val {
             txn,
+            req,
             reply_to,
             shard: st.shard,
             awaiting,
@@ -1954,6 +2448,7 @@ fn snic_validate(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn snic_log(
     st: &mut XenicNode,
     rt: &mut Runtime<XMsg>,
@@ -1962,9 +2457,35 @@ fn snic_log(
     shard: u32,
     reply_to: u32,
     writes: WriteSet,
+    retry: bool,
 ) {
+    let fa = rt.faults_active();
+    if fa && !retry {
+        // Appending the same record twice would double-apply delta writes
+        // at this backup. Ack retransmitted LogReqs from the log instead.
+        match st.backup_log_acked.get(&(txn, shard)) {
+            Some(true) => {
+                let msg = XMsg::LogResp {
+                    txn,
+                    from: st.shard,
+                    shard,
+                    ok: true,
+                };
+                let bytes = msg.wire_bytes();
+                rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
+                return;
+            }
+            // Append (or its DMA) still in flight: the pending completion
+            // will ack.
+            Some(false) => return,
+            None => {}
+        }
+    }
     match st.log.append(txn, LogKind::Backup, shard, writes.clone()) {
         Ok(lsn) => {
+            if fa {
+                st.backup_log_acked.insert((txn, shard), false);
+            }
             let entry_bytes = st
                 .log
                 .unacked()
@@ -1986,6 +2507,11 @@ fn snic_log(
             // Retry the append after a few worker poll periods. Refusing
             // would be unsound: a sibling backup that *did* log would
             // apply writes for a transaction the coordinator then aborts.
+            if fa {
+                // Mark in-flight so a retransmitted LogReq arriving during
+                // the retry window cannot race a second append.
+                st.backup_log_acked.insert((txn, shard), false);
+            }
             rt.send_local(
                 Exec::Nic,
                 XMsg::RetryBackupLog {
@@ -2005,9 +2531,21 @@ fn snic_commit(
     rt: &mut Runtime<XMsg>,
     me: usize,
     txn: TxnId,
-    _shard: u32,
+    shard: u32,
     writes: WriteSet,
 ) {
+    if rt.faults_active() {
+        // The coordinator retransmits CommitReq until acked; commit is past
+        // the point of no return once processed, so ack immediately and
+        // drop duplicates (re-applying delta writes would corrupt state).
+        let dup = !st.commit_seen.insert(txn);
+        let msg = XMsg::CommitAck { txn, shard };
+        let bytes = msg.wire_bytes();
+        rt.send_net(txn.node as usize, Exec::Nic, msg, bytes);
+        if dup {
+            return;
+        }
+    }
     // A slim CommitReq means the writes were staged by a shipped
     // execution.
     let writes = if writes.is_empty() {
@@ -2047,9 +2585,23 @@ fn snic_dma_log_done(
         st.nic_index.unlock(seg, k, txn);
     }
     if let Some(r) = reply_to {
+        // A node backs up several shards; recover the logged shard so the
+        // coordinator can match this ack against the right LogReq.
+        let entry_shard = st
+            .log
+            .unacked()
+            .find(|e| e.lsn == lsn)
+            .map(|e| e.shard)
+            .unwrap_or(st.shard);
+        if rt.faults_active() {
+            if let Some(acked) = st.backup_log_acked.get_mut(&(txn, entry_shard)) {
+                *acked = true;
+            }
+        }
         let msg = XMsg::LogResp {
             txn,
             from: st.shard,
+            shard: entry_shard,
             ok: true,
         };
         let bytes = msg.wire_bytes();

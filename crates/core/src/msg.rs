@@ -107,6 +107,10 @@ pub enum XMsg {
     Execute {
         /// Transaction id.
         txn: TxnId,
+        /// Coordinator-side request id, echoed by the response. Lets the
+        /// coordinator pair responses with outstanding requests so
+        /// retransmitted or duplicated messages are counted once.
+        req: u64,
         /// Coordinator node to respond to.
         reply_to: u32,
         /// Request flavor.
@@ -120,6 +124,8 @@ pub enum XMsg {
     ExecuteResp {
         /// Transaction id.
         txn: TxnId,
+        /// Echo of the request id.
+        req: u64,
         /// Responding shard.
         shard: u32,
         /// False if a lock was unavailable.
@@ -134,6 +140,8 @@ pub enum XMsg {
     Validate {
         /// Transaction id.
         txn: TxnId,
+        /// Coordinator-side request id, echoed by the response.
+        req: u64,
         /// Coordinator node to respond to.
         reply_to: u32,
         /// Keys and the versions observed at Execute.
@@ -143,6 +151,8 @@ pub enum XMsg {
     ValidateResp {
         /// Transaction id.
         txn: TxnId,
+        /// Echo of the request id.
+        req: u64,
         /// Responding shard.
         shard: u32,
         /// True if all versions match and no key is locked.
@@ -166,6 +176,11 @@ pub enum XMsg {
         txn: TxnId,
         /// Acknowledging node.
         from: u32,
+        /// The shard whose log record this acknowledges. A node backs up
+        /// several shards, so `(from, shard)` — not `from` alone —
+        /// identifies the LogReq being acked; the coordinator dedups
+        /// retransmitted acks on that pair.
+        shard: u32,
         /// Always true in the steady state (backups retry full rings
         /// rather than refuse); the coordinator aborts defensively on
         /// false.
@@ -179,6 +194,16 @@ pub enum XMsg {
         shard: u32,
         /// The write set to apply.
         writes: WriteSet,
+    },
+    /// Acknowledges a [`XMsg::CommitReq`]. Only sent (and only awaited)
+    /// when fault injection is active: commit messages are fire-and-forget
+    /// on a reliable fabric, but under loss the coordinator retransmits
+    /// CommitReq until every target shard acks.
+    CommitAck {
+        /// Transaction id.
+        txn: TxnId,
+        /// The shard acknowledging the commit.
+        shard: u32,
     },
     /// Abort: release the locks this shard holds for `txn`.
     AbortReq {
@@ -257,6 +282,26 @@ pub enum XMsg {
         /// Write-set keys to unlock once durable (Commit records).
         unlock: Vec<Key>,
     },
+
+    // ---- Loss-tolerance timers (same node, NIC pool; faults only) ----
+    /// A coordinator-NIC phase timer fired: if the transaction is still in
+    /// the phase this timer was armed for (`epoch` matches), retransmit
+    /// the outstanding requests or abort.
+    PhaseTimeout {
+        /// Coordinator-local transaction sequence.
+        seq: u64,
+        /// The phase epoch this timer belongs to; stale timers (the
+        /// transaction moved on and bumped its epoch) are ignored.
+        epoch: u64,
+    },
+    /// A coordinator-NIC commit-retransmit timer fired: re-send any
+    /// CommitReq not yet acknowledged by a [`XMsg::CommitAck`].
+    CommitTick {
+        /// Coordinator-local transaction sequence.
+        seq: u64,
+        /// Retransmission attempt number (for linear backoff).
+        attempt: u32,
+    },
 }
 
 impl XMsg {
@@ -295,6 +340,7 @@ impl XMsg {
             XMsg::LogReq { writes, .. } => OP_HEADER + ws(writes),
             XMsg::LogResp { .. } => OP_HEADER,
             XMsg::CommitReq { writes, .. } => OP_HEADER + ws(writes),
+            XMsg::CommitAck { .. } => OP_HEADER,
             XMsg::AbortReq { unlock, .. } => OP_HEADER + unlock.len() as u32 * KEY_BYTES,
             XMsg::ExecShip {
                 spec, local_vals, ..
@@ -303,7 +349,9 @@ impl XMsg {
             XMsg::DmaLookupDone { .. }
             | XMsg::DmaLogDone { .. }
             | XMsg::RetryCommitApply { .. }
-            | XMsg::RetryBackupLog { .. } => 0,
+            | XMsg::RetryBackupLog { .. }
+            | XMsg::PhaseTimeout { .. }
+            | XMsg::CommitTick { .. } => 0,
         }
     }
 }
@@ -321,6 +369,7 @@ mod tests {
     fn execute_size_scales_with_keys() {
         let small = XMsg::Execute {
             txn: TxnId::new(0, 1),
+            req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
             reads: vec![make_key(1, 1)],
@@ -328,6 +377,7 @@ mod tests {
         };
         let large = XMsg::Execute {
             txn: TxnId::new(0, 1),
+            req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
             reads: vec![make_key(1, 1); 10],
@@ -341,6 +391,7 @@ mod tests {
     fn value_messages_include_payload() {
         let resp = XMsg::ExecuteResp {
             txn: TxnId::new(0, 1),
+            req: 0,
             shard: 2,
             ok: true,
             values: vec![(1, v(64), 1), (2, v(12), 3)],
@@ -385,6 +436,7 @@ mod tests {
         // remote ops" gain.
         let combined = XMsg::Execute {
             txn: TxnId::new(0, 1),
+            req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
             reads: vec![1, 2],
@@ -394,6 +446,7 @@ mod tests {
         let split: u32 = [
             XMsg::Execute {
                 txn: TxnId::new(0, 1),
+                req: 0,
                 reply_to: 0,
                 mode: ExecMode::ReadOnly,
                 reads: vec![1],
@@ -402,6 +455,7 @@ mod tests {
             .wire_bytes(),
             XMsg::Execute {
                 txn: TxnId::new(0, 1),
+                req: 0,
                 reply_to: 0,
                 mode: ExecMode::ReadOnly,
                 reads: vec![2],
@@ -410,6 +464,7 @@ mod tests {
             .wire_bytes(),
             XMsg::Execute {
                 txn: TxnId::new(0, 1),
+                req: 0,
                 reply_to: 0,
                 mode: ExecMode::LockOnly,
                 reads: vec![],

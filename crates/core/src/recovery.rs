@@ -278,8 +278,7 @@ pub fn recover_coordinator(
     // and each txn's write set per shard.
     use std::collections::HashMap as Map;
     let mut logged_at: Map<(TxnId, u32), usize> = Map::new();
-    let mut writes_of: BTreeMap<TxnId, Map<u32, Vec<(Key, WritePayload, Version)>>> =
-        BTreeMap::new();
+    let mut writes_of: BTreeMap<TxnId, Map<u32, crate::msg::WriteSet>> = BTreeMap::new();
     for st in states.iter().flatten() {
         for entry in st.log.unacked() {
             if entry.txn.node as usize != failed_coord {

@@ -42,6 +42,9 @@ impl NodeStats {
         self.phase_log.clear();
         self.aborted = Counter::new();
         self.committed_all = Counter::new();
+        self.local_fast_path = Counter::new();
+        self.nic_executed = Counter::new();
+        self.multihop = Counter::new();
     }
 
     /// Records a committed transaction.
@@ -88,6 +91,26 @@ mod tests {
         assert_eq!(s.committed.events(), 0);
         assert_eq!(s.committed_all.get(), 1);
         assert_eq!(s.latency.count(), 0);
+    }
+
+    #[test]
+    fn start_measuring_resets_mix_counters() {
+        // The path-mix counters (fast-path / NIC-executed / multihop) are
+        // incremented unconditionally by the engine, so the measurement
+        // window must drop whatever warmup accumulated — otherwise the
+        // reported mix fractions are skewed by warmup traffic.
+        let mut s = NodeStats::default();
+        s.local_fast_path.add(7);
+        s.nic_executed.add(11);
+        s.multihop.add(13);
+        s.aborted.add(3);
+        s.committed_all.add(5);
+        s.start_measuring(SimTime::from_ms(1));
+        assert_eq!(s.local_fast_path.get(), 0);
+        assert_eq!(s.nic_executed.get(), 0);
+        assert_eq!(s.multihop.get(), 0);
+        assert_eq!(s.aborted.get(), 0);
+        assert_eq!(s.committed_all.get(), 0);
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //! * with `async_dma` enabled, DMA requests accumulate into 15-element
 //!   vectors with completion callbacks (§4.3.1 "asynchronous operations");
 //! * the CX5 model composes one-sided verbs and two-sided RPCs for the
-//!   baseline systems.
+//!   baseline systems;
+//! * a [`FaultPlan`] can deterministically drop, duplicate, delay, and
+//!   partition Ethernet-lane traffic and crash-stop/restart whole nodes,
+//!   all driven from a dedicated RNG stream so chaos runs replay exactly.
 
 pub mod config;
 pub mod runtime;
 
-pub use config::NetConfig;
+pub use config::{CrashEvent, FaultPlan, LinkFaults, NetConfig, Partition};
 pub use runtime::{Cluster, Event, Exec, Protocol, Runtime};

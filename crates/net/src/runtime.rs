@@ -46,6 +46,12 @@ pub trait Protocol: Sized {
     /// Handles a message on `node`. Runs at the message's service-start
     /// time; sends initiated here depart when the charged work completes.
     fn handle(state: &mut Self::State, rt: &mut Runtime<Self::Msg>, node: usize, msg: Self::Msg);
+
+    /// Called when a crashed node restarts (fault-plan schedule). The
+    /// node's protocol *memory* survived the crash, but every in-flight
+    /// event targeting it was discarded — engines that own retransmission
+    /// timers or in-order apply chains re-arm them here. Default: no-op.
+    fn on_restart(_state: &mut Self::State, _rt: &mut Runtime<Self::Msg>, _node: usize) {}
 }
 
 /// Internal event kinds.
@@ -125,6 +131,17 @@ pub enum Event<M> {
         /// Completion message for the requester host.
         msg: M,
     },
+    /// Fault-plan crash-stop: the node goes dark.
+    Crash {
+        /// The node to crash.
+        node: usize,
+    },
+    /// Fault-plan restart: the node comes back (memory intact) and the
+    /// protocol's [`Protocol::on_restart`] hook runs.
+    Restart {
+        /// The node to restart.
+        node: usize,
+    },
 }
 
 /// What the responder does once an RDMA request is served.
@@ -190,6 +207,10 @@ struct NodeRes<M> {
     /// Protocol messages sent over the LiquidIO fabric (for batching
     /// observability: messages / frames = mean aggregation factor).
     net_msgs_sent: u64,
+    /// Messages the fault layer silently discarded (drops + partitions).
+    net_msgs_dropped: u64,
+    /// Messages the fault layer delivered twice.
+    net_msgs_duped: u64,
 }
 
 /// PCIe TLP-ish per-message overhead bytes on the descriptor-ring path.
@@ -215,6 +236,14 @@ pub struct Runtime<M> {
     pub queue: EventQueue<Event<M>>,
     /// Deterministic randomness for protocol engines.
     pub rng: DetRng,
+    /// Dedicated randomness for fault injection. A separate stream keeps
+    /// workload randomness identical whether or not faults are enabled,
+    /// and keeps fault schedules reproducible per `(seed, plan)`.
+    fault_rng: DetRng,
+    /// Whether the configured fault plan can perturb this run at all.
+    faults_active: bool,
+    /// Per-node crashed flags (all false unless the plan crashes nodes).
+    crashed: Vec<bool>,
     nodes: Vec<NodeRes<M>>,
     cur_node: usize,
     cur_exec: Exec,
@@ -244,13 +273,26 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 dma_scheduled: false,
                 dma_rr: 0,
                 net_msgs_sent: 0,
+                net_msgs_dropped: 0,
+                net_msgs_duped: 0,
             })
             .collect();
+        let mut queue = EventQueue::new();
+        for c in &cfg.faults.crashes {
+            queue.push(SimTime::from_ns(c.at_ns), Event::Crash { node: c.node });
+            if let Some(r) = c.restart_at_ns {
+                queue.push(SimTime::from_ns(r), Event::Restart { node: c.node });
+            }
+        }
+        let faults_active = cfg.faults.active();
         Runtime {
             params,
             cfg,
-            queue: EventQueue::new(),
+            queue,
             rng: DetRng::new(seed),
+            fault_rng: DetRng::new(seed).stream("net-faults"),
+            faults_active,
+            crashed: vec![false; n],
             nodes,
             cur_node: 0,
             cur_exec: Exec::Host,
@@ -351,40 +393,76 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
     }
 
     /// Serializes messages into MTU-bounded frames and delivers them.
-    fn transmit_net(&mut self, t0: SimTime, src: usize, dst: usize, msgs: Vec<(Exec, M, u32)>) {
+    ///
+    /// This is the single choke point for Ethernet-lane fault injection:
+    /// per-message drop/duplication, timed partitions (all messages cut),
+    /// and per-frame delivery jitter all happen here, drawing from the
+    /// dedicated fault RNG stream. The PCIe, DMA, RDMA, and local lanes
+    /// stay reliable — the model is lossy datacenter Ethernet under a
+    /// crash-stop node fault model, not arbitrary hardware corruption.
+    fn transmit_net(&mut self, t0: SimTime, src: usize, dst: usize, mut msgs: Vec<(Exec, M, u32)>) {
+        let mut jitter_max = 0u64;
+        if self.faults_active {
+            if self.crashed[src] {
+                return;
+            }
+            let lf = self.cfg.faults.link_for(src, dst);
+            let cut = self.cfg.faults.partitioned(src, dst, t0.0);
+            jitter_max = lf.jitter_ns;
+            if cut || lf.drop_prob > 0.0 || lf.dup_prob > 0.0 {
+                let mut kept: Vec<(Exec, M, u32)> = Vec::with_capacity(msgs.len());
+                for (exec, msg, bytes) in msgs {
+                    if cut || (lf.drop_prob > 0.0 && self.fault_rng.chance(lf.drop_prob)) {
+                        self.nodes[src].net_msgs_dropped += 1;
+                        continue;
+                    }
+                    if lf.dup_prob > 0.0 && self.fault_rng.chance(lf.dup_prob) {
+                        self.nodes[src].net_msgs_duped += 1;
+                        kept.push((exec, msg.clone(), bytes));
+                    }
+                    kept.push((exec, msg, bytes));
+                }
+                if kept.is_empty() {
+                    return;
+                }
+                msgs = kept;
+            }
+        }
+        // Surviving (post-fault) messages are what the port transmits, so
+        // count them here to keep ops_per_frame reconciled with frames.
         self.nodes[src].net_msgs_sent += msgs.len() as u64;
         let mtu = u64::from(self.params.mtu_payload_bytes);
         let oneway = self.params.wire_oneway_ns;
+        let mut frames: Vec<(Vec<(Exec, M)>, u64)> = Vec::new();
         let mut frame: Vec<(Exec, M)> = Vec::new();
         let mut frame_bytes = 0u64;
-        let flush_frame =
-            |rt_nodes: &mut Vec<NodeRes<M>>,
-             queue: &mut EventQueue<Event<M>>,
-             frame: &mut Vec<(Exec, M)>,
-             frame_bytes: &mut u64| {
-                if frame.is_empty() {
-                    return;
-                }
-                let tx_done = rt_nodes[src].lio.send_frame(t0, *frame_bytes);
-                let arrival = tx_done + oneway;
-                queue.push(
-                    arrival,
-                    Event::NetArrive {
-                        dst,
-                        payload_bytes: *frame_bytes,
-                        msgs: std::mem::take(frame),
-                    },
-                );
-                *frame_bytes = 0;
-            };
         for (exec, msg, bytes) in msgs {
             if frame_bytes + u64::from(bytes) > mtu && !frame.is_empty() {
-                flush_frame(&mut self.nodes, &mut self.queue, &mut frame, &mut frame_bytes);
+                frames.push((std::mem::take(&mut frame), frame_bytes));
+                frame_bytes = 0;
             }
             frame_bytes += u64::from(bytes);
             frame.push((exec, msg));
         }
-        flush_frame(&mut self.nodes, &mut self.queue, &mut frame, &mut frame_bytes);
+        if !frame.is_empty() {
+            frames.push((frame, frame_bytes));
+        }
+        for (frame, frame_bytes) in frames {
+            let tx_done = self.nodes[src].lio.send_frame(t0, frame_bytes);
+            let extra = if jitter_max > 0 {
+                self.fault_rng.below(jitter_max + 1)
+            } else {
+                0
+            };
+            self.queue.push(
+                tx_done + oneway + extra,
+                Event::NetArrive {
+                    dst,
+                    payload_bytes: frame_bytes,
+                    msgs: frame,
+                },
+            );
+        }
     }
 
     /// Sends a message across PCIe between this node's host and NIC. The
@@ -550,6 +628,10 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
     /// batching the work is small and amortized (§4.3.2); without it each
     /// packet pays the full path — the §3.3 batched-vs-unbatched gap.
     pub(crate) fn net_arrive(&mut self, dst: usize, payload_bytes: u64, msgs: Vec<(Exec, M)>) {
+        if self.crashed[dst] {
+            // Frames in flight toward a crashed node vanish at its port.
+            return;
+        }
         let now = self.now();
         let rx_done = self.nodes[dst].lio.recv_frame(now, payload_bytes);
         let rx_cpu = if self.cfg.eth_aggregation {
@@ -781,6 +863,48 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         );
     }
 
+    // ---- Fault-plan machinery ----
+
+    /// Crash-stops `node`: everything queued *at* the node — inboxes,
+    /// aggregation buffers, the pending DMA vector — is lost, and events
+    /// targeting it are discarded until restart. Protocol state is NOT
+    /// touched: the crash model is fail-stop with memory intact.
+    pub(crate) fn crash_node(&mut self, node: usize) {
+        self.crashed[node] = true;
+        let res = &mut self.nodes[node];
+        res.inbox_host.clear();
+        res.inbox_nic.clear();
+        for buf in &mut res.agg_net {
+            buf.msgs.clear();
+            buf.scheduled = false;
+        }
+        res.agg_pcie_up.msgs.clear();
+        res.agg_pcie_up.scheduled = false;
+        res.agg_pcie_down.msgs.clear();
+        res.agg_pcie_down.scheduled = false;
+        res.dma_pending.clear();
+        res.dma_scheduled = false;
+    }
+
+    /// Brings a crashed node back; the caller (the cluster loop) then
+    /// invokes [`Protocol::on_restart`] so the engine can re-arm timers.
+    pub(crate) fn restart_node(&mut self, node: usize) {
+        self.crashed[node] = false;
+    }
+
+    /// Whether a node is currently crash-stopped.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.crashed[node]
+    }
+
+    /// Whether this run's fault plan can perturb anything. Protocol
+    /// engines gate their loss-tolerance machinery (dedup tables, timers,
+    /// retransmits) on this so fault-free runs take the exact pre-fault
+    /// code paths.
+    pub fn faults_active(&self) -> bool {
+        self.faults_active
+    }
+
     // ---- Measurement accessors ----
 
     /// Cumulative busy nanoseconds of a node's pool.
@@ -837,6 +961,17 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
     /// Protocol messages the node has sent over the LiquidIO fabric.
     pub fn net_msgs_sent(&self, node: usize) -> u64 {
         self.nodes[node].net_msgs_sent
+    }
+
+    /// Messages the fault layer discarded at this node's egress (random
+    /// drops plus partition cuts).
+    pub fn net_msgs_dropped(&self, node: usize) -> u64 {
+        self.nodes[node].net_msgs_dropped
+    }
+
+    /// Messages the fault layer duplicated at this node's egress.
+    pub fn net_msgs_duped(&self, node: usize) -> u64 {
+        self.nodes[node].net_msgs_duped
     }
 
     /// Mean protocol messages per Ethernet frame at a node — the
@@ -896,6 +1031,9 @@ impl<P: Protocol> Cluster<P> {
             processed += 1;
             match ev {
                 Event::Deliver { node, exec, msg } => {
+                    if self.rt.crashed[node] {
+                        continue;
+                    }
                     match exec {
                         Exec::Host => self.rt.nodes[node].inbox_host.push_back(msg),
                         Exec::Nic => self.rt.nodes[node].inbox_nic.push_back(msg),
@@ -911,9 +1049,28 @@ impl<P: Protocol> Cluster<P> {
                     payload_bytes,
                     msgs,
                 } => self.rt.net_arrive(dst, payload_bytes, msgs),
-                Event::RdmaArrive { dst, verb, cont } => self.rt.rdma_arrive(dst, verb, cont),
-                Event::RdmaServed { dst, verb, cont } => self.rt.rdma_served(dst, verb, cont),
-                Event::RdmaReturn { to, verb, msg } => self.rt.rdma_return(to, verb, msg),
+                Event::RdmaArrive { dst, verb, cont } => {
+                    if !self.rt.crashed[dst] {
+                        self.rt.rdma_arrive(dst, verb, cont);
+                    }
+                }
+                Event::RdmaServed { dst, verb, cont } => {
+                    if !self.rt.crashed[dst] {
+                        self.rt.rdma_served(dst, verb, cont);
+                    }
+                }
+                Event::RdmaReturn { to, verb, msg } => {
+                    if !self.rt.crashed[to] {
+                        self.rt.rdma_return(to, verb, msg);
+                    }
+                }
+                Event::Crash { node } => self.rt.crash_node(node),
+                Event::Restart { node } => {
+                    self.rt.restart_node(node);
+                    self.rt.cur_node = node;
+                    self.rt.cur_exec = Exec::Nic;
+                    P::on_restart(&mut self.states[node], &mut self.rt, node);
+                }
             }
         }
         processed
@@ -1178,6 +1335,162 @@ mod tests {
             c.states[0].rtts.clone()
         };
         assert_eq!(run(), run());
+    }
+
+    // ---- Fault-plan tests ----
+
+    use crate::config::FaultPlan;
+
+    /// Seeds `n` pings from node 1 toward node 0 and returns the cluster
+    /// after the run.
+    fn ping_storm(cfg: NetConfig, n: u64) -> Cluster<Echo> {
+        let mut c = cluster(cfg);
+        for i in 0..n {
+            c.seed(
+                SimTime::from_ns(i * 13),
+                1,
+                Exec::Nic,
+                EMsg::PingNet {
+                    from: 0,
+                    t0: SimTime::from_ns(i * 13),
+                },
+            );
+        }
+        c.run_until(SimTime::from_ms(5));
+        c
+    }
+
+    #[test]
+    fn drops_lose_messages_and_are_counted() {
+        let c = ping_storm(
+            NetConfig::full().with_faults(FaultPlan::lossy(0.5, 0.0, 0)),
+            200,
+        );
+        let pongs = c.states[0].rtts.len();
+        assert!(pongs < 200, "half-lossy link must lose pongs: {pongs}");
+        assert!(c.rt.net_msgs_dropped(1) > 0, "drops must be counted");
+        // Sent + dropped accounts for every message offered to the lossy
+        // egress (node 1 only sends the 200 pongs; no dups configured).
+        assert_eq!(c.rt.net_msgs_sent(1) + c.rt.net_msgs_dropped(1), 200);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice_and_are_counted() {
+        let c = ping_storm(
+            NetConfig::full().with_faults(FaultPlan::lossy(0.0, 0.5, 0)),
+            200,
+        );
+        let pongs = c.states[0].rtts.len() as u64;
+        assert!(pongs > 200, "duplicated pongs must arrive twice: {pongs}");
+        assert_eq!(pongs, 200 + c.rt.net_msgs_duped(1));
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_then_heals() {
+        // Pings seeded during the partition window die (either the ping's
+        // pong or the ping itself, depending on direction); pings after
+        // the heal complete normally.
+        let cfg = NetConfig::full().with_faults(
+            FaultPlan::none().with_partition(0, 1, 0, 1_000_000),
+        );
+        let mut c = cluster(cfg);
+        c.seed(
+            SimTime::from_ns(10),
+            1,
+            Exec::Nic,
+            EMsg::PingNet {
+                from: 0,
+                t0: SimTime::from_ns(10),
+            },
+        );
+        c.seed(
+            SimTime::from_us(1_500),
+            1,
+            Exec::Nic,
+            EMsg::PingNet {
+                from: 0,
+                t0: SimTime::from_us(1_500),
+            },
+        );
+        c.run_until(SimTime::from_ms(5));
+        assert_eq!(
+            c.states[0].rtts.len(),
+            1,
+            "only the post-heal ping completes"
+        );
+    }
+
+    #[test]
+    fn jitter_delays_but_never_loses() {
+        let c = ping_storm(
+            NetConfig::full().with_faults(FaultPlan::lossy(0.0, 0.0, 2_000)),
+            100,
+        );
+        assert_eq!(c.states[0].rtts.len(), 100, "jitter must not lose");
+        let base = ping_storm(NetConfig::full(), 100);
+        let max_j = *c.states[0].rtts.iter().max().unwrap();
+        let max_b = *base.states[0].rtts.iter().max().unwrap();
+        assert!(
+            max_j > max_b,
+            "jittered max latency {max_j} should exceed fault-free {max_b}"
+        );
+    }
+
+    #[test]
+    fn crash_discards_traffic_until_restart() {
+        let cfg = NetConfig::full().with_faults(
+            FaultPlan::none().with_crash(0, 0, Some(1_000_000)),
+        );
+        let mut c = cluster(cfg);
+        // Ping toward the crashed node: the pong vanishes at its port.
+        c.seed(
+            SimTime::from_ns(10),
+            1,
+            Exec::Nic,
+            EMsg::PingNet {
+                from: 0,
+                t0: SimTime::from_ns(10),
+            },
+        );
+        // After restart, traffic flows again.
+        c.seed(
+            SimTime::from_us(1_500),
+            1,
+            Exec::Nic,
+            EMsg::PingNet {
+                from: 0,
+                t0: SimTime::from_us(1_500),
+            },
+        );
+        c.run_until(SimTime::from_ms(5));
+        assert!(!c.rt.is_crashed(0));
+        assert_eq!(c.states[0].rtts.len(), 1, "only the post-restart pong");
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let run = || {
+            let cfg = NetConfig::full().with_faults(FaultPlan::lossy(0.1, 0.05, 500));
+            let c = ping_storm(cfg, 200);
+            (
+                c.states[0].rtts.clone(),
+                c.rt.net_msgs_dropped(1),
+                c.rt.net_msgs_duped(1),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inert_plan_matches_fault_free_run_exactly() {
+        let base = ping_storm(NetConfig::full(), 100);
+        let zero = ping_storm(
+            NetConfig::full().with_faults(FaultPlan::lossy(0.0, 0.0, 0)),
+            100,
+        );
+        assert_eq!(base.states[0].rtts, zero.states[0].rtts);
+        assert_eq!(zero.rt.net_msgs_dropped(1), 0);
+        assert_eq!(zero.rt.net_msgs_duped(1), 0);
     }
 }
 

@@ -5,28 +5,40 @@
 //! shared stream would make results change whenever any consumer draws one
 //! extra value. [`DetRng::stream`] derives an independent child generator
 //! from a textual label, so each consumer owns its own sequence.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded from a `u64` through the splitmix64 finalizer — no external
+//! dependencies, so builds stay hermetic and sequences stay stable across
+//! toolchains.
 
-use rand::distributions::Distribution;
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A deterministic random number generator.
-///
-/// Wraps `rand::SmallRng` (xoshiro256++) seeded from a `u64`, adding
-/// labeled splitting and the samplers the workloads need (Zipf,
-/// NURand for TPC-C).
+/// A deterministic random number generator (xoshiro256++ core).
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// Splitmix64 step: advances `x` and returns the next output. Used both to
+/// expand a 64-bit seed into the 256-bit xoshiro state and as the final
+/// avalanche when deriving child streams.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a seed. Equal seeds give equal sequences.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: SmallRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        DetRng { state, seed }
     }
 
     /// The seed this generator was created with.
@@ -46,43 +58,62 @@ impl DetRng {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         // Final avalanche (splitmix64 finalizer) so nearby labels diverge.
-        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        DetRng::new(z)
+        DetRng::new(splitmix64(&mut h))
+    }
+
+    /// The xoshiro256++ step.
+    fn next(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Unbiased rejection sampling: accept only draws below the largest
+        // multiple of `n`, so every residue is equally likely.
+        let zone = u64::MAX - (u64::MAX % n + 1) % n;
+        loop {
+            let v = self.next();
+            if v <= zone {
+                return v % n;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi);
-        self.inner.gen_range(lo..=hi)
+        if lo == 0 && hi == u64::MAX {
+            return self.next();
+        }
+        lo + self.below(hi - lo + 1)
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 bits of precision).
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw: true with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.f64() < p
     }
 
     /// A raw `u64`.
     pub fn u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    /// Samples from an arbitrary `rand` distribution.
-    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
-        dist.sample(&mut self.inner)
+        self.next()
     }
 
     /// Fisher–Yates shuffle.
@@ -92,7 +123,7 @@ impl DetRng {
             return;
         }
         for i in (1..n).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
     }
@@ -210,6 +241,18 @@ mod tests {
     }
 
     #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = DetRng::new(31);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..=11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
     fn range_inclusive_hits_endpoints() {
         let mut r = DetRng::new(5);
         let mut saw_lo = false;
@@ -223,6 +266,23 @@ mod tests {
             }
         }
         assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn range_inclusive_full_domain() {
+        let mut r = DetRng::new(37);
+        // Must not overflow the span arithmetic.
+        let _ = r.range_inclusive(0, u64::MAX);
+        assert_eq!(r.range_inclusive(u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = DetRng::new(41);
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v), "f64 {v}");
+        }
     }
 
     #[test]

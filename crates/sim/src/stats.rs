@@ -388,6 +388,23 @@ mod tests {
     }
 
     #[test]
+    fn record_span_saturates_when_end_before_start() {
+        // A span measured across out-of-order timestamps (e.g. a retry
+        // whose start was stamped after a queued completion) must clamp
+        // to zero, not wrap to ~2^64 ns and poison max/mean.
+        let mut h = Histogram::new();
+        h.record_span(SimTime::from_us(3), SimTime::from_us(1));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 0, "reversed span must saturate to zero");
+        assert_eq!(h.mean(), 0.0);
+        h.record_span(SimTime::from_us(1), SimTime::from_us(3));
+        assert_eq!(h.max(), 2000);
+        // SimTime::since itself saturates, including at the extremes.
+        assert_eq!(SimTime::ZERO.since(SimTime::MAX), 0);
+        assert_eq!(SimTime::from_ns(5).since(SimTime::from_ns(9)), 0);
+    }
+
+    #[test]
     fn summary_display_formats() {
         let mut h = Histogram::new();
         h.record(100);

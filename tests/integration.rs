@@ -10,7 +10,7 @@ use xenic::recovery::{audit_recovery, recover_shard};
 use xenic::XenicConfig;
 use xenic_baselines::{run_baseline, BaselineKind};
 use xenic_hw::HwParams;
-use xenic_net::{Cluster, Exec, NetConfig};
+use xenic_net::{Cluster, Exec, FaultPlan, NetConfig};
 use xenic_sim::{DetRng, SimTime};
 use xenic_store::Value;
 use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig, Tpcc, TpccConfig, TpccMix};
@@ -228,10 +228,10 @@ fn all_five_systems_run_every_workload() {
 
 #[test]
 fn whole_stack_is_deterministic() {
-    let run = |seed| {
+    let run = |seed, net: NetConfig| {
         let r = run_xenic(
             HwParams::paper_testbed(),
-            NetConfig::full(),
+            net,
             XenicConfig::full(),
             &RunOptions {
                 windows: 6,
@@ -248,8 +248,29 @@ fn whole_stack_is_deterministic() {
         );
         (r.committed, r.p50_ns, r.aborted)
     };
-    assert_eq!(run(9), run(9), "same seed, same universe");
-    assert_ne!(run(9), run(10), "different seed, different schedule");
+    assert_eq!(
+        run(9, NetConfig::full()),
+        run(9, NetConfig::full()),
+        "same seed, same universe"
+    );
+    assert_ne!(
+        run(9, NetConfig::full()),
+        run(10, NetConfig::full()),
+        "different seed, different schedule"
+    );
+    // Determinism must survive fault injection: the fault schedule is a
+    // pure function of (seed, plan), so a lossy universe replays too.
+    let lossy = || NetConfig::full().with_faults(FaultPlan::lossy(0.01, 0.01, 1_500));
+    assert_eq!(
+        run(9, lossy()),
+        run(9, lossy()),
+        "same seed, same faulty universe"
+    );
+    assert_ne!(
+        run(9, lossy()),
+        run(9, NetConfig::full()),
+        "faults must perturb the run"
+    );
 }
 
 #[test]

@@ -1,12 +1,35 @@
-//! Property-based tests (proptest) over the core data structures and
-//! simulator invariants.
+//! Property-based tests over the core data structures and simulator
+//! invariants.
+//!
+//! These were originally written against an external property-testing
+//! framework; they are now driven by the repo's own [`DetRng`] so the
+//! test suite builds hermetically. Each property runs `CASES` randomized
+//! trials with seeds derived from a fixed master seed — fully
+//! deterministic, so a failure is reproducible by its printed case seed.
 
-use proptest::prelude::*;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use xenic::api::Workload;
+use xenic::harness::{run_xenic, RunOptions};
+use xenic::XenicConfig;
+use xenic_hw::HwParams;
+use xenic_net::{FaultPlan, NetConfig};
 use xenic_sim::{DetRng, EventQueue, Histogram, SimTime, Zipf};
 use xenic_store::nic_index::{NicIndex, NicIndexConfig};
 use xenic_store::robinhood::{InsertOutcome, RobinhoodConfig, RobinhoodTable};
 use xenic_store::{BTree, ChainedTable, HopscotchTable, TxnId, Value, WritePayload};
+
+/// Number of randomized trials per property.
+const CASES: u64 = 64;
+
+/// Runs `body` for `cases` seeds derived from the property name, so each
+/// property owns an independent, label-stable sequence of cases.
+fn for_cases(name: &str, cases: u64, mut body: impl FnMut(u64, &mut DetRng)) {
+    let master = DetRng::new(0xbadc_0ffe).stream(name);
+    for case in 0..cases {
+        let mut rng = master.stream(&format!("case-{case}"));
+        body(case, &mut rng);
+    }
+}
 
 /// An operation against a keyed store.
 #[derive(Clone, Debug)]
@@ -17,23 +40,40 @@ enum Op {
     Get(u64),
 }
 
-fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..key_space, any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (0..key_space, any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
-        (0..key_space).prop_map(Op::Remove),
-        (0..key_space).prop_map(Op::Get),
-    ]
+fn gen_ops(rng: &mut DetRng, key_space: u64, max_len: u64) -> Vec<Op> {
+    let len = rng.range_inclusive(1, max_len);
+    (0..len)
+        .map(|_| {
+            let k = rng.below(key_space);
+            match rng.below(4) {
+                0 => Op::Insert(k, rng.below(256) as u8),
+                1 => Op::Update(k, rng.below(256) as u8),
+                2 => Op::Remove(k),
+                _ => Op::Get(k),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_key_set(rng: &mut DetRng, key_space: u64, lo: usize, hi: usize) -> Vec<u64> {
+    let want = rng.range_inclusive(lo as u64, hi as u64) as usize;
+    let mut set = HashSet::new();
+    while set.len() < want {
+        set.insert(rng.below(key_space));
+    }
+    let mut keys: Vec<u64> = set.into_iter().collect();
+    keys.sort_unstable();
+    rng.shuffle(&mut keys);
+    keys
+}
 
-    /// The Robinhood table agrees with a HashMap model under arbitrary
-    /// operation sequences, including deletions (backward shift and
-    /// overflow promotion paths).
-    #[test]
-    fn robinhood_matches_model(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
+/// The Robinhood table agrees with a HashMap model under arbitrary
+/// operation sequences, including deletions (backward shift and
+/// overflow promotion paths).
+#[test]
+fn robinhood_matches_model() {
+    for_cases("robinhood_matches_model", CASES, |case, rng| {
+        let ops = gen_ops(rng, 300, 400);
         let mut table = RobinhoodTable::new(RobinhoodConfig {
             capacity: 512,
             displacement_limit: Some(6),
@@ -46,33 +86,36 @@ proptest! {
             match op {
                 Op::Insert(k, v) | Op::Update(k, v) => {
                     let out = table.insert(k, Value::filled(4, v));
-                    prop_assert_ne!(out, InsertOutcome::TableFull);
+                    assert_ne!(out, InsertOutcome::TableFull, "case {case}");
                     model.insert(k, v);
                 }
                 Op::Remove(k) => {
                     let t = table.remove(k);
                     let m = model.remove(&k).is_some();
-                    prop_assert_eq!(t, m, "remove({}) diverged", k);
+                    assert_eq!(t, m, "case {case}: remove({k}) diverged");
                 }
                 Op::Get(k) => {
                     let t = table.get(k).map(|(v, _)| v.bytes()[0]);
                     let m = model.get(&k).copied();
-                    prop_assert_eq!(t, m, "get({}) diverged", k);
+                    assert_eq!(t, m, "case {case}: get({k}) diverged");
                 }
             }
         }
         // Final sweep: every model key present with the right value.
         for (k, v) in &model {
             let got = table.get(*k).map(|(val, _)| val.bytes()[0]);
-            prop_assert_eq!(got, Some(*v));
+            assert_eq!(got, Some(*v), "case {case}");
         }
-        prop_assert_eq!(table.len() + table.overflow_len(), model.len());
-    }
+        assert_eq!(table.len() + table.overflow_len(), model.len(), "case {case}");
+    });
+}
 
-    /// DMA lookups with accurate hints find every present key in at most
-    /// one table read plus one overflow read.
-    #[test]
-    fn robinhood_dma_lookup_bounded(keys in proptest::collection::hash_set(0u64..5_000, 50..400)) {
+/// DMA lookups with accurate hints find every present key in at most
+/// one table read plus one overflow read.
+#[test]
+fn robinhood_dma_lookup_bounded() {
+    for_cases("robinhood_dma_lookup_bounded", CASES, |case, rng| {
+        let keys = gen_key_set(rng, 5_000, 50, 400);
         let mut table = RobinhoodTable::new(RobinhoodConfig {
             capacity: 1024,
             displacement_limit: Some(8),
@@ -86,24 +129,31 @@ proptest! {
         for k in &keys {
             let seg = table.segment_of_key(*k);
             let tr = table.dma_lookup(*k, table.seg_max_disp(seg), 1);
-            prop_assert!(tr.found.is_some(), "key {} not found", k);
-            prop_assert!(tr.roundtrips <= 2, "key {} took {} roundtrips", k, tr.roundtrips);
+            assert!(tr.found.is_some(), "case {case}: key {k} not found");
+            assert!(
+                tr.roundtrips <= 2,
+                "case {case}: key {k} took {} roundtrips",
+                tr.roundtrips
+            );
             let (v, _) = tr.found.unwrap();
-            prop_assert_eq!(v.bytes()[0], (*k % 251) as u8);
+            assert_eq!(v.bytes()[0], (*k % 251) as u8, "case {case}");
         }
-    }
+    });
+}
 
-    /// Hopscotch and chained tables agree with a HashMap model for
-    /// insert/get/update (their remote traces must find present keys).
-    #[test]
-    fn baseline_tables_match_model(ops in proptest::collection::vec(op_strategy(200), 1..200)) {
+/// Hopscotch and chained tables agree with a HashMap model for
+/// insert/get/update (their remote traces must find present keys).
+#[test]
+fn baseline_tables_match_model() {
+    for_cases("baseline_tables_match_model", CASES, |case, rng| {
+        let ops = gen_ops(rng, 200, 200);
         let mut hop = HopscotchTable::new(512, 8, 8);
         let mut chain = ChainedTable::new(64, 4, 8);
         let mut model: HashMap<u64, u8> = HashMap::new();
         for op in ops {
             match op {
                 Op::Insert(k, v) | Op::Update(k, v) => {
-                    prop_assert!(hop.insert(k, Value::filled(4, v)));
+                    assert!(hop.insert(k, Value::filled(4, v)), "case {case}");
                     chain.insert(k, Value::filled(4, v));
                     model.insert(k, v);
                 }
@@ -111,25 +161,34 @@ proptest! {
                 Op::Remove(_) => {}
                 Op::Get(k) => {
                     let m = model.get(&k).copied();
-                    prop_assert_eq!(hop.get(k).map(|(v, _)| v.bytes()[0]), m);
-                    prop_assert_eq!(chain.get(k).map(|(v, _)| v.bytes()[0]), m);
+                    assert_eq!(hop.get(k).map(|(v, _)| v.bytes()[0]), m, "case {case}");
+                    assert_eq!(chain.get(k).map(|(v, _)| v.bytes()[0]), m, "case {case}");
                 }
             }
         }
         for (k, v) in &model {
-            prop_assert_eq!(hop.remote_lookup(*k).found.map(|(val, _)| val.bytes()[0]), Some(*v));
-            prop_assert_eq!(chain.remote_lookup(*k).found.map(|(val, _)| val.bytes()[0]), Some(*v));
+            assert_eq!(
+                hop.remote_lookup(*k).found.map(|(val, _)| val.bytes()[0]),
+                Some(*v),
+                "case {case}"
+            );
+            assert_eq!(
+                chain.remote_lookup(*k).found.map(|(val, _)| val.bytes()[0]),
+                Some(*v),
+                "case {case}"
+            );
         }
-    }
+    });
+}
 
-    /// The B+tree agrees with std's BTreeMap, including range queries and
-    /// deletions.
-    #[test]
-    fn btree_matches_model(
-        ops in proptest::collection::vec(op_strategy(500), 1..500),
-        lo in 0u64..500,
-        span in 0u64..200,
-    ) {
+/// The B+tree agrees with std's BTreeMap, including range queries and
+/// deletions.
+#[test]
+fn btree_matches_model() {
+    for_cases("btree_matches_model", CASES, |case, rng| {
+        let ops = gen_ops(rng, 500, 500);
+        let lo = rng.below(500);
+        let span = rng.below(200);
         let mut tree = BTree::with_order(8);
         let mut model: BTreeMap<u64, u8> = BTreeMap::new();
         for op in ops {
@@ -139,27 +198,28 @@ proptest! {
                     model.insert(k, v);
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                    assert_eq!(tree.remove(k), model.remove(&k), "case {case}");
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(tree.get(k).copied(), model.get(&k).copied());
+                    assert_eq!(tree.get(k).copied(), model.get(&k).copied(), "case {case}");
                 }
             }
         }
         let hi = lo + span;
         let got: Vec<(u64, u8)> = tree.range(lo, hi).into_iter().map(|(k, v)| (k, *v)).collect();
         let want: Vec<(u64, u8)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(got, want, "range [{}, {}] diverged", lo, hi);
-    }
+        assert_eq!(got, want, "case {case}: range [{lo}, {hi}] diverged");
+    });
+}
 
-    /// NIC index locks are exclusive and lookups return the last
-    /// installed value; pinned entries survive arbitrary eviction
-    /// pressure.
-    #[test]
-    fn nic_index_lock_exclusivity(
-        keys in proptest::collection::vec(0u64..64, 2..40),
-        budget in 1usize..16,
-    ) {
+/// NIC index locks are exclusive and lookups return the last installed
+/// value; pinned entries survive arbitrary eviction pressure.
+#[test]
+fn nic_index_lock_exclusivity() {
+    for_cases("nic_index_lock_exclusivity", CASES, |case, rng| {
+        let n_keys = rng.range_inclusive(2, 39);
+        let keys: Vec<u64> = (0..n_keys).map(|_| rng.below(64)).collect();
+        let budget = rng.range_inclusive(1, 15) as usize;
         let mut ix = NicIndex::new(NicIndexConfig {
             segments: 8,
             max_cached_values: budget,
@@ -180,60 +240,75 @@ proptest! {
         }
         // B can never steal A's locks.
         for (seg, k) in &locked_by_a {
-            prop_assert!(!ix.try_lock(*seg, *k, b), "lock stolen for {}", k);
+            assert!(!ix.try_lock(*seg, *k, b), "case {case}: lock stolen for {k}");
         }
         // Unlocks release exactly A's locks.
         for (seg, k) in &locked_by_a {
             ix.unlock(*seg, *k, a);
-            prop_assert!(ix.try_lock(*seg, *k, b));
+            assert!(ix.try_lock(*seg, *k, b), "case {case}");
             ix.unlock(*seg, *k, b);
         }
         // Locked (or pinned) records are exempt from eviction, so the
         // budget may be exceeded by at most the number of unevictable
         // entries at install time.
-        prop_assert!(
+        assert!(
             ix.cached_values() <= budget + locked_by_a.len(),
-            "cached {} vs budget {} + locked {}",
+            "case {case}: cached {} vs budget {} + locked {}",
             ix.cached_values(),
             budget,
             locked_by_a.len()
         );
-    }
+    });
+}
 
-    /// WritePayload deltas compose: applying AddI64 deltas one at a time
-    /// equals adding their sum, regardless of order.
-    #[test]
-    fn delta_payloads_compose(deltas in proptest::collection::vec(-1000i64..1000, 1..30)) {
+/// WritePayload deltas compose: applying AddI64 deltas one at a time
+/// equals adding their sum, regardless of order.
+#[test]
+fn delta_payloads_compose() {
+    for_cases("delta_payloads_compose", CASES, |case, rng| {
+        let n = rng.range_inclusive(1, 29);
+        let deltas: Vec<i64> = (0..n).map(|_| rng.below(2000) as i64 - 1000).collect();
         let mut v = Value::from_bytes(&0i64.to_le_bytes());
         for d in &deltas {
             v = WritePayload::AddI64(*d).apply(&v);
         }
         let total: i64 = deltas.iter().sum();
         let got = i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
-        prop_assert_eq!(got, total);
-    }
+        assert_eq!(got, total, "case {case}");
+    });
+}
 
-    /// The event queue pops in nondecreasing time order with FIFO ties,
-    /// for arbitrary interleavings of pushes and pops.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+/// The event queue pops in nondecreasing time order with FIFO ties, for
+/// arbitrary interleavings of pushes and pops.
+#[test]
+fn event_queue_total_order() {
+    for_cases("event_queue_total_order", CASES, |case, rng| {
+        let n = rng.range_inclusive(1, 199);
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.push(SimTime::from_ns(*t), (i, *t));
         }
         let mut last: Option<(u64, usize)> = None;
         while let Some((at, (seq, t))) = q.pop() {
-            prop_assert_eq!(at.as_ns(), t);
+            assert_eq!(at.as_ns(), t, "case {case}");
             if let Some((lt, lseq)) = last {
-                prop_assert!(t > lt || (t == lt && seq > lseq), "order violated");
+                assert!(
+                    t > lt || (t == lt && seq > lseq),
+                    "case {case}: order violated"
+                );
             }
             last = Some((t, seq));
         }
-    }
+    });
+}
 
-    /// Histogram quantiles are monotone in q and bounded by min/max.
-    #[test]
-    fn histogram_quantiles_sane(samples in proptest::collection::vec(1u64..10_000_000, 1..500)) {
+/// Histogram quantiles are monotone in q and bounded by min/max.
+#[test]
+fn histogram_quantiles_sane() {
+    for_cases("histogram_quantiles_sane", CASES, |case, rng| {
+        let n = rng.range_inclusive(1, 499);
+        let samples: Vec<u64> = (0..n).map(|_| rng.range_inclusive(1, 9_999_999)).collect();
         let mut h = Histogram::new();
         for s in &samples {
             h.record(*s);
@@ -243,35 +318,39 @@ proptest! {
         let mut last = 0;
         for i in 0..=10 {
             let q = h.quantile(i as f64 / 10.0);
-            prop_assert!(q >= last, "quantiles must be monotone");
-            prop_assert!(q >= mn && q <= mx, "quantile {} outside [{}, {}]", q, mn, mx);
+            assert!(q >= last, "case {case}: quantiles must be monotone");
+            assert!(
+                q >= mn && q <= mx,
+                "case {case}: quantile {q} outside [{mn}, {mx}]"
+            );
             last = q;
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
-    }
-
-    /// Zipf samples stay in range and the head outweighs the tail.
-    #[test]
-    fn zipf_in_range(n in 10usize..5_000, alpha in 0.0f64..1.2, seed in any::<u64>()) {
-        let z = Zipf::new(n, alpha);
-        let mut rng = DetRng::new(seed);
-        for _ in 0..200 {
-            prop_assert!(z.sample(&mut rng) < n);
-        }
-    }
+        assert_eq!(h.count(), samples.len() as u64, "case {case}");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Zipf samples stay in range and the head outweighs the tail.
+#[test]
+fn zipf_in_range() {
+    for_cases("zipf_in_range", CASES, |case, rng| {
+        let n = rng.range_inclusive(10, 4_999) as usize;
+        let alpha = rng.f64() * 1.2;
+        let mut draw = rng.stream("draws");
+        let z = Zipf::new(n, alpha);
+        for _ in 0..200 {
+            assert!(z.sample(&mut draw) < n, "case {case}");
+        }
+    });
+}
 
-    /// After interleaved inserts and deletes, hint-guided DMA lookups
-    /// still find every surviving key (exercising overflow promotion and
-    /// backward shift against the hint machinery).
-    #[test]
-    fn robinhood_hints_survive_deletions(
-        keys in proptest::collection::hash_set(0u64..2_000, 100..300),
-        delete_every in 2usize..5,
-    ) {
+/// After interleaved inserts and deletes, hint-guided DMA lookups still
+/// find every surviving key (exercising overflow promotion and backward
+/// shift against the hint machinery).
+#[test]
+fn robinhood_hints_survive_deletions() {
+    for_cases("robinhood_hints_survive_deletions", 32, |case, rng| {
+        let keys = gen_key_set(rng, 2_000, 100, 300);
+        let delete_every = rng.range_inclusive(2, 4) as usize;
         let mut table = RobinhoodTable::new(RobinhoodConfig {
             capacity: 512,
             displacement_limit: Some(6),
@@ -279,14 +358,13 @@ proptest! {
             inline_cap: 64,
             slot_value_bytes: 8,
         });
-        let keys: Vec<u64> = keys.into_iter().collect();
         for k in &keys {
             table.insert(*k, Value::filled(8, (*k % 251) as u8));
         }
         let mut surviving = Vec::new();
         for (i, k) in keys.iter().enumerate() {
             if i % delete_every == 0 {
-                prop_assert!(table.remove(*k));
+                assert!(table.remove(*k), "case {case}");
             } else {
                 surviving.push(*k);
             }
@@ -294,16 +372,83 @@ proptest! {
         for k in &surviving {
             let seg = table.segment_of_key(*k);
             let tr = table.dma_lookup(*k, table.seg_max_disp(seg), 1);
-            prop_assert!(tr.found.is_some(), "key {} lost after deletions", k);
-            prop_assert!(tr.roundtrips <= 2);
+            assert!(tr.found.is_some(), "case {case}: key {k} lost after deletions");
+            assert!(tr.roundtrips <= 2, "case {case}");
         }
-    }
+    });
+}
 
-    /// The deterministic RNG's labeled streams are insensitive to parent
-    /// consumption, and NURand stays within its bounds for arbitrary
-    /// parameters.
-    #[test]
-    fn rng_streams_and_nurand(seed in any::<u64>(), a in 1u64..10_000, span in 1u64..100_000) {
+/// A quick whole-stack run under the given net config, reduced to a
+/// comparable fingerprint.
+fn quick_run(net: NetConfig, seed: u64) -> (u64, u64, u64) {
+    let opts = RunOptions {
+        windows: 4,
+        warmup: SimTime::from_us(500),
+        measure: SimTime::from_ms(1),
+        seed,
+    };
+    let mk = |_: usize| -> Box<dyn Workload> {
+        Box::new(xenic_workloads::Smallbank::new(
+            xenic_workloads::SmallbankConfig {
+                accounts_per_node: 10_000,
+                ..xenic_workloads::SmallbankConfig::sim(6)
+            },
+        ))
+    };
+    let r = run_xenic(
+        HwParams::paper_testbed(),
+        net,
+        XenicConfig::full(),
+        &opts,
+        mk,
+    );
+    (r.committed, r.aborted, r.p50_ns)
+}
+
+/// Fault-injected runs are deterministic: the same (seed, plan) pair
+/// replays the same universe — identical commit and abort counts and an
+/// identical latency distribution — for arbitrary fault rates.
+#[test]
+fn fault_injected_runs_are_deterministic() {
+    for_cases("fault_injected_runs_are_deterministic", 3, |case, rng| {
+        let seed = rng.below(1 << 20);
+        let plan = FaultPlan::lossy(
+            rng.f64() * 0.03,
+            rng.f64() * 0.03,
+            rng.below(4_000),
+        );
+        let net = || NetConfig::full().with_faults(plan.clone());
+        let a = quick_run(net(), seed);
+        let b = quick_run(net(), seed);
+        assert_eq!(a, b, "case {case}: fault run diverged under replay");
+        assert!(a.0 > 0, "case {case}: nothing committed");
+    });
+}
+
+/// A fault plan with every knob at zero is inert: it must reproduce the
+/// fault-free run *exactly*, proving the fault layer adds no code-path or
+/// RNG perturbation when disabled.
+#[test]
+fn zero_rate_fault_plan_reproduces_fault_free_run() {
+    for seed in [7u64, 42] {
+        let plain = quick_run(NetConfig::full(), seed);
+        let zeroed = quick_run(
+            NetConfig::full().with_faults(FaultPlan::lossy(0.0, 0.0, 0)),
+            seed,
+        );
+        assert_eq!(plain, zeroed, "seed {seed}: inert plan perturbed the run");
+    }
+}
+
+/// The deterministic RNG's labeled streams are insensitive to parent
+/// consumption, and NURand stays within its bounds for arbitrary
+/// parameters.
+#[test]
+fn rng_streams_and_nurand() {
+    for_cases("rng_streams_and_nurand", 32, |case, rng| {
+        let seed = rng.u64();
+        let a = rng.range_inclusive(1, 9_999);
+        let span = rng.range_inclusive(1, 99_999);
         let root = DetRng::new(seed);
         let mut s1 = root.stream("x");
         let mut parent = DetRng::new(seed);
@@ -311,12 +456,12 @@ proptest! {
         parent.u64();
         let mut s2 = parent.stream("x");
         for _ in 0..8 {
-            prop_assert_eq!(s1.u64(), s2.u64());
+            assert_eq!(s1.u64(), s2.u64(), "case {case}");
         }
         let mut r = DetRng::new(seed);
         for _ in 0..50 {
             let v = r.nurand(a, 10, 10 + span);
-            prop_assert!((10..=10 + span).contains(&v));
+            assert!((10..=10 + span).contains(&v), "case {case}");
         }
-    }
+    });
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything a PR must keep green.
+#
+#   ./verify.sh          full gate (build, tests, clippy -D warnings)
+#   ./verify.sh --quick  skip clippy (fast local loop)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> cargo clippy --all-targets -- -D warnings"
+    cargo clippy --all-targets -- -D warnings
+fi
+
+echo "verify: OK"
