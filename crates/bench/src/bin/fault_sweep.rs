@@ -1,22 +1,25 @@
 //! Fault sweep: Xenic throughput, latency, and abort behavior as a
 //! function of injected network fault rates.
 //!
-//! Usage: `fault_sweep [--fast] [--dup] [--jitter <ns>]`
+//! Usage: `fault_sweep [--fast] [--dup] [--jitter <ns>] [--trace <out.json>]`
 //!
 //! Sweeps a uniform per-link message drop probability (optionally with an
 //! equal duplication probability and delay jitter) and reports per-server
-//! throughput of metric transactions, median latency, and abort counts at
-//! each rate. The 0.000 row runs with an *inert* plan and therefore
-//! reproduces the fault-free numbers exactly. Every row is deterministic:
-//! the fault schedule derives from the cluster seed, so a rerun replays
-//! the same universe. Results also land in `results/fault_sweep.csv`.
+//! throughput of metric transactions, median latency, abort counts, and
+//! — via the tracer's retransmission instants — how many retransmission
+//! rounds the loss-tolerance machinery fired at each rate. The 0.000 row
+//! runs with an *inert* plan and therefore reproduces the fault-free
+//! numbers exactly. Every row is deterministic: the fault schedule
+//! derives from the cluster seed, so a rerun replays the same universe.
+//! Results also land in `results/fault_sweep.csv`; with `--trace`, the
+//! highest-rate run's event stream is dumped as Chrome-trace JSON.
 
 use std::fs;
 use xenic::api::Workload;
-use xenic::harness::{run_xenic, RunOptions};
+use xenic::harness::{run_xenic_cluster, RunOptions};
 use xenic::XenicConfig;
 use xenic_hw::HwParams;
-use xenic_net::{FaultPlan, NetConfig};
+use xenic_net::{FaultPlan, NetConfig, TraceConfig};
 use xenic_sim::SimTime;
 use xenic_workloads::{Smallbank, SmallbankConfig};
 
@@ -30,6 +33,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--jitter takes ns"))
         .unwrap_or(0);
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let params = HwParams::paper_testbed();
     let opts = RunOptions {
@@ -53,31 +61,44 @@ fn main() {
         jitter_ns
     );
     println!(
-        "{:>8} {:>14} {:>10} {:>10} {:>12}",
-        "drop", "tput/server", "p50[us]", "p99[us]", "aborted"
+        "{:>8} {:>14} {:>10} {:>10} {:>12} {:>10}",
+        "drop", "tput/server", "p50[us]", "p99[us]", "aborted", "retrans"
     );
-    let mut csv = String::from("drop_prob,tput_per_server,p50_ns,p99_ns,aborted\n");
+    let mut csv = String::from("drop_prob,tput_per_server,p50_ns,p99_ns,aborted,retransmits\n");
     let mut base_tput = 0.0;
+    let last_rate = *rates.last().unwrap();
     for (i, &rate) in rates.iter().enumerate() {
         let dup_rate = if dup { rate } else { 0.0 };
-        let net =
-            NetConfig::full().with_faults(FaultPlan::lossy(rate, dup_rate, jitter_ns));
-        let r = run_xenic(params.clone(), net, XenicConfig::full(), &opts, mk);
+        // Span tracing is a pure observer, so the traced rows replay the
+        // untraced universe exactly — the retransmit count comes from the
+        // tracer's eviction-proof instant tally.
+        let net = NetConfig::full()
+            .with_faults(FaultPlan::lossy(rate, dup_rate, jitter_ns))
+            .with_trace(TraceConfig::spans());
+        let (r, cluster) = run_xenic_cluster(params.clone(), net, XenicConfig::full(), &opts, mk);
+        let retrans = cluster.rt.tracer().instant_total("Retransmit");
         if i == 0 {
             base_tput = r.tput_per_server;
         }
         println!(
-            "{rate:>8.3} {:>14.0} {:>10.1} {:>10.1} {:>12}   ({:.2}x fault-free)",
+            "{rate:>8.3} {:>14.0} {:>10.1} {:>10.1} {:>12} {:>10}   ({:.2}x fault-free)",
             r.tput_per_server,
             r.p50_ns as f64 / 1e3,
             r.p99_ns as f64 / 1e3,
             r.aborted,
+            retrans,
             r.tput_per_server / base_tput,
         );
         csv.push_str(&format!(
-            "{rate},{},{},{},{}\n",
+            "{rate},{},{},{},{},{retrans}\n",
             r.tput_per_server, r.p50_ns, r.p99_ns, r.aborted
         ));
+        if rate == last_rate {
+            if let Some(path) = &trace_path {
+                fs::write(path, cluster.rt.tracer().chrome_json()).expect("write trace");
+                println!("(trace written to {path}; open at https://ui.perfetto.dev)");
+            }
+        }
     }
     fs::create_dir_all("results").ok();
     fs::write("results/fault_sweep.csv", csv).ok();

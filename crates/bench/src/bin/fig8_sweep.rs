@@ -1,17 +1,24 @@
 //! Figure 8: throughput–latency curves for the five systems on all four
 //! workloads (paper §5.2–§5.5).
 //!
-//! Usage: `fig8_sweep [tpcc_no|tpcc_full|retwis|smallbank|all] [--fast]`
+//! Usage: `fig8_sweep [tpcc_no|tpcc_full|retwis|smallbank|all] [--fast]
+//! [--trace <out.json>]`
 //!
 //! Each curve sweeps the closed-loop window count per node and reports
 //! per-server throughput of metric transactions against median latency.
 //! Results print as aligned tables and are also written as CSV to
-//! `results/fig8_<workload>.csv`.
+//! `results/fig8_<workload>.csv`. With `--trace`, one additional traced
+//! Xenic run (Retwis, moderate load, gauges on) is dumped as Chrome-trace
+//! JSON — open it at <https://ui.perfetto.dev> to see per-transaction
+//! phase spans and per-component gauge tracks for every node.
 
 use std::fs;
 use xenic::api::Workload;
+use xenic::harness::{run_xenic_cluster, RunOptions};
+use xenic::XenicConfig;
 use xenic_bench::{curves_csv, print_curve, sweep, System};
 use xenic_hw::HwParams;
+use xenic_net::{NetConfig, TraceConfig};
 use xenic_sim::SimTime;
 use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig, Tpcc, TpccConfig, TpccMix};
 
@@ -93,14 +100,60 @@ fn run_workload(name: &str, fast: bool) {
     println!();
 }
 
+/// One traced Xenic run (Retwis, moderate load) dumped as Chrome JSON.
+fn dump_trace(path: &str) {
+    let (r, cluster) = run_xenic_cluster(
+        HwParams::paper_testbed(),
+        NetConfig::full().with_trace(TraceConfig::full().with_capacity(1 << 22)),
+        XenicConfig::full(),
+        &RunOptions {
+            windows: 48,
+            warmup: SimTime::from_ms(1),
+            measure: SimTime::from_ms(2),
+            seed: 42,
+        },
+        |_| Box::new(Retwis::new(RetwisConfig::sim(6))) as Box<dyn Workload>,
+    );
+    let tracer = cluster.rt.tracer();
+    fs::write(path, tracer.chrome_json()).expect("write trace");
+    println!(
+        "traced run: {} committed, {} events buffered ({} evicted)",
+        r.committed,
+        tracer.len(),
+        tracer.dropped()
+    );
+    println!("(trace written to {path}; open at https://ui.perfetto.dev)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let which: Vec<&str> = match args.iter().find(|a| !a.starts_with("--")) {
+    let mut trace_path = None;
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            trace_path = args.get(i + 1).cloned();
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let which: Vec<&str> = match positional.first() {
         Some(w) if w != "all" => vec![w.as_str()],
-        _ => vec!["tpcc_no", "tpcc_full", "retwis", "smallbank"],
+        Some(_) => vec!["tpcc_no", "tpcc_full", "retwis", "smallbank"],
+        // `fig8_sweep --trace out.json` with no workload: trace only,
+        // skipping the (long) sweeps.
+        None if trace_path.is_some() => vec![],
+        None => vec!["tpcc_no", "tpcc_full", "retwis", "smallbank"],
     };
     for w in which {
         run_workload(w, fast);
+    }
+    if let Some(path) = trace_path {
+        dump_trace(&path);
     }
 }

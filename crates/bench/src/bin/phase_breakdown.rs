@@ -1,33 +1,50 @@
 //! Per-phase latency anatomy of Xenic's commit protocol.
 //!
+//! Usage: `phase_breakdown [--trace <out.json>]`
+//!
 //! Shows where a transaction's time goes — Execute (lock+read at the
 //! primaries), Validate (version re-check), Log (backup replication) —
 //! at low and high load, for the standard coordinator path (multi-hop
 //! transactions fold log into execute and are reported separately by
-//! count).
+//! count). The numbers come straight from the tracer's phase spans; with
+//! `--trace` the highest-load run's full event stream is additionally
+//! dumped as Chrome-trace JSON (open at <https://ui.perfetto.dev>).
 
+use std::fs;
 use xenic::api::{Partitioning, Workload};
 use xenic::engine::{Xenic, XenicNode};
 use xenic::msg::XMsg;
 use xenic::XenicConfig;
 use xenic_hw::HwParams;
-use xenic_net::{Cluster, Exec, NetConfig};
+use xenic_net::{Cluster, Exec, NetConfig, TraceConfig};
 use xenic_sim::{Histogram, SimTime};
 use xenic_workloads::{Retwis, RetwisConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
     let part = Partitioning::new(6, 3);
     println!("# Xenic commit-phase latency breakdown (Retwis) [us: p50 / p99]");
     println!(
         "{:>8} {:>16} {:>16} {:>16} {:>10}",
         "windows", "execute", "validate", "log", "multihop%"
     );
-    for windows in [2usize, 16, 64] {
-        let mut cluster: Cluster<Xenic> =
-            Cluster::new(HwParams::paper_testbed(), NetConfig::full(), 42, |node| {
+    let loads = [2usize, 16, 64];
+    for windows in loads {
+        let mut cluster: Cluster<Xenic> = Cluster::new(
+            HwParams::paper_testbed(),
+            NetConfig::full().with_trace(TraceConfig::spans().with_capacity(1 << 22)),
+            42,
+            |node| {
                 let wl: Box<dyn Workload> = Box::new(Retwis::new(RetwisConfig::sim(6)));
                 XenicNode::new(node, XenicConfig::full(), part, wl, windows)
-            });
+            },
+        );
         for node in 0..6 {
             for slot in 0..windows {
                 cluster.seed(
@@ -47,12 +64,20 @@ fn main() {
         let mut exec = Histogram::new();
         let mut val = Histogram::new();
         let mut log = Histogram::new();
+        for s in cluster.rt.tracer().spans() {
+            if s.begin < t0 {
+                continue; // warmup
+            }
+            match s.name {
+                "Execute" => exec.record(s.dur_ns()),
+                "Validate" => val.record(s.dur_ns()),
+                "Log" => log.record(s.dur_ns()),
+                _ => {}
+            }
+        }
         let mut mh = 0u64;
         let mut all = 0u64;
         for st in &cluster.states {
-            exec.merge(&st.stats.phase_exec);
-            val.merge(&st.stats.phase_validate);
-            log.merge(&st.stats.phase_log);
             mh += st.stats.multihop.get();
             all += st.stats.committed_all.get();
         }
@@ -70,6 +95,12 @@ fn main() {
             f(&log),
             mh as f64 / all.max(1) as f64 * 100.0
         );
+        if windows == *loads.last().unwrap() {
+            if let Some(path) = &trace_path {
+                fs::write(path, cluster.rt.tracer().chrome_json()).expect("write trace");
+                println!("(trace written to {path}; open at https://ui.perfetto.dev)");
+            }
+        }
     }
     println!();
     println!("(execute grows with queueing; validate stays one NIC-NIC roundtrip;");

@@ -118,9 +118,6 @@ struct CoordTxn {
     local_writes: WriteSet,
     /// Multi-hop: keys locked locally (incl. read-set keys).
     local_locked: Vec<Key>,
-    /// Phase timestamps for the latency breakdown (submit time, then the
-    /// time each phase completed).
-    phase_mark: SimTime,
 
     // ---- Loss tolerance (populated only when fault injection is on) ----
     /// Phase epoch: bumped on every phase entry so stale [`XMsg::PhaseTimeout`]
@@ -867,6 +864,10 @@ fn compute_writes(
 fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, spec: TxnSpec) {
     let fa = rt.faults_active();
     let txn = TxnId::new(me as u32, seq);
+    // The Execute span covers every coordinator variant: the standard
+    // per-shard Execute round, the multi-hop local lock+read, and the
+    // direct-ship path (which stays "executing" until the ship resolves).
+    rt.trace_begin("Execute", seq);
     let shards = spec.shards();
     let remote_shards: Vec<u32> = shards.iter().copied().filter(|&s| s != st.shard).collect();
 
@@ -905,7 +906,6 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
         remote_shard: None,
         local_writes: Vec::new(),
         local_locked: Vec::new(),
-        phase_mark: rt.now(),
         epoch: 0,
         attempts: 0,
         awaiting: BTreeMap::new(),
@@ -1260,12 +1260,8 @@ fn exec_complete(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64
             return;
         }
     }
+    rt.trace_end("Execute", seq);
     let ct = st.coord.get_mut(&seq).expect("coord exists");
-    if st.stats.measuring {
-        st.stats.phase_exec.record_span(ct.phase_mark, rt.now());
-    }
-    let ct = st.coord.get_mut(&seq).expect("coord exists");
-    ct.phase_mark = rt.now();
     let spec = ct.spec.clone();
     if spec.is_read_only() {
         // Reads from a single primary form an atomic snapshot; multi-shard
@@ -1337,6 +1333,9 @@ fn cnic_writes_ready(
 /// Sends Validate requests for read-set keys (not write-locked ones);
 /// advances straight to Log if nothing needs checking.
 fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, txn: TxnId) {
+    // Single entry into Validate for every path (NIC execution, host
+    // execution, multi-shard read-only), so the span begins exactly once.
+    rt.trace_begin("Validate", seq);
     let ct = st.coord.get_mut(&seq).expect("coord exists");
     ct.enter_phase(Phase::Validate);
     // Only pure reads validate; updates hold locks.
@@ -1433,6 +1432,8 @@ fn cnic_validate_resp(
         return;
     }
     if st.coord[&seq].spec.is_read_only() {
+        // log_phase (which normally ends Validate) is skipped here.
+        rt.trace_end("Validate", seq);
         finish_commit_readonly(st, rt, me, seq);
     } else {
         log_phase(st, rt, me, seq, txn);
@@ -1442,13 +1443,7 @@ fn cnic_validate_resp(
 /// §4.2 step 5: replicate the write set to every backup of every written
 /// shard.
 fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, txn: TxnId) {
-    {
-        let mark = st.coord.get(&seq).expect("coord exists").phase_mark;
-        if st.stats.measuring {
-            st.stats.phase_validate.record_span(mark, rt.now());
-        }
-        st.coord.get_mut(&seq).expect("coord exists").phase_mark = rt.now();
-    }
+    rt.trace_end("Validate", seq);
     let ct = st.coord.get_mut(&seq).expect("coord exists");
     if ct.spec.is_read_only() {
         finish_commit_readonly(st, rt, me, seq);
@@ -1456,6 +1451,7 @@ fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, tx
     }
     ct.enter_phase(Phase::Log);
     ct.acks.clear();
+    rt.trace_begin("Log", seq);
     let mut by_shard: BTreeMap<u32, WriteSet> = BTreeMap::new();
     for (k, p, ver) in &ct.writes {
         by_shard
@@ -1547,6 +1543,8 @@ fn cnic_log_resp(
                     // A backup refused the log: unlock local keys, tell
                     // the remote primary to abort its staged writes.
                     let ct = st.coord.remove(&seq).expect("coord exists");
+                    rt.trace_end("Execute", seq);
+                    rt.trace_instant("Abort", seq);
                     for k in &ct.local_locked {
                         let seg = st.segment(*k);
                         st.nic_index.unlock(seg, *k, txn);
@@ -1578,6 +1576,8 @@ fn cnic_log_resp(
                 } else {
                     // Unlock locally and report the abort.
                     let ct = st.coord.remove(&seq).expect("coord exists");
+                    rt.trace_end("Log", seq);
+                    rt.trace_instant("Abort", seq);
                     for k in &ct.local_locked {
                         let seg = st.segment(*k);
                         st.nic_index.unlock(seg, *k, txn);
@@ -1617,9 +1617,8 @@ fn report_committed(st: &mut XenicNode, rt: &mut Runtime<XMsg>, seq: u64) {
 
 fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, txn: TxnId) {
     let ct = st.coord.remove(&seq).expect("coord exists");
-    if st.stats.measuring {
-        st.stats.phase_log.record_span(ct.phase_mark, rt.now());
-    }
+    rt.trace_end("Log", seq);
+    rt.trace_instant("Commit", seq);
     report_committed(st, rt, seq);
     let mut by_shard: BTreeMap<u32, WriteSet> = BTreeMap::new();
     for (k, p, ver) in ct.writes {
@@ -1651,6 +1650,7 @@ fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u6
 
 fn finish_commit_readonly(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64) {
     st.coord.remove(&seq);
+    rt.trace_instant("Commit", seq);
     report_committed(st, rt, seq);
 }
 
@@ -1662,6 +1662,10 @@ fn finish_commit_multihop(
     txn: TxnId,
 ) {
     let ct = st.coord.remove(&seq).expect("coord exists");
+    // A multi-hop txn is one Execute span: the shipped round subsumes
+    // validation and logging at the remote primary.
+    rt.trace_end("Execute", seq);
+    rt.trace_instant("Commit", seq);
     report_committed(st, rt, seq);
     // Slim Commit to the remote primary (it staged its writes).
     if let Some(remote) = ct.remote_shard {
@@ -1709,6 +1713,8 @@ fn cnic_ship_resp(
         let Some(ct) = st.coord.remove(&seq) else {
             return;
         };
+        rt.trace_end("Execute", seq);
+        rt.trace_instant("Abort", seq);
         for k in &ct.local_locked {
             let seg = st.segment(*k);
             st.nic_index.unlock(seg, *k, txn);
@@ -1740,6 +1746,16 @@ fn cnic_ship_resp(
 /// Abort: release locks at every shard that acquired them, tell the host.
 fn abort_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, txn: TxnId) {
     let ct = st.coord.remove(&seq).expect("coord exists");
+    // Close whichever phase span is open for this transaction before
+    // recording the abort (WaitHost has no open span: Execute already
+    // ended and the host round-trip is untraced).
+    match ct.phase {
+        Phase::Exec | Phase::MhLocal | Phase::MhShipped => rt.trace_end("Execute", seq),
+        Phase::Validate => rt.trace_end("Validate", seq),
+        Phase::Log | Phase::LocalRepl => rt.trace_end("Log", seq),
+        Phase::WaitHost => {}
+    }
+    rt.trace_instant("Abort", seq);
     for shard in &ct.locked_shards {
         let unlock: Vec<Key> = if ct.remote_shard.is_some() && *shard == st.shard {
             ct.local_locked.clone()
@@ -1810,6 +1826,7 @@ fn cnic_phase_timeout(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq
             }
             ct.attempts += 1;
             let resends: Vec<(usize, XMsg)> = ct.awaiting.values().cloned().collect();
+            rt.trace_instant("Retransmit", seq);
             for (dst, msg) in resends {
                 let bytes = msg.wire_bytes();
                 rt.send_net(dst, Exec::Nic, msg, bytes);
@@ -1823,6 +1840,7 @@ fn cnic_phase_timeout(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq
                 .filter(|(dst, shard, _)| !ct.acks.contains(&(*dst as u32, *shard)))
                 .map(|(dst, _, msg)| (*dst, msg.clone()))
                 .collect();
+            rt.trace_instant("Retransmit", seq);
             for (dst, msg) in resends {
                 let bytes = msg.wire_bytes();
                 rt.send_net(dst, Exec::Nic, msg, bytes);
@@ -1837,6 +1855,7 @@ fn cnic_phase_timeout(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq
                 .iter()
                 .map(|(dst, _, msg)| (*dst, msg.clone()))
                 .collect();
+            rt.trace_instant("Retransmit", seq);
             for (dst, msg) in resends {
                 let bytes = msg.wire_bytes();
                 rt.send_net(dst, Exec::Nic, msg, bytes);
@@ -1859,6 +1878,7 @@ fn cnic_commit_tick(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq:
         .iter()
         .map(|(_, dst, msg)| (*dst, msg.clone()))
         .collect();
+    rt.trace_instant("Retransmit", seq);
     for (dst, msg) in resends {
         let bytes = msg.wire_bytes();
         rt.send_net(dst, Exec::Nic, msg, bytes);
@@ -1939,7 +1959,6 @@ fn cnic_local_commit(
         remote_shard: None,
         local_writes: Vec::new(),
         local_locked: locked,
-        phase_mark: rt.now(),
         epoch: 0,
         attempts: 0,
         awaiting: BTreeMap::new(),
@@ -1948,6 +1967,9 @@ fn cnic_local_commit(
         mh_ship_seen: false,
     };
     st.coord.insert(seq, ct);
+    // The local fast path skips Execute/Validate rounds entirely; its
+    // replication wait is the transaction's Log phase.
+    rt.trace_begin("Log", seq);
     if backups.is_empty() {
         finish_commit_local(st, rt, me, seq, txn);
         return;
@@ -1975,6 +1997,8 @@ fn cnic_local_commit(
 
 fn finish_commit_local(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, txn: TxnId) {
     let ct = st.coord.remove(&seq).expect("coord exists");
+    rt.trace_end("Log", seq);
+    rt.trace_instant("Commit", seq);
     report_committed(st, rt, seq);
     apply_commit_records(st, rt, me, txn, ct.writes, ct.local_locked);
 }

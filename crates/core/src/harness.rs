@@ -80,6 +80,19 @@ pub fn run_xenic(
     opts: &RunOptions,
     mk_workload: impl Fn(usize) -> Box<dyn Workload>,
 ) -> RunResult {
+    run_xenic_cluster(params, net, cfg, opts, mk_workload).0
+}
+
+/// Like [`run_xenic`], but also returns the finished cluster so callers
+/// can read post-run state — most usefully the tracer
+/// (`cluster.rt.tracer()`) when the [`NetConfig`] enabled tracing.
+pub fn run_xenic_cluster(
+    params: HwParams,
+    net: NetConfig,
+    cfg: XenicConfig,
+    opts: &RunOptions,
+    mk_workload: impl Fn(usize) -> Box<dyn Workload>,
+) -> (RunResult, Cluster<Xenic>) {
     let part = Partitioning::new(params.nodes as u32, cfg.replication);
     let windows = opts.windows;
     let mut cluster: Cluster<Xenic> = Cluster::new(params, net, opts.seed, |node| {
@@ -113,7 +126,8 @@ pub fn run_xenic(
     cluster.run_until(horizon);
     let mend = cluster.rt.now().max(horizon);
 
-    collect(&cluster, mstart, mend, host_busy0, nic_busy0, lio0, cx50, dma0)
+    let result = collect(&cluster, mstart, mend, host_busy0, nic_busy0, lio0, cx50, dma0);
+    (result, cluster)
 }
 
 /// Gathers metrics from a finished Xenic run.

@@ -20,12 +20,6 @@ pub struct NodeStats {
     pub nic_executed: Counter,
     /// Transactions committed via the multi-hop pattern.
     pub multihop: Counter,
-    /// Coordinator-NIC Execute-phase duration (submit → all responses).
-    pub phase_exec: Histogram,
-    /// Validate-phase duration (when a validation round runs).
-    pub phase_validate: Histogram,
-    /// Log-phase duration (first LogReq → all acks).
-    pub phase_log: Histogram,
     /// Whether measurement is active (set after warmup; latency and
     /// committed are only recorded while true).
     pub measuring: bool,
@@ -37,9 +31,6 @@ impl NodeStats {
         self.measuring = true;
         self.committed.restart(now);
         self.latency.clear();
-        self.phase_exec.clear();
-        self.phase_validate.clear();
-        self.phase_log.clear();
         self.aborted = Counter::new();
         self.committed_all = Counter::new();
         self.local_fast_path = Counter::new();

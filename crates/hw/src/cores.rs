@@ -118,6 +118,12 @@ impl CorePool {
         }
         self.total_busy_ns() as f64 / horizon as f64
     }
+
+    /// Number of cores busy *at* `now` (instantaneous, unlike the
+    /// time-averaged [`CorePool::busy_cores`]) — the tracer's busy gauge.
+    pub fn busy_at(&self, now: SimTime) -> usize {
+        self.free_at.iter().filter(|t| **t > now).count()
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +187,17 @@ mod tests {
         let p = CorePool::new(CoreClass::Host, 4);
         assert_eq!(p.utilization(SimTime::ZERO), 0.0);
         assert_eq!(p.busy_cores(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn busy_at_is_instantaneous() {
+        let mut p = CorePool::new(CoreClass::Host, 3);
+        assert_eq!(p.busy_at(SimTime::ZERO), 0);
+        p.reserve(SimTime::ZERO, 100);
+        p.reserve(SimTime::ZERO, 200);
+        assert_eq!(p.busy_at(SimTime::from_ns(50)), 2);
+        assert_eq!(p.busy_at(SimTime::from_ns(150)), 1);
+        assert_eq!(p.busy_at(SimTime::from_ns(200)), 0);
     }
 
     #[test]

@@ -163,6 +163,17 @@ impl DmaEngine {
     pub fn queue_free_at(&self, queue: usize) -> SimTime {
         self.queue_free[queue % self.queue_free.len()]
     }
+
+    /// Number of hardware request queues.
+    pub fn queues(&self) -> usize {
+        self.queue_free.len()
+    }
+
+    /// Number of queues with work outstanding at `now` — the tracer's DMA
+    /// occupancy gauge.
+    pub fn busy_queues(&self, now: SimTime) -> usize {
+        self.queue_free.iter().filter(|t| **t > now).count()
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +308,19 @@ mod tests {
         let mut e = engine();
         let ops = vec![write(8); 16];
         e.submit(SimTime::ZERO, 0, &ops);
+    }
+
+    #[test]
+    fn busy_queues_is_instantaneous() {
+        let mut e = engine();
+        assert_eq!(e.queues(), 8);
+        assert_eq!(e.busy_queues(SimTime::ZERO), 0);
+        e.submit(SimTime::ZERO, 0, &[write(64); 15]);
+        e.submit(SimTime::ZERO, 1, &[write(64)]);
+        assert_eq!(e.busy_queues(SimTime::from_ns(100)), 2);
+        // Queue 1's single element drains first (190 + 115 ns).
+        assert_eq!(e.busy_queues(SimTime::from_ns(400)), 1);
+        assert_eq!(e.busy_queues(SimTime::from_us(10)), 0);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! is inert: the runtime takes the exact same code paths and consumes the
 //! exact same randomness as before the fault layer existed.
 
+use xenic_sim::TraceConfig;
+
 /// Per-link Bernoulli fault rates and delay jitter.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkFaults {
@@ -180,6 +182,10 @@ pub struct NetConfig {
     pub async_dma: bool,
     /// Deterministic fault-injection schedule (inert by default).
     pub faults: FaultPlan,
+    /// Tracing configuration (off by default; a disabled tracer costs no
+    /// events and no RNG draws, so traced-off runs are bit-identical to an
+    /// untraced build).
+    pub trace: TraceConfig,
 }
 
 impl NetConfig {
@@ -190,6 +196,7 @@ impl NetConfig {
             pcie_aggregation: true,
             async_dma: true,
             faults: FaultPlan::none(),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -200,12 +207,19 @@ impl NetConfig {
             pcie_aggregation: false,
             async_dma: false,
             faults: FaultPlan::none(),
+            trace: TraceConfig::disabled(),
         }
     }
 
     /// Attaches a fault plan (builder style).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches a tracing configuration (builder style).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -229,6 +243,9 @@ mod tests {
         let d = NetConfig::default();
         assert!(d.eth_aggregation);
         assert!(!d.faults.active());
+        assert!(!d.trace.active(), "tracing must default off");
+        let t = NetConfig::full().with_trace(TraceConfig::full());
+        assert!(t.trace.active());
     }
 
     #[test]

@@ -28,3 +28,4 @@ pub mod runtime;
 
 pub use config::{CrashEvent, FaultPlan, LinkFaults, NetConfig, Partition};
 pub use runtime::{Cluster, Event, Exec, Protocol, Runtime};
+pub use xenic_sim::{TraceConfig, Tracer};

@@ -18,7 +18,7 @@ use xenic_hw::dma::{DmaKind, DmaOp};
 use xenic_hw::link::Port;
 use xenic_hw::rdma::Verb;
 use xenic_hw::{CorePool, DmaEngine, HwParams, RdmaNic};
-use xenic_sim::{DetRng, EventQueue, SimTime};
+use xenic_sim::{Component, DetRng, EventQueue, SimTime, Tracer};
 
 use crate::config::NetConfig;
 
@@ -142,6 +142,10 @@ pub enum Event<M> {
         /// The node to restart.
         node: usize,
     },
+    /// Periodic tracer gauge sampling (self-rescheduling; only ever
+    /// scheduled when tracing is enabled with a non-zero interval).
+    /// Sampling is read-only, so it cannot perturb protocol outcomes.
+    GaugeSample,
 }
 
 /// What the responder does once an RDMA request is served.
@@ -244,6 +248,9 @@ pub struct Runtime<M> {
     faults_active: bool,
     /// Per-node crashed flags (all false unless the plan crashes nodes).
     crashed: Vec<bool>,
+    /// The run's trace recorder (disabled by default: zero events, zero
+    /// RNG draws, so traced-off runs match an untraced build bit for bit).
+    tracer: Tracer,
     nodes: Vec<NodeRes<M>>,
     cur_node: usize,
     cur_exec: Exec,
@@ -285,6 +292,13 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             }
         }
         let faults_active = cfg.faults.active();
+        let tracer = Tracer::from_config(&cfg.trace);
+        if tracer.enabled() && tracer.gauge_interval_ns() > 0 {
+            queue.push(
+                SimTime::from_ns(tracer.gauge_interval_ns()),
+                Event::GaugeSample,
+            );
+        }
         Runtime {
             params,
             cfg,
@@ -293,6 +307,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             fault_rng: DetRng::new(seed).stream("net-faults"),
             faults_active,
             crashed: vec![false; n],
+            tracer,
             nodes,
             cur_node: 0,
             cur_exec: Exec::Host,
@@ -989,6 +1004,131 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
     pub fn rdma_verbs(&self, node: usize) -> u64 {
         self.nodes[node].rdma.verbs()
     }
+
+    // ---- Tracing ----
+
+    /// The run's trace recorder (empty unless tracing was configured).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Whether tracing is on — engines can use this to skip building
+    /// anything trace-only.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Component attribution for the currently-running handler.
+    fn cur_component(&self) -> Component {
+        match self.cur_exec {
+            Exec::Host => Component::HostCore(self.cur_core as u16),
+            Exec::Nic => Component::NicCore(self.cur_core as u16),
+        }
+    }
+
+    /// Opens a phase span for the current handler's node, keyed by `id`.
+    pub fn trace_begin(&mut self, name: &'static str, id: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let (at, node, comp) = (self.now(), self.cur_node as u32, self.cur_component());
+        self.tracer.begin(at, node, comp, name, id);
+    }
+
+    /// Closes a phase span opened with [`Runtime::trace_begin`].
+    pub fn trace_end(&mut self, name: &'static str, id: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let (at, node, comp) = (self.now(), self.cur_node as u32, self.cur_component());
+        self.tracer.end(at, node, comp, name, id);
+    }
+
+    /// Records a point event for the current handler's node.
+    pub fn trace_instant(&mut self, name: &'static str, id: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let (at, node, comp) = (self.now(), self.cur_node as u32, self.cur_component());
+        self.tracer.instant(at, node, comp, name, id);
+    }
+
+    /// Samples every node's gauges and re-arms the next [`Event::GaugeSample`].
+    /// Read-only with respect to protocol and hardware state.
+    pub(crate) fn sample_gauges(&mut self) {
+        let now = self.now();
+        for (i, res) in self.nodes.iter().enumerate() {
+            let node = i as u32;
+            let t = &mut self.tracer;
+            t.gauge(
+                now,
+                node,
+                Component::HostPool,
+                "runq",
+                res.inbox_host.len() as f64,
+            );
+            t.gauge(
+                now,
+                node,
+                Component::HostPool,
+                "busy_frac",
+                res.host.busy_at(now) as f64 / res.host.len() as f64,
+            );
+            t.gauge(
+                now,
+                node,
+                Component::NicPool,
+                "runq",
+                res.inbox_nic.len() as f64,
+            );
+            t.gauge(
+                now,
+                node,
+                Component::NicPool,
+                "busy_frac",
+                res.nic.busy_at(now) as f64 / res.nic.len() as f64,
+            );
+            t.gauge(
+                now,
+                node,
+                Component::Dma,
+                "busy_queues",
+                res.dma.busy_queues(now) as f64,
+            );
+            t.gauge(
+                now,
+                node,
+                Component::Dma,
+                "vector_fill",
+                res.dma.mean_vector_fill(),
+            );
+            t.gauge(
+                now,
+                node,
+                Component::Dma,
+                "pending_elems",
+                res.dma_pending.len() as f64,
+            );
+            for (comp, port) in [
+                (Component::LioPort, &res.lio),
+                (Component::Cx5Port, &res.cx5),
+                (Component::PciePort, &res.pcie),
+            ] {
+                // Backlog queued at the egress serializer, expressed in
+                // bytes: remaining busy time × line rate.
+                let backlog_ns = port.egress_free_at().since(now);
+                t.gauge(
+                    now,
+                    node,
+                    comp,
+                    "inflight_bytes",
+                    backlog_ns as f64 * port.gbps() / 8.0,
+                );
+            }
+        }
+        self.queue
+            .push(now + self.tracer.gauge_interval_ns(), Event::GaugeSample);
+    }
 }
 
 /// A cluster: protocol states plus the runtime, driving the event loop.
@@ -1071,6 +1211,7 @@ impl<P: Protocol> Cluster<P> {
                     self.rt.cur_exec = Exec::Nic;
                     P::on_restart(&mut self.states[node], &mut self.rt, node);
                 }
+                Event::GaugeSample => self.rt.sample_gauges(),
             }
         }
         processed

@@ -36,8 +36,10 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use rng::{DetRng, Zipf};
 pub use stats::{Counter, Histogram, Meter, Summary};
 pub use time::SimTime;
+pub use trace::{Component, Span, TraceConfig, TraceEvent, TraceKind, Tracer};

@@ -1,0 +1,237 @@
+//! Tracer integration tests: determinism of the export, observer purity
+//! (tracing never perturbs protocol outcomes), and span hygiene across
+//! full cluster runs.
+
+use xenic::api::{make_key, Partitioning, ShipMode, TxnSpec, UpdateOp, Workload};
+use xenic::engine::{Xenic, XenicNode};
+use xenic::harness::{run_xenic, run_xenic_cluster, RunOptions};
+use xenic::msg::XMsg;
+use xenic::XenicConfig;
+use xenic_hw::HwParams;
+use xenic_net::{Cluster, Exec, FaultPlan, NetConfig};
+use xenic_sim::{DetRng, SimTime, TraceConfig, TraceKind};
+use xenic_store::Value;
+use xenic_workloads::{Retwis, RetwisConfig};
+
+/// Counter workload (same shape as the integration suite's): single
+/// remote-update transactions whose effects are exactly auditable.
+struct Counters {
+    keys: u64,
+    remote_frac: f64,
+}
+
+impl Workload for Counters {
+    fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> TxnSpec {
+        let shard = if rng.chance(self.remote_frac) {
+            rng.below(6) as u32
+        } else {
+            node as u32
+        };
+        TxnSpec {
+            reads: vec![make_key(node as u32, rng.below(self.keys))],
+            updates: vec![(make_key(shard, rng.below(self.keys)), UpdateOp::AddI64(1))],
+            exec_host_ns: 150,
+            exec_nic_ns: 480,
+            ship: ShipMode::Nic,
+            ..Default::default()
+        }
+    }
+
+    fn value_bytes(&self) -> u32 {
+        16
+    }
+
+    fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+        (0..self.keys)
+            .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+            .collect()
+    }
+}
+
+fn traced_opts(seed: u64) -> RunOptions {
+    RunOptions {
+        windows: 12,
+        warmup: SimTime::from_ms(1),
+        measure: SimTime::from_ms(3),
+        seed,
+    }
+}
+
+fn mk_retwis(_: usize) -> Box<dyn Workload> {
+    Box::new(Retwis::new(RetwisConfig {
+        keys_per_node: 20_000,
+        ..RetwisConfig::sim(6)
+    }))
+}
+
+#[test]
+fn export_is_byte_identical_across_reruns() {
+    // The whole observability pipeline — event recording, gauge sampling,
+    // span matching, JSON formatting — must be a pure function of
+    // (configuration, seed). We assert it at the strongest level: the
+    // exported bytes. Once fault-free, once under a lossy fault plan.
+    let export = |net: NetConfig| {
+        let (_, cluster) = run_xenic_cluster(
+            HwParams::paper_testbed(),
+            net.with_trace(TraceConfig::full().with_capacity(1 << 22)),
+            XenicConfig::full(),
+            &traced_opts(7),
+            mk_retwis,
+        );
+        assert_eq!(cluster.rt.tracer().dropped(), 0, "ring must not evict here");
+        (
+            cluster.rt.tracer().chrome_json(),
+            cluster.rt.tracer().gauges_csv(),
+        )
+    };
+    let (json_a, csv_a) = export(NetConfig::full());
+    let (json_b, csv_b) = export(NetConfig::full());
+    assert!(json_a == json_b, "chrome export must be byte-identical");
+    assert!(csv_a == csv_b, "gauge CSV must be byte-identical");
+
+    let lossy = || NetConfig::full().with_faults(FaultPlan::lossy(0.01, 0.01, 1_500));
+    let (json_c, _) = export(lossy());
+    let (json_d, _) = export(lossy());
+    assert!(json_c == json_d, "lossy-universe export must replay too");
+    assert!(json_a != json_c, "faults must perturb the event stream");
+}
+
+#[test]
+fn tracing_is_a_pure_observer() {
+    // Three universes that must be indistinguishable at the protocol
+    // level: no trace config at all, tracing explicitly disabled, and
+    // tracing fully on. The first two are the "zero-cost when disabled"
+    // contract; the third holds because recording only mutates the
+    // tracer (gauge sampling reads hardware state, never advances it).
+    let digest = |net: NetConfig| {
+        let r = run_xenic(
+            HwParams::paper_testbed(),
+            net,
+            XenicConfig::full(),
+            &traced_opts(9),
+            |_| {
+                Box::new(Counters {
+                    keys: 2000,
+                    remote_frac: 0.6,
+                }) as Box<dyn Workload>
+            },
+        );
+        (r.committed, r.aborted, r.p50_ns, r.p99_ns, r.ops_per_frame)
+    };
+    let plain = digest(NetConfig::full());
+    let disabled = digest(NetConfig::full().with_trace(TraceConfig::disabled()));
+    let traced = digest(NetConfig::full().with_trace(TraceConfig::full()));
+    assert_eq!(plain, disabled, "disabled tracing must be invisible");
+    assert_eq!(plain, traced, "enabled tracing must not perturb the run");
+}
+
+/// Builds a traced counter cluster with every window seeded.
+fn traced_counter_cluster(windows: usize, seed: u64, cfg: XenicConfig) -> Cluster<Xenic> {
+    let part = Partitioning::new(6, 3);
+    let net = NetConfig::full().with_trace(TraceConfig::spans().with_capacity(1 << 22));
+    let mut cluster: Cluster<Xenic> =
+        Cluster::new(HwParams::paper_testbed(), net, seed, |node| {
+            XenicNode::new(
+                node,
+                cfg,
+                part,
+                Box::new(Counters {
+                    keys: 3000,
+                    remote_frac: 0.7,
+                }),
+                windows,
+            )
+        });
+    for node in 0..6 {
+        for slot in 0..windows {
+            cluster.seed(
+                SimTime::from_ns((node * windows + slot) as u64 * 97),
+                node,
+                Exec::Host,
+                XMsg::StartTxn { slot: slot as u32 },
+            );
+        }
+    }
+    cluster
+}
+
+#[test]
+fn drained_run_leaves_no_open_spans() {
+    // Every span the engine opens must be closed on every path — commit,
+    // read-only commit, local fast path, multi-hop, abort. After a full
+    // drain nothing is in flight, so an unmatched begin can only mean a
+    // leaked span on some protocol path.
+    let mut cluster = traced_counter_cluster(8, 21, XenicConfig::full());
+    cluster.run_until(SimTime::from_ms(4));
+    for st in &mut cluster.states {
+        st.draining = true;
+    }
+    cluster.run_until(SimTime::from_ms(80));
+    let tracer = cluster.rt.tracer();
+    assert_eq!(tracer.dropped(), 0, "sized the ring to hold everything");
+    assert!(tracer.spans().len() > 1_000, "run must have produced spans");
+    assert_eq!(
+        tracer.open_span_count(),
+        0,
+        "a drained run must close every span it opened"
+    );
+}
+
+#[test]
+fn committed_txn_spans_cover_the_protocol_in_order() {
+    // For standard-path committed transactions the tracer must show the
+    // paper's §4.2 anatomy: Execute, then Validate, then Log, each
+    // non-overlapping and in order, with the Commit instant at or after
+    // the Log close. (Multi-hop transactions show a single Execute span;
+    // read-only ones skip Log — both are filtered out by requiring all
+    // three spans for an id.) Multi-hop is disabled so the single-shard
+    // counter transactions take the standard Execute/Validate/Log path.
+    use std::collections::{BTreeMap, HashMap};
+    let mut cluster = traced_counter_cluster(
+        8,
+        33,
+        XenicConfig {
+            occ_multihop: false,
+            ..XenicConfig::full()
+        },
+    );
+    cluster.run_until(SimTime::from_ms(4));
+    let tracer = cluster.rt.tracer();
+
+    type PhaseWindows = BTreeMap<&'static str, (SimTime, SimTime)>;
+    let mut by_id: HashMap<(u32, u64), PhaseWindows> = HashMap::new();
+    for s in tracer.spans() {
+        by_id.entry((s.node, s.id)).or_default().insert(s.name, (s.begin, s.end));
+    }
+    let mut commit_at: HashMap<(u32, u64), SimTime> = HashMap::new();
+    for ev in tracer.events() {
+        if let TraceKind::Instant { id } = ev.kind {
+            if ev.name == "Commit" {
+                commit_at.insert((ev.node, id), ev.at);
+            }
+        }
+    }
+
+    let mut checked = 0usize;
+    for (key, phases) in &by_id {
+        let (Some(exec), Some(val), Some(log)) = (
+            phases.get("Execute"),
+            phases.get("Validate"),
+            phases.get("Log"),
+        ) else {
+            continue;
+        };
+        let Some(&commit) = commit_at.get(key) else {
+            continue; // aborted or still in flight
+        };
+        assert!(exec.0 <= exec.1, "Execute must not run backwards");
+        assert!(exec.1 <= val.0, "Validate must start after Execute ends");
+        assert!(val.0 <= val.1 && val.1 <= log.0, "Log must follow Validate");
+        assert!(log.0 <= log.1 && log.1 <= commit, "Commit seals the Log phase");
+        checked += 1;
+    }
+    assert!(
+        checked > 500,
+        "expected many standard-path commits, checked only {checked}"
+    );
+}

@@ -12,6 +12,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --release -q --test conformance"
+cargo test --release -q --test conformance
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings
