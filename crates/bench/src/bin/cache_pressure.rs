@@ -8,17 +8,22 @@
 //!
 //! This harness shrinks the NIC cache budget from full residency down to
 //! nothing on the Retwis workload and reports throughput, latency, and
-//! DMA traffic at each size.
+//! DMA traffic at each size. Budgets are independent simulations:
+//! `--jobs N` (default: all cores) computes them on worker threads and
+//! prints in budget order afterwards, byte-identical to `--jobs 1`.
 
 use xenic::api::Workload;
 use xenic::harness::{run_xenic, RunOptions};
 use xenic::XenicConfig;
 use xenic_hw::HwParams;
 use xenic_net::NetConfig;
+use xenic_bench::par_points;
 use xenic_sim::SimTime;
 use xenic_workloads::{Retwis, RetwisConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = xenic_bench::jobs_from_args(&args);
     let params = HwParams::paper_testbed();
     let mk = |_: usize| -> Box<dyn Workload> { Box::new(Retwis::new(RetwisConfig::sim(6))) };
     let opts = RunOptions {
@@ -32,14 +37,16 @@ fn main() {
         "{:>12} {:>14} {:>10} {:>14} {:>10}",
         "cache[vals]", "txn/s/server", "p50[us]", "dma-el/txn", "vec-fill"
     );
-    for budget in [1usize << 20, 1 << 16, 1 << 14, 1 << 12, 0] {
+    let budgets = [1usize << 20, 1 << 16, 1 << 14, 1 << 12, 0];
+    let rows = par_points(jobs, &budgets, |&budget| {
         let cfg = XenicConfig {
             nic_cache: budget > 0,
             nic_cache_values: budget.max(1),
             ..XenicConfig::full()
         };
-        let r = run_xenic(params.clone(), NetConfig::full(), cfg, &opts, mk);
-        // DMA elements are cumulative over warmup+measure; report per ms.
+        run_xenic(params.clone(), NetConfig::full(), cfg, &opts, mk)
+    });
+    for (&budget, r) in budgets.iter().zip(&rows) {
         println!(
             "{:>12} {:>14.0} {:>10.1} {:>14.1} {:>10.1}",
             if budget > 0 {

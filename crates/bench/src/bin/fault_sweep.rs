@@ -1,7 +1,8 @@
 //! Fault sweep: Xenic throughput, latency, and abort behavior as a
 //! function of injected network fault rates.
 //!
-//! Usage: `fault_sweep [--fast] [--dup] [--jitter <ns>] [--trace <out.json>]`
+//! Usage: `fault_sweep [--fast] [--dup] [--jitter <ns>] [--jobs N]
+//! [--trace <out.json>]`
 //!
 //! Sweeps a uniform per-link message drop probability (optionally with an
 //! equal duplication probability and delay jitter) and reports per-server
@@ -12,7 +13,10 @@
 //! numbers exactly. Every row is deterministic: the fault schedule
 //! derives from the cluster seed, so a rerun replays the same universe.
 //! Results also land in `results/fault_sweep.csv`; with `--trace`, the
-//! highest-rate run's event stream is dumped as Chrome-trace JSON.
+//! highest-rate run's event stream is dumped as Chrome-trace JSON. Rows
+//! are independent simulations: `--jobs N` (default: all cores) computes
+//! them on worker threads and prints in rate order afterwards, so output
+//! is byte-identical to `--jobs 1`.
 
 use std::fs;
 use xenic::api::Workload;
@@ -20,6 +24,7 @@ use xenic::harness::{run_xenic_cluster, RunOptions};
 use xenic::XenicConfig;
 use xenic_hw::HwParams;
 use xenic_net::{FaultPlan, NetConfig, TraceConfig};
+use xenic_bench::par_points;
 use xenic_sim::SimTime;
 use xenic_workloads::{Smallbank, SmallbankConfig};
 
@@ -38,6 +43,7 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let jobs = xenic_bench::jobs_from_args(&args);
 
     let params = HwParams::paper_testbed();
     let opts = RunOptions {
@@ -65,9 +71,11 @@ fn main() {
         "drop", "tput/server", "p50[us]", "p99[us]", "aborted", "retrans"
     );
     let mut csv = String::from("drop_prob,tput_per_server,p50_ns,p99_ns,aborted,retransmits\n");
-    let mut base_tput = 0.0;
     let last_rate = *rates.last().unwrap();
-    for (i, &rate) in rates.iter().enumerate() {
+    let want_trace = trace_path.is_some();
+    // Each rate is an independent universe; fan the rows out and print in
+    // rate order once all have landed.
+    let rows = par_points(jobs, &rates, |&rate| {
         let dup_rate = if dup { rate } else { 0.0 };
         // Span tracing is a pure observer, so the traced rows replay the
         // untraced universe exactly — the retransmit count comes from the
@@ -77,9 +85,15 @@ fn main() {
             .with_trace(TraceConfig::spans());
         let (r, cluster) = run_xenic_cluster(params.clone(), net, XenicConfig::full(), &opts, mk);
         let retrans = cluster.rt.tracer().instant_total("Retransmit");
-        if i == 0 {
-            base_tput = r.tput_per_server;
-        }
+        let trace_json = if want_trace && rate == last_rate {
+            Some(cluster.rt.tracer().chrome_json())
+        } else {
+            None
+        };
+        (r, retrans, trace_json)
+    });
+    let base_tput = rows[0].0.tput_per_server;
+    for (&rate, (r, retrans, trace_json)) in rates.iter().zip(&rows) {
         println!(
             "{rate:>8.3} {:>14.0} {:>10.1} {:>10.1} {:>12} {:>10}   ({:.2}x fault-free)",
             r.tput_per_server,
@@ -93,11 +107,9 @@ fn main() {
             "{rate},{},{},{},{},{retrans}\n",
             r.tput_per_server, r.p50_ns, r.p99_ns, r.aborted
         ));
-        if rate == last_rate {
-            if let Some(path) = &trace_path {
-                fs::write(path, cluster.rt.tracer().chrome_json()).expect("write trace");
-                println!("(trace written to {path}; open at https://ui.perfetto.dev)");
-            }
+        if let (Some(json), Some(path)) = (trace_json, &trace_path) {
+            fs::write(path, json).expect("write trace");
+            println!("(trace written to {path}; open at https://ui.perfetto.dev)");
         }
     }
     fs::create_dir_all("results").ok();

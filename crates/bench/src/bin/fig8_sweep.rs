@@ -2,10 +2,13 @@
 //! workloads (paper §5.2–§5.5).
 //!
 //! Usage: `fig8_sweep [tpcc_no|tpcc_full|retwis|smallbank|all] [--fast]
-//! [--trace <out.json>]`
+//! [--jobs N] [--trace <out.json>]`
 //!
 //! Each curve sweeps the closed-loop window count per node and reports
 //! per-server throughput of metric transactions against median latency.
+//! Sweep points are independent simulations, so `--jobs N` (default: all
+//! cores) runs them on worker threads; results are merged in input order,
+//! making the tables and CSV byte-identical to a `--jobs 1` run.
 //! Results print as aligned tables and are also written as CSV to
 //! `results/fig8_<workload>.csv`. With `--trace`, one additional traced
 //! Xenic run (Retwis, moderate load, gauges on) is dumped as Chrome-trace
@@ -16,7 +19,7 @@ use std::fs;
 use xenic::api::Workload;
 use xenic::harness::{run_xenic_cluster, RunOptions};
 use xenic::XenicConfig;
-use xenic_bench::{curves_csv, print_curve, sweep, System};
+use xenic_bench::{curves_csv, par_points, print_curve, run_system, CurvePoint, System};
 use xenic_hw::HwParams;
 use xenic_net::{NetConfig, TraceConfig};
 use xenic_sim::SimTime;
@@ -40,7 +43,7 @@ fn mk(name: &str) -> Box<dyn Fn(usize) -> Box<dyn Workload>> {
     }
 }
 
-fn run_workload(name: &str, fast: bool) {
+fn run_workload(name: &str, fast: bool, jobs: usize) {
     let params = HwParams::paper_testbed();
     let windows: &[usize] = if fast {
         &[2, 16, 64]
@@ -52,19 +55,33 @@ fn run_workload(name: &str, fast: bool) {
     } else {
         SimTime::from_ms(6)
     };
-    let mkw = mk(name);
-    let mut curves = Vec::new();
     println!("==== Figure 8 [{name}] ====");
-    for sys in System::ALL {
-        let curve = sweep(
-            sys,
-            &params,
-            windows,
-            SimTime::from_ms(2),
+    // Every (system, window) pair is an independent simulation; fan them
+    // all out and regroup into per-system curves afterwards.
+    let points: Vec<(System, usize)> = System::ALL
+        .iter()
+        .flat_map(|s| windows.iter().map(move |w| (*s, *w)))
+        .collect();
+    let results = par_points(jobs, &points, |&(sys, w)| {
+        let opts = RunOptions {
+            windows: w,
+            warmup: SimTime::from_ms(2),
             measure,
-            42,
-            mkw.as_ref(),
-        );
+            seed: 42,
+        };
+        let r = run_system(sys, params.clone(), &opts, mk(name).as_ref());
+        CurvePoint {
+            windows: w,
+            tput: r.tput_per_server,
+            p50_us: r.p50_ns as f64 / 1000.0,
+            p99_us: r.p99_ns as f64 / 1000.0,
+            result: r,
+        }
+    });
+    let mut curves = Vec::new();
+    for (si, sys) in System::ALL.into_iter().enumerate() {
+        let curve: Vec<CurvePoint> =
+            results[si * windows.len()..(si + 1) * windows.len()].to_vec();
         print_curve(&format!("{name} / {}", sys.label()), &curve);
         curves.push((sys, curve));
     }
@@ -128,12 +145,15 @@ fn dump_trace(path: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let jobs = xenic_bench::jobs_from_args(&args);
     let mut trace_path = None;
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--trace" {
             trace_path = args.get(i + 1).cloned();
+            i += 2;
+        } else if args[i] == "--jobs" {
             i += 2;
         } else if args[i].starts_with("--") {
             i += 1;
@@ -151,7 +171,7 @@ fn main() {
         None => vec!["tpcc_no", "tpcc_full", "retwis", "smallbank"],
     };
     for w in which {
-        run_workload(w, fast);
+        run_workload(w, fast, jobs);
     }
     if let Some(path) = trace_path {
         dump_trace(&path);

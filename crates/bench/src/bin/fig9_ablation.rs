@@ -9,6 +9,11 @@
 //!     (coordinator-side function shipping) → the multi-hop OCC pattern.
 //!
 //! DrTM+H runs alongside as the external reference, as in the paper.
+//!
+//! All ten runs (reference + four steps per panel) are independent
+//! simulations; `--jobs N` (default: all cores) computes them on worker
+//! threads and prints after collection, so output is byte-identical to
+//! `--jobs 1`.
 
 use xenic::api::Workload;
 use xenic::harness::{run_xenic, RunOptions};
@@ -16,10 +21,13 @@ use xenic::XenicConfig;
 use xenic_baselines::{run_baseline, BaselineKind};
 use xenic_hw::HwParams;
 use xenic_net::NetConfig;
+use xenic_bench::par_points;
 use xenic_sim::SimTime;
 use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = xenic_bench::jobs_from_args(&args);
     let params = HwParams::paper_testbed();
     let mk_rw =
         |_: usize| -> Box<dyn Workload> { Box::new(Retwis::new(RetwisConfig::sim(6))) };
@@ -33,10 +41,6 @@ fn main() {
         measure: SimTime::from_ms(8),
         seed: 42,
     };
-    println!("# Figure 9(a): Retwis per-server throughput [txn/s], windows=64");
-    let drtmh = run_baseline(BaselineKind::DrtmH, params.clone(), &tput_opts, mk_rw);
-    println!("{:<24} {:>12.0}", "DrTM+H", drtmh.tput_per_server);
-
     let base_cfg = XenicConfig::fig9_baseline();
     let steps_a: [(&str, XenicConfig, NetConfig); 4] = [
         ("Xenic baseline", base_cfg, NetConfig::baseline()),
@@ -68,38 +72,13 @@ fn main() {
             NetConfig::full(),
         ),
     ];
-    let mut base_tput = 0.0;
-    for (i, (label, cfg, net)) in steps_a.iter().enumerate() {
-        let r = run_xenic(params.clone(), net.clone(), *cfg, &tput_opts, mk_rw);
-        if i == 0 {
-            base_tput = r.tput_per_server;
-        }
-        println!(
-            "{label:<24} {:>12.0}   ({:.2}x baseline, {:.2}x DrTM+H) [aborts={} nic={:.1} host={:.1} p50={:.0}us]",
-            r.tput_per_server,
-            r.tput_per_server / base_tput,
-            r.tput_per_server / drtmh.tput_per_server,
-            r.aborted,
-            r.nic_busy_cores,
-            r.host_busy_cores,
-            r.p50_ns as f64 / 1e3,
-        );
-    }
-    println!("(paper: +47% smart ops, 1.98x with aggregation, 2.30x cumulative,");
-    println!(" 2.07x relative to DrTM+H)");
-    println!();
-
-    // ---- (b) Smallbank median latency at low load ----
+    // ---- (b) config ----
     let lat_opts = RunOptions {
         windows: 2,
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(8),
         seed: 42,
     };
-    println!("# Figure 9(b): Smallbank median latency [us], windows=2");
-    let drtmh = run_baseline(BaselineKind::DrtmH, params.clone(), &lat_opts, mk_sb);
-    println!("{:<24} {:>9.1}", "DrTM+H", drtmh.p50_ns as f64 / 1e3);
-
     let steps_b: [(&str, XenicConfig); 4] = [
         ("Xenic baseline", base_cfg),
         (
@@ -127,13 +106,51 @@ fn main() {
             },
         ),
     ];
-    let mut base_lat = 0.0;
-    for (i, (label, cfg)) in steps_b.iter().enumerate() {
-        let r = run_xenic(params.clone(), NetConfig::full(), *cfg, &lat_opts, mk_sb);
-        let p50 = r.p50_ns as f64 / 1e3;
-        if i == 0 {
-            base_lat = p50;
+    // Ten independent runs: [a: DrTM+H, 4 steps][b: DrTM+H, 4 steps].
+    let point_ids: Vec<usize> = (0..10).collect();
+    let results = par_points(jobs, &point_ids, |&i| match i {
+        0 => run_baseline(BaselineKind::DrtmH, params.clone(), &tput_opts, mk_rw),
+        1..=4 => {
+            let (_, cfg, net) = &steps_a[i - 1];
+            run_xenic(params.clone(), net.clone(), *cfg, &tput_opts, mk_rw)
         }
+        5 => run_baseline(BaselineKind::DrtmH, params.clone(), &lat_opts, mk_sb),
+        _ => {
+            let (_, cfg) = &steps_b[i - 6];
+            run_xenic(params.clone(), NetConfig::full(), *cfg, &lat_opts, mk_sb)
+        }
+    });
+
+    // ---- (a) Retwis throughput at high load ----
+    println!("# Figure 9(a): Retwis per-server throughput [txn/s], windows=64");
+    let drtmh = &results[0];
+    println!("{:<24} {:>12.0}", "DrTM+H", drtmh.tput_per_server);
+    let base_tput = results[1].tput_per_server;
+    for (i, (label, _, _)) in steps_a.iter().enumerate() {
+        let r = &results[i + 1];
+        println!(
+            "{label:<24} {:>12.0}   ({:.2}x baseline, {:.2}x DrTM+H) [aborts={} nic={:.1} host={:.1} p50={:.0}us]",
+            r.tput_per_server,
+            r.tput_per_server / base_tput,
+            r.tput_per_server / drtmh.tput_per_server,
+            r.aborted,
+            r.nic_busy_cores,
+            r.host_busy_cores,
+            r.p50_ns as f64 / 1e3,
+        );
+    }
+    println!("(paper: +47% smart ops, 1.98x with aggregation, 2.30x cumulative,");
+    println!(" 2.07x relative to DrTM+H)");
+    println!();
+
+    // ---- (b) Smallbank median latency at low load ----
+    println!("# Figure 9(b): Smallbank median latency [us], windows=2");
+    let drtmh = &results[5];
+    println!("{:<24} {:>9.1}", "DrTM+H", drtmh.p50_ns as f64 / 1e3);
+    let base_lat = results[6].p50_ns as f64 / 1e3;
+    for (i, (label, _)) in steps_b.iter().enumerate() {
+        let r = &results[i + 6];
+        let p50 = r.p50_ns as f64 / 1e3;
         println!(
             "{label:<24} {p50:>9.1}   ({:+.0}% vs baseline, {:.2}x DrTM+H)",
             (p50 / base_lat - 1.0) * 100.0,

@@ -1,0 +1,134 @@
+//! Simulator performance report: wall-clock throughput of the event loop
+//! itself on two pinned workloads.
+//!
+//! Usage: `perf_report [--quick] [--out <path>]`
+//!
+//! The figure/table harnesses measure the *modeled* system; this binary
+//! measures the *simulator* — how many discrete events per second the
+//! engine retires on this machine — so performance regressions in the
+//! kernel, runtime, or protocol handlers show up as a number, not a
+//! feeling. Two single-threaded scenarios are pinned (configs and seeds
+//! never change, so events-processed counts are invariants across
+//! machines and releases):
+//!
+//! - `retwis_fig8`: the Figure 8 fast Retwis point (64 windows/node,
+//!   full Xenic config) — the dominant cost in `fig8_sweep --fast`.
+//! - `chaos_replay`: the same workload under a lossy fault plan (1% drop,
+//!   1% dup, 200 ns jitter) — exercises the retransmission machinery and
+//!   the fault-path scratch buffers.
+//!
+//! Each scenario reports best-of-N wall seconds and events/sec (via
+//! `EventQueue::processed`), and the run writes `BENCH_simperf.json` in
+//! the current directory for trend tracking. `--quick` shortens the
+//! measure window and takes one sample per scenario — a smoke mode for
+//! CI-style gates like `verify.sh`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use xenic::api::Workload;
+use xenic::harness::{run_xenic_cluster, RunOptions};
+use xenic::XenicConfig;
+use xenic_hw::HwParams;
+use xenic_net::{FaultPlan, NetConfig};
+use xenic_sim::SimTime;
+use xenic_workloads::{Retwis, RetwisConfig};
+
+struct Scenario {
+    name: &'static str,
+    net: NetConfig,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "retwis_fig8",
+            net: NetConfig::full(),
+        },
+        Scenario {
+            name: "chaos_replay",
+            net: NetConfig::full().with_faults(FaultPlan::lossy(0.01, 0.01, 200)),
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_simperf.json".to_string());
+
+    let opts = RunOptions {
+        windows: 64,
+        warmup: SimTime::from_ms(2),
+        measure: SimTime::from_ms(if quick { 1 } else { 4 }),
+        seed: 42,
+    };
+    let samples = if quick { 1 } else { 3 };
+    let mk = |_: usize| Box::new(Retwis::new(RetwisConfig::sim(6))) as Box<dyn Workload>;
+
+    // One throwaway run pre-faults the allocator and page tables so the
+    // first measured sample isn't penalized.
+    let _ = run_xenic_cluster(
+        HwParams::paper_testbed(),
+        NetConfig::full(),
+        XenicConfig::full(),
+        &RunOptions {
+            measure: SimTime::from_ms(1),
+            ..opts.clone()
+        },
+        mk,
+    );
+
+    println!(
+        "# Simulator performance ({} sample{}/scenario, measure={}ms)",
+        samples,
+        if samples == 1 { "" } else { "s" },
+        if quick { 1 } else { 4 },
+    );
+    println!(
+        "{:<16} {:>10} {:>14} {:>14}",
+        "scenario", "wall[s]", "events", "events/sec"
+    );
+    let mut json = String::from("{\n  \"scenarios\": [\n");
+    let n = scenarios().len();
+    for (i, sc) in scenarios().into_iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let (_, cluster) = run_xenic_cluster(
+                HwParams::paper_testbed(),
+                sc.net.clone(),
+                XenicConfig::full(),
+                &opts,
+                mk,
+            );
+            let dt = t0.elapsed().as_secs_f64();
+            events = cluster.rt.queue.processed();
+            if dt < best {
+                best = dt;
+            }
+        }
+        let eps = events as f64 / best;
+        println!(
+            "{:<16} {:>10.3} {:>14} {:>14.0}",
+            sc.name, best, events, eps
+        );
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            sc.name,
+            best,
+            events,
+            eps,
+            if i + 1 < n { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write perf report");
+    println!("(report written to {out_path})");
+}

@@ -6,6 +6,8 @@
 //! regression tracking. The mapping from paper artifact to binary lives
 //! in DESIGN.md §4 and EXPERIMENTS.md.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use xenic::api::Workload;
 use xenic::harness::{RunOptions, RunResult};
 use xenic::XenicConfig;
@@ -13,6 +15,67 @@ use xenic_baselines::{run_baseline, BaselineKind};
 use xenic_hw::HwParams;
 use xenic_net::NetConfig;
 use xenic_sim::SimTime;
+
+/// Default worker count for `--jobs`: the machine's available
+/// parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses a `--jobs N` flag out of already-collected argv (defaulting to
+/// [`default_jobs`]) — shared by every sweep binary.
+pub fn jobs_from_args(args: &[String]) -> usize {
+    let mut jobs = default_jobs();
+    for i in 0..args.len() {
+        if args[i] == "--jobs" {
+            jobs = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--jobs needs a positive integer"));
+        }
+    }
+    jobs.max(1)
+}
+
+/// Runs `run` over every point on up to `jobs` worker threads and returns
+/// the results **in input order**.
+///
+/// Each simulation point is an independent deterministic computation (its
+/// own cluster, its own seeded RNGs), so executing points concurrently
+/// and merging by input index yields byte-identical output to a serial
+/// sweep — callers print only after collection. With `jobs <= 1` the
+/// points run serially on the calling thread in input order, which is
+/// also the fallback shape for a single point.
+pub fn par_points<T, R>(jobs: usize, points: &[T], run: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let jobs = jobs.max(1).min(points.len().max(1));
+    if jobs == 1 {
+        return points.iter().map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(points.len()));
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let r = run(&points[i]);
+                collected.lock().expect("collector poisoned").push((i, r));
+            });
+        }
+    });
+    let mut collected = collected.into_inner().expect("collector poisoned");
+    debug_assert_eq!(collected.len(), points.len());
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
 
 /// The five systems of Figure 8.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,6 +237,30 @@ pub fn curves_csv(curves: &[(System, Vec<CurvePoint>)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_points_preserves_input_order() {
+        let pts: Vec<usize> = (0..37).collect();
+        let serial = par_points(1, &pts, |&p| p * p + 1);
+        let parallel = par_points(8, &pts, |&p| p * p + 1);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[6], 37);
+    }
+
+    #[test]
+    fn par_points_handles_empty_and_oversubscribed() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_points(4, &empty, |&p| p).is_empty());
+        let one = vec![7u32];
+        assert_eq!(par_points(64, &one, |&p| p + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let args: Vec<String> = vec!["--fast".into(), "--jobs".into(), "3".into()];
+        assert_eq!(jobs_from_args(&args), 3);
+        assert!(jobs_from_args(&[]) >= 1);
+    }
 
     #[test]
     fn system_labels() {

@@ -37,7 +37,8 @@
 //!   coordinator reports the outcome as soon as all Log acks arrive, per
 //!   §4.2 step 6), so they are elided from the wire.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
+use xenic_sim::{FastMap, FastSet};
 
 use xenic_net::{Exec, Protocol, Runtime};
 use xenic_sim::SimTime;
@@ -48,7 +49,11 @@ use xenic_store::{CommitLog, Key, TxnId, Value, Version, WritePayload};
 
 use crate::api::{shard_of, Partitioning, TxnSpec, UpdateOp, Workload};
 use crate::config::XenicConfig;
-use crate::msg::{ExecMode, WriteSet, XMsg};
+use crate::msg::{
+    AbortReq, CommitReq, DmaLogDone, DmaLookupDone, ExecMode, ExecShip, ExecShipResp, Execute,
+    ExecuteResp, LocalCommit, LogReq, RetryBackupLog, RetryCommitApply, TxnSubmit, Validate,
+    WriteSet, XMsg,
+};
 use crate::stats::NodeStats;
 use xenic_hw::HwParams;
 
@@ -132,7 +137,7 @@ struct CoordTxn {
     /// by `(dst, shard)`) and the MhShipped phase (the ExecShip).
     resend: Vec<(usize, u32, XMsg)>,
     /// Log acks already counted, keyed by `(from, shard)`.
-    acks: HashSet<(u32, u32)>,
+    acks: FastSet<(u32, u32)>,
     /// The multi-hop ExecShipResp was already counted.
     mh_ship_seen: bool,
 }
@@ -196,7 +201,7 @@ pub struct XenicNode {
     /// Host-memory commit log.
     pub log: CommitLog,
     /// Backup replicas of other shards: shard → key → (value, version).
-    pub backups: HashMap<u32, HashMap<Key, (Value, Version)>>,
+    pub backups: FastMap<u32, FastMap<Key, (Value, Version)>>,
     /// The workload generator.
     pub workload: Box<dyn Workload>,
     /// Application-thread slots (closed-loop load).
@@ -210,17 +215,17 @@ pub struct XenicNode {
     pub stats: NodeStats,
 
     // Host-side per-transaction record.
-    host_txns: HashMap<u64, (u32, bool)>, // seq → (slot, metric)
+    host_txns: FastMap<u64, (u32, bool)>, // seq → (slot, metric)
     // Coordinator-NIC in-flight transactions.
-    coord: HashMap<u64, CoordTxn>,
+    coord: FastMap<u64, CoordTxn>,
     // Server-side pending operations.
-    pending: HashMap<u64, PendingOp>,
+    pending: FastMap<u64, PendingOp>,
     next_op: u64,
     // Staged write sets for shipped transactions awaiting CommitReq.
-    ship_staged: HashMap<TxnId, WriteSet>,
+    ship_staged: FastMap<TxnId, WriteSet>,
     // All keys a shipped execution locked here (incl. read-set keys),
     // released at CommitReq.
-    ship_locked: HashMap<TxnId, Vec<Key>>,
+    ship_locked: FastMap<TxnId, Vec<Key>>,
     // In-order log application.
     apply_ready: BTreeMap<u64, ()>,
     next_apply_lsn: u64,
@@ -231,14 +236,14 @@ pub struct XenicNode {
     // Commit retransmission: seq → unacked (shard, dst, CommitReq).
     committing: BTreeMap<u64, Vec<(u32, usize, XMsg)>>,
     // CommitReqs already applied at this primary (dedup + re-ack).
-    commit_seen: HashSet<TxnId>,
+    commit_seen: FastSet<TxnId>,
     // Backup log records by (txn, shard): false while the append's DMA is
     // in flight, true once durable (a duplicate LogReq then re-acks).
-    backup_log_acked: HashMap<(TxnId, u32), bool>,
+    backup_log_acked: FastMap<(TxnId, u32), bool>,
     // Shipped-execution outcomes: the ExecShipResp plus the LogReq
     // fan-out, replayed verbatim when a retransmitted ExecShip arrives
     // (re-executing could re-lock keys the commit already released).
-    ship_resp: HashMap<TxnId, (XMsg, Vec<(usize, XMsg)>)>,
+    ship_resp: FastMap<TxnId, (XMsg, Vec<(usize, XMsg)>)>,
 }
 
 impl XenicNode {
@@ -284,10 +289,10 @@ impl XenicNode {
                 nic_index.install(seg, *k, v.clone(), 1);
             }
         }
-        let mut backups = HashMap::new();
+        let mut backups = FastMap::default();
         for s in part.backup_shards(node) {
             let data = workload.preload(s);
-            let map: HashMap<Key, (Value, Version)> =
+            let map: FastMap<Key, (Value, Version)> =
                 data.into_iter().map(|(k, v)| (k, (v, 1))).collect();
             backups.insert(s, map);
         }
@@ -304,19 +309,19 @@ impl XenicNode {
             next_seq: 1,
             draining: false,
             stats: NodeStats::default(),
-            host_txns: HashMap::new(),
-            coord: HashMap::new(),
-            pending: HashMap::new(),
+            host_txns: FastMap::default(),
+            coord: FastMap::default(),
+            pending: FastMap::default(),
             next_op: 1,
-            ship_staged: HashMap::new(),
-            ship_locked: HashMap::new(),
+            ship_staged: FastMap::default(),
+            ship_locked: FastMap::default(),
             apply_ready: BTreeMap::new(),
             next_apply_lsn: 1,
             next_req: 1,
             committing: BTreeMap::new(),
-            commit_seen: HashSet::new(),
-            backup_log_acked: HashMap::new(),
-            ship_resp: HashMap::new(),
+            commit_seen: FastSet::default(),
+            backup_log_acked: FastMap::default(),
+            ship_resp: FastMap::default(),
         }
     }
 
@@ -349,33 +354,28 @@ impl Protocol for Xenic {
         // frame (§4.3.2) — the mechanism behind the measured 71.8 Mops/s.
         match exec {
             Exec::Nic => match msg {
-                XMsg::TxnSubmit { spec, .. } => 180 + 15 * spec.all_keys().count() as u64,
-                XMsg::Execute { reads, locks, .. } => {
-                    150 + 35 * (reads.len() + locks.len()) as u64
-                }
-                XMsg::ExecuteResp { values, .. } => 100 + 15 * values.len() as u64,
-                XMsg::Validate { checks, .. } => 110 + 12 * checks.len() as u64,
+                XMsg::TxnSubmit(b) => 180 + 15 * b.spec.all_keys().count() as u64,
+                XMsg::Execute(b) => 150 + 35 * (b.reads.len() + b.locks.len()) as u64,
+                XMsg::ExecuteResp(b) => 100 + 15 * b.values.len() as u64,
+                XMsg::Validate(b) => 110 + 12 * b.checks.len() as u64,
                 XMsg::ValidateResp { .. } => 70,
-                XMsg::LogReq { writes, .. } => {
-                    let bytes: u64 = writes
+                XMsg::LogReq(b) => {
+                    let bytes: u64 = b
+                        .writes
                         .iter()
                         .map(|(_, p, _)| u64::from(p.wire_bytes()) + 8)
                         .sum();
                     150 + bytes / 16
                 }
                 XMsg::LogResp { .. } => 70,
-                XMsg::CommitReq { writes, .. } => 150 + 40 * writes.len() as u64,
-                XMsg::AbortReq { unlock, .. } => 80 + 25 * unlock.len() as u64,
-                XMsg::ExecShip { spec, .. } => {
-                    150 + 35 * spec.all_keys().count() as u64
-                }
-                XMsg::ExecShipResp { .. } => 100,
+                XMsg::CommitReq(b) => 150 + 40 * b.writes.len() as u64,
+                XMsg::AbortReq(b) => 80 + 25 * b.unlock.len() as u64,
+                XMsg::ExecShip(b) => 150 + 35 * b.spec.all_keys().count() as u64,
+                XMsg::ExecShipResp(..) => 100,
                 XMsg::WritesReady { writes, .. } => 100 + 10 * writes.len() as u64,
-                XMsg::LocalCommit { checks, writes, .. } => {
-                    150 + 35 * (checks.len() + writes.len()) as u64
-                }
-                XMsg::DmaLookupDone { .. } => 60,
-                XMsg::DmaLogDone { .. } => 80,
+                XMsg::LocalCommit(b) => 150 + 35 * (b.checks.len() + b.writes.len()) as u64,
+                XMsg::DmaLookupDone(..) => 60,
+                XMsg::DmaLogDone(..) => 80,
                 XMsg::AppliedAck { .. } => 50,
                 _ => 100,
             },
@@ -403,15 +403,18 @@ impl Protocol for Xenic {
             XMsg::ApplyLog { lsn } => host_apply_log(st, rt, me, lsn),
 
             // ---------------- Coordinator NIC ----------------
-            XMsg::TxnSubmit { seq, spec } => cnic_submit(st, rt, me, seq, spec),
-            XMsg::ExecuteResp {
-                txn,
-                req,
-                shard,
-                ok,
-                values,
-                lock_versions,
-            } => cnic_execute_resp(st, rt, me, txn, req, shard, ok, values, lock_versions),
+            XMsg::TxnSubmit(b) => cnic_submit(st, rt, me, b.seq, b.spec),
+            XMsg::ExecuteResp(b) => {
+                let ExecuteResp {
+                    txn,
+                    req,
+                    shard,
+                    ok,
+                    values,
+                    lock_versions,
+                } = *b;
+                cnic_execute_resp(st, rt, me, txn, req, shard, ok, values, lock_versions)
+            }
             XMsg::ValidateResp { txn, req, ok, .. } => {
                 cnic_validate_resp(st, rt, me, txn, req, ok)
             }
@@ -424,52 +427,54 @@ impl Protocol for Xenic {
             XMsg::CommitAck { txn, shard } => cnic_commit_ack(st, txn, shard),
             XMsg::PhaseTimeout { seq, epoch } => cnic_phase_timeout(st, rt, me, seq, epoch),
             XMsg::CommitTick { seq, attempt } => cnic_commit_tick(st, rt, me, seq, attempt),
-            XMsg::ExecShipResp {
-                txn,
-                ok,
-                local_writes,
-            } => cnic_ship_resp(st, rt, me, txn, ok, local_writes),
+            XMsg::ExecShipResp(b) => cnic_ship_resp(st, rt, me, b.txn, b.ok, b.local_writes),
             XMsg::WritesReady { seq, writes } => cnic_writes_ready(st, rt, me, seq, writes),
-            XMsg::LocalCommit {
-                seq,
-                checks,
-                writes,
-            } => cnic_local_commit(st, rt, me, seq, checks, writes),
+            XMsg::LocalCommit(b) => cnic_local_commit(st, rt, me, b.seq, b.checks, b.writes),
 
             // ---------------- Server NIC ----------------
-            XMsg::Execute {
-                txn,
-                req,
-                reply_to,
-                mode,
-                reads,
-                locks,
-            } => snic_execute(st, rt, me, txn, req, reply_to, mode, reads, locks, None),
-            XMsg::Validate {
-                txn,
-                req,
-                reply_to,
-                checks,
-            } => snic_validate(st, rt, me, txn, req, reply_to, checks),
-            XMsg::LogReq {
-                txn,
-                shard,
-                reply_to,
-                writes,
-            } => snic_log(st, rt, me, txn, shard, reply_to, writes, false),
-            XMsg::CommitReq { txn, shard, writes } => snic_commit(st, rt, me, txn, shard, writes),
-            XMsg::AbortReq { txn, unlock } => {
-                for k in unlock {
+            XMsg::Execute(b) => {
+                let Execute {
+                    txn,
+                    req,
+                    reply_to,
+                    mode,
+                    reads,
+                    locks,
+                } = *b;
+                snic_execute(st, rt, me, txn, req, reply_to, mode, reads, locks, None)
+            }
+            XMsg::Validate(b) => {
+                let Validate {
+                    txn,
+                    req,
+                    reply_to,
+                    checks,
+                } = *b;
+                snic_validate(st, rt, me, txn, req, reply_to, checks)
+            }
+            XMsg::LogReq(b) => {
+                let LogReq {
+                    txn,
+                    shard,
+                    reply_to,
+                    writes,
+                } = *b;
+                snic_log(st, rt, me, txn, shard, reply_to, writes, false)
+            }
+            XMsg::CommitReq(b) => snic_commit(st, rt, me, b.txn, b.shard, b.writes),
+            XMsg::AbortReq(b) => {
+                for k in b.unlock {
                     let seg = st.segment(k);
-                    st.nic_index.unlock(seg, k, txn);
+                    st.nic_index.unlock(seg, k, b.txn);
                 }
             }
-            XMsg::ExecShip {
-                txn,
-                reply_to,
-                spec,
-                local_vals,
-            } => {
+            XMsg::ExecShip(b) => {
+                let ExecShip {
+                    txn,
+                    reply_to,
+                    spec,
+                    local_vals,
+                } = *b;
                 // A retransmitted ExecShip replays the cached outcome —
                 // re-executing could re-lock keys the commit already
                 // released, or double-log at the backups.
@@ -509,37 +514,51 @@ impl Protocol for Xenic {
                     ship,
                 );
             }
-            XMsg::DmaLookupDone {
-                op,
-                key,
-                remaining,
-                result,
-            } => snic_dma_lookup_done(st, rt, me, op, key, remaining, result),
-            XMsg::DmaLogDone {
-                txn,
-                reply_to,
-                lsn,
-                unlock,
-            } => snic_dma_log_done(st, rt, me, txn, reply_to, lsn, unlock),
-            XMsg::RetryCommitApply { txn, writes, unlock } => {
-                apply_commit_records(st, rt, me, txn, writes, unlock);
+            XMsg::DmaLookupDone(b) => {
+                let DmaLookupDone {
+                    op,
+                    key,
+                    remaining,
+                    result,
+                } = *b;
+                snic_dma_lookup_done(st, rt, me, op, key, remaining, result)
             }
-            XMsg::RetryBackupLog {
-                txn,
-                shard,
-                reply_to,
-                writes,
-            } => snic_log(st, rt, me, txn, shard, reply_to, writes, true),
+            XMsg::DmaLogDone(b) => {
+                let DmaLogDone {
+                    txn,
+                    reply_to,
+                    lsn,
+                    unlock,
+                } = *b;
+                snic_dma_log_done(st, rt, me, txn, reply_to, lsn, unlock)
+            }
+            XMsg::RetryCommitApply(b) => {
+                apply_commit_records(st, rt, me, b.txn, b.writes, b.unlock);
+            }
+            XMsg::RetryBackupLog(b) => {
+                let RetryBackupLog {
+                    txn,
+                    shard,
+                    reply_to,
+                    writes,
+                } = *b;
+                snic_log(st, rt, me, txn, shard, reply_to, writes, true)
+            }
             XMsg::AppliedAck { lsn } => {
-                let released = st.log.ack_through(lsn);
-                for (_, kind, keys) in released {
-                    if kind == LogKind::Commit {
-                        for k in keys {
-                            let seg = st.segment(k);
-                            st.nic_index.unpin(seg, k);
+                let XenicNode {
+                    log,
+                    nic_index,
+                    host_table,
+                    ..
+                } = st;
+                log.ack_through_with(lsn, |e| {
+                    if e.kind == LogKind::Commit {
+                        for (k, _, _) in &e.writes {
+                            let seg = host_table.segment_of_key(*k);
+                            nic_index.unpin(seg, *k);
                         }
                     }
-                }
+                });
             }
         }
     }
@@ -569,7 +588,7 @@ impl Protocol for Xenic {
         // backpressure and its retry event died with the crash) is dropped
         // instead, so the coordinator's retransmission appends it fresh —
         // acking it would commit a record this backup never logged.
-        let logged: HashSet<(TxnId, u32)> = st
+        let logged: FastSet<(TxnId, u32)> = st
             .log
             .unacked()
             .filter(|e| e.kind == LogKind::Backup)
@@ -712,18 +731,18 @@ fn host_start_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, slot: u
             writes.push((*k, WritePayload::Full(v.clone()), ver + 1));
         }
         st.stats.local_fast_path.inc();
-        let msg = XMsg::LocalCommit {
+        let msg = XMsg::from(LocalCommit {
             seq,
             checks,
             writes,
-        };
+        });
         let bytes = msg.wire_bytes();
         rt.send_pcie(Exec::Nic, msg, bytes);
         return;
     }
 
     // Distributed: ship the transaction state to the local SmartNIC.
-    let msg = XMsg::TxnSubmit { seq, spec };
+    let msg = XMsg::from(TxnSubmit { seq, spec });
     let bytes = msg.wire_bytes();
     rt.send_pcie(Exec::Nic, msg, bytes);
 }
@@ -772,23 +791,17 @@ fn host_apply_log(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, lsn: u
     while st.apply_ready.remove(&st.next_apply_lsn).is_some() {
         let lsn = st.next_apply_lsn;
         st.next_apply_lsn += 1;
-        let Some(entry) = st.log.unacked().find(|e| e.lsn == lsn).cloned() else {
+        let Some(entry) = st.log.get(lsn) else {
             continue;
         };
         rt.charge(100 + 120 * entry.writes.len() as u64);
         if entry.shard == st.shard {
-            // Primary apply into the Robinhood table; refresh NIC hints
-            // for any segment an insert may have deepened.
+            // Primary apply into the Robinhood table (single-probe
+            // in-place writes); refresh NIC hints for any segment an
+            // insert may have deepened.
             for (k, p, ver) in &entry.writes {
-                let current = st
-                    .host_table
-                    .get(*k)
-                    .map(|(v, _)| v.clone())
-                    .unwrap_or_else(|| Value::filled(0, 0));
-                let new_value = p.apply(&current);
-                if st.host_table.contains(*k) {
-                    st.host_table.update(*k, new_value, *ver);
-                } else {
+                if !st.host_table.apply_payload(*k, p, *ver) {
+                    let new_value = p.apply(&Value::filled(0, 0));
                     st.host_table.insert_versioned(*k, new_value, *ver);
                     let seg = st.host_table.segment_of_key(*k);
                     st.nic_index.set_hint(
@@ -801,12 +814,15 @@ fn host_apply_log(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, lsn: u
         } else {
             let map = st.backups.entry(entry.shard).or_default();
             for (k, p, ver) in &entry.writes {
-                let current = map
-                    .get(k)
-                    .map(|(v, _)| v.clone())
-                    .unwrap_or_else(|| Value::filled(0, 0));
-                let new_value = p.apply(&current);
-                map.insert(*k, (new_value, *ver));
+                match map.get_mut(k) {
+                    Some(slot) => {
+                        p.apply_in_place(&mut slot.0);
+                        slot.1 = *ver;
+                    }
+                    None => {
+                        map.insert(*k, (p.apply(&Value::filled(0, 0)), *ver));
+                    }
+                }
             }
         }
         applied_to = Some(lsn);
@@ -910,7 +926,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
         attempts: 0,
         awaiting: BTreeMap::new(),
         resend: Vec::new(),
-        acks: HashSet::new(),
+        acks: FastSet::default(),
         mh_ship_seen: false,
     };
 
@@ -924,12 +940,12 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             // Ship straight to the remote primary.
             ct.phase = Phase::MhShipped;
             ct.pending = mh_expected_acks(st, &spec, remote_shards[0]);
-            let msg = XMsg::ExecShip {
+            let msg = XMsg::from(ExecShip {
                 txn,
                 reply_to: me as u32,
                 spec: spec.clone(),
                 local_vals: Vec::new(),
-            };
+            });
             let bytes = msg.wire_bytes();
             let dst = st.part.primary(remote_shards[0]);
             if fa {
@@ -961,14 +977,14 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                     req,
                     (
                         me,
-                        XMsg::Execute {
+                        XMsg::from(Execute {
                             txn,
                             req,
                             reply_to: me as u32,
                             mode: ExecMode::Combined,
                             reads: local_reads.clone(),
                             locks: local_keys.clone(),
-                        },
+                        }),
                     ),
                 );
             }
@@ -1013,14 +1029,14 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             ct.pending += 1;
             let req = st.next_req;
             st.next_req += 1;
-            let msg = XMsg::Execute {
+            let msg = XMsg::from(Execute {
                 txn,
                 req,
                 reply_to: me as u32,
                 mode: ExecMode::Combined,
                 reads,
                 locks,
-            };
+            });
             if fa {
                 ct.awaiting.insert(req, (dst, msg.clone()));
             }
@@ -1033,14 +1049,14 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                 ct.pending += 1;
                 let req = st.next_req;
                 st.next_req += 1;
-                let msg = XMsg::Execute {
+                let msg = XMsg::from(Execute {
                     txn,
                     req,
                     reply_to: me as u32,
                     mode: ExecMode::ReadOnly,
                     reads: vec![k],
                     locks: vec![],
-                };
+                });
                 if fa {
                     ct.awaiting.insert(req, (dst, msg.clone()));
                 }
@@ -1051,14 +1067,14 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                 ct.pending += 1;
                 let req = st.next_req;
                 st.next_req += 1;
-                let msg = XMsg::Execute {
+                let msg = XMsg::from(Execute {
                     txn,
                     req,
                     reply_to: me as u32,
                     mode: ExecMode::LockOnly,
                     reads: vec![],
                     locks: vec![k],
-                };
+                });
                 if fa {
                     ct.awaiting.insert(req, (dst, msg.clone()));
                 }
@@ -1149,7 +1165,7 @@ fn cnic_execute_resp(
                 .collect()
         };
         if !unlock.is_empty() {
-            let msg = XMsg::AbortReq { txn, unlock };
+            let msg = XMsg::from(AbortReq { txn, unlock });
             let bytes = msg.wire_bytes();
             rt.send_net(st.part.primary(shard), Exec::Nic, msg, bytes);
         }
@@ -1179,12 +1195,12 @@ fn cnic_execute_resp(
             let acks = mh_expected_acks(st, &spec, remote);
             let ct = st.coord.get_mut(&seq).expect("coord exists");
             ct.pending = acks;
-            let msg = XMsg::ExecShip {
+            let msg = XMsg::from(ExecShip {
                 txn,
                 reply_to: me as u32,
                 spec,
                 local_vals,
-            };
+            });
             let bytes = msg.wire_bytes();
             let dst = st.part.primary(remote);
             let fa = rt.faults_active();
@@ -1234,14 +1250,14 @@ fn exec_complete(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64
             for (shard, reads, locks) in sends {
                 let req = st.next_req;
                 st.next_req += 1;
-                let msg = XMsg::Execute {
+                let msg = XMsg::from(Execute {
                     txn,
                     req,
                     reply_to: me as u32,
                     mode: ExecMode::Combined,
                     reads,
                     locks,
-                };
+                });
                 msgs.push((st.part.primary(shard), req, msg));
             }
             if fa {
@@ -1378,12 +1394,12 @@ fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u6
     for (shard, checks) in to_send {
         let req = st.next_req;
         st.next_req += 1;
-        let msg = XMsg::Validate {
+        let msg = XMsg::from(Validate {
             txn,
             req,
             reply_to: me as u32,
             checks,
-        };
+        });
         msgs.push((st.part.primary(shard), req, msg));
     }
     let ct = st.coord.get_mut(&seq).expect("coord exists");
@@ -1475,12 +1491,12 @@ fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, tx
     }
     let mut msgs: Vec<(usize, XMsg)> = Vec::with_capacity(sends.len());
     for (backup, shard, writes) in sends {
-        let msg = XMsg::LogReq {
+        let msg = XMsg::from(LogReq {
             txn,
             shard,
             reply_to: me as u32,
             writes,
-        };
+        });
         if fa {
             ct.resend.push((backup, shard, msg.clone()));
         }
@@ -1555,7 +1571,7 @@ fn cnic_log_resp(
                             .all_keys()
                             .filter(|k| shard_of(*k) == remote)
                             .collect();
-                        let msg = XMsg::AbortReq { txn, unlock };
+                        let msg = XMsg::from(AbortReq { txn, unlock });
                         let bytes = msg.wire_bytes();
                         rt.send_net(st.part.primary(remote), Exec::Nic, msg, bytes);
                     }
@@ -1628,7 +1644,7 @@ fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u6
     let mut unacked: Vec<(u32, usize, XMsg)> = Vec::new();
     for (shard, writes) in by_shard {
         let dst = st.part.primary(shard);
-        let msg = XMsg::CommitReq { txn, shard, writes };
+        let msg = XMsg::from(CommitReq { txn, shard, writes });
         if fa {
             unacked.push((shard, dst, msg.clone()));
         }
@@ -1670,11 +1686,11 @@ fn finish_commit_multihop(
     // Slim Commit to the remote primary (it staged its writes).
     if let Some(remote) = ct.remote_shard {
         let dst = st.part.primary(remote);
-        let msg = XMsg::CommitReq {
+        let msg = XMsg::from(CommitReq {
             txn,
             shard: remote,
             writes: Vec::new(),
-        };
+        });
         if rt.faults_active() {
             st.committing.insert(seq, vec![(remote, dst, msg.clone())]);
             rt.send_local(
@@ -1768,7 +1784,7 @@ fn abort_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, t
         if unlock.is_empty() {
             continue;
         }
-        let msg = XMsg::AbortReq { txn, unlock };
+        let msg = XMsg::from(AbortReq { txn, unlock });
         let bytes = msg.wire_bytes();
         rt.send_net(st.part.primary(*shard), Exec::Nic, msg, bytes);
     }
@@ -1963,7 +1979,7 @@ fn cnic_local_commit(
         attempts: 0,
         awaiting: BTreeMap::new(),
         resend: Vec::new(),
-        acks: HashSet::new(),
+        acks: FastSet::default(),
         mh_ship_seen: false,
     };
     st.coord.insert(seq, ct);
@@ -1977,12 +1993,12 @@ fn cnic_local_commit(
     let fa = rt.faults_active();
     let my_shard = st.shard;
     for b in backups {
-        let msg = XMsg::LogReq {
+        let msg = XMsg::from(LogReq {
             txn,
             shard: my_shard,
             reply_to: me as u32,
             writes: writes.clone(),
-        };
+        });
         if fa {
             let ct = st.coord.get_mut(&seq).expect("coord exists");
             ct.resend.push((b, my_shard, msg.clone()));
@@ -2039,20 +2055,15 @@ fn apply_commit_records(
     }
     match appended {
         Ok(lsn) => {
-            let entry_bytes = st
-                .log
-                .unacked()
-                .find(|e| e.lsn == lsn)
-                .map(|e| e.bytes())
-                .unwrap_or(64) as u32;
+            let entry_bytes = st.log.get(lsn).map(|e| e.bytes()).unwrap_or(64) as u32;
             rt.dma_write(
                 entry_bytes,
-                XMsg::DmaLogDone {
+                XMsg::from(DmaLogDone {
                     txn,
                     reply_to: None,
                     lsn,
                     unlock,
-                },
+                }),
             );
         }
         Err(_) => {
@@ -2061,7 +2072,7 @@ fn apply_commit_records(
             // entries were pinned above, so readers stay correct.
             rt.send_local(
                 Exec::Nic,
-                XMsg::RetryCommitApply { txn, writes, unlock },
+                XMsg::from(RetryCommitApply { txn, writes, unlock }),
                 COMMIT_RETRY_NS,
             );
         }
@@ -2097,11 +2108,11 @@ fn snic_execute(
                 st.nic_index.unlock(seg, a, txn);
             }
             if ship.is_some() {
-                let msg = XMsg::ExecShipResp {
+                let msg = XMsg::from(ExecShipResp {
                     txn,
                     ok: false,
                     local_writes: Vec::new(),
-                };
+                });
                 if rt.faults_active() {
                     // Cache the refusal: a retransmitted ExecShip must not
                     // re-attempt the locks after the coordinator aborted.
@@ -2110,14 +2121,14 @@ fn snic_execute(
                 let bytes = msg.wire_bytes();
                 rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
             } else {
-                let msg = XMsg::ExecuteResp {
+                let msg = XMsg::from(ExecuteResp {
                     txn,
                     req,
                     shard: st.shard,
                     ok: false,
                     values: Vec::new(),
                     lock_versions: Vec::new(),
-                };
+                });
                 let bytes = msg.wire_bytes();
                 rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
             }
@@ -2210,12 +2221,12 @@ fn start_lookup_chain(st: &mut XenicNode, rt: &mut Runtime<XMsg>, op_id: u64, ke
     let first = rounds.remove(0);
     rt.dma_read(
         first,
-        XMsg::DmaLookupDone {
+        XMsg::from(DmaLookupDone {
             op: op_id,
             key,
             remaining: rounds,
             result: trace.found,
-        },
+        }),
     );
 }
 
@@ -2232,12 +2243,12 @@ fn snic_dma_lookup_done(
         let next = remaining.remove(0);
         rt.dma_read(
             next,
-            XMsg::DmaLookupDone {
+            XMsg::from(DmaLookupDone {
                 op: op_id,
                 key,
                 remaining,
                 result,
-            },
+            }),
         );
         return;
     }
@@ -2325,14 +2336,14 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
     };
     match ship {
         None => {
-            let msg = XMsg::ExecuteResp {
+            let msg = XMsg::from(ExecuteResp {
                 txn,
                 req,
                 shard,
                 ok: true,
                 values,
                 lock_versions,
-            };
+            });
             let bytes = msg.wire_bytes();
             rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
         }
@@ -2358,23 +2369,23 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
             let mut fanout: Vec<(usize, XMsg)> = Vec::new();
             if !mine.is_empty() {
                 for b in st.part.backups(st.shard) {
-                    let msg = XMsg::LogReq {
+                    let msg = XMsg::from(LogReq {
                         txn,
                         shard: st.shard,
                         reply_to,
                         writes: mine.clone(),
-                    };
+                    });
                     fanout.push((b, msg));
                 }
             }
             if !local_writes.is_empty() {
                 for b in st.part.backups(coord_shard) {
-                    let msg = XMsg::LogReq {
+                    let msg = XMsg::from(LogReq {
                         txn,
                         shard: coord_shard,
                         reply_to,
                         writes: local_writes.clone(),
-                    };
+                    });
                     fanout.push((b, msg));
                 }
             }
@@ -2385,11 +2396,11 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
             if !mine.is_empty() {
                 st.ship_staged.insert(txn, mine);
             }
-            let msg = XMsg::ExecShipResp {
+            let msg = XMsg::from(ExecShipResp {
                 txn,
                 ok: true,
                 local_writes,
-            };
+            });
             if rt.faults_active() {
                 // Remember the outcome so a retransmitted ExecShip replays
                 // it instead of re-executing.
@@ -2510,20 +2521,15 @@ fn snic_log(
             if fa {
                 st.backup_log_acked.insert((txn, shard), false);
             }
-            let entry_bytes = st
-                .log
-                .unacked()
-                .find(|e| e.lsn == lsn)
-                .map(|e| e.bytes())
-                .unwrap_or(64) as u32;
+            let entry_bytes = st.log.get(lsn).map(|e| e.bytes()).unwrap_or(64) as u32;
             rt.dma_write(
                 entry_bytes,
-                XMsg::DmaLogDone {
+                XMsg::from(DmaLogDone {
                     txn,
                     reply_to: Some(reply_to),
                     lsn,
                     unlock: Vec::new(),
-                },
+                }),
             );
         }
         Err(_) => {
@@ -2538,12 +2544,12 @@ fn snic_log(
             }
             rt.send_local(
                 Exec::Nic,
-                XMsg::RetryBackupLog {
+                XMsg::from(RetryBackupLog {
                     txn,
                     shard,
                     reply_to,
                     writes,
-                },
+                }),
                 COMMIT_RETRY_NS,
             );
         }
@@ -2611,12 +2617,7 @@ fn snic_dma_log_done(
     if let Some(r) = reply_to {
         // A node backs up several shards; recover the logged shard so the
         // coordinator can match this ack against the right LogReq.
-        let entry_shard = st
-            .log
-            .unacked()
-            .find(|e| e.lsn == lsn)
-            .map(|e| e.shard)
-            .unwrap_or(st.shard);
+        let entry_shard = st.log.get(lsn).map(|e| e.shard).unwrap_or(st.shard);
         if rt.faults_active() {
             if let Some(acked) = st.backup_log_acked.get_mut(&(txn, entry_shard)) {
                 *acked = true;

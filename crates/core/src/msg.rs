@@ -36,6 +36,12 @@ pub enum ExecMode {
 }
 
 /// The Xenic message set.
+///
+/// The enum itself is the hot payload of every simulator event, inbox slot,
+/// and aggregation buffer, so it is kept lean: any variant whose fields
+/// exceed a few words lives behind a `Box` (its body struct shares the
+/// variant's name). `crates/core/tests/engine_behaviors.rs` guards the
+/// resulting sizes so a future variant can't silently re-bloat the queue.
 #[derive(Clone, Debug)]
 pub enum XMsg {
     // ---- Coordinator host ----
@@ -85,68 +91,18 @@ pub enum XMsg {
 
     // ---- Coordinator host → coordinator NIC ----
     /// Transaction state shipped to the local SmartNIC (§4.2 step 1).
-    TxnSubmit {
-        /// Coordinator-local sequence.
-        seq: u64,
-        /// The transaction.
-        spec: TxnSpec,
-    },
+    TxnSubmit(Box<TxnSubmit>),
     /// A local write transaction, pre-executed on the host (§4.2.4): the
     /// NIC validates, locks, and replicates.
-    LocalCommit {
-        /// Coordinator-local sequence.
-        seq: u64,
-        /// Versions observed by the host's optimistic reads.
-        checks: Vec<(Key, Version)>,
-        /// Computed writes.
-        writes: WriteSet,
-    },
+    LocalCommit(Box<LocalCommit>),
 
     // ---- NIC ↔ NIC remote operations ----
     /// Execute-phase request to a primary NIC.
-    Execute {
-        /// Transaction id.
-        txn: TxnId,
-        /// Coordinator-side request id, echoed by the response. Lets the
-        /// coordinator pair responses with outstanding requests so
-        /// retransmitted or duplicated messages are counted once.
-        req: u64,
-        /// Coordinator node to respond to.
-        reply_to: u32,
-        /// Request flavor.
-        mode: ExecMode,
-        /// Keys to read (Combined/ReadOnly).
-        reads: Vec<Key>,
-        /// Keys to write-lock (Combined/LockOnly).
-        locks: Vec<Key>,
-    },
+    Execute(Box<Execute>),
     /// Execute-phase response.
-    ExecuteResp {
-        /// Transaction id.
-        txn: TxnId,
-        /// Echo of the request id.
-        req: u64,
-        /// Responding shard.
-        shard: u32,
-        /// False if a lock was unavailable.
-        ok: bool,
-        /// Read values and their versions.
-        values: Vec<(Key, Value, Version)>,
-        /// Current versions of the locked (write-set) keys — all the
-        /// coordinator needs for delta updates; the value bytes stay home.
-        lock_versions: Vec<(Key, Version)>,
-    },
+    ExecuteResp(Box<ExecuteResp>),
     /// Validate-phase version check (§4.2 step 4).
-    Validate {
-        /// Transaction id.
-        txn: TxnId,
-        /// Coordinator-side request id, echoed by the response.
-        req: u64,
-        /// Coordinator node to respond to.
-        reply_to: u32,
-        /// Keys and the versions observed at Execute.
-        checks: Vec<(Key, Version)>,
-    },
+    Validate(Box<Validate>),
     /// Validate-phase response.
     ValidateResp {
         /// Transaction id.
@@ -159,17 +115,7 @@ pub enum XMsg {
         ok: bool,
     },
     /// Log-phase request to a backup NIC (§4.2 step 5).
-    LogReq {
-        /// Transaction id.
-        txn: TxnId,
-        /// Shard whose backup should log this write set.
-        shard: u32,
-        /// Node to acknowledge (the coordinator — possibly not the
-        /// sender, in the multi-hop pattern of Figure 7b).
-        reply_to: u32,
-        /// The write set.
-        writes: WriteSet,
-    },
+    LogReq(Box<LogReq>),
     /// Log-phase acknowledgement (sent after the log DMA completes).
     LogResp {
         /// Transaction id.
@@ -187,14 +133,7 @@ pub enum XMsg {
         ok: bool,
     },
     /// Commit-phase request to a primary NIC (§4.2 step 6).
-    CommitReq {
-        /// Transaction id.
-        txn: TxnId,
-        /// Target shard.
-        shard: u32,
-        /// The write set to apply.
-        writes: WriteSet,
-    },
+    CommitReq(Box<CommitReq>),
     /// Acknowledges a [`XMsg::CommitReq`]. Only sent (and only awaited)
     /// when fault injection is active: commit messages are fire-and-forget
     /// on a reliable fabric, but under loss the coordinator retransmits
@@ -206,82 +145,26 @@ pub enum XMsg {
         shard: u32,
     },
     /// Abort: release the locks this shard holds for `txn`.
-    AbortReq {
-        /// Transaction id.
-        txn: TxnId,
-        /// Keys to unlock.
-        unlock: Vec<Key>,
-    },
+    AbortReq(Box<AbortReq>),
 
     // ---- Multi-hop / shipped execution (§4.2.3) ----
     /// Ship a whole transaction to a remote primary NIC for execution.
-    ExecShip {
-        /// Transaction id.
-        txn: TxnId,
-        /// Coordinator node.
-        reply_to: u32,
-        /// The transaction (remote + local keys).
-        spec: TxnSpec,
-        /// Values of the coordinator-local keys, read and locked by the
-        /// coordinator NIC before shipping.
-        local_vals: Vec<(Key, Value, Version)>,
-    },
+    ExecShip(Box<ExecShip>),
     /// The remote primary's response: execution outcome plus the write
     /// values for the coordinator's local shard.
-    ExecShipResp {
-        /// Transaction id.
-        txn: TxnId,
-        /// False if locking or validation failed at the remote primary.
-        ok: bool,
-        /// Writes belonging to the coordinator's local shard.
-        local_writes: WriteSet,
-    },
+    ExecShipResp(Box<ExecShipResp>),
 
     // ---- DMA continuations (same node, NIC pool) ----
     /// One roundtrip of a chained DMA lookup finished.
-    DmaLookupDone {
-        /// The pending server-side operation this lookup serves.
-        op: u64,
-        /// The key being looked up.
-        key: Key,
-        /// Remaining chained read sizes (next is issued immediately).
-        remaining: Vec<u32>,
-        /// The final result (applied when `remaining` is empty).
-        result: Option<(Value, Version)>,
-    },
+    DmaLookupDone(Box<DmaLookupDone>),
     /// A primary's Commit append found the log ring full: retry after
     /// the host drains (locks stay held; cache entries stay pinned).
-    RetryCommitApply {
-        /// Transaction id.
-        txn: TxnId,
-        /// The write set to apply.
-        writes: WriteSet,
-        /// Keys to unlock once durable.
-        unlock: Vec<Key>,
-    },
+    RetryCommitApply(Box<RetryCommitApply>),
     /// A backup's Log append found the ring full: retry.
-    RetryBackupLog {
-        /// Transaction id.
-        txn: TxnId,
-        /// Shard whose backup should log.
-        shard: u32,
-        /// Coordinator to acknowledge.
-        reply_to: u32,
-        /// The write set.
-        writes: WriteSet,
-    },
+    RetryBackupLog(Box<RetryBackupLog>),
     /// A log-append DMA write became durable; acknowledge and hand the
     /// record to a host worker.
-    DmaLogDone {
-        /// Transaction id.
-        txn: TxnId,
-        /// Who gets the LogResp (None for primary-side Commit records).
-        reply_to: Option<u32>,
-        /// The record's LSN.
-        lsn: u64,
-        /// Write-set keys to unlock once durable (Commit records).
-        unlock: Vec<Key>,
-    },
+    DmaLogDone(Box<DmaLogDone>),
 
     // ---- Loss-tolerance timers (same node, NIC pool; faults only) ----
     /// A coordinator-NIC phase timer fired: if the transaction is still in
@@ -304,6 +187,211 @@ pub enum XMsg {
     },
 }
 
+/// Body of [`XMsg::TxnSubmit`].
+#[derive(Clone, Debug)]
+pub struct TxnSubmit {
+    /// Coordinator-local sequence.
+    pub seq: u64,
+    /// The transaction.
+    pub spec: TxnSpec,
+}
+
+/// Body of [`XMsg::LocalCommit`].
+#[derive(Clone, Debug)]
+pub struct LocalCommit {
+    /// Coordinator-local sequence.
+    pub seq: u64,
+    /// Versions observed by the host's optimistic reads.
+    pub checks: Vec<(Key, Version)>,
+    /// Computed writes.
+    pub writes: WriteSet,
+}
+
+/// Body of [`XMsg::Execute`].
+#[derive(Clone, Debug)]
+pub struct Execute {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Coordinator-side request id, echoed by the response. Lets the
+    /// coordinator pair responses with outstanding requests so
+    /// retransmitted or duplicated messages are counted once.
+    pub req: u64,
+    /// Coordinator node to respond to.
+    pub reply_to: u32,
+    /// Request flavor.
+    pub mode: ExecMode,
+    /// Keys to read (Combined/ReadOnly).
+    pub reads: Vec<Key>,
+    /// Keys to write-lock (Combined/LockOnly).
+    pub locks: Vec<Key>,
+}
+
+/// Body of [`XMsg::ExecuteResp`].
+#[derive(Clone, Debug)]
+pub struct ExecuteResp {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Echo of the request id.
+    pub req: u64,
+    /// Responding shard.
+    pub shard: u32,
+    /// False if a lock was unavailable.
+    pub ok: bool,
+    /// Read values and their versions.
+    pub values: Vec<(Key, Value, Version)>,
+    /// Current versions of the locked (write-set) keys — all the
+    /// coordinator needs for delta updates; the value bytes stay home.
+    pub lock_versions: Vec<(Key, Version)>,
+}
+
+/// Body of [`XMsg::Validate`].
+#[derive(Clone, Debug)]
+pub struct Validate {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Coordinator-side request id, echoed by the response.
+    pub req: u64,
+    /// Coordinator node to respond to.
+    pub reply_to: u32,
+    /// Keys and the versions observed at Execute.
+    pub checks: Vec<(Key, Version)>,
+}
+
+/// Body of [`XMsg::LogReq`].
+#[derive(Clone, Debug)]
+pub struct LogReq {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Shard whose backup should log this write set.
+    pub shard: u32,
+    /// Node to acknowledge (the coordinator — possibly not the
+    /// sender, in the multi-hop pattern of Figure 7b).
+    pub reply_to: u32,
+    /// The write set.
+    pub writes: WriteSet,
+}
+
+/// Body of [`XMsg::CommitReq`].
+#[derive(Clone, Debug)]
+pub struct CommitReq {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Target shard.
+    pub shard: u32,
+    /// The write set to apply.
+    pub writes: WriteSet,
+}
+
+/// Body of [`XMsg::AbortReq`].
+#[derive(Clone, Debug)]
+pub struct AbortReq {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Keys to unlock.
+    pub unlock: Vec<Key>,
+}
+
+/// Body of [`XMsg::ExecShip`].
+#[derive(Clone, Debug)]
+pub struct ExecShip {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Coordinator node.
+    pub reply_to: u32,
+    /// The transaction (remote + local keys).
+    pub spec: TxnSpec,
+    /// Values of the coordinator-local keys, read and locked by the
+    /// coordinator NIC before shipping.
+    pub local_vals: Vec<(Key, Value, Version)>,
+}
+
+/// Body of [`XMsg::ExecShipResp`].
+#[derive(Clone, Debug)]
+pub struct ExecShipResp {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// False if locking or validation failed at the remote primary.
+    pub ok: bool,
+    /// Writes belonging to the coordinator's local shard.
+    pub local_writes: WriteSet,
+}
+
+/// Body of [`XMsg::DmaLookupDone`].
+#[derive(Clone, Debug)]
+pub struct DmaLookupDone {
+    /// The pending server-side operation this lookup serves.
+    pub op: u64,
+    /// The key being looked up.
+    pub key: Key,
+    /// Remaining chained read sizes (next is issued immediately).
+    pub remaining: Vec<u32>,
+    /// The final result (applied when `remaining` is empty).
+    pub result: Option<(Value, Version)>,
+}
+
+/// Body of [`XMsg::RetryCommitApply`].
+#[derive(Clone, Debug)]
+pub struct RetryCommitApply {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// The write set to apply.
+    pub writes: WriteSet,
+    /// Keys to unlock once durable.
+    pub unlock: Vec<Key>,
+}
+
+/// Body of [`XMsg::RetryBackupLog`].
+#[derive(Clone, Debug)]
+pub struct RetryBackupLog {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Shard whose backup should log.
+    pub shard: u32,
+    /// Coordinator to acknowledge.
+    pub reply_to: u32,
+    /// The write set.
+    pub writes: WriteSet,
+}
+
+/// Body of [`XMsg::DmaLogDone`].
+#[derive(Clone, Debug)]
+pub struct DmaLogDone {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Who gets the LogResp (None for primary-side Commit records).
+    pub reply_to: Option<u32>,
+    /// The record's LSN.
+    pub lsn: u64,
+    /// Write-set keys to unlock once durable (Commit records).
+    pub unlock: Vec<Key>,
+}
+
+macro_rules! from_body {
+    ($($t:ident),* $(,)?) => {$(
+        impl From<$t> for XMsg {
+            fn from(b: $t) -> XMsg {
+                XMsg::$t(Box::new(b))
+            }
+        }
+    )*};
+}
+from_body!(
+    TxnSubmit,
+    LocalCommit,
+    Execute,
+    ExecuteResp,
+    Validate,
+    LogReq,
+    CommitReq,
+    AbortReq,
+    ExecShip,
+    ExecShipResp,
+    DmaLookupDone,
+    RetryCommitApply,
+    RetryBackupLog,
+    DmaLogDone,
+);
+
 impl XMsg {
     /// Frame payload bytes this message occupies on the wire (Ethernet
     /// NIC-to-NIC or PCIe host↔NIC). Local-only continuations are free.
@@ -323,29 +411,25 @@ impl XMsg {
             XMsg::Outcome { .. } => OP_HEADER,
             XMsg::ApplyLog { .. } => 0,
             XMsg::AppliedAck { .. } => OP_HEADER,
-            XMsg::TxnSubmit { spec, .. } => spec.spec_bytes(),
-            XMsg::LocalCommit { checks, writes, .. } => {
-                OP_HEADER + checks.len() as u32 * CHECK_BYTES + ws(writes)
+            XMsg::TxnSubmit(b) => b.spec.spec_bytes(),
+            XMsg::LocalCommit(b) => {
+                OP_HEADER + b.checks.len() as u32 * CHECK_BYTES + ws(&b.writes)
             }
-            XMsg::Execute { reads, locks, .. } => {
-                OP_HEADER + (reads.len() + locks.len()) as u32 * KEY_BYTES
+            XMsg::Execute(b) => {
+                OP_HEADER + (b.reads.len() + b.locks.len()) as u32 * KEY_BYTES
             }
-            XMsg::ExecuteResp {
-                values,
-                lock_versions,
-                ..
-            } => OP_HEADER + vals(values) + lock_versions.len() as u32 * CHECK_BYTES,
-            XMsg::Validate { checks, .. } => OP_HEADER + checks.len() as u32 * CHECK_BYTES,
+            XMsg::ExecuteResp(b) => {
+                OP_HEADER + vals(&b.values) + b.lock_versions.len() as u32 * CHECK_BYTES
+            }
+            XMsg::Validate(b) => OP_HEADER + b.checks.len() as u32 * CHECK_BYTES,
             XMsg::ValidateResp { .. } => OP_HEADER,
-            XMsg::LogReq { writes, .. } => OP_HEADER + ws(writes),
+            XMsg::LogReq(b) => OP_HEADER + ws(&b.writes),
             XMsg::LogResp { .. } => OP_HEADER,
-            XMsg::CommitReq { writes, .. } => OP_HEADER + ws(writes),
+            XMsg::CommitReq(b) => OP_HEADER + ws(&b.writes),
             XMsg::CommitAck { .. } => OP_HEADER,
-            XMsg::AbortReq { unlock, .. } => OP_HEADER + unlock.len() as u32 * KEY_BYTES,
-            XMsg::ExecShip {
-                spec, local_vals, ..
-            } => spec.spec_bytes() + vals(local_vals),
-            XMsg::ExecShipResp { local_writes, .. } => OP_HEADER + ws(local_writes),
+            XMsg::AbortReq(b) => OP_HEADER + b.unlock.len() as u32 * KEY_BYTES,
+            XMsg::ExecShip(b) => b.spec.spec_bytes() + vals(&b.local_vals),
+            XMsg::ExecShipResp(b) => OP_HEADER + ws(&b.local_writes),
             XMsg::DmaLookupDone { .. }
             | XMsg::DmaLogDone { .. }
             | XMsg::RetryCommitApply { .. }
@@ -367,64 +451,64 @@ mod tests {
 
     #[test]
     fn execute_size_scales_with_keys() {
-        let small = XMsg::Execute {
+        let small = XMsg::from(Execute {
             txn: TxnId::new(0, 1),
             req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
             reads: vec![make_key(1, 1)],
             locks: vec![],
-        };
-        let large = XMsg::Execute {
+        });
+        let large = XMsg::from(Execute {
             txn: TxnId::new(0, 1),
             req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
             reads: vec![make_key(1, 1); 10],
             locks: vec![make_key(1, 2); 5],
-        };
+        });
         assert_eq!(small.wire_bytes(), 24 + 12);
         assert_eq!(large.wire_bytes(), 24 + 15 * 12);
     }
 
     #[test]
     fn value_messages_include_payload() {
-        let resp = XMsg::ExecuteResp {
+        let resp = XMsg::from(ExecuteResp {
             txn: TxnId::new(0, 1),
             req: 0,
             shard: 2,
             ok: true,
             values: vec![(1, v(64), 1), (2, v(12), 3)],
             lock_versions: vec![(3, 7)],
-        };
+        });
         assert_eq!(resp.wire_bytes(), 24 + (16 + 64) + (16 + 12) + 16);
 
         // Delta payloads keep big objects off the wire — the function-
         // shipping payoff: a 320-byte stock row's decrement costs 28 B.
-        let log_full = XMsg::LogReq {
+        let log_full = XMsg::from(LogReq {
             txn: TxnId::new(0, 1),
             shard: 0,
             reply_to: 0,
             writes: vec![(9, WritePayload::Full(v(320)), 2)],
-        };
-        let log_delta = XMsg::LogReq {
+        });
+        let log_delta = XMsg::from(LogReq {
             txn: TxnId::new(0, 1),
             shard: 0,
             reply_to: 0,
             writes: vec![(9, WritePayload::AddI64(-3), 2)],
-        };
+        });
         assert_eq!(log_full.wire_bytes(), 24 + 8 + 16 + 320);
         assert_eq!(log_delta.wire_bytes(), 24 + 8 + 20);
     }
 
     #[test]
     fn continuations_are_free() {
-        let m = XMsg::DmaLogDone {
+        let m = XMsg::from(DmaLogDone {
             txn: TxnId::new(0, 1),
             reply_to: None,
             lsn: 9,
             unlock: vec![1, 2, 3],
-        };
+        });
         assert_eq!(m.wire_bytes(), 0);
         assert_eq!(XMsg::ApplyLog { lsn: 1 }.wire_bytes(), 0);
     }
@@ -434,42 +518,42 @@ mod tests {
         // One combined Execute (2 reads + 1 lock) is leaner than three
         // separate requests — the arithmetic behind Figure 9's "smart
         // remote ops" gain.
-        let combined = XMsg::Execute {
+        let combined = XMsg::from(Execute {
             txn: TxnId::new(0, 1),
             req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
             reads: vec![1, 2],
             locks: vec![3],
-        }
+        })
         .wire_bytes();
         let split: u32 = [
-            XMsg::Execute {
+            XMsg::from(Execute {
                 txn: TxnId::new(0, 1),
                 req: 0,
                 reply_to: 0,
                 mode: ExecMode::ReadOnly,
                 reads: vec![1],
                 locks: vec![],
-            }
+            })
             .wire_bytes(),
-            XMsg::Execute {
+            XMsg::from(Execute {
                 txn: TxnId::new(0, 1),
                 req: 0,
                 reply_to: 0,
                 mode: ExecMode::ReadOnly,
                 reads: vec![2],
                 locks: vec![],
-            }
+            })
             .wire_bytes(),
-            XMsg::Execute {
+            XMsg::from(Execute {
                 txn: TxnId::new(0, 1),
                 req: 0,
                 reply_to: 0,
                 mode: ExecMode::LockOnly,
                 reads: vec![],
                 locks: vec![3],
-            }
+            })
             .wire_bytes(),
         ]
         .iter()

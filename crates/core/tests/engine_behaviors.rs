@@ -459,3 +459,20 @@ fn batching_factors_grow_with_load() {
         high.dma_vector_fill
     );
 }
+
+/// The message enum rides in every queue slot, inbox entry, and
+/// aggregation buffer, so its footprint is a performance contract
+/// (msg.rs promises this guard): large variants must stay boxed.
+#[test]
+fn message_and_event_stay_cacheline_sized() {
+    assert!(
+        std::mem::size_of::<XMsg>() <= 40,
+        "XMsg grew to {} bytes; box the new variant's body",
+        std::mem::size_of::<XMsg>()
+    );
+    assert!(
+        std::mem::size_of::<xenic_net::Event<XMsg>>() <= 64,
+        "Event<XMsg> grew to {} bytes; box the offending payload",
+        std::mem::size_of::<xenic_net::Event<XMsg>>()
+    );
+}

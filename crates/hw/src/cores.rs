@@ -25,6 +25,11 @@ pub struct CorePool {
     class: CoreClass,
     free_at: Vec<SimTime>,
     busy_ns: Vec<u64>,
+    /// Memoized [`CorePool::earliest`] result, invalidated by any
+    /// reservation change. The runtime probes `has_idle` and then
+    /// `reserve` on every message, so without the memo each message scans
+    /// the pool twice.
+    earliest_memo: std::cell::Cell<Option<(usize, SimTime)>>,
 }
 
 impl CorePool {
@@ -35,6 +40,7 @@ impl CorePool {
             class,
             free_at: vec![SimTime::ZERO; n],
             busy_ns: vec![0; n],
+            earliest_memo: std::cell::Cell::new(None),
         }
     }
 
@@ -53,15 +59,21 @@ impl CorePool {
         self.free_at.is_empty()
     }
 
-    /// Index and free-time of the earliest-available core.
+    /// Index and free-time of the earliest-available core (lowest index
+    /// wins ties — the memo caches the identical scan result).
     pub fn earliest(&self) -> (usize, SimTime) {
+        if let Some(memo) = self.earliest_memo.get() {
+            return memo;
+        }
         let mut best = 0;
         for i in 1..self.free_at.len() {
             if self.free_at[i] < self.free_at[best] {
                 best = i;
             }
         }
-        (best, self.free_at[best])
+        let memo = (best, self.free_at[best]);
+        self.earliest_memo.set(Some(memo));
+        memo
     }
 
     /// True if some core is idle at `now`.
@@ -79,6 +91,7 @@ impl CorePool {
         let end = start + work_ns;
         self.free_at[core] = end;
         self.busy_ns[core] += work_ns;
+        self.earliest_memo.set(None);
         (core, start, end)
     }
 
@@ -87,6 +100,7 @@ impl CorePool {
     pub fn extend(&mut self, core: usize, extra_ns: u64) -> SimTime {
         self.free_at[core] += extra_ns;
         self.busy_ns[core] += extra_ns;
+        self.earliest_memo.set(None);
         self.free_at[core]
     }
 

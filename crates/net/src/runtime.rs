@@ -110,8 +110,11 @@ pub enum Event<M> {
         dst: usize,
         /// The verb.
         verb: Verb,
-        /// What happens after the responder processes it.
-        cont: RdmaCont<M>,
+        /// What happens after the responder processes it (boxed: the
+        /// continuation carries a whole message, and RDMA events are far
+        /// rarer than Deliver/Flush traffic — keeping them fat would
+        /// double the size of *every* queue slot).
+        cont: Box<RdmaCont<M>>,
     },
     /// The responder NIC finished a one-sided verb: emit the response.
     RdmaServed {
@@ -120,7 +123,7 @@ pub enum Event<M> {
         /// The verb.
         verb: Verb,
         /// Requester and completion message.
-        cont: RdmaCont<M>,
+        cont: Box<RdmaCont<M>>,
     },
     /// A response packet reaches the requester NIC.
     RdmaReturn {
@@ -230,6 +233,10 @@ const AGG_SYNC_NS: u64 = 60;
 /// engine is idle; larger batches accumulate behind a busy queue.
 const DMA_WINDOW_NS: u64 = 60;
 
+/// Upper bound on retained frame buffers in the transmit freelist — caps
+/// idle memory while still covering the in-flight frame population.
+const FRAME_POOL_MAX: usize = 256;
+
 /// The runtime handed to protocol handlers: clock, fabric, DMA, RDMA.
 pub struct Runtime<M> {
     /// Calibrated hardware parameters.
@@ -257,6 +264,15 @@ pub struct Runtime<M> {
     cur_core: usize,
     cur_end: SimTime,
     in_handler: bool,
+    // Reusable hot-path scratch: the transmit/flush paths drain borrowed
+    // vectors instead of allocating per flush, and arrived frames recycle
+    // their buffers through `frame_pool` (bounded by FRAME_POOL_MAX).
+    net_scratch: Vec<(Exec, M, u32)>,
+    pcie_scratch: Vec<(Exec, M, u32)>,
+    fault_scratch: Vec<(Exec, M, u32)>,
+    frame_pool: Vec<Vec<(Exec, M)>>,
+    dma_batch_scratch: Vec<(DmaOp, M)>,
+    dma_ops_scratch: Vec<DmaOp>,
 }
 
 impl<M: Clone + fmt::Debug> Runtime<M> {
@@ -314,6 +330,12 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             cur_core: 0,
             cur_end: SimTime::ZERO,
             in_handler: false,
+            net_scratch: Vec::new(),
+            pcie_scratch: Vec::new(),
+            fault_scratch: Vec::new(),
+            frame_pool: Vec::new(),
+            dma_batch_scratch: Vec::new(),
+            dma_ops_scratch: Vec::new(),
         }
     }
 
@@ -391,7 +413,11 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 self.queue.push(at, Event::FlushNet { node: src, dst });
             }
         } else {
-            self.transmit_net(t0, src, dst, vec![(exec, msg, wire_bytes)]);
+            let mut one = std::mem::take(&mut self.net_scratch);
+            one.push((exec, msg, wire_bytes));
+            self.transmit_net(t0, src, dst, &mut one);
+            one.clear();
+            self.net_scratch = one;
         }
     }
 
@@ -402,9 +428,13 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         if buf.msgs.is_empty() {
             return;
         }
-        let msgs = std::mem::take(&mut buf.msgs);
+        // Hand the buffer a recycled vector and transmit from the full
+        // one; the drained vector becomes the next recycled scratch.
+        let mut msgs = std::mem::replace(&mut buf.msgs, std::mem::take(&mut self.net_scratch));
         let t = self.now();
-        self.transmit_net(t, src, dst, msgs);
+        self.transmit_net(t, src, dst, &mut msgs);
+        msgs.clear();
+        self.net_scratch = msgs;
     }
 
     /// Serializes messages into MTU-bounded frames and delivers them.
@@ -415,18 +445,23 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
     /// dedicated fault RNG stream. The PCIe, DMA, RDMA, and local lanes
     /// stay reliable — the model is lossy datacenter Ethernet under a
     /// crash-stop node fault model, not arbitrary hardware corruption.
-    fn transmit_net(&mut self, t0: SimTime, src: usize, dst: usize, mut msgs: Vec<(Exec, M, u32)>) {
+    fn transmit_net(&mut self, t0: SimTime, src: usize, dst: usize, msgs: &mut Vec<(Exec, M, u32)>) {
         let mut jitter_max = 0u64;
         if self.faults_active {
             if self.crashed[src] {
+                msgs.clear();
                 return;
             }
             let lf = self.cfg.faults.link_for(src, dst);
             let cut = self.cfg.faults.partitioned(src, dst, t0.0);
             jitter_max = lf.jitter_ns;
             if cut || lf.drop_prob > 0.0 || lf.dup_prob > 0.0 {
-                let mut kept: Vec<(Exec, M, u32)> = Vec::with_capacity(msgs.len());
-                for (exec, msg, bytes) in msgs {
+                // Rebuild in a persistent scratch; the fault RNG draws
+                // (drop check, then dup check, per message in order) match
+                // the allocating implementation draw for draw.
+                let mut kept = std::mem::take(&mut self.fault_scratch);
+                debug_assert!(kept.is_empty());
+                for (exec, msg, bytes) in msgs.drain(..) {
                     if cut || (lf.drop_prob > 0.0 && self.fault_rng.chance(lf.drop_prob)) {
                         self.nodes[src].net_msgs_dropped += 1;
                         continue;
@@ -437,47 +472,63 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                     }
                     kept.push((exec, msg, bytes));
                 }
-                if kept.is_empty() {
+                std::mem::swap(msgs, &mut kept);
+                self.fault_scratch = kept;
+                if msgs.is_empty() {
                     return;
                 }
-                msgs = kept;
             }
         }
         // Surviving (post-fault) messages are what the port transmits, so
         // count them here to keep ops_per_frame reconciled with frames.
         self.nodes[src].net_msgs_sent += msgs.len() as u64;
         let mtu = u64::from(self.params.mtu_payload_bytes);
-        let oneway = self.params.wire_oneway_ns;
-        let mut frames: Vec<(Vec<(Exec, M)>, u64)> = Vec::new();
-        let mut frame: Vec<(Exec, M)> = Vec::new();
+        let mut frame: Vec<(Exec, M)> = self.frame_pool.pop().unwrap_or_default();
         let mut frame_bytes = 0u64;
-        for (exec, msg, bytes) in msgs {
+        // Build and send each frame in one pass: `send_frame` calls and
+        // jitter draws happen in frame order, exactly as a build-then-send
+        // split would produce.
+        for (exec, msg, bytes) in msgs.drain(..) {
             if frame_bytes + u64::from(bytes) > mtu && !frame.is_empty() {
-                frames.push((std::mem::take(&mut frame), frame_bytes));
+                self.send_net_frame(t0, src, dst, frame, frame_bytes, jitter_max);
+                frame = self.frame_pool.pop().unwrap_or_default();
                 frame_bytes = 0;
             }
             frame_bytes += u64::from(bytes);
             frame.push((exec, msg));
         }
-        if !frame.is_empty() {
-            frames.push((frame, frame_bytes));
+        if frame.is_empty() {
+            self.frame_pool.push(frame);
+        } else {
+            self.send_net_frame(t0, src, dst, frame, frame_bytes, jitter_max);
         }
-        for (frame, frame_bytes) in frames {
-            let tx_done = self.nodes[src].lio.send_frame(t0, frame_bytes);
-            let extra = if jitter_max > 0 {
-                self.fault_rng.below(jitter_max + 1)
-            } else {
-                0
-            };
-            self.queue.push(
-                tx_done + oneway + extra,
-                Event::NetArrive {
-                    dst,
-                    payload_bytes: frame_bytes,
-                    msgs: frame,
-                },
-            );
-        }
+    }
+
+    /// Transmits one built frame: port serialization, optional jitter
+    /// draw, and the in-flight `NetArrive` event.
+    fn send_net_frame(
+        &mut self,
+        t0: SimTime,
+        src: usize,
+        dst: usize,
+        frame: Vec<(Exec, M)>,
+        frame_bytes: u64,
+        jitter_max: u64,
+    ) {
+        let tx_done = self.nodes[src].lio.send_frame(t0, frame_bytes);
+        let extra = if jitter_max > 0 {
+            self.fault_rng.below(jitter_max + 1)
+        } else {
+            0
+        };
+        self.queue.push(
+            tx_done + self.params.wire_oneway_ns + extra,
+            Event::NetArrive {
+                dst,
+                payload_bytes: frame_bytes,
+                msgs: frame,
+            },
+        );
     }
 
     /// Sends a message across PCIe between this node's host and NIC. The
@@ -501,7 +552,11 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 self.queue.push(at, Event::FlushPcie { node, up });
             }
         } else {
-            self.transmit_pcie(t0, node, up, vec![(exec, msg, wire_bytes)]);
+            let mut one = std::mem::take(&mut self.pcie_scratch);
+            one.push((exec, msg, wire_bytes));
+            self.transmit_pcie(t0, node, up, &mut one);
+            one.clear();
+            self.pcie_scratch = one;
         }
     }
 
@@ -516,12 +571,14 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         if buf.msgs.is_empty() {
             return;
         }
-        let msgs = std::mem::take(&mut buf.msgs);
+        let mut msgs = std::mem::replace(&mut buf.msgs, std::mem::take(&mut self.pcie_scratch));
         let t = self.now();
-        self.transmit_pcie(t, node, up, msgs);
+        self.transmit_pcie(t, node, up, &mut msgs);
+        msgs.clear();
+        self.pcie_scratch = msgs;
     }
 
-    fn transmit_pcie(&mut self, t0: SimTime, node: usize, up: bool, msgs: Vec<(Exec, M, u32)>) {
+    fn transmit_pcie(&mut self, t0: SimTime, node: usize, up: bool, msgs: &mut Vec<(Exec, M, u32)>) {
         let total: u64 = msgs.iter().map(|(_, _, b)| u64::from(*b)).sum();
         let done = if up {
             self.nodes[node].pcie.send_frame(t0, total)
@@ -534,7 +591,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             self.params.pcie_down_ns
         };
         let arrival = done + lat;
-        for (exec, msg, _) in msgs {
+        for (exec, msg, _) in msgs.drain(..) {
             self.queue.push(arrival, Event::Deliver { node, exec, msg });
         }
     }
@@ -614,18 +671,19 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         }
         let now = self.now().max(self.departure());
         let max_vec = self.params.dma_max_vector;
+        let mut batch = std::mem::take(&mut self.dma_batch_scratch);
+        let mut ops = std::mem::take(&mut self.dma_ops_scratch);
         while !self.nodes[node].dma_pending.is_empty() {
             let take = self.nodes[node].dma_pending.len().min(max_vec);
-            let batch: Vec<(DmaOp, M)> =
-                self.nodes[node].dma_pending.drain(..take).collect();
-            let ops: Vec<DmaOp> = batch.iter().map(|(op, _)| *op).collect();
+            batch.extend(self.nodes[node].dma_pending.drain(..take));
+            ops.extend(batch.iter().map(|(op, _)| *op));
             let res = &mut self.nodes[node];
             let queue_id = res.dma_rr;
             res.dma_rr = (res.dma_rr + 1) % self.params.dma_queues;
             // The submitting NIC core pays the (amortized) submission cost.
             let (_, _, submit_end) = res.nic.reserve(now, self.params.dma_submit_ns);
             let completion = res.dma.submit(submit_end, queue_id, &ops);
-            for ((_, done), at) in batch.into_iter().zip(completion.element_done) {
+            for ((_, done), at) in batch.drain(..).zip(completion.element_done) {
                 self.queue.push(
                     at,
                     Event::Deliver {
@@ -635,31 +693,39 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                     },
                 );
             }
+            ops.clear();
         }
+        self.dma_batch_scratch = batch;
+        self.dma_ops_scratch = ops;
     }
 
     /// Processes a frame arrival: ingress serialization at arrival time,
     /// plus per-frame RX descriptor/buffer work on a NIC core. With burst
     /// batching the work is small and amortized (§4.3.2); without it each
     /// packet pays the full path — the §3.3 batched-vs-unbatched gap.
-    pub(crate) fn net_arrive(&mut self, dst: usize, payload_bytes: u64, msgs: Vec<(Exec, M)>) {
+    pub(crate) fn net_arrive(&mut self, dst: usize, payload_bytes: u64, mut msgs: Vec<(Exec, M)>) {
         if self.crashed[dst] {
-            // Frames in flight toward a crashed node vanish at its port.
-            return;
-        }
-        let now = self.now();
-        let rx_done = self.nodes[dst].lio.recv_frame(now, payload_bytes);
-        let rx_cpu = if self.cfg.eth_aggregation {
-            self.params.nic_burst_per_frame_ns
+            // Frames in flight toward a crashed node vanish at its port
+            // (the buffer still gets recycled below).
+            msgs.clear();
         } else {
-            self.params.nic_pkt_rx_ns
-        };
-        let (_, _, frame_ready) = self.nodes[dst].nic.reserve(rx_done, rx_cpu);
-        for (exec, msg) in msgs {
-            self.queue.push(
-                frame_ready,
-                Event::Deliver { node: dst, exec, msg },
-            );
+            let now = self.now();
+            let rx_done = self.nodes[dst].lio.recv_frame(now, payload_bytes);
+            let rx_cpu = if self.cfg.eth_aggregation {
+                self.params.nic_burst_per_frame_ns
+            } else {
+                self.params.nic_pkt_rx_ns
+            };
+            let (_, _, frame_ready) = self.nodes[dst].nic.reserve(rx_done, rx_cpu);
+            for (exec, msg) in msgs.drain(..) {
+                self.queue.push(
+                    frame_ready,
+                    Event::Deliver { node: dst, exec, msg },
+                );
+            }
+        }
+        if self.frame_pool.len() < FRAME_POOL_MAX {
+            self.frame_pool.push(msgs);
         }
     }
 
@@ -678,7 +744,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                     Event::RdmaServed {
                         dst,
                         verb,
-                        cont: RdmaCont::OneSided { requester, done },
+                        cont: Box::new(RdmaCont::OneSided { requester, done }),
                     },
                 );
             }
@@ -768,10 +834,10 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             Event::RdmaArrive {
                 dst,
                 verb,
-                cont: RdmaCont::OneSided {
+                cont: Box::new(RdmaCont::OneSided {
                     requester: src,
                     done,
-                },
+                }),
             },
         );
     }
@@ -815,7 +881,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             Event::RdmaArrive {
                 dst,
                 verb,
-                cont: RdmaCont::Request { msg: req },
+                cont: Box::new(RdmaCont::Request { msg: req }),
             },
         );
     }
@@ -873,7 +939,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 verb: Verb::Send {
                     bytes: payload_bytes,
                 },
-                cont: RdmaCont::Send { msg },
+                cont: Box::new(RdmaCont::Send { msg }),
             },
         );
     }
@@ -1163,11 +1229,7 @@ impl<P: Protocol> Cluster<P> {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(t) = self.rt.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (_, ev) = self.rt.queue.pop().expect("peeked");
+        while let Some((_, ev)) = self.rt.queue.pop_at_or_before(horizon) {
             processed += 1;
             match ev {
                 Event::Deliver { node, exec, msg } => {
@@ -1191,12 +1253,12 @@ impl<P: Protocol> Cluster<P> {
                 } => self.rt.net_arrive(dst, payload_bytes, msgs),
                 Event::RdmaArrive { dst, verb, cont } => {
                     if !self.rt.crashed[dst] {
-                        self.rt.rdma_arrive(dst, verb, cont);
+                        self.rt.rdma_arrive(dst, verb, *cont);
                     }
                 }
                 Event::RdmaServed { dst, verb, cont } => {
                     if !self.rt.crashed[dst] {
-                        self.rt.rdma_served(dst, verb, cont);
+                        self.rt.rdma_served(dst, verb, *cont);
                     }
                 }
                 Event::RdmaReturn { to, verb, msg } => {

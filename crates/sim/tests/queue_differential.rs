@@ -1,0 +1,182 @@
+//! Differential test: the two-lane `EventQueue` (near-future calendar +
+//! four-ary far heap) must reproduce the old single-`BinaryHeap` queue's
+//! semantics *exactly* — same pop order on arbitrary interleaved schedules,
+//! equal-time FIFO preserved, clock and counters identical.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use xenic_sim::{DetRng, EventQueue, SimTime};
+
+/// The pre-optimization queue: one binary heap keyed on `(time, seq)`,
+/// kept verbatim as the semantic reference.
+struct RefEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for RefEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for RefEntry<E> {}
+impl<E> PartialOrd for RefEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for RefEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct RefQueue<E> {
+    heap: BinaryHeap<RefEntry<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> RefQueue<E> {
+    fn new() -> Self {
+        RefQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+    fn push(&mut self, time: SimTime, event: E) {
+        let time = time.max(self.now);
+        self.heap.push(RefEntry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        self.popped += 1;
+        Some((e.time, e.event))
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+/// Drives both queues through the same schedule and asserts lock-step
+/// equality of every observable: pop order, payloads, clock, peek, len.
+fn differential(seed: u64, steps: usize, describe: &str) {
+    let mut rng = DetRng::new(seed);
+    let mut q = EventQueue::new();
+    let mut r = RefQueue::new();
+    let mut id: u64 = 0;
+    for step in 0..steps {
+        // Bias toward pushes early, pops late, with bursts of both.
+        let push = if q.len() == 0 {
+            true
+        } else {
+            rng.below(100) < 55
+        };
+        if push {
+            // Delay mix: mostly short (near lane), some at bucket edges,
+            // some equal-time bursts, some far beyond the horizon.
+            let delay = match rng.below(10) {
+                0 => 0,                            // same instant: FIFO path
+                1..=5 => rng.below(400),           // short hops
+                6 => rng.below(64) * 64,           // bucket boundaries
+                7 | 8 => 1_000 + rng.below(4_000), // wire latency scale
+                _ => 20_000 + rng.below(200_000),  // far heap (>16 µs)
+            };
+            let burst = if rng.below(20) == 0 { 3 } else { 1 };
+            for _ in 0..burst {
+                let t = SimTime::from_ns(q.now().as_ns() + delay);
+                q.push(t, id);
+                r.push(t, id);
+                id += 1;
+            }
+        } else {
+            assert_eq!(q.peek_time(), r.peek_time(), "{describe} peek @ {step}");
+            let got = q.pop();
+            let want = r.pop();
+            assert_eq!(got, want, "{describe} pop @ {step}");
+            assert_eq!(q.now(), r.now, "{describe} clock @ {step}");
+        }
+        assert_eq!(q.len() as u64, id - r.popped, "{describe} len @ {step}");
+    }
+    // Drain: the remaining backlog must agree to the last event.
+    loop {
+        let got = q.pop();
+        let want = r.pop();
+        assert_eq!(got, want, "{describe} drain");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert_eq!(q.processed(), r.popped, "{describe} processed");
+}
+
+#[test]
+fn matches_binary_heap_on_random_schedules() {
+    // 10k-step interleaved push/pop schedules across many seeds; covers
+    // equal-time FIFO, ring wrap, horizon straddling, and drains.
+    for seed in 0..16 {
+        differential(seed, 10_000, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn matches_binary_heap_on_sparse_far_future_schedules() {
+    // Mostly far-heap traffic: large delays keep the calendar almost
+    // empty, exercising the lane-merge comparison and far sift paths.
+    let mut rng = DetRng::new(99);
+    let mut q = EventQueue::new();
+    let mut r = RefQueue::new();
+    for id in 0..5_000u64 {
+        let delay = 10_000 + rng.below(10_000_000);
+        let t = SimTime::from_ns(q.now().as_ns() + delay);
+        q.push(t, id);
+        r.push(t, id);
+        if rng.below(3) == 0 {
+            assert_eq!(q.pop(), r.pop());
+        }
+    }
+    loop {
+        let got = q.pop();
+        assert_eq!(got, r.pop());
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn equal_time_fifo_across_lanes_and_wraps() {
+    // A long run of identical timestamps interleaved with clock advances:
+    // insertion order must be preserved even as the ring wraps underneath.
+    let mut q = EventQueue::new();
+    let mut r = RefQueue::new();
+    let mut id = 0u64;
+    for round in 0..200u64 {
+        let t = SimTime::from_ns(round * 777);
+        for _ in 0..8 {
+            q.push(t, id);
+            r.push(t, id);
+            id += 1;
+        }
+        for _ in 0..7 {
+            assert_eq!(q.pop(), r.pop());
+        }
+    }
+    loop {
+        let got = q.pop();
+        assert_eq!(got, r.pop());
+        if got.is_none() {
+            break;
+        }
+    }
+}

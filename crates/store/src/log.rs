@@ -126,32 +126,54 @@ impl CommitLog {
         Ok(lsn)
     }
 
+    /// Looks up a resident record by LSN in O(1).
+    ///
+    /// LSNs are contiguous in the ring — `append` assigns them
+    /// sequentially and `ack_through` only reclaims from the front — so a
+    /// record's position is its LSN offset from the front entry.
+    pub fn get(&self, lsn: u64) -> Option<&LogEntry> {
+        let front = self.entries.front()?;
+        if lsn < front.lsn {
+            return None;
+        }
+        let entry = self.entries.get((lsn - front.lsn) as usize)?;
+        debug_assert_eq!(entry.lsn, lsn);
+        Some(entry)
+    }
+
     /// Hands the next unpolled record to a host worker, in LSN order.
     /// Returns a clone; the record stays resident until acked.
     pub fn poll_next(&mut self) -> Option<LogEntry> {
-        let next = self
-            .entries
-            .iter()
-            .find(|e| e.lsn > self.polled_lsn)?
-            .clone();
+        let front_lsn = self.entries.front()?.lsn;
+        let target = (self.polled_lsn + 1).max(front_lsn);
+        let next = self.entries.get((target - front_lsn) as usize)?.clone();
         self.polled_lsn = next.lsn;
         Some(next)
     }
 
     /// Host acknowledges applying all records up to and including `lsn`;
-    /// the ring reclaims their space. Returns the reclaimed entries'
-    /// `(txn, kind, keys)` so the NIC can unpin cache entries.
-    pub fn ack_through(&mut self, lsn: u64) -> Vec<(TxnId, LogKind, Vec<Key>)> {
-        let mut released = Vec::new();
+    /// the ring reclaims their space. Each reclaimed entry is handed to
+    /// `release` (so the NIC can unpin cache entries) without building a
+    /// return vector — this runs once per applied batch on the hot path.
+    pub fn ack_through_with(&mut self, lsn: u64, mut release: impl FnMut(&LogEntry)) {
         while let Some(front) = self.entries.front() {
             if front.lsn > lsn {
                 break;
             }
             let e = self.entries.pop_front().expect("front exists");
             self.used_bytes -= e.bytes();
-            released.push((e.txn, e.kind, e.writes.iter().map(|w| w.0).collect()));
+            release(&e);
         }
         self.acked_lsn = self.acked_lsn.max(lsn);
+    }
+
+    /// Collecting wrapper over [`CommitLog::ack_through_with`]: returns
+    /// the reclaimed entries' `(txn, kind, keys)`.
+    pub fn ack_through(&mut self, lsn: u64) -> Vec<(TxnId, LogKind, Vec<Key>)> {
+        let mut released = Vec::new();
+        self.ack_through_with(lsn, |e| {
+            released.push((e.txn, e.kind, e.writes.iter().map(|w| w.0).collect()));
+        });
         released
     }
 

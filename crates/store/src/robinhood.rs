@@ -33,7 +33,7 @@
 //! roundtrips — the raw material of Table 2.
 
 use crate::hash::slot_for;
-use crate::types::{Key, Value, Version};
+use crate::types::{Key, Value, Version, WritePayload};
 use std::collections::HashMap;
 
 /// Fixed per-slot metadata bytes: key (8) + displacement (4) + version (8)
@@ -92,6 +92,12 @@ enum Stored {
 
 impl Stored {
     fn value(&self) -> &Value {
+        match self {
+            Stored::Inline(v) | Stored::Indirect(v) => v,
+        }
+    }
+
+    fn value_mut(&mut self) -> &mut Value {
         match self {
             Stored::Inline(v) | Stored::Indirect(v) => v,
         }
@@ -458,6 +464,31 @@ impl RobinhoodTable {
                 }
             }
         }
+    }
+
+    /// Applies a write payload to an existing key with a single probe.
+    /// Returns false if the key is absent (the caller inserts). Delta
+    /// payloads preserve the value's length, so the slot's
+    /// inline/indirect classification cannot flip and the bytes mutate in
+    /// place when uniquely owned; full writes re-classify via the normal
+    /// store path.
+    pub fn apply_payload(&mut self, key: Key, payload: &WritePayload, version: Version) -> bool {
+        if let WritePayload::Full(v) = payload {
+            return self.update(key, v.clone(), version);
+        }
+        if let Some(pos) = self.find_slot(key) {
+            let s = self.slots[pos].as_mut().expect("slot occupied");
+            payload.apply_in_place(s.value.value_mut());
+            s.version = version;
+            return true;
+        }
+        if let Some((seg, idx)) = self.find_overflow(key) {
+            let bucket = self.overflow.get_mut(&seg).expect("bucket exists");
+            payload.apply_in_place(bucket[idx].value.value_mut());
+            bucket[idx].version = version;
+            return true;
+        }
+        false
     }
 
     /// Replaces the value and version of an existing key. Returns false if

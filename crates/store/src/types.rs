@@ -43,6 +43,15 @@ impl Value {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// Mutable access to the bytes when this is the only `Arc` holder —
+    /// lets length-preserving writes update a table-resident value
+    /// without reallocating. Returns `None` if any snapshot still shares
+    /// the buffer (the caller must copy-on-write via
+    /// [`WritePayload::apply`]).
+    pub fn bytes_mut_if_unique(&mut self) -> Option<&mut [u8]> {
+        Arc::get_mut(&mut self.0)
+    }
 }
 
 impl fmt::Debug for Value {
@@ -99,6 +108,36 @@ impl WritePayload {
                     *b = b.wrapping_add(1);
                 }
                 Value::from_bytes(&bytes)
+            }
+        }
+    }
+
+    /// Applies the payload to `current` in place, equivalent to
+    /// `*current = self.apply(current)` but without reallocating when
+    /// `current`'s buffer is uniquely owned (no outstanding read-set
+    /// snapshots hold the `Arc`). Delta ops preserve the value's length.
+    pub fn apply_in_place(&self, current: &mut Value) {
+        match self {
+            WritePayload::Full(v) => *current = v.clone(),
+            WritePayload::AddI64(d) => {
+                if let Some(bytes) = current.bytes_mut_if_unique() {
+                    if bytes.len() >= 8 {
+                        let ctr = i64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
+                            .wrapping_add(*d);
+                        bytes[..8].copy_from_slice(&ctr.to_le_bytes());
+                        return;
+                    }
+                }
+                *current = self.apply(current);
+            }
+            WritePayload::Mutate => {
+                if let Some(bytes) = current.bytes_mut_if_unique() {
+                    if let Some(b) = bytes.first_mut() {
+                        *b = b.wrapping_add(1);
+                    }
+                    return;
+                }
+                *current = self.apply(current);
             }
         }
     }

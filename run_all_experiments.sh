@@ -1,9 +1,12 @@
 #!/bin/sh
 # Regenerates every paper table and figure into results/.
-# Full runtime: ~30-60 minutes on one core (the simulator is
-# single-threaded and deterministic). Add --fast to fig8_sweep for a
-# quick pass.
+# Each simulation is single-threaded and deterministic, but the sweep
+# harnesses (fig8_sweep, fig9_ablation, cache_pressure, fault_sweep) run
+# independent points on worker threads: JOBS=N (default: all cores)
+# controls the fan-out, and output is byte-identical regardless of N.
+# Add --fast to fig8_sweep for a quick pass.
 set -e
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
 cargo build --release -p xenic-bench --bins
 mkdir -p results
 run() { echo "== $1"; ./target/release/"$1" ${2:-} | tee "results/$1.txt"; }
@@ -12,10 +15,11 @@ run fig3_batching
 run fig4_dma
 run table1_cores
 run table2_lookup
-echo "== fig8_sweep all"; ./target/release/fig8_sweep all | tee results/fig8_all.txt
+echo "== fig8_sweep all"; ./target/release/fig8_sweep all --jobs "$JOBS" | tee results/fig8_all.txt
 run table3_threads
-run fig9_ablation
+run fig9_ablation "--jobs $JOBS"
 run drtmr_comparison
-run cache_pressure
+run cache_pressure "--jobs $JOBS"
 run phase_breakdown
+run perf_report
 echo "All experiments complete; outputs in results/."

@@ -465,3 +465,63 @@ fn rng_streams_and_nurand() {
         }
     });
 }
+
+/// Parallel sweeps are a pure scheduling change: running the same sweep
+/// points through [`xenic_bench::par_points`] with 8 workers must yield
+/// output *bitwise identical* to the serial (`--jobs 1`) path — each
+/// point is an independently seeded simulation, and the merge is by input
+/// index, so formatted tables and CSV bytes cannot differ.
+#[test]
+fn parallel_sweep_output_is_bitwise_identical_to_serial() {
+    use xenic_bench::{curves_csv, par_points, run_system, CurvePoint, System};
+
+    let systems = [System::Xenic, System::DrtmH, System::Fasst];
+    let windows = [4usize, 16];
+    let points: Vec<(System, usize)> = systems
+        .iter()
+        .flat_map(|&s| windows.iter().map(move |&w| (s, w)))
+        .collect();
+    let mk = |_: usize| -> Box<dyn Workload> {
+        Box::new(xenic_workloads::Smallbank::new(
+            xenic_workloads::SmallbankConfig {
+                accounts_per_node: 10_000,
+                ..xenic_workloads::SmallbankConfig::sim(6)
+            },
+        ))
+    };
+    let run = |&(sys, w): &(System, usize)| {
+        let opts = RunOptions {
+            windows: w,
+            warmup: SimTime::from_us(500),
+            measure: SimTime::from_ms(1),
+            seed: 42,
+        };
+        let r = run_system(sys, HwParams::paper_testbed(), &opts, &mk);
+        CurvePoint {
+            windows: w,
+            tput: r.tput_per_server,
+            p50_us: r.p50_ns as f64 / 1000.0,
+            p99_us: r.p99_ns as f64 / 1000.0,
+            result: r,
+        }
+    };
+
+    let render = |results: Vec<CurvePoint>| -> String {
+        let curves: Vec<(System, Vec<CurvePoint>)> = systems
+            .iter()
+            .enumerate()
+            .map(|(si, &s)| {
+                (s, results[si * windows.len()..(si + 1) * windows.len()].to_vec())
+            })
+            .collect();
+        curves_csv(&curves)
+    };
+
+    let serial = render(par_points(1, &points, run));
+    let parallel = render(par_points(8, &points, run));
+    assert_eq!(
+        serial, parallel,
+        "--jobs 8 sweep output diverged from --jobs 1"
+    );
+    assert!(serial.lines().count() == points.len() + 1);
+}

@@ -15,6 +15,9 @@ cargo test -q
 echo "==> cargo test --release -q --test conformance"
 cargo test --release -q --test conformance
 
+echo "==> perf_report --quick"
+cargo run --release -q -p xenic-bench --bin perf_report -- --quick
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings
