@@ -17,6 +17,7 @@ use xenic_store::{Key, TxnId, Value, Version};
 
 use xenic::api::{shard_of, Partitioning, TxnSpec, Workload};
 use xenic::stats::NodeStats;
+use xenic_check::HistoryRecorder;
 
 /// Which baseline system this node runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -268,6 +269,8 @@ pub struct BaselineNode {
     host_txns: HashMap<u64, u32>,
     /// Backup log bytes received (for utilization accounting only).
     pub log_bytes: u64,
+    /// Optional commit-history recorder (serializability checking).
+    recorder: Option<HistoryRecorder>,
 }
 
 impl BaselineNode {
@@ -306,7 +309,14 @@ impl BaselineNode {
             coord: HashMap::new(),
             host_txns: HashMap::new(),
             log_bytes: 0,
+            recorder: None,
         }
+    }
+
+    /// Attaches a history recorder; committed transactions report their
+    /// read and write sets to it. Pure observer: never alters execution.
+    pub fn set_recorder(&mut self, recorder: HistoryRecorder) {
+        self.recorder = Some(recorder);
     }
 }
 
@@ -1143,6 +1153,11 @@ fn finish(
         return;
     };
     if committed {
+        if let Some(r) = &st.recorder {
+            r.note_reads(txn, ct.values.iter().map(|(k, _, ver)| (*k, *ver)));
+            r.note_writes(txn, ct.writes.iter().map(|(k, _, ver)| (*k, *ver)));
+            r.commit(txn);
+        }
         let started = st.slot_started[slot as usize];
         let metric = ct.spec.metric;
         st.stats.record_commit(metric, started, rt.now());

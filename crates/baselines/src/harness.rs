@@ -15,14 +15,28 @@ pub fn run_baseline(
     opts: &RunOptions,
     mk_workload: impl Fn(usize) -> Box<dyn Workload>,
 ) -> RunResult {
+    // Baselines never use the LiquidIO path; aggregation knobs are moot.
+    run_baseline_with(kind, params, NetConfig::baseline(), opts, mk_workload, |_| {})
+}
+
+/// [`run_baseline`] with an explicit network config and a setup hook run
+/// on the built cluster before any transaction is seeded (e.g. to attach
+/// a history recorder to every node).
+pub fn run_baseline_with(
+    kind: BaselineKind,
+    params: HwParams,
+    net: NetConfig,
+    opts: &RunOptions,
+    mk_workload: impl Fn(usize) -> Box<dyn Workload>,
+    setup: impl FnOnce(&mut Cluster<Baseline>),
+) -> RunResult {
     // RDMA systems replicate 3-way like Xenic's benchmarks.
     let part = Partitioning::new(params.nodes as u32, 3);
     let windows = opts.windows;
-    // Baselines never use the LiquidIO path; aggregation knobs are moot.
-    let net = NetConfig::baseline();
     let mut cluster: Cluster<Baseline> = Cluster::new(params, net, opts.seed, |node| {
         BaselineNode::new(node, kind, part, mk_workload(node), windows)
     });
+    setup(&mut cluster);
     let nodes = cluster.rt.node_count();
     for node in 0..nodes {
         for slot in 0..windows {
@@ -79,6 +93,26 @@ pub fn run_baseline(
         dma_vector_fill: 0.0,
         dma_elements_per_txn: 0.0,
     }
+}
+
+/// Runs a baseline cluster with a history recorder attached to every
+/// node, returning both the run result and the recorded commit history
+/// for serializability checking.
+pub fn run_baseline_recorded(
+    kind: BaselineKind,
+    params: HwParams,
+    net: NetConfig,
+    opts: &RunOptions,
+    mk_workload: impl Fn(usize) -> Box<dyn Workload>,
+) -> (RunResult, xenic_check::History) {
+    let recorder = xenic_check::HistoryRecorder::default();
+    let r = recorder.clone();
+    let result = run_baseline_with(kind, params, net, opts, mk_workload, move |cluster| {
+        for st in &mut cluster.states {
+            st.set_recorder(r.clone());
+        }
+    });
+    (result, recorder.snapshot())
 }
 
 #[cfg(test)]

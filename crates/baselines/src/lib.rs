@@ -29,4 +29,4 @@ pub mod engine;
 pub mod harness;
 
 pub use engine::{Baseline, BaselineKind, BaselineNode};
-pub use harness::run_baseline;
+pub use harness::{run_baseline, run_baseline_recorded, run_baseline_with};

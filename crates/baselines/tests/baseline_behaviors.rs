@@ -189,3 +189,109 @@ fn baselines_never_ship_multi_round_specs() {
     };
     assert!(spec.single_round());
 }
+
+/// A contended cross-shard mix for serializability checking: multi-shard
+/// reads, read-modify-writes, and transfers over a small hot keyspace.
+struct ContendedWl {
+    keys: u64,
+}
+
+impl Workload for ContendedWl {
+    fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> TxnSpec {
+        let home = node as u32;
+        let peer = ((node as u64 + 1 + rng.below(5)) % 6) as u32;
+        let k_local = make_key(home, rng.below(self.keys));
+        let k_remote = make_key(peer, rng.below(self.keys));
+        match rng.below(3) {
+            0 => TxnSpec {
+                reads: vec![k_local, k_remote],
+                ..Default::default()
+            },
+            1 => TxnSpec {
+                reads: vec![k_local],
+                updates: vec![(k_remote, UpdateOp::AddI64(1))],
+                ..Default::default()
+            },
+            _ => TxnSpec {
+                updates: vec![(k_local, UpdateOp::AddI64(1)), (k_remote, UpdateOp::AddI64(-1))],
+                ..Default::default()
+            },
+        }
+    }
+    fn value_bytes(&self) -> u32 {
+        8
+    }
+    fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+        (0..self.keys)
+            .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+            .collect()
+    }
+}
+
+fn recorded_history(kind: BaselineKind, net: NetConfig) -> (RunResult, xenic_check::History) {
+    let opts = RunOptions {
+        windows: 3,
+        warmup: SimTime::from_us(200),
+        measure: SimTime::from_us(900),
+        seed: 23,
+    };
+    xenic_baselines::run_baseline_recorded(kind, HwParams::paper_testbed(), net, &opts, |_| {
+        Box::new(ContendedWl { keys: 24 })
+    })
+}
+
+#[test]
+fn all_four_baselines_produce_serializable_histories() {
+    for kind in [
+        BaselineKind::DrtmH,
+        BaselineKind::DrtmHNc,
+        BaselineKind::Fasst,
+        BaselineKind::DrtmR,
+    ] {
+        let (r, history) = recorded_history(kind, NetConfig::baseline());
+        assert!(r.committed > 300, "{kind:?} committed {}", r.committed);
+        // The recorder sees every commit from t=0; RunResult counts only
+        // the measurement window (post-warmup).
+        assert!(
+            history.committed_count() as u64 >= r.committed,
+            "{kind:?}: recorder saw {} < measured {}",
+            history.committed_count(),
+            r.committed
+        );
+        let report = xenic_check::check_history(&history, &xenic_check::CheckOptions::strict());
+        assert!(
+            report.is_serializable(),
+            "{kind:?} history not serializable:\n{}",
+            report.describe()
+        );
+        assert!(report.edges > 0, "{kind:?}: contended run must induce edges");
+    }
+}
+
+#[test]
+fn baseline_histories_stay_serializable_under_a_lossy_plan() {
+    // The baselines drive RDMA verbs over a lossless fabric, so a lossy
+    // Ethernet fault plan must not perturb their schedules — and whatever
+    // schedule results must still verify.
+    let plan = xenic_net::FaultPlan::lossy(0.02, 0.01, 800);
+    for kind in [
+        BaselineKind::DrtmH,
+        BaselineKind::DrtmHNc,
+        BaselineKind::Fasst,
+        BaselineKind::DrtmR,
+    ] {
+        let (clean, clean_h) = recorded_history(kind, NetConfig::baseline());
+        let (lossy, lossy_h) = recorded_history(kind, NetConfig::baseline().with_faults(plan.clone()));
+        assert_eq!(
+            clean.committed, lossy.committed,
+            "{kind:?}: RDMA lanes must shrug off the Ethernet fault plan"
+        );
+        assert_eq!(clean_h.committed_count(), lossy_h.committed_count());
+        let report = xenic_check::check_history(&lossy_h, &xenic_check::CheckOptions::strict());
+        assert!(
+            report.is_serializable(),
+            "{kind:?} lossy history not serializable:\n{}",
+            report.describe()
+        );
+    }
+}

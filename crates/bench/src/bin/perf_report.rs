@@ -118,9 +118,9 @@ fn main() {
             "{:<16} {:>10.3} {:>14} {:>14.0}",
             sc.name, best, events, eps
         );
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}}}{}",
             sc.name,
             best,
             events,

@@ -1,0 +1,240 @@
+//! Schedule-exploration serializability fuzzer.
+//!
+//! Sweeps deterministic `(system, seed, plan)` points through Xenic (full,
+//! Figure 9 ablation) and all four baselines, records every committed
+//! transaction's read/write sets, and verifies each history against
+//! Adya's DSG (`xenic-check`). Every point is replayable bit for bit.
+//!
+//! The sweep ends with a checker self-test: Xenic with `weaken_validation`
+//! (Validate's version re-check skipped) **must** be rejected with a
+//! witness cycle; the failing point is shrunk and its replay command
+//! printed. If the checker lets the weakened engine pass, this binary
+//! exits non-zero — a green run certifies both the engines and the
+//! checker's teeth.
+//!
+//! ```text
+//! serial_fuzz [--quick] [--jobs N]          # sweep + self-test
+//! serial_fuzz --replay --system S --seed N --plan P --windows W --measure-us M
+//! ```
+
+use xenic_bench::fuzz::{expand_plan, replay_cmd, run_point, shrink, FuzzPoint, FuzzSystem, WlKind};
+use xenic_bench::{jobs_from_args, par_points};
+
+fn flag_val(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&args);
+
+    if args.iter().any(|a| a == "--replay") {
+        std::process::exit(replay(&args));
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let points = if quick { quick_points() } else { sweep_points() };
+
+    println!(
+        "# serial_fuzz: {} points across {} systems ({} jobs)",
+        points.len(),
+        if quick { 2 } else { FuzzSystem::SOUND.len() },
+        jobs
+    );
+    let outcomes = par_points(jobs, &points, run_point);
+    let mut failures = Vec::new();
+    for (p, out) in points.iter().zip(&outcomes) {
+        let status = if out.passed() { "ok" } else { "FAIL" };
+        println!(
+            "{status:>4}  {:<14} seed={:<3} plan={} windows={} committed={:<6} {}",
+            p.system.token(),
+            p.seed,
+            p.plan,
+            p.windows,
+            out.committed,
+            summary(&out.report)
+        );
+        if !out.passed() {
+            failures.push(*p);
+        }
+    }
+
+    for p in &failures {
+        let small = shrink(*p);
+        let out = run_point(&small);
+        println!("\nFAILURE shrunk to {:?}", small);
+        println!("{}", out.report.describe());
+        println!("replay: {}", replay_cmd(&small));
+    }
+
+    // Checker self-test: the weakened engine must be rejected.
+    let ok_self_test = weaken_demo(jobs, quick);
+
+    if !failures.is_empty() {
+        eprintln!("\n{} fuzz point(s) failed verification", failures.len());
+        std::process::exit(1);
+    }
+    if !ok_self_test {
+        eprintln!("\nchecker self-test failed: weakened validation was not rejected");
+        std::process::exit(1);
+    }
+    println!("\nall {} points serializable; checker self-test passed", points.len());
+}
+
+/// The full sweep: Xenic under every plan shape (including crashes),
+/// the Figure 9 ablation under loss, the four baselines fault-free and
+/// under loss (their RDMA lanes model a lossless fabric, so the plan
+/// exercises schedule diversity rather than recovery).
+fn sweep_points() -> Vec<FuzzPoint> {
+    let mut pts = Vec::new();
+    let point = |system, wl, seed, plan| FuzzPoint {
+        system,
+        wl,
+        seed,
+        plan,
+        windows: 3,
+        measure_us: 800,
+    };
+    for seed in 1..=4 {
+        for plan in 0..=5 {
+            pts.push(point(FuzzSystem::Xenic, WlKind::Mixed, seed, plan));
+        }
+    }
+    // Sound Xenic must also survive the write-skew crossfire that the
+    // checker self-test uses to break the weakened engine (the control
+    // arm of that experiment).
+    for seed in 1..=3 {
+        for plan in [0, 1] {
+            pts.push(point(FuzzSystem::Xenic, WlKind::Skew, seed, plan));
+        }
+    }
+    for seed in 1..=2 {
+        for plan in 0..=2 {
+            pts.push(point(FuzzSystem::XenicFig9, WlKind::Mixed, seed, plan));
+        }
+    }
+    for kind in [
+        FuzzSystem::DrtmH,
+        FuzzSystem::DrtmHNc,
+        FuzzSystem::Fasst,
+        FuzzSystem::DrtmR,
+    ] {
+        for seed in 1..=2 {
+            for plan in [0, 1] {
+                pts.push(point(kind, WlKind::Mixed, seed, plan));
+            }
+        }
+    }
+    pts
+}
+
+/// The `--quick` smoke sweep for verify.sh: a handful of Xenic points
+/// (fault-free, jittered, lossy) plus one baseline, then the self-test.
+fn quick_points() -> Vec<FuzzPoint> {
+    let point = |system, wl, seed, plan| FuzzPoint {
+        system,
+        wl,
+        seed,
+        plan,
+        windows: 3,
+        measure_us: 500,
+    };
+    vec![
+        point(FuzzSystem::Xenic, WlKind::Mixed, 1, 0),
+        point(FuzzSystem::Xenic, WlKind::Mixed, 2, 1),
+        point(FuzzSystem::Xenic, WlKind::Skew, 3, 0),
+        point(FuzzSystem::DrtmH, WlKind::Mixed, 1, 0),
+    ]
+}
+
+/// Runs the weakened engine over a few seeds until the checker rejects a
+/// history, then shrinks and prints the witness. Returns success.
+fn weaken_demo(jobs: usize, quick: bool) -> bool {
+    // Jitter plans (1 mod 3) perturb message arrival order, widening the
+    // window in which a skipped Validate lets a stale read commit.
+    let seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=6).collect() };
+    let plans: &[u32] = if quick { &[0, 1] } else { &[0, 1, 2, 4] };
+    let mut pts = Vec::new();
+    for &plan in plans {
+        for &seed in &seeds {
+            pts.push(FuzzPoint {
+                system: FuzzSystem::XenicWeakened,
+                wl: WlKind::Skew,
+                seed,
+                plan,
+                windows: 4,
+                measure_us: 800,
+            });
+        }
+    }
+    println!("\n# checker self-test: xenic-weakened must fail verification");
+    let outcomes = par_points(jobs, &pts, run_point);
+    let Some((p, out)) = pts
+        .iter()
+        .zip(&outcomes)
+        .find(|(_, out)| !out.passed())
+    else {
+        return false;
+    };
+    println!(
+        "rejected  seed={} plan={} committed={}: {}",
+        p.seed,
+        p.plan,
+        out.committed,
+        summary(&out.report)
+    );
+    let small = shrink(*p);
+    let shrunk_out = run_point(&small);
+    assert!(!shrunk_out.passed(), "shrunk point must still fail");
+    println!(
+        "shrunk to seed={} plan={} windows={} measure_us={}",
+        small.seed, small.plan, small.windows, small.measure_us
+    );
+    println!("{}", shrunk_out.report.describe());
+    println!("replay: {}", replay_cmd(&small));
+    true
+}
+
+/// Replays one point from the command line; exit 0 iff it verifies.
+fn replay(args: &[String]) -> i32 {
+    let system = flag_val(args, "--system")
+        .and_then(|s| FuzzSystem::parse(&s))
+        .expect("--system <xenic|xenic-fig9|xenic-weakened|drtmh|drtmh-nc|fasst|drtmr>");
+    let p = FuzzPoint {
+        system,
+        wl: flag_val(args, "--wl")
+            .and_then(|s| WlKind::parse(&s))
+            .unwrap_or(WlKind::Mixed),
+        seed: flag_val(args, "--seed")
+            .and_then(|s| s.parse().ok())
+            .expect("--seed <u64>"),
+        plan: flag_val(args, "--plan")
+            .and_then(|s| s.parse().ok())
+            .expect("--plan <u32>"),
+        windows: flag_val(args, "--windows")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3),
+        measure_us: flag_val(args, "--measure-us")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(800),
+    };
+    let plan = expand_plan(p.plan);
+    println!("replaying {:?}", p);
+    if plan.active() {
+        println!("plan {}: {:?}", p.plan, plan);
+    }
+    let out = run_point(&p);
+    println!(
+        "committed={} aborted={}\n{}",
+        out.committed,
+        out.aborted,
+        out.report.describe()
+    );
+    i32::from(!out.passed())
+}
+
+fn summary(report: &xenic_check::Report) -> String {
+    format!("txns={} edges={}", report.txns, report.edges)
+}

@@ -1,0 +1,501 @@
+//! Deterministic schedule-exploration fuzzing for the serializability
+//! checker (`xenic-check`).
+//!
+//! A fuzz **point** is a `(system, seed, plan, windows, measure_us)`
+//! tuple. The seed drives the cluster's deterministic RNG tree, the plan
+//! index expands (via its own [`DetRng`] lane) into a [`FaultPlan`] —
+//! delivery jitter, message loss/duplication, or loss plus a
+//! crash/restart — and the window count and measurement horizon set the
+//! offered load and schedule length. Running a point replays bit for bit,
+//! so any failure is a *replayable artifact*, not a flake.
+//!
+//! Each run records every committed transaction's read and write sets
+//! (`xenic_check::HistoryRecorder`) and hands the history to the Adya DSG
+//! verifier. A sound system must produce a serializable history at every
+//! point; the test-only [`FuzzSystem::XenicWeakened`] variant (Validate's
+//! version re-check skipped) exists to prove the checker *can* fail, and
+//! must be rejected with a G2 witness cycle.
+//!
+//! On failure, [`shrink`] greedily minimizes the point — shorter horizon,
+//! fewer windows, simpler plan — re-running candidates and keeping each
+//! reduction that still fails, then [`replay_cmd`] prints the exact
+//! command that reproduces the minimal failure.
+
+use xenic::api::{make_key, ShipMode, TxnSpec, UpdateOp, Workload};
+use xenic::harness::{run_xenic_recorded, RunOptions};
+use xenic::XenicConfig;
+use xenic_baselines::{run_baseline_recorded, BaselineKind};
+use xenic_check::{check_history, CheckOptions, Report};
+use xenic_hw::HwParams;
+use xenic_net::{FaultPlan, NetConfig};
+use xenic_sim::{DetRng, SimTime};
+use xenic_store::Value;
+
+/// Systems the fuzzer can drive. All of them share the same workload,
+/// recorder, and verifier; only the engine under test differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzSystem {
+    /// Xenic, full design.
+    Xenic,
+    /// Xenic with the Figure 9 ablation knobs off (separate remote ops,
+    /// no shipping, no multi-hop) — different message schedules, same
+    /// correctness obligation.
+    XenicFig9,
+    /// TEST ONLY: Xenic with `weaken_validation` set. Must be rejected.
+    XenicWeakened,
+    /// DrTM+H (hybrid one-sided, location cache).
+    DrtmH,
+    /// DrTM+H without the location cache.
+    DrtmHNc,
+    /// FaSST (all two-sided RPC).
+    Fasst,
+    /// DrTM+R (all one-sided, lock-all).
+    DrtmR,
+}
+
+impl FuzzSystem {
+    /// Every system expected to produce serializable histories.
+    pub const SOUND: [FuzzSystem; 6] = [
+        FuzzSystem::Xenic,
+        FuzzSystem::XenicFig9,
+        FuzzSystem::DrtmH,
+        FuzzSystem::DrtmHNc,
+        FuzzSystem::Fasst,
+        FuzzSystem::DrtmR,
+    ];
+
+    /// Command-line token (accepted by `serial_fuzz --system`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            FuzzSystem::Xenic => "xenic",
+            FuzzSystem::XenicFig9 => "xenic-fig9",
+            FuzzSystem::XenicWeakened => "xenic-weakened",
+            FuzzSystem::DrtmH => "drtmh",
+            FuzzSystem::DrtmHNc => "drtmh-nc",
+            FuzzSystem::Fasst => "fasst",
+            FuzzSystem::DrtmR => "drtmr",
+        }
+    }
+
+    /// Parses a command-line token.
+    pub fn parse(s: &str) -> Option<FuzzSystem> {
+        [
+            FuzzSystem::Xenic,
+            FuzzSystem::XenicFig9,
+            FuzzSystem::XenicWeakened,
+            FuzzSystem::DrtmH,
+            FuzzSystem::DrtmHNc,
+            FuzzSystem::Fasst,
+            FuzzSystem::DrtmR,
+        ]
+        .into_iter()
+        .find(|sys| sys.token() == s)
+    }
+
+    /// True for the Xenic variants (which ride the fault-injectable
+    /// LiquidIO Ethernet lane; the baselines' RDMA verbs model a lossless
+    /// fabric, so fault plans only perturb Xenic schedules).
+    pub fn is_xenic(&self) -> bool {
+        matches!(
+            self,
+            FuzzSystem::Xenic | FuzzSystem::XenicFig9 | FuzzSystem::XenicWeakened
+        )
+    }
+}
+
+/// Which workload a fuzz point drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WlKind {
+    /// [`FuzzWl`]: a mix of read-only, read-modify-write, write-skew, and
+    /// transfer shapes over a contended keyspace.
+    Mixed,
+    /// [`SkewWl`]: pure write-skew crossfire between paired shards — the
+    /// shape that turns a skipped Validate into a G2 cycle fastest.
+    Skew,
+}
+
+impl WlKind {
+    /// Command-line token (accepted by `serial_fuzz --wl`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            WlKind::Mixed => "mixed",
+            WlKind::Skew => "skew",
+        }
+    }
+
+    /// Parses a command-line token.
+    pub fn parse(s: &str) -> Option<WlKind> {
+        match s {
+            "mixed" => Some(WlKind::Mixed),
+            "skew" => Some(WlKind::Skew),
+            _ => None,
+        }
+    }
+}
+
+/// One replayable fuzz point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuzzPoint {
+    /// System under test.
+    pub system: FuzzSystem,
+    /// Workload shape.
+    pub wl: WlKind,
+    /// Cluster seed.
+    pub seed: u64,
+    /// Perturbation-plan index (0 = no faults); see [`expand_plan`].
+    pub plan: u32,
+    /// Closed-loop windows per node.
+    pub windows: usize,
+    /// Measurement horizon, µs.
+    pub measure_us: u64,
+}
+
+/// Expands a plan index into a concrete [`FaultPlan`].
+///
+/// Index 0 is the inert plan. Higher indices draw their knobs from a
+/// dedicated RNG lane keyed only by the index (not the cluster seed), so
+/// `--plan N` replays identically regardless of which seed found it.
+/// Indices cycle through three shapes: delivery jitter only, message
+/// loss + duplication + jitter, and loss + a crash/restart.
+pub fn expand_plan(plan: u32) -> FaultPlan {
+    if plan == 0 {
+        return FaultPlan::none();
+    }
+    let mut rng = DetRng::new(0x5e1a_f022 ^ u64::from(plan)).stream("serial-fuzz-plan");
+    match (plan - 1) % 3 {
+        0 => FaultPlan::lossy(0.0, 0.0, rng.range_inclusive(200, 3_000)),
+        1 => FaultPlan::lossy(
+            rng.f64() * 0.04,
+            rng.f64() * 0.03,
+            rng.range_inclusive(0, 1_500),
+        ),
+        _ => {
+            let drop = rng.f64() * 0.02;
+            let jitter = rng.range_inclusive(0, 1_000);
+            let node = rng.below(6) as usize;
+            let at = rng.range_inclusive(400_000, 1_200_000);
+            let restart = at + rng.range_inclusive(100_000, 400_000);
+            FaultPlan::lossy(drop, 0.0, jitter).with_crash(node, at, Some(restart))
+        }
+    }
+}
+
+/// The fuzz workload: small hot keyspace per shard, a mix of multi-shard
+/// read-only, read-modify-write, write-skew-shaped, and transfer-shaped
+/// transactions. Every transaction touches at most one key per shard and
+/// never the same key twice, so recorded reads are always pre-state.
+pub struct FuzzWl {
+    /// Keys per shard (small = contended).
+    pub keys: u64,
+}
+
+impl Workload for FuzzWl {
+    fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> TxnSpec {
+        let home = node as u32;
+        let peer = ((node as u64 + 1 + rng.below(5)) % 6) as u32;
+        let k_local = make_key(home, rng.below(self.keys));
+        let k_remote = make_key(peer, rng.below(self.keys));
+        let roll = rng.below(10);
+        let base = TxnSpec {
+            exec_host_ns: 200,
+            exec_nic_ns: 650,
+            ..Default::default()
+        };
+        if roll < 3 {
+            // Multi-shard read-only (runs Validate).
+            TxnSpec {
+                reads: vec![k_local, k_remote],
+                ..base
+            }
+        } else if roll < 6 {
+            // Read local, update remote (NIC-shipped).
+            TxnSpec {
+                reads: vec![k_local],
+                updates: vec![(k_remote, UpdateOp::AddI64(1))],
+                ship: ShipMode::Nic,
+                ..base
+            }
+        } else if roll < 8 {
+            // Write-skew shape: read remote, write local.
+            TxnSpec {
+                reads: vec![k_remote],
+                updates: vec![(k_local, UpdateOp::AddI64(1))],
+                ship: ShipMode::Host,
+                ..base
+            }
+        } else {
+            // Cross-shard transfer: two updates, no plain reads.
+            TxnSpec {
+                updates: vec![
+                    (k_local, UpdateOp::AddI64(1)),
+                    (k_remote, UpdateOp::AddI64(-1)),
+                ],
+                ship: ShipMode::Nic,
+                ..base
+            }
+        }
+    }
+
+    fn value_bytes(&self) -> u32 {
+        8
+    }
+
+    fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+        (0..self.keys)
+            .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+            .collect()
+    }
+}
+
+/// Pure write-skew crossfire with *both* the read and the write remote.
+///
+/// Nodes pair up (0↔1, 2↔3, 4↔5) and hammer a shared pair of third-party
+/// shards: the even partner reads hot keys on shard X and writes shard Y,
+/// the odd partner reads Y and writes X — the textbook write-skew
+/// pattern, each transaction reading exactly what its partner writes.
+///
+/// Remoteness matters: Xenic acquires write locks during Execute and
+/// (since the locked-read refusal) never serves a read of a locked key,
+/// so a skew pair with a *local* write is decided the moment it starts —
+/// the lock lands instantly and one side's read bounces. With two remote
+/// shards, both the read and the lock requests cross the network, their
+/// arrival orders at the two NICs can invert (queueing, jitter plans),
+/// and only the Validate re-check stands between a stale read and a
+/// commit. Skip it (`weaken_validation`) and the recorded history
+/// collapses into rw-edge (G2) cycles; a correct engine aborts one side
+/// every time.
+pub struct SkewWl {
+    /// Hot keys per shard (1 = maximal crossfire).
+    pub keys: u64,
+}
+
+impl Workload for SkewWl {
+    fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> TxnSpec {
+        let n = node as u32;
+        // Partnered pairs (0,1), (2,3), (4,5) fight over two shards that
+        // neither partner owns, in opposite read/write directions.
+        let (read_shard, write_shard) = if n.is_multiple_of(2) {
+            ((n + 2) % 6, (n + 3) % 6)
+        } else {
+            ((n + 2) % 6, (n + 1) % 6)
+        };
+        let a = rng.below(self.keys);
+        TxnSpec {
+            reads: vec![make_key(read_shard, a)],
+            updates: vec![(make_key(write_shard, a), UpdateOp::AddI64(1))],
+            ship: ShipMode::Host,
+            exec_host_ns: 200,
+            exec_nic_ns: 650,
+            ..Default::default()
+        }
+    }
+
+    fn value_bytes(&self) -> u32 {
+        8
+    }
+
+    fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+        (0..self.keys)
+            .map(|i| (make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+            .collect()
+    }
+}
+
+/// Result of running and verifying one fuzz point.
+#[derive(Clone, Debug)]
+pub struct PointOutcome {
+    /// Committed transactions over the run.
+    pub committed: u64,
+    /// Aborted attempts.
+    pub aborted: u64,
+    /// The verifier's report on the recorded history.
+    pub report: Report,
+}
+
+impl PointOutcome {
+    /// True when the history verified serializable.
+    pub fn passed(&self) -> bool {
+        self.report.is_serializable()
+    }
+}
+
+/// Runs one fuzz point end to end: build the cluster, run the schedule,
+/// record the history, verify it.
+pub fn run_point(p: &FuzzPoint) -> PointOutcome {
+    let plan = expand_plan(p.plan);
+    // Crash plans can legitimately leave reads of unrecorded versions
+    // (a commit outruns the crashed recorder); everything else is strict.
+    let copts = if plan.crashes.is_empty() {
+        CheckOptions::strict()
+    } else {
+        CheckOptions::relaxed()
+    };
+    let opts = RunOptions {
+        windows: p.windows,
+        warmup: SimTime::from_us(200),
+        measure: SimTime::from_us(p.measure_us),
+        seed: p.seed,
+    };
+    let params = HwParams::paper_testbed();
+    let wl = p.wl;
+    let mk = move |_: usize| -> Box<dyn Workload> {
+        match wl {
+            WlKind::Mixed => Box::new(FuzzWl { keys: 32 }),
+            WlKind::Skew => Box::new(SkewWl { keys: 1 }),
+        }
+    };
+    let (result, history) = match p.system {
+        FuzzSystem::Xenic => run_xenic_recorded(
+            params,
+            NetConfig::full().with_faults(plan),
+            XenicConfig::full(),
+            &opts,
+            mk,
+        ),
+        FuzzSystem::XenicFig9 => run_xenic_recorded(
+            params,
+            NetConfig::full().with_faults(plan),
+            XenicConfig::fig9_baseline(),
+            &opts,
+            mk,
+        ),
+        FuzzSystem::XenicWeakened => {
+            let cfg = XenicConfig {
+                weaken_validation: true,
+                ..XenicConfig::full()
+            };
+            run_xenic_recorded(params, NetConfig::full().with_faults(plan), cfg, &opts, mk)
+        }
+        FuzzSystem::DrtmH => baseline_point(BaselineKind::DrtmH, plan, &opts, mk),
+        FuzzSystem::DrtmHNc => baseline_point(BaselineKind::DrtmHNc, plan, &opts, mk),
+        FuzzSystem::Fasst => baseline_point(BaselineKind::Fasst, plan, &opts, mk),
+        FuzzSystem::DrtmR => baseline_point(BaselineKind::DrtmR, plan, &opts, mk),
+    };
+    let report = check_history(&history, &copts);
+    PointOutcome {
+        committed: result.committed,
+        aborted: result.aborted,
+        report,
+    }
+}
+
+fn baseline_point(
+    kind: BaselineKind,
+    plan: FaultPlan,
+    opts: &RunOptions,
+    mk: impl Fn(usize) -> Box<dyn Workload>,
+) -> (xenic::harness::RunResult, xenic_check::History) {
+    run_baseline_recorded(
+        kind,
+        HwParams::paper_testbed(),
+        NetConfig::baseline().with_faults(plan),
+        opts,
+        mk,
+    )
+}
+
+/// Greedily shrinks a failing point: repeatedly tries (in order) halving
+/// the horizon, dropping window count, and zeroing the plan, keeping any
+/// candidate that still fails verification. Deterministic runs make every
+/// candidate a definite answer, so the result is a local minimum.
+pub fn shrink(mut p: FuzzPoint) -> FuzzPoint {
+    let fails = |cand: &FuzzPoint| !run_point(cand).passed();
+    loop {
+        let mut candidates = Vec::new();
+        if p.measure_us >= 250 {
+            candidates.push(FuzzPoint {
+                measure_us: p.measure_us / 2,
+                ..p
+            });
+        }
+        if p.windows > 1 {
+            candidates.push(FuzzPoint {
+                windows: p.windows - 1,
+                ..p
+            });
+        }
+        if p.plan != 0 {
+            candidates.push(FuzzPoint { plan: 0, ..p });
+        }
+        match candidates.into_iter().find(fails) {
+            Some(smaller) => p = smaller,
+            None => return p,
+        }
+    }
+}
+
+/// The exact command reproducing a fuzz point.
+pub fn replay_cmd(p: &FuzzPoint) -> String {
+    format!(
+        "cargo run --release -p xenic-bench --bin serial_fuzz -- --replay \
+         --system {} --wl {} --seed {} --plan {} --windows {} --measure-us {}",
+        p.system.token(),
+        p.wl.token(),
+        p.seed,
+        p.plan,
+        p.windows,
+        p.measure_us
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_zero_is_inert_and_plans_are_reproducible() {
+        assert!(!expand_plan(0).active());
+        for i in 1..10 {
+            let a = expand_plan(i);
+            assert!(a.active(), "plan {i} must perturb something");
+            assert_eq!(a, expand_plan(i), "plan {i} must be deterministic");
+        }
+        // The three shapes cycle: 1=jitter, 2=lossy, 3=crash, 4=jitter...
+        assert!(expand_plan(3).crashes.len() == 1 && expand_plan(6).crashes.len() == 1);
+        assert!(expand_plan(1).crashes.is_empty() && expand_plan(2).crashes.is_empty());
+    }
+
+    #[test]
+    fn tokens_roundtrip() {
+        for sys in FuzzSystem::SOUND {
+            assert_eq!(FuzzSystem::parse(sys.token()), Some(sys));
+        }
+        assert_eq!(
+            FuzzSystem::parse("xenic-weakened"),
+            Some(FuzzSystem::XenicWeakened)
+        );
+        assert_eq!(FuzzSystem::parse("nope"), None);
+    }
+
+    #[test]
+    fn clean_xenic_point_verifies() {
+        let p = FuzzPoint {
+            system: FuzzSystem::Xenic,
+            wl: WlKind::Mixed,
+            seed: 11,
+            plan: 0,
+            windows: 3,
+            measure_us: 600,
+        };
+        let out = run_point(&p);
+        assert!(out.committed > 50, "committed {}", out.committed);
+        assert!(out.passed(), "{}", out.report.describe());
+    }
+
+    #[test]
+    fn fuzz_points_are_deterministic() {
+        let p = FuzzPoint {
+            system: FuzzSystem::DrtmH,
+            wl: WlKind::Mixed,
+            seed: 5,
+            plan: 1,
+            windows: 2,
+            measure_us: 400,
+        };
+        let a = run_point(&p);
+        let b = run_point(&p);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.report.txns, b.report.txns);
+        assert_eq!(a.report.edges, b.report.edges);
+    }
+}

@@ -6,6 +6,8 @@
 //! regression tracking. The mapping from paper artifact to binary lives
 //! in DESIGN.md §4 and EXPERIMENTS.md.
 
+pub mod fuzz;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use xenic::api::Workload;

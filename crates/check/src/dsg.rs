@@ -1,0 +1,641 @@
+//! Adya's Direct Serialization Graph (DSG) over a recorded history.
+//!
+//! Nodes are committed transactions plus a synthetic `init` transaction
+//! that owns every key's pre-run state. Edges follow PODC/Adya's
+//! definitions, with the per-key version order induced by the engines'
+//! integer versions (preloaded keys start at version 1, absent keys read
+//! as version 0, every write installs `observed + 1`):
+//!
+//! * `ww` — Ti installed a version of key k and Tj installed the next
+//!   version of k.
+//! * `wr` — Ti installed the version of k that Tj read.
+//! * `rw` — Ti read a version of k and Tj installed the next version
+//!   (an anti-dependency).
+//!
+//! An acyclic DSG proves the history serializable (any topological order
+//! is an equivalent serial schedule). A cycle is classified by the
+//! weakest Adya phenomenon that exhibits it: a cycle of `ww` edges alone
+//! is **G0** (write cycles), a cycle of `ww`/`wr` edges is **G1c**
+//! (circular information flow), and a cycle needing at least one `rw`
+//! edge is **G2** (anti-dependency cycle — e.g. write skew). The
+//! verifier reports the strongest classification with a shortest witness
+//! cycle found inside the smallest cyclic SCC, so a failure prints a
+//! handful of transactions, not a thousand.
+//!
+//! Crash/restart runs can commit a transaction whose recording raced the
+//! coordinator's failure, leaving reads of versions with no recorded
+//! writer. In the default **strict** mode those are integrity anomalies
+//! (`PhantomRead`); in relaxed mode (used by the fuzzer only for plans
+//! containing crashes) each unknown version becomes an `ext` pseudo-node
+//! — a sound under-approximation that still catches every cycle among
+//! recorded transactions.
+
+use crate::history::History;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::Bound::{Excluded, Unbounded};
+use xenic_store::{Key, TxnId, Version};
+
+/// Verifier options.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Reject reads of versions (> 1) that no recorded transaction
+    /// installed. Off only for histories from crash/restart plans, where
+    /// a commit can legitimately outrun its recording.
+    pub strict: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { strict: true }
+    }
+}
+
+impl CheckOptions {
+    /// Strict checking (the default): every read version must resolve.
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// Relaxed checking for crash plans: unknown versions become `ext`
+    /// pseudo-transactions instead of integrity anomalies.
+    pub fn relaxed() -> Self {
+        CheckOptions { strict: false }
+    }
+}
+
+/// DSG edge kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Write–write: source installed the version preceding target's.
+    Ww,
+    /// Write–read: target read the version source installed.
+    Wr,
+    /// Read–write (anti-dependency): target installed the version
+    /// following the one source read.
+    Rw,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EdgeKind::Ww => "ww",
+            EdgeKind::Wr => "wr",
+            EdgeKind::Rw => "rw",
+        })
+    }
+}
+
+/// Adya cycle classes, strongest-phenomenon-first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnomalyClass {
+    /// Write cycles (ww edges only).
+    G0,
+    /// Circular information flow (ww/wr edges).
+    G1c,
+    /// Anti-dependency cycle (at least one rw edge) — e.g. write skew.
+    G2,
+}
+
+impl fmt::Display for AnomalyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnomalyClass::G0 => "G0",
+            AnomalyClass::G1c => "G1c",
+            AnomalyClass::G2 => "G2",
+        })
+    }
+}
+
+/// One edge of a witness cycle, labeled for printing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WitnessEdge {
+    /// Source transaction label (`T3.9`, `init`, `ext(k@v)`).
+    pub from: String,
+    /// Target transaction label.
+    pub to: String,
+    /// Edge kind.
+    pub kind: EdgeKind,
+    /// The key inducing the edge.
+    pub key: Key,
+}
+
+impl fmt::Display for WitnessEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}[k={}]--> {}", self.from, self.kind, self.key, self.to)
+    }
+}
+
+/// Verifier verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The DSG is acyclic: the history is serializable.
+    Serializable,
+    /// The DSG has a cycle; `witness` is a shortest one found.
+    Cycle {
+        /// Adya classification of the witness.
+        class: AnomalyClass,
+        /// The cycle, edge by edge (last edge closes back to the first
+        /// edge's source).
+        witness: Vec<WitnessEdge>,
+    },
+    /// The history itself is malformed (duplicate installed version, or
+    /// — in strict mode — a read of a version nobody installed).
+    Integrity {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+/// Result of one verification.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Committed transactions analyzed.
+    pub txns: usize,
+    /// Edges in the full DSG (0 when an integrity anomaly preempts
+    /// graph construction).
+    pub edges: usize,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl Report {
+    /// True when the history passed.
+    pub fn is_serializable(&self) -> bool {
+        matches!(self.verdict, Verdict::Serializable)
+    }
+
+    /// Multi-line human-readable summary (witness cycle included).
+    pub fn describe(&self) -> String {
+        match &self.verdict {
+            Verdict::Serializable => {
+                format!("serializable ({} txns, {} edges)", self.txns, self.edges)
+            }
+            Verdict::Cycle { class, witness } => {
+                let mut s = format!(
+                    "{class} cycle ({} edges) over {} txns:\n",
+                    witness.len(),
+                    self.txns
+                );
+                for e in witness {
+                    s.push_str(&format!("  {e}\n"));
+                }
+                s
+            }
+            Verdict::Integrity { detail } => format!("integrity anomaly: {detail}"),
+        }
+    }
+}
+
+/// A DSG node.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    /// Owns versions 0 (absent) and 1 (preloaded) of every key that no
+    /// recorded transaction installed.
+    Init,
+    /// A committed transaction.
+    Txn(TxnId),
+    /// Relaxed mode: the unknown installer of `key @ version`.
+    Ext(Key, Version),
+}
+
+fn label(n: Node) -> String {
+    match n {
+        Node::Init => "init".to_string(),
+        Node::Txn(t) => format!("{t:?}"),
+        Node::Ext(k, v) => format!("ext({k}@{v})"),
+    }
+}
+
+/// Builds the DSG for `history` and checks it for Adya cycles.
+pub fn check_history(history: &History, opts: &CheckOptions) -> Report {
+    let committed: Vec<(TxnId, &crate::history::TxnRecord)> = history.committed().collect();
+    let mut nodes: Vec<Node> = Vec::with_capacity(committed.len() + 1);
+    nodes.push(Node::Init);
+    let mut idx_of: BTreeMap<TxnId, usize> = BTreeMap::new();
+    for (t, _) in &committed {
+        idx_of.insert(*t, nodes.len());
+        nodes.push(Node::Txn(*t));
+    }
+    let txns = committed.len();
+    let integrity = |detail: String| Report {
+        txns,
+        edges: 0,
+        verdict: Verdict::Integrity { detail },
+    };
+
+    // Per-key version owners; writers first, then INIT / ext fill-ins
+    // for versions only ever observed by reads.
+    let mut owner: BTreeMap<Key, BTreeMap<Version, usize>> = BTreeMap::new();
+    for (t, rec) in &committed {
+        let i = idx_of[t];
+        for (&k, &v) in &rec.writes {
+            if v == 0 {
+                return integrity(format!("{t:?} installed version 0 of key {k}"));
+            }
+            if let Some(prev) = owner.entry(k).or_default().insert(v, i) {
+                return integrity(format!(
+                    "two committed transactions installed {k}@{v}: {} and {}",
+                    label(nodes[prev]),
+                    label(nodes[i]),
+                ));
+            }
+        }
+    }
+    let mut readers: BTreeMap<Key, BTreeMap<Version, Vec<usize>>> = BTreeMap::new();
+    for (t, rec) in &committed {
+        let i = idx_of[t];
+        for (&k, &v) in &rec.reads {
+            readers.entry(k).or_default().entry(v).or_default().push(i);
+        }
+    }
+    for (&k, by_ver) in &readers {
+        for &v in by_ver.keys() {
+            let entry = owner.entry(k).or_default();
+            if entry.contains_key(&v) {
+                continue;
+            }
+            if v <= 1 {
+                entry.insert(v, 0); // init state (absent or preloaded)
+            } else if opts.strict {
+                let who = by_ver[&v][0];
+                return integrity(format!(
+                    "{} read {k}@{v}, which no committed transaction installed",
+                    label(nodes[who]),
+                ));
+            } else {
+                let i = nodes.len();
+                nodes.push(Node::Ext(k, v));
+                entry.insert(v, i);
+            }
+        }
+    }
+
+    // Edges, deduplicated and deterministically ordered.
+    let mut edges: BTreeSet<(usize, usize, EdgeKind, Key)> = BTreeSet::new();
+    for (&k, own) in &owner {
+        let chain: Vec<(Version, usize)> = own.iter().map(|(&v, &i)| (v, i)).collect();
+        for w in chain.windows(2) {
+            if w[0].1 != w[1].1 {
+                edges.insert((w[0].1, w[1].1, EdgeKind::Ww, k));
+            }
+        }
+        if let Some(by_ver) = readers.get(&k) {
+            for (&v, rs) in by_ver {
+                let w = own[&v];
+                let next = own
+                    .range((Excluded(v), Unbounded))
+                    .next()
+                    .map(|(_, &i)| i);
+                for &r in rs {
+                    if r != w {
+                        edges.insert((w, r, EdgeKind::Wr, k));
+                    }
+                    // Anti-dependency to the next version's installer
+                    // (skipping self, and the degenerate init→init case
+                    // when versions 0 and 1 are both unwritten).
+                    if let Some(n) = next {
+                        if n != r && n != w {
+                            edges.insert((r, n, EdgeKind::Rw, k));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let all: Vec<(usize, usize, EdgeKind, Key)> = edges.iter().copied().collect();
+    let edge_count = all.len();
+
+    // Classify by the weakest phenomenon that already cycles: ww-only
+    // (G0), then ww+wr (G1c), then the full graph (G2). Reaching the
+    // G2 pass with an acyclic ww+wr subgraph guarantees any witness
+    // there contains an rw edge.
+    type EdgeFilter = fn(EdgeKind) -> bool;
+    let passes: [(AnomalyClass, EdgeFilter); 3] = [
+        (AnomalyClass::G0, |k| k == EdgeKind::Ww),
+        (AnomalyClass::G1c, |k| k != EdgeKind::Rw),
+        (AnomalyClass::G2, |_| true),
+    ];
+    for (class, keep) in passes {
+        let sub: Vec<_> = all.iter().copied().filter(|e| keep(e.2)).collect();
+        if let Some(cycle) = find_witness(nodes.len(), &sub) {
+            let witness = cycle
+                .into_iter()
+                .map(|(f, t, kind, key)| WitnessEdge {
+                    from: label(nodes[f]),
+                    to: label(nodes[t]),
+                    kind,
+                    key,
+                })
+                .collect();
+            return Report {
+                txns,
+                edges: edge_count,
+                verdict: Verdict::Cycle { class, witness },
+            };
+        }
+    }
+    Report {
+        txns,
+        edges: edge_count,
+        verdict: Verdict::Serializable,
+    }
+}
+
+type Edge = (usize, usize, EdgeKind, Key);
+
+/// Finds a shortest cycle in the graph, if any: iterative Tarjan SCC
+/// (recursion-free — histories run to tens of thousands of nodes), then
+/// BFS inside the smallest cyclic SCC.
+fn find_witness(n: usize, edges: &[Edge]) -> Option<Vec<Edge>> {
+    let mut adj: Vec<Vec<(usize, EdgeKind, Key)>> = vec![Vec::new(); n];
+    for &(f, t, k, key) in edges {
+        adj[f].push((t, k, key));
+    }
+    let sccs = tarjan(n, &adj);
+    let cyclic = sccs
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .min_by_key(|c| c.len())?;
+
+    let mut in_scc = vec![false; n];
+    for &v in &cyclic {
+        in_scc[v] = true;
+    }
+    // Shortest cycle through any of (up to) the first 64 SCC members;
+    // strong connectivity guarantees each start yields one.
+    let mut best: Option<Vec<Edge>> = None;
+    for &s in cyclic.iter().take(64) {
+        // BFS from s within the SCC, recording parent edges.
+        let mut parent: Vec<Option<(usize, EdgeKind, Key)>> = vec![None; n];
+        let mut dist = vec![usize::MAX; n];
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &(w, k, key) in &adj[v] {
+                if in_scc[w] && dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    parent[w] = Some((v, k, key));
+                    queue.push_back(w);
+                }
+            }
+        }
+        // Close the cycle with any in-edge of s from inside the SCC.
+        let mut close: Option<(usize, EdgeKind, Key)> = None;
+        for &v in &cyclic {
+            if dist[v] == usize::MAX {
+                continue;
+            }
+            for &(w, k, key) in &adj[v] {
+                if w == s {
+                    let better = close.is_none_or(|(c, _, _)| dist[v] < dist[c]);
+                    if better {
+                        close = Some((v, k, key));
+                    }
+                }
+            }
+        }
+        let Some((back, k, key)) = close else { continue };
+        let mut cycle = vec![(back, s, k, key)];
+        let mut at = back;
+        while at != s {
+            let (p, k, key) = parent[at].expect("BFS reached `at`");
+            cycle.push((p, at, k, key));
+            at = p;
+        }
+        cycle.reverse();
+        if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
+            best = Some(cycle);
+        }
+    }
+    best
+}
+
+/// Iterative Tarjan strongly-connected components.
+fn tarjan(n: usize, adj: &[Vec<(usize, EdgeKind, Key)>]) -> Vec<Vec<usize>> {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new(); // (node, next child slot)
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&(v, child)) = call.last() {
+            if child == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if child < adj[v].len() {
+                call.last_mut().expect("nonempty").1 += 1;
+                let w = adj[v][child].0;
+                if index[w] == UNSET {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC stack nonempty");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32, s: u64) -> TxnId {
+        TxnId::new(n, s)
+    }
+
+    #[test]
+    fn empty_and_disjoint_histories_are_serializable() {
+        let h = History::new();
+        assert!(check_history(&h, &CheckOptions::strict()).is_serializable());
+
+        let mut h = History::new();
+        h.push(t(0, 1), &[(1, 1)], &[(2, 2)]);
+        h.push(t(1, 1), &[(3, 1)], &[(4, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(r.is_serializable(), "{}", r.describe());
+        assert_eq!(r.txns, 2);
+    }
+
+    #[test]
+    fn serial_chain_is_serializable() {
+        // T1 reads k@1 writes k@2; T2 reads k@2 writes k@3; T3 reads k@3.
+        let mut h = History::new();
+        h.push(t(0, 1), &[(7, 1)], &[(7, 2)]);
+        h.push(t(0, 2), &[(7, 2)], &[(7, 3)]);
+        h.push(t(0, 3), &[(7, 3)], &[]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(r.is_serializable(), "{}", r.describe());
+        assert!(r.edges > 0);
+    }
+
+    #[test]
+    fn g0_write_cycle() {
+        // T1 installs a@2 then b@3; T2 installs b@2 then a@3 — each is
+        // the other's predecessor on one key: a pure ww cycle.
+        let mut h = History::new();
+        h.push(t(0, 1), &[], &[(100, 2), (200, 3)]);
+        h.push(t(1, 1), &[], &[(200, 2), (100, 3)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        match &r.verdict {
+            Verdict::Cycle { class, witness } => {
+                assert_eq!(*class, AnomalyClass::G0);
+                assert!(witness.iter().all(|e| e.kind == EdgeKind::Ww));
+                assert_eq!(witness.len(), 2);
+            }
+            other => panic!("expected G0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn g1c_information_flow_cycle() {
+        // T1 writes a@2 and reads T2's b@2; T2 writes b@2 and reads T1's
+        // a@2 — wr edges both ways.
+        let mut h = History::new();
+        h.push(t(0, 1), &[(200, 2)], &[(100, 2)]);
+        h.push(t(1, 1), &[(100, 2)], &[(200, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        match &r.verdict {
+            Verdict::Cycle { class, witness } => {
+                assert_eq!(*class, AnomalyClass::G1c);
+                assert!(witness.iter().any(|e| e.kind == EdgeKind::Wr));
+            }
+            other => panic!("expected G1c, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn g2_write_skew() {
+        // Classic write skew: T1 reads a@1 writes b@2; T2 reads b@1
+        // writes a@2. Only rw edges connect them.
+        let mut h = History::new();
+        h.push(t(0, 1), &[(100, 1)], &[(200, 2)]);
+        h.push(t(1, 1), &[(200, 1)], &[(100, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        match &r.verdict {
+            Verdict::Cycle { class, witness } => {
+                assert_eq!(*class, AnomalyClass::G2);
+                assert!(witness.iter().any(|e| e.kind == EdgeKind::Rw));
+                assert_eq!(witness.len(), 2);
+            }
+            other => panic!("expected G2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_update_is_caught() {
+        // Both transactions read k@1 and each installs a successor —
+        // versions 2 and 3. The version-2 installer never saw... rather,
+        // the version-3 installer read 1, not 2: its rw edge to the
+        // version-2 installer plus the ww chain back forms a cycle.
+        let mut h = History::new();
+        h.push(t(0, 1), &[(7, 1)], &[(7, 2)]);
+        h.push(t(1, 1), &[(7, 1)], &[(7, 3)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(!r.is_serializable(), "{}", r.describe());
+    }
+
+    #[test]
+    fn duplicate_version_is_integrity_anomaly() {
+        let mut h = History::new();
+        h.push(t(0, 1), &[], &[(7, 2)]);
+        h.push(t(1, 1), &[], &[(7, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(matches!(r.verdict, Verdict::Integrity { .. }), "{}", r.describe());
+    }
+
+    #[test]
+    fn phantom_read_strict_vs_relaxed() {
+        // A read of version 5 nobody installed: strict mode rejects,
+        // relaxed mode invents an ext writer and stays serializable.
+        let mut h = History::new();
+        h.push(t(0, 1), &[(7, 5)], &[]);
+        let strict = check_history(&h, &CheckOptions::strict());
+        assert!(matches!(strict.verdict, Verdict::Integrity { .. }));
+        let relaxed = check_history(&h, &CheckOptions::relaxed());
+        assert!(relaxed.is_serializable(), "{}", relaxed.describe());
+    }
+
+    #[test]
+    fn witness_is_minimal_in_a_larger_history() {
+        // Thirty clean serial transactions on key 1, plus one 2-cycle of
+        // write skew on keys 100/200: the witness must have 2 edges.
+        let mut h = History::new();
+        for i in 0..30u64 {
+            h.push(t(0, i + 1), &[(1, i + 1)], &[(1, i + 2)]);
+        }
+        h.push(t(1, 1), &[(100, 1)], &[(200, 2)]);
+        h.push(t(2, 1), &[(200, 1)], &[(100, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        match &r.verdict {
+            Verdict::Cycle { class, witness } => {
+                assert_eq!(*class, AnomalyClass::G2);
+                assert_eq!(witness.len(), 2, "{}", r.describe());
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_own_write_chain_has_no_self_edges() {
+        // A transaction that reads k@1 then installs k@2 must not get a
+        // self rw edge.
+        let mut h = History::new();
+        h.push(t(0, 1), &[(7, 1)], &[(7, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(r.is_serializable(), "{}", r.describe());
+    }
+
+    #[test]
+    fn absent_and_preloaded_reads_share_init() {
+        // Version-0 (absent) and version-1 (preloaded) reads both
+        // resolve to init without creating cycles through it.
+        let mut h = History::new();
+        h.push(t(0, 1), &[(7, 0)], &[]);
+        h.push(t(1, 1), &[(9, 1)], &[(9, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(r.is_serializable(), "{}", r.describe());
+    }
+
+    #[test]
+    fn describe_prints_witness() {
+        let mut h = History::new();
+        h.push(t(0, 1), &[(100, 1)], &[(200, 2)]);
+        h.push(t(1, 1), &[(200, 1)], &[(100, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        let s = r.describe();
+        assert!(s.contains("G2"), "{s}");
+        assert!(s.contains("rw"), "{s}");
+        assert!(s.contains("T0.1"), "{s}");
+    }
+}

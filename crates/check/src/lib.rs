@@ -1,0 +1,30 @@
+//! Serializability checking for the Xenic reproduction.
+//!
+//! Three pieces, layered:
+//!
+//! 1. [`History`] / [`HistoryRecorder`] — a passive record of what every
+//!    committed transaction read (key, observed version) and wrote (key,
+//!    installed version). Engines carry an `Option<HistoryRecorder>` and
+//!    call it at their commit points; with the recorder absent the
+//!    engines are bit-identical to an unrecorded run (the purity
+//!    property test in `tests/properties.rs` proves this).
+//! 2. [`check_history`] — builds Adya's Direct Serialization Graph from
+//!    the history and classifies any cycle as G0 (write cycles), G1c
+//!    (circular information flow) or G2 (anti-dependency cycles),
+//!    reporting a minimal witness cycle. An acyclic DSG proves the
+//!    history serializable in the versions' induced order.
+//! 3. [`serial_order_exists`] — a brute-force oracle that searches every
+//!    serial permutation of a small history. It must agree with the DSG
+//!    verdict on strict histories, which cross-checks the graph
+//!    construction itself.
+//!
+//! The `serial_fuzz` binary in `xenic-bench` drives all of this across
+//! seeds × fault plans × engines.
+
+mod dsg;
+mod history;
+mod oracle;
+
+pub use dsg::{check_history, AnomalyClass, CheckOptions, EdgeKind, Report, Verdict, WitnessEdge};
+pub use history::{History, HistoryRecorder, TxnRecord};
+pub use oracle::serial_order_exists;

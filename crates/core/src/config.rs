@@ -48,6 +48,12 @@ pub struct XenicConfig {
     /// aborts the transaction. Log-phase and commit-phase messages are
     /// never abandoned — backups may already have applied the record.
     pub max_phase_retries: u32,
+    /// TEST ONLY: skip the Validate phase's lock/version re-check
+    /// entirely, so multi-shard OCC transactions commit on whatever they
+    /// read during Execute. Exists to prove the serializability checker
+    /// can fail: a run with this knob set must be rejected with a G2
+    /// cycle (see `tests/serializability.rs`). Never set by any preset.
+    pub weaken_validation: bool,
 }
 
 impl XenicConfig {
@@ -65,6 +71,7 @@ impl XenicConfig {
             phase_timeout_ns: 30_000,
             commit_ack_timeout_ns: 30_000,
             max_phase_retries: 4,
+            weaken_validation: false,
         }
     }
 

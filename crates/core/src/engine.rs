@@ -38,6 +38,7 @@
 //!   §4.2 step 6), so they are elided from the wire.
 
 use std::collections::BTreeMap;
+use xenic_check::HistoryRecorder;
 use xenic_sim::{FastMap, FastSet};
 
 use xenic_net::{Exec, Protocol, Runtime};
@@ -168,6 +169,11 @@ enum PendingOp {
         lock_only: Vec<Key>,
         /// Present when this is a shipped (multi-hop) execution.
         ship: Option<Box<ShipCtx>>,
+        /// Set false when a DMA-resolved read turns out stale against
+        /// NIC-authoritative metadata; the request is then refused.
+        ok: bool,
+        /// Locks acquired by this request (released on refusal).
+        locked: Vec<Key>,
     },
     /// A Validate request that needed DMA version fetches.
     Val {
@@ -244,6 +250,10 @@ pub struct XenicNode {
     // fan-out, replayed verbatim when a retransmitted ExecShip arrives
     // (re-executing could re-lock keys the commit already released).
     ship_resp: FastMap<TxnId, (XMsg, Vec<(usize, XMsg)>)>,
+
+    // Serializability-history recorder (None = recording off; the engine
+    // must behave bit-identically either way — see tests/properties.rs).
+    recorder: Option<HistoryRecorder>,
 }
 
 impl XenicNode {
@@ -322,7 +332,17 @@ impl XenicNode {
             commit_seen: FastSet::default(),
             backup_log_acked: FastMap::default(),
             ship_resp: FastMap::default(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a serializability-history recorder. Every node of a
+    /// cluster shares one recorder; the engine notes committed reads and
+    /// writes (with versions) at its commit points and never consults
+    /// the recorder for decisions, so attaching one cannot change
+    /// behavior.
+    pub fn set_recorder(&mut self, recorder: HistoryRecorder) {
+        self.recorder = Some(recorder);
     }
 
     fn segment(&self, key: Key) -> usize {
@@ -691,10 +711,20 @@ fn host_start_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, slot: u
     }
 
     if local_only && spec.is_read_only() {
-        // §4.2.4: local reads complete entirely on the host.
+        // §4.2.4: local reads complete entirely on the host. The host
+        // table is a consistent cut of this shard's in-order log
+        // application, so the observed (possibly NIC-lagging) versions
+        // serialize at the cut point.
         rt.charge(spec.exec_host_ns + 100 * spec.reads.len() as u64);
+        let txn = TxnId::new(me as u32, seq);
         for k in &spec.reads {
-            let _ = st.host_table.get(*k);
+            let got = st.host_table.get(*k);
+            if let Some(r) = &st.recorder {
+                r.note_read(txn, *k, got.map(|(_, ver)| ver).unwrap_or(0));
+            }
+        }
+        if let Some(r) = &st.recorder {
+            r.commit(txn);
         }
         st.stats.local_fast_path.inc();
         let started = st.slots[slot as usize].first_started;
@@ -1635,6 +1665,15 @@ fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u6
     let ct = st.coord.remove(&seq).expect("coord exists");
     rt.trace_end("Log", seq);
     rt.trace_instant("Commit", seq);
+    // Commit point: every Log ack is in hand, so the writes are durable
+    // at the backups and will install even across a coordinator crash
+    // (on_restart re-arms CommitTick for `committing` entries).
+    if let Some(r) = &st.recorder {
+        r.note_reads(txn, ct.values.iter().map(|(k, _, v)| (*k, *v)));
+        r.note_reads(txn, ct.lock_versions.iter().copied());
+        r.note_writes(txn, ct.writes.iter().map(|(k, _, v)| (*k, *v)));
+        r.commit(txn);
+    }
     report_committed(st, rt, seq);
     let mut by_shard: BTreeMap<u32, WriteSet> = BTreeMap::new();
     for (k, p, ver) in ct.writes {
@@ -1664,8 +1703,13 @@ fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u6
     }
 }
 
-fn finish_commit_readonly(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64) {
-    st.coord.remove(&seq);
+fn finish_commit_readonly(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64) {
+    let ct = st.coord.remove(&seq);
+    if let (Some(r), Some(ct)) = (&st.recorder, ct.as_ref()) {
+        let txn = TxnId::new(me as u32, seq);
+        r.note_reads(txn, ct.values.iter().map(|(k, _, v)| (*k, *v)));
+        r.commit(txn);
+    }
     rt.trace_instant("Commit", seq);
     report_committed(st, rt, seq);
 }
@@ -1682,6 +1726,15 @@ fn finish_commit_multihop(
     // validation and logging at the remote primary.
     rt.trace_end("Execute", seq);
     rt.trace_instant("Commit", seq);
+    // Commit point. Remote-shard reads/writes were noted by the remote
+    // primary in resolve_exec (before any ack could reach us); the local
+    // round's evidence lives in ct.
+    if let Some(r) = &st.recorder {
+        r.note_reads(txn, ct.values.iter().map(|(k, _, v)| (*k, *v)));
+        r.note_reads(txn, ct.lock_versions.iter().copied());
+        r.note_writes(txn, ct.local_writes.iter().map(|(k, _, v)| (*k, *v)));
+        r.commit(txn);
+    }
     report_committed(st, rt, seq);
     // Slim Commit to the remote primary (it staged its writes).
     if let Some(remote) = ct.remote_shard {
@@ -1959,6 +2012,14 @@ fn cnic_local_commit(
         rt.send_pcie(Exec::Host, msg, bytes);
         return;
     }
+    // Validation passed and all write locks are held: the commit is now
+    // only waiting on replication, so this is where the transaction's
+    // reads and writes are known-final. (The commit mark itself lands in
+    // finish_commit_local once every Log ack arrives.)
+    if let Some(r) = &st.recorder {
+        r.note_reads(txn, checks.iter().copied());
+        r.note_writes(txn, writes.iter().map(|(k, _, v)| (*k, *v)));
+    }
     // Replicate to this shard's backups.
     let backups = st.part.backups(st.shard);
     let ct = CoordTxn {
@@ -2015,6 +2076,9 @@ fn finish_commit_local(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, se
     let ct = st.coord.remove(&seq).expect("coord exists");
     rt.trace_end("Log", seq);
     rt.trace_instant("Commit", seq);
+    if let Some(r) = &st.recorder {
+        r.commit(txn);
+    }
     report_committed(st, rt, seq);
     apply_commit_records(st, rt, me, txn, ct.writes, ct.local_locked);
 }
@@ -2103,35 +2167,20 @@ fn snic_execute(
         if st.nic_index.try_lock(seg, *k, txn) {
             acquired.push(*k);
         } else {
-            for a in acquired {
-                let seg = st.segment(a);
-                st.nic_index.unlock(seg, a, txn);
-            }
-            if ship.is_some() {
-                let msg = XMsg::from(ExecShipResp {
-                    txn,
-                    ok: false,
-                    local_writes: Vec::new(),
-                });
-                if rt.faults_active() {
-                    // Cache the refusal: a retransmitted ExecShip must not
-                    // re-attempt the locks after the coordinator aborted.
-                    st.ship_resp.insert(txn, (msg.clone(), Vec::new()));
-                }
-                let bytes = msg.wire_bytes();
-                rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
-            } else {
-                let msg = XMsg::from(ExecuteResp {
-                    txn,
-                    req,
-                    shard: st.shard,
-                    ok: false,
-                    values: Vec::new(),
-                    lock_versions: Vec::new(),
-                });
-                let bytes = msg.wire_bytes();
-                rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
-            }
+            refuse_exec(st, rt, txn, req, reply_to, ship.is_some(), acquired);
+            return;
+        }
+    }
+    // Refuse reads of keys another transaction holds write-locked: its
+    // new value is not installed yet, and a single-shard transaction (or
+    // a shipped one) skips Validate entirely, so serving the pre-lock
+    // version here could commit an unserializable read. DrTM+H's READ
+    // verb applies the same lock check.
+    for k in &reads {
+        let seg = st.segment(*k);
+        let lock = st.nic_index.lock_state(seg, *k);
+        if lock.is_held() && !lock.held_by(txn) {
+            refuse_exec(st, rt, txn, req, reply_to, ship.is_some(), acquired);
             return;
         }
     }
@@ -2188,11 +2237,56 @@ fn snic_execute(
         lock_versions,
         lock_only,
         ship,
+        ok: true,
+        locked: acquired,
     };
     if awaiting == 0 {
         resolve_exec(st, rt, me, op);
     } else {
         st.pending.insert(op_id, op);
+    }
+}
+
+/// Refuses an Execute/ExecShip request: releases any locks this request
+/// acquired and answers the coordinator with a failure.
+fn refuse_exec(
+    st: &mut XenicNode,
+    rt: &mut Runtime<XMsg>,
+    txn: TxnId,
+    req: u64,
+    reply_to: u32,
+    shipped: bool,
+    acquired: Vec<Key>,
+) {
+    for a in acquired {
+        let seg = st.segment(a);
+        st.nic_index.unlock(seg, a, txn);
+    }
+    if shipped {
+        st.ship_locked.remove(&txn);
+        let msg = XMsg::from(ExecShipResp {
+            txn,
+            ok: false,
+            local_writes: Vec::new(),
+        });
+        if rt.faults_active() {
+            // Cache the refusal: a retransmitted ExecShip must not
+            // re-attempt the locks after the coordinator aborted.
+            st.ship_resp.insert(txn, (msg.clone(), Vec::new()));
+        }
+        let bytes = msg.wire_bytes();
+        rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
+    } else {
+        let msg = XMsg::from(ExecuteResp {
+            txn,
+            req,
+            shard: st.shard,
+            ok: false,
+            values: Vec::new(),
+            lock_versions: Vec::new(),
+        });
+        let bytes = msg.wire_bytes();
+        rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
     }
 }
 
@@ -2263,11 +2357,22 @@ fn snic_dma_lookup_done(
             values,
             lock_versions,
             lock_only,
+            ok,
             ..
         } => {
             let (value, version) = result
                 .clone()
                 .unwrap_or_else(|| (Value::filled(0, 0), 0));
+            // The DMA result was planned against the host table, which
+            // lags NIC-authoritative state by the commit-to-apply
+            // window. If the NIC meanwhile knows a different version,
+            // the fetched copy is stale: refuse the request rather than
+            // serve a read that (on a single-shard or shipped path)
+            // Validate would never re-check.
+            let known = st.nic_index.version_of(seg, key);
+            if known.is_some_and(|cur| cur != version) {
+                *ok = false;
+            }
             if lock_only.contains(&key) {
                 lock_versions.push((key, version));
             } else {
@@ -2275,11 +2380,15 @@ fn snic_dma_lookup_done(
             }
             *awaiting -= 1;
             let done = *awaiting == 0;
-            // Install in the cache and note the version for Validate.
-            if cache_enabled && result.is_some() {
-                st.nic_index.install(seg, key, value, version);
-            } else {
-                st.nic_index.note_version(seg, key, version);
+            // Install in the cache and note the version for Validate —
+            // but never regress metadata a newer commit installed while
+            // this DMA was in flight.
+            if known.is_none_or(|cur| cur <= version) {
+                if cache_enabled && result.is_some() {
+                    st.nic_index.install(seg, key, value, version);
+                } else {
+                    st.nic_index.note_version(seg, key, version);
+                }
             }
             if done {
                 let op = st.pending.remove(&op_id).expect("present");
@@ -2329,11 +2438,19 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
         values,
         lock_versions,
         ship,
+        ok,
+        locked,
         ..
     } = op
     else {
         unreachable!("resolve_exec on Val op");
     };
+    if !ok {
+        // A DMA-resolved read raced a concurrent commit (stale against
+        // NIC metadata): refuse exactly as if the lock phase had failed.
+        refuse_exec(st, rt, txn, req, reply_to, ship.is_some(), locked);
+        return;
+    }
     match ship {
         None => {
             let msg = XMsg::from(ExecuteResp {
@@ -2353,6 +2470,15 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
             let mut all_vals = values;
             all_vals.extend(ctx.local_vals.iter().cloned());
             let writes = compute_writes(&ctx.spec, &all_vals, &lock_versions);
+            // Note the shipped transaction's reads and full write set
+            // now: every commit ack the coordinator can collect passes
+            // through messages sent after this point, so the notes are
+            // always on record before the commit mark.
+            if let Some(r) = &st.recorder {
+                r.note_reads(txn, all_vals.iter().map(|(k, _, v)| (*k, *v)));
+                r.note_reads(txn, lock_versions.iter().copied());
+                r.note_writes(txn, writes.iter().map(|(k, _, v)| (*k, *v)));
+            }
             let mine: WriteSet = writes
                 .iter()
                 .filter(|(k, _, _)| shard_of(*k) == st.shard)
@@ -2424,6 +2550,14 @@ fn snic_validate(
 ) {
     let mut ok = true;
     let mut dma_fetch: Vec<Key> = Vec::new();
+    // TEST ONLY: `weaken_validation` skips the whole re-check loop, so
+    // every Validate answers ok — the seeded isolation bug the
+    // serializability checker must catch (tests/serializability.rs).
+    let checks = if st.cfg.weaken_validation {
+        Vec::new()
+    } else {
+        checks
+    };
     for (k, expected) in &checks {
         let seg = st.segment(*k);
         let lock = st.nic_index.lock_state(seg, *k);

@@ -93,11 +93,26 @@ pub fn run_xenic_cluster(
     opts: &RunOptions,
     mk_workload: impl Fn(usize) -> Box<dyn Workload>,
 ) -> (RunResult, Cluster<Xenic>) {
+    run_xenic_cluster_with(params, net, cfg, opts, mk_workload, |_| {})
+}
+
+/// Like [`run_xenic_cluster`], with a `setup` hook that runs after the
+/// cluster is built but before any load is seeded — the attachment point
+/// for observers like [`xenic_check::HistoryRecorder`].
+pub fn run_xenic_cluster_with(
+    params: HwParams,
+    net: NetConfig,
+    cfg: XenicConfig,
+    opts: &RunOptions,
+    mk_workload: impl Fn(usize) -> Box<dyn Workload>,
+    setup: impl FnOnce(&mut Cluster<Xenic>),
+) -> (RunResult, Cluster<Xenic>) {
     let part = Partitioning::new(params.nodes as u32, cfg.replication);
     let windows = opts.windows;
     let mut cluster: Cluster<Xenic> = Cluster::new(params, net, opts.seed, |node| {
         XenicNode::new(node, cfg, part, mk_workload(node), windows)
     });
+    setup(&mut cluster);
     let nodes = cluster.rt.node_count();
     // Seed one StartTxn per application-thread slot, staggered slightly so
     // the first burst doesn't collide artificially.
@@ -128,6 +143,27 @@ pub fn run_xenic_cluster(
 
     let result = collect(&cluster, mstart, mend, host_busy0, nic_busy0, lio0, cx50, dma0);
     (result, cluster)
+}
+
+/// Runs Xenic with serializability-history recording attached to every
+/// node, returning the recorded [`xenic_check::History`] alongside the
+/// metrics. Feed the history to [`xenic_check::check_history`].
+pub fn run_xenic_recorded(
+    params: HwParams,
+    net: NetConfig,
+    cfg: XenicConfig,
+    opts: &RunOptions,
+    mk_workload: impl Fn(usize) -> Box<dyn Workload>,
+) -> (RunResult, xenic_check::History) {
+    let recorder = xenic_check::HistoryRecorder::new();
+    let hook = recorder.clone();
+    let (result, _cluster) =
+        run_xenic_cluster_with(params, net, cfg, opts, mk_workload, move |cluster| {
+            for st in &mut cluster.states {
+                st.set_recorder(hook.clone());
+            }
+        });
+    (result, recorder.snapshot())
 }
 
 /// Gathers metrics from a finished Xenic run.

@@ -82,6 +82,8 @@ pub mod stats;
 pub use api::{local_of, make_key, shard_of, Partitioning, ShipMode, TxnSpec, UpdateOp, Workload};
 pub use config::XenicConfig;
 pub use engine::{Xenic, XenicNode};
-pub use harness::{run_xenic, RunOptions, RunResult};
+pub use harness::{
+    run_xenic, run_xenic_cluster, run_xenic_cluster_with, run_xenic_recorded, RunOptions, RunResult,
+};
 pub use msg::XMsg;
 pub use stats::NodeStats;

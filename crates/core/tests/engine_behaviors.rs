@@ -144,7 +144,12 @@ fn read_write_conflict_aborts_are_detected() {
     );
     cluster.run_until(SimTime::from_ms(5));
     drain(&mut cluster);
-    assert!(committed(&cluster) > 1_000);
+    // Readers of a write-locked key are refused at Execute (they would
+    // otherwise observe pre-lock values that single-shard writers never
+    // re-validate), so hot-key contention caps throughput well below the
+    // uncontended rate. Progress under contention is what matters here.
+    let c = committed(&cluster);
+    assert!(c > 500, "committed {c}");
     assert!(aborted(&cluster) > 0, "validation conflicts expected");
 }
 

@@ -77,7 +77,7 @@ fn differential(seed: u64, steps: usize, describe: &str) {
     let mut id: u64 = 0;
     for step in 0..steps {
         // Bias toward pushes early, pops late, with bursts of both.
-        let push = if q.len() == 0 {
+        let push = if q.is_empty() {
             true
         } else {
             rng.below(100) < 55

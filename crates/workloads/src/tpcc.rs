@@ -54,6 +54,11 @@ const TABLE_SHIFT: u32 = 48;
 pub enum TpccMix {
     /// New-order transactions only, uniform-random supply partitions.
     NewOrderOnly,
+    /// Payment transactions only. Not a paper experiment; used by the
+    /// consistency tests, where payments' double-entry YTD updates
+    /// (warehouse and district must move in lockstep) make lost updates
+    /// visible as a balance mismatch.
+    PaymentOnly,
     /// The standard five-type mix.
     Full,
 }
@@ -219,12 +224,18 @@ impl Tpcc {
     }
 
     // ---- Key packing ----
+    //
+    // The warehouse/district builders are public so consistency tests can
+    // locate the YTD counters and NEXT_O_ID serialization points in the
+    // stores and in recorded histories.
 
-    fn warehouse_key(&self, shard: u32, w_local: u32) -> Key {
+    /// KV key of warehouse `w_local`'s row on `shard`.
+    pub fn warehouse_key(&self, shard: u32, w_local: u32) -> Key {
         make_key(shard, (T_WAREHOUSE << TABLE_SHIFT) | u64::from(w_local))
     }
 
-    fn district_key(&self, shard: u32, w_local: u32, d: u32) -> Key {
+    /// KV key of district `d` of warehouse `w_local` on `shard`.
+    pub fn district_key(&self, shard: u32, w_local: u32, d: u32) -> Key {
         make_key(
             shard,
             (T_DISTRICT << TABLE_SHIFT) | (u64::from(w_local) * 16 + u64::from(d)),
@@ -302,7 +313,7 @@ impl Tpcc {
                     let s = rng.below(u64::from(cfg.nodes)) as u32;
                     (s, rng.below(u64::from(cfg.warehouses_per_node)) as u32)
                 }
-                TpccMix::Full => {
+                TpccMix::PaymentOnly | TpccMix::Full => {
                     if rng.chance(0.01) {
                         let s = rng.below(u64::from(cfg.nodes)) as u32;
                         (s, rng.below(u64::from(cfg.warehouses_per_node)) as u32)
@@ -518,6 +529,7 @@ impl Workload for Tpcc {
         let shard = node as u32;
         match self.cfg.mix {
             TpccMix::NewOrderOnly => self.new_order(shard, rng),
+            TpccMix::PaymentOnly => self.payment(shard, rng),
             TpccMix::Full => {
                 // Standard mix: 45 / 43 / 4 / 4 / 4.
                 match rng.below(100) {

@@ -440,6 +440,96 @@ fn zero_rate_fault_plan_reproduces_fault_free_run() {
     }
 }
 
+/// The serializability history recorder must be a pure observer:
+/// attaching it changes no measured bit of a run. Commit and abort
+/// counts, the full latency fingerprint, and an FNV digest over every
+/// shard's final table (values and versions) are identical with
+/// recording on and off — fault-free and under lossy fault plans.
+#[test]
+fn history_recorder_is_a_pure_observer() {
+    use xenic::engine::Xenic;
+    use xenic::harness::run_xenic_cluster_with;
+    use xenic_check::HistoryRecorder;
+    use xenic_net::Cluster;
+
+    fn table_digest(cluster: &Cluster<Xenic>) -> u64 {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for st in &cluster.states {
+            let mut keys: Vec<u64> = st.host_table.iter_keys().map(|(k, _)| k).collect();
+            keys.sort_unstable();
+            for k in keys {
+                let (v, ver) = st.host_table.get(k).expect("key present");
+                for b in v.bytes() {
+                    digest = (digest ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+                }
+                digest = (digest ^ ver).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        digest
+    }
+
+    for_cases("history_recorder_is_a_pure_observer", 4, |case, rng| {
+        let seed = rng.below(1 << 20);
+        let plan = if case % 2 == 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::lossy(rng.f64() * 0.03, rng.f64() * 0.02, rng.below(2_000))
+        };
+        let opts = RunOptions {
+            windows: 4,
+            warmup: SimTime::from_us(500),
+            measure: SimTime::from_ms(1),
+            seed,
+        };
+        let mk = |_: usize| -> Box<dyn Workload> {
+            Box::new(xenic_workloads::Smallbank::new(
+                xenic_workloads::SmallbankConfig {
+                    accounts_per_node: 10_000,
+                    ..xenic_workloads::SmallbankConfig::sim(6)
+                },
+            ))
+        };
+        let run = |record: bool| {
+            let recorder = HistoryRecorder::new();
+            let hook = recorder.clone();
+            let (r, cluster) = run_xenic_cluster_with(
+                HwParams::paper_testbed(),
+                NetConfig::full().with_faults(plan.clone()),
+                XenicConfig::full(),
+                &opts,
+                mk,
+                move |cluster| {
+                    if record {
+                        for st in &mut cluster.states {
+                            st.set_recorder(hook.clone());
+                        }
+                    }
+                },
+            );
+            let history = recorder.snapshot();
+            (
+                (r.committed, r.aborted, r.p50_ns, r.p99_ns, r.mean_ns.to_bits()),
+                table_digest(&cluster),
+                history,
+            )
+        };
+        let (fp_off, digest_off, history_off) = run(false);
+        let (fp_on, digest_on, history_on) = run(true);
+        assert_eq!(fp_off, fp_on, "case {case}: recorder perturbed the metrics");
+        assert_eq!(digest_off, digest_on, "case {case}: recorder perturbed table state");
+        assert!(fp_on.0 > 0, "case {case}: nothing committed");
+        assert!(history_off.is_empty(), "case {case}: detached recorder saw commits");
+        // The recorder sees every commit from t=0, a superset of the
+        // measurement-window count.
+        assert!(
+            history_on.committed_count() as u64 >= fp_on.0,
+            "case {case}: recorder saw {} < measured {}",
+            history_on.committed_count(),
+            fp_on.0
+        );
+    });
+}
+
 /// The deterministic RNG's labeled streams are insensitive to parent
 /// consumption, and NURand stays within its bounds for arbitrary
 /// parameters.

@@ -1,0 +1,77 @@
+//! End-to-end serializability checks through the fuzz harness: the sound
+//! engines must verify, and — the checker's own acceptance test — a
+//! deliberately weakened Xenic (`weaken_validation` skips Validate's
+//! version re-check) must be **rejected** with a G2 witness cycle that
+//! survives shrinking.
+
+use xenic_bench::fuzz::{replay_cmd, run_point, shrink, FuzzPoint, FuzzSystem, WlKind};
+use xenic_check::{AnomalyClass, Verdict};
+
+fn point(system: FuzzSystem, wl: WlKind, seed: u64, plan: u32) -> FuzzPoint {
+    FuzzPoint {
+        system,
+        wl,
+        seed,
+        plan,
+        windows: 4,
+        measure_us: 800,
+    }
+}
+
+#[test]
+fn sound_xenic_survives_the_write_skew_crossfire() {
+    // The control arm: the same workload that breaks the weakened engine
+    // below must pass with Validate intact.
+    for seed in 1..=3 {
+        let out = run_point(&point(FuzzSystem::Xenic, WlKind::Skew, seed, 0));
+        assert!(out.committed > 50, "seed {seed}: committed {}", out.committed);
+        assert!(
+            out.passed(),
+            "seed {seed}: sound Xenic rejected:\n{}",
+            out.report.describe()
+        );
+    }
+}
+
+#[test]
+fn weakened_validation_is_rejected_with_a_g2_cycle() {
+    // Sweep a few seeds; skipping the Validate version re-check lets two
+    // cross-shard transactions each read the key the other writes before
+    // either lock request lands — classic write skew. At least one seed
+    // must produce a history the DSG checker rejects, the witness must be
+    // a G2 (anti-dependency) cycle, and shrinking must preserve the
+    // failure so the printed replay command reproduces it.
+    let failing = (1..=6)
+        .map(|seed| point(FuzzSystem::XenicWeakened, WlKind::Skew, seed, 0))
+        .find(|p| !run_point(p).passed())
+        .expect("weakened validation must be caught on some seed");
+
+    let out = run_point(&failing);
+    match &out.report.verdict {
+        Verdict::Cycle { class, witness } => {
+            assert_eq!(*class, AnomalyClass::G2, "write skew must class as G2");
+            assert!(witness.len() >= 2, "a cycle needs at least two edges");
+        }
+        other => panic!("expected a witness cycle, got {other:?}"),
+    }
+    let described = out.report.describe();
+    assert!(described.contains("G2"), "describe() must name the class: {described}");
+
+    // Shrinking keeps the failure and the replay command names the
+    // shrunk point exactly.
+    let small = shrink(failing);
+    let small_out = run_point(&small);
+    assert!(!small_out.passed(), "shrunk point must still fail");
+    assert!(small.measure_us <= failing.measure_us && small.windows <= failing.windows);
+    let cmd = replay_cmd(&small);
+    for needle in [
+        "serial_fuzz",
+        "--replay",
+        "--system xenic-weakened",
+        "--wl skew",
+        &format!("--seed {}", small.seed),
+        &format!("--windows {}", small.windows),
+    ] {
+        assert!(cmd.contains(needle), "replay command missing `{needle}`: {cmd}");
+    }
+}

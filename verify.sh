@@ -18,6 +18,9 @@ cargo test --release -q --test conformance
 echo "==> perf_report --quick"
 cargo run --release -q -p xenic-bench --bin perf_report -- --quick
 
+echo "==> serial_fuzz --quick"
+cargo run --release -q -p xenic-bench --bin serial_fuzz -- --quick
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings
