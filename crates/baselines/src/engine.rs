@@ -15,6 +15,7 @@ use xenic_sim::SimTime;
 use xenic_store::chained::ChainedTable;
 use xenic_store::{Key, TxnId, Value, Version};
 
+use std::rc::Rc;
 use xenic::api::{shard_of, Partitioning, TxnSpec, Workload};
 use xenic::stats::NodeStats;
 use xenic_check::HistoryRecorder;
@@ -234,7 +235,7 @@ enum Phase {
 
 /// In-flight coordinator transaction.
 struct Coord {
-    spec: TxnSpec,
+    spec: Rc<TxnSpec>,
     phase: Phase,
     pending: usize,
     ok: bool,
@@ -259,7 +260,7 @@ pub struct BaselineNode {
     /// Workload generator.
     pub workload: Box<dyn Workload>,
     /// App-thread slots.
-    pub slots: Vec<Option<TxnSpec>>,
+    pub slots: Vec<Option<Rc<TxnSpec>>>,
     /// First-attempt start time per slot.
     pub slot_started: Vec<SimTime>,
     /// Stats.
@@ -562,8 +563,8 @@ fn start_txn(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, slot: u32
             None => return,
         }
     } else {
-        let s = st.workload.next_txn(me, &mut rt.rng);
-        st.slots[slot as usize] = Some(s.clone());
+        let s = Rc::new(st.workload.next_txn(me, &mut rt.rng));
+        st.slots[slot as usize] = Some(Rc::clone(&s));
         st.slot_started[slot as usize] = rt.now();
         s
     };

@@ -1,13 +1,13 @@
 //! Simulator performance report: wall-clock throughput of the event loop
-//! itself on two pinned workloads.
+//! itself on three pinned workloads.
 //!
-//! Usage: `perf_report [--quick] [--out <path>]`
+//! Usage: `perf_report [--quick] [--out <path>] [--alloc-budget <N>]`
 //!
 //! The figure/table harnesses measure the *modeled* system; this binary
 //! measures the *simulator* — how many discrete events per second the
 //! engine retires on this machine — so performance regressions in the
 //! kernel, runtime, or protocol handlers show up as a number, not a
-//! feeling. Two single-threaded scenarios are pinned (configs and seeds
+//! feeling. Three single-threaded scenarios are pinned (configs and seeds
 //! never change, so events-processed counts are invariants across
 //! machines and releases):
 //!
@@ -16,12 +16,27 @@
 //! - `chaos_replay`: the same workload under a lossy fault plan (1% drop,
 //!   1% dup, 200 ns jitter) — exercises the retransmission machinery and
 //!   the fault-path scratch buffers.
+//! - `tpcc_mix`: the full five-type TPC-C mix at sim scale — the widest
+//!   transactions (new-order touches 10+ keys across shards), so
+//!   per-key hot-path costs that Retwis's short transactions hide show
+//!   up here.
 //!
 //! Each scenario reports best-of-N wall seconds and events/sec (via
 //! `EventQueue::processed`), and the run writes `BENCH_simperf.json` in
 //! the current directory for trend tracking. `--quick` shortens the
 //! measure window and takes one sample per scenario — a smoke mode for
 //! CI-style gates like `verify.sh`.
+//!
+//! # Allocation accounting (`--features alloc-count`)
+//!
+//! With the `alloc-count` feature, a counting global allocator tallies
+//! every heap allocation (alloc/realloc/alloc_zeroed) and the report
+//! gains an allocs/event column, also recorded in the JSON. The hot
+//! path's memory discipline (DESIGN.md §13) keeps this number small and
+//! stable; `--alloc-budget <N>` makes the binary exit non-zero if any
+//! scenario exceeds N allocations per 1000 events, which is how
+//! `verify.sh` pins the budget. Without the feature the column reads
+//! `-` and the budget flag is rejected (the gate would be vacuous).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -31,11 +46,78 @@ use xenic::XenicConfig;
 use xenic_hw::HwParams;
 use xenic_net::{FaultPlan, NetConfig};
 use xenic_sim::SimTime;
-use xenic_workloads::{Retwis, RetwisConfig};
+use xenic_workloads::{Retwis, RetwisConfig, Tpcc, TpccConfig, TpccMix};
+
+/// Counts heap allocations so the report can attribute them per event.
+/// Deallocation is uncounted (frees mirror allocs); the counter is a
+/// single relaxed atomic so the measurement overhead is one uncontended
+/// RMW per allocation — noise next to the allocation itself.
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    /// Per-size-class counts (power-of-two buckets), for `--alloc-sizes`.
+    pub static BY_SIZE: [AtomicU64; 16] = [const { AtomicU64::new(0) }; 16];
+
+    fn bucket(size: usize) -> usize {
+        (usize::BITS - size.max(1).leading_zeros()).min(15) as usize
+    }
+
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates directly to `System`; the counter has no effect
+    // on the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BY_SIZE[bucket(layout.size())].fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAlloc = CountingAlloc;
+
+    pub fn allocs() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(feature = "alloc-count")]
+fn allocs_now() -> Option<u64> {
+    Some(alloc_count::allocs())
+}
+
+#[cfg(not(feature = "alloc-count"))]
+fn allocs_now() -> Option<u64> {
+    None
+}
 
 struct Scenario {
     name: &'static str,
     net: NetConfig,
+    mk: fn(usize) -> Box<dyn Workload>,
+}
+
+fn mk_retwis(_: usize) -> Box<dyn Workload> {
+    Box::new(Retwis::new(RetwisConfig::sim(6)))
+}
+
+fn mk_tpcc(_: usize) -> Box<dyn Workload> {
+    Box::new(Tpcc::new(TpccConfig::sim(6, TpccMix::Full)))
 }
 
 fn scenarios() -> Vec<Scenario> {
@@ -43,10 +125,17 @@ fn scenarios() -> Vec<Scenario> {
         Scenario {
             name: "retwis_fig8",
             net: NetConfig::full(),
+            mk: mk_retwis,
         },
         Scenario {
             name: "chaos_replay",
             net: NetConfig::full().with_faults(FaultPlan::lossy(0.01, 0.01, 200)),
+            mk: mk_retwis,
+        },
+        Scenario {
+            name: "tpcc_mix",
+            net: NetConfig::full(),
+            mk: mk_tpcc,
         },
     ]
 }
@@ -60,6 +149,40 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_simperf.json".to_string());
+    // Budget unit: allocations per 1000 events (allocs/event is < 1 on
+    // the hot path, so an integer flag needs the scale factor). Takes a
+    // single integer applying to every scenario, or per-scenario pairs:
+    // `--alloc-budget retwis_fig8=1200,tpcc_mix=4000` (unlisted
+    // scenarios are ungated — TPC-C's wide write sets legitimately
+    // allocate more than Retwis's two-key transactions).
+    let alloc_budget: Option<Vec<(String, u64)>> = args
+        .iter()
+        .position(|a| a == "--alloc-budget")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.split(',')
+                .map(|part| match part.split_once('=') {
+                    Some((name, n)) => (
+                        name.to_string(),
+                        n.parse().expect("--alloc-budget: bad integer"),
+                    ),
+                    None => (
+                        String::new(), // empty name = applies to all
+                        part.parse().expect("--alloc-budget takes an integer"),
+                    ),
+                })
+                .collect()
+        });
+    // Undocumented profiling aid: run a single scenario by name.
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if alloc_budget.is_some() && allocs_now().is_none() {
+        eprintln!("--alloc-budget requires building with --features alloc-count");
+        std::process::exit(2);
+    }
 
     let opts = RunOptions {
         windows: 64,
@@ -68,7 +191,6 @@ fn main() {
         seed: 42,
     };
     let samples = if quick { 1 } else { 3 };
-    let mk = |_: usize| Box::new(Retwis::new(RetwisConfig::sim(6))) as Box<dyn Workload>;
 
     // One throwaway run pre-faults the allocator and page tables so the
     // first measured sample isn't penalized.
@@ -80,7 +202,7 @@ fn main() {
             measure: SimTime::from_ms(1),
             ..opts.clone()
         },
-        mk,
+        mk_retwis,
     );
 
     println!(
@@ -90,45 +212,93 @@ fn main() {
         if quick { 1 } else { 4 },
     );
     println!(
-        "{:<16} {:>10} {:>14} {:>14}",
-        "scenario", "wall[s]", "events", "events/sec"
+        "{:<16} {:>10} {:>14} {:>14} {:>14}",
+        "scenario", "wall[s]", "events", "events/sec", "allocs/kevent"
     );
+    let mut over_budget = false;
     let mut json = String::from("{\n  \"scenarios\": [\n");
-    let n = scenarios().len();
-    for (i, sc) in scenarios().into_iter().enumerate() {
+    let scs: Vec<Scenario> = scenarios()
+        .into_iter()
+        .filter(|s| only.as_deref().is_none_or(|o| o == s.name))
+        .collect();
+    let n = scs.len();
+    for (i, sc) in scs.into_iter().enumerate() {
         let mut best = f64::INFINITY;
         let mut events = 0u64;
+        let mut best_allocs: Option<u64> = None;
         for _ in 0..samples {
+            let a0 = allocs_now();
             let t0 = Instant::now();
             let (_, cluster) = run_xenic_cluster(
                 HwParams::paper_testbed(),
                 sc.net.clone(),
                 XenicConfig::full(),
                 &opts,
-                mk,
+                sc.mk,
             );
             let dt = t0.elapsed().as_secs_f64();
+            // Allocation counts are deterministic per scenario; taking
+            // the min guards against stray allocations from the runtime
+            // (e.g. stdio growth) landing inside one sample.
+            if let (Some(a0), Some(a1)) = (a0, allocs_now()) {
+                let d = a1 - a0;
+                best_allocs = Some(best_allocs.map_or(d, |b: u64| b.min(d)));
+            }
             events = cluster.rt.queue.processed();
             if dt < best {
                 best = dt;
             }
         }
         let eps = events as f64 / best;
+        let allocs_per_kevent = best_allocs.map(|a| a as f64 * 1000.0 / events as f64);
         println!(
-            "{:<16} {:>10.3} {:>14} {:>14.0}",
-            sc.name, best, events, eps
-        );
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{}\", \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}}}{}",
+            "{:<16} {:>10.3} {:>14} {:>14.0} {:>14}",
             sc.name,
             best,
             events,
             eps,
+            allocs_per_kevent.map_or("-".to_string(), |a| format!("{a:.1}")),
+        );
+        if let (Some(budgets), Some(apk)) = (&alloc_budget, allocs_per_kevent) {
+            let budget = budgets
+                .iter()
+                .find(|(n, _)| n == sc.name || n.is_empty())
+                .map(|(_, b)| *b);
+            if let Some(budget) = budget {
+                if apk > budget as f64 {
+                    eprintln!(
+                        "FAIL: {} allocates {:.1}/kevent, budget is {}/kevent",
+                        sc.name, apk, budget
+                    );
+                    over_budget = true;
+                }
+            }
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"allocs_per_kevent\": {}}}{}",
+            sc.name,
+            best,
+            events,
+            eps,
+            allocs_per_kevent.map_or("null".to_string(), |a| format!("{a:.1}")),
             if i + 1 < n { "," } else { "" }
         );
     }
     json.push_str("  ]\n}\n");
+    #[cfg(feature = "alloc-count")]
+    if args.iter().any(|a| a == "--alloc-sizes") {
+        println!("# allocation size classes (whole run)");
+        for (i, c) in alloc_count::BY_SIZE.iter().enumerate() {
+            let c = c.load(std::sync::atomic::Ordering::Relaxed);
+            if c > 0 {
+                println!("  <= {:>6} B: {:>12}", 1u64 << i, c);
+            }
+        }
+    }
     std::fs::write(&out_path, json).expect("write perf report");
     println!("(report written to {out_path})");
+    if over_budget {
+        std::process::exit(1);
+    }
 }

@@ -10,6 +10,7 @@
 //! read and write sets and the external state associated with the
 //! transaction".
 
+use xenic_sim::SmallVec;
 use xenic_store::{Key, Value};
 
 /// Number of bits of a [`Key`] reserved for the shard id (top byte).
@@ -113,14 +114,14 @@ impl UpdateOp {
                 let mut ctr = i64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
                 ctr = ctr.wrapping_add(*delta);
                 bytes[..8].copy_from_slice(&ctr.to_le_bytes());
-                Value::from_bytes(&bytes)
+                Value::from_vec(bytes)
             }
             UpdateOp::Mutate => {
                 let mut bytes = old.bytes().to_vec();
                 if let Some(b) = bytes.first_mut() {
                     *b = b.wrapping_add(1);
                 }
-                Value::from_bytes(&bytes)
+                Value::from_vec(bytes)
             }
         }
     }
@@ -254,11 +255,17 @@ impl TxnSpec {
         self.rounds.is_empty()
     }
 
-    /// The distinct shards the transaction touches, sorted.
-    pub fn shards(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.all_keys().map(shard_of).collect();
+    /// The distinct shards the transaction touches, sorted. Inline up to
+    /// four shards: this runs once per submitted transaction on the
+    /// coordinator hot path, and the workloads rarely span more.
+    pub fn shards(&self) -> SmallVec<u32, 4> {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for s in self.all_keys().map(shard_of) {
+            if !v.contains(&s) {
+                v.push(s);
+            }
+        }
         v.sort_unstable();
-        v.dedup();
         v
     }
 
@@ -366,7 +373,7 @@ mod tests {
         assert!(!spec.is_read_only());
         assert_eq!(spec.all_keys().count(), 4);
         assert_eq!(spec.write_keys().count(), 2);
-        assert_eq!(spec.shards(), vec![0, 1, 2]);
+        assert_eq!(spec.shards().as_slice(), &[0, 1, 2]);
         assert!(spec.spec_bytes() > 24);
     }
 

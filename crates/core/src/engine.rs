@@ -37,9 +37,9 @@
 //!   coordinator reports the outcome as soon as all Log acks arrive, per
 //!   §4.2 step 6), so they are elided from the wire.
 
-use std::collections::BTreeMap;
+use std::rc::Rc;
 use xenic_check::HistoryRecorder;
-use xenic_sim::{FastMap, FastSet};
+use xenic_sim::{FastMap, FastSet, SmallVec};
 
 use xenic_net::{Exec, Protocol, Runtime};
 use xenic_sim::SimTime;
@@ -51,9 +51,9 @@ use xenic_store::{CommitLog, Key, TxnId, Value, Version, WritePayload};
 use crate::api::{shard_of, Partitioning, TxnSpec, UpdateOp, Workload};
 use crate::config::XenicConfig;
 use crate::msg::{
-    AbortReq, CommitReq, DmaLogDone, DmaLookupDone, ExecMode, ExecShip, ExecShipResp, Execute,
-    ExecuteResp, LocalCommit, LogReq, RetryBackupLog, RetryCommitApply, TxnSubmit, Validate,
-    WriteSet, XMsg,
+    AbortReq, CheckSet, CommitReq, DmaLogDone, DmaLookupDone, ExecMode, ExecShip, ExecShipResp,
+    Execute, ExecuteResp, KeySet, LocalCommit, LogReq, RetryBackupLog, RetryCommitApply,
+    TxnSubmit, Validate, WriteSet, XMsg,
 };
 use crate::stats::NodeStats;
 use xenic_hw::HwParams;
@@ -64,14 +64,19 @@ const WORKER_POLL_NS: u64 = 1_500;
 /// Delay before a primary retries a Commit append that found the log
 /// ring full (the host drains it within a few poll periods).
 const COMMIT_RETRY_NS: u64 = 5_000;
+/// Retired [`CoordTxn`] contexts kept for reuse (DESIGN.md §13): enough
+/// to cover every app slot's in-flight transaction plus commit-phase
+/// stragglers, small enough that a fault burst can't hoard memory.
+const COORD_POOL_MAX: usize = 128;
 
 /// An application-thread slot on the coordinator host.
 #[derive(Clone, Debug, Default)]
 pub struct Slot {
     /// Current transaction sequence (0 = idle).
     pub seq: u64,
-    /// The spec being attempted (kept for retries).
-    pub spec: Option<TxnSpec>,
+    /// The spec being attempted (kept for retries). Shared with the
+    /// in-flight submit/retry message, so re-attempts are refcount bumps.
+    pub spec: Option<Rc<TxnSpec>>,
     /// When the current attempt started.
     pub started: SimTime,
     /// When the first attempt started (for end-to-end latency including
@@ -99,8 +104,17 @@ enum Phase {
 }
 
 /// Coordinator-NIC state for one in-flight transaction.
+///
+/// Memory discipline (DESIGN.md §13): the spec is shared (`Rc`), the
+/// tiny key/shard sets live inline (`SmallVec`), and retired contexts
+/// recycle through `XenicNode`'s pool, so the steady-state commit
+/// pipeline allocates nothing here. The larger collections stay `Vec`
+/// on purpose: the pool retains their heap capacity across
+/// transactions (equally allocation-free after warmup), while inline
+/// buffers would bloat the struct — which is moved by value through
+/// the pool and the coordinator map on every transaction.
 struct CoordTxn {
-    spec: TxnSpec,
+    spec: Rc<TxnSpec>,
     phase: Phase,
     /// Outstanding responses in the current phase.
     pending: usize,
@@ -110,10 +124,11 @@ struct CoordTxn {
     values: Vec<(Key, Value, Version)>,
     /// Versions of locked write-set keys collected in Execute.
     lock_versions: Vec<(Key, Version)>,
-    /// Computed write set.
+    /// Computed write set. Stays a `Vec`: it is moved in whole from
+    /// host/NIC execution results, and the pool recycles its capacity.
     writes: WriteSet,
     /// Shards where this txn acquired write locks (for abort cleanup).
-    locked_shards: Vec<u32>,
+    locked_shards: SmallVec<u32, 4>,
     /// Number of distinct primaries contacted during Execute.
     shards_contacted: usize,
     /// Execution rounds completed so far (multi-shot transactions).
@@ -123,7 +138,7 @@ struct CoordTxn {
     /// Multi-hop: write set for the coordinator's local shard.
     local_writes: WriteSet,
     /// Multi-hop: keys locked locally (incl. read-set keys).
-    local_locked: Vec<Key>,
+    local_locked: SmallVec<Key, 4>,
 
     // ---- Loss tolerance (populated only when fault injection is on) ----
     /// Phase epoch: bumped on every phase entry so stale [`XMsg::PhaseTimeout`]
@@ -131,9 +146,12 @@ struct CoordTxn {
     epoch: u64,
     /// Retransmission attempts in the current Exec/Validate phase.
     attempts: u32,
-    /// Outstanding Execute/Validate requests by request id, with the
-    /// destination node, for dedup and retransmission.
-    awaiting: BTreeMap<u64, (usize, XMsg)>,
+    /// Outstanding Execute/Validate requests as `(req, dst, msg)`.
+    /// Request ids are allocated monotonically and removal shifts (never
+    /// swaps), so iteration order is ascending request id — exactly the
+    /// old `BTreeMap<req, _>` order the retransmit path depends on.
+    /// Empty (and allocation-free) whenever faults are inactive.
+    awaiting: Vec<(u64, usize, XMsg)>,
     /// Retransmittable sends for the Log/LocalRepl phases (LogReqs, keyed
     /// by `(dst, shard)`) and the MhShipped phase (the ExecShip).
     resend: Vec<(usize, u32, XMsg)>,
@@ -143,13 +161,86 @@ struct CoordTxn {
     mh_ship_seen: bool,
 }
 
+// CoordTxn moves by value through the pool and the coordinator map on
+// every transaction, so its footprint is a performance contract like
+// XMsg's 40-byte guard: a fat context turns each of those moves into a
+// large memcpy that costs more than the allocations the pool saves.
+// Grow it past this bound only by boxing or sharing the new field.
+const _: () = assert!(std::mem::size_of::<CoordTxn>() <= 320);
+
 impl CoordTxn {
+    fn new(spec: Rc<TxnSpec>) -> Self {
+        CoordTxn {
+            spec,
+            phase: Phase::Exec,
+            pending: 0,
+            ok: true,
+            values: Vec::new(),
+            lock_versions: Vec::new(),
+            writes: Vec::new(),
+            locked_shards: SmallVec::new(),
+            shards_contacted: 0,
+            rounds_done: 0,
+            remote_shard: None,
+            local_writes: Vec::new(),
+            local_locked: SmallVec::new(),
+            epoch: 0,
+            attempts: 0,
+            awaiting: Vec::new(),
+            resend: Vec::new(),
+            acks: FastSet::default(),
+            mh_ship_seen: false,
+        }
+    }
+
+    /// Re-initializes a pooled context for a fresh transaction, keeping
+    /// any heap capacity its containers acquired.
+    fn reset(&mut self, spec: Rc<TxnSpec>) {
+        self.spec = spec;
+        self.phase = Phase::Exec;
+        self.pending = 0;
+        self.ok = true;
+        self.values.clear();
+        self.lock_versions.clear();
+        self.writes.clear();
+        self.locked_shards.clear();
+        self.shards_contacted = 0;
+        self.rounds_done = 0;
+        self.remote_shard = None;
+        self.local_writes.clear();
+        self.local_locked.clear();
+        self.epoch = 0;
+        self.attempts = 0;
+        self.awaiting.clear();
+        self.resend.clear();
+        self.acks.clear();
+        self.mh_ship_seen = false;
+    }
+
     fn enter_phase(&mut self, phase: Phase) {
         self.phase = phase;
         self.epoch += 1;
         self.attempts = 0;
         self.awaiting.clear();
         self.resend.clear();
+    }
+
+    /// Records an outstanding request. Callers allocate request ids
+    /// monotonically, so pushing keeps `awaiting` sorted by id.
+    fn await_req(&mut self, req: u64, dst: usize, msg: XMsg) {
+        self.awaiting.push((req, dst, msg));
+    }
+
+    /// Counts a response exactly once: true if `req` was outstanding.
+    /// Order-preserving removal (see the field invariant).
+    fn take_await(&mut self, req: u64) -> bool {
+        match self.awaiting.iter().position(|(r, _, _)| *r == req) {
+            Some(i) => {
+                self.awaiting.remove(i);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -166,14 +257,14 @@ enum PendingOp {
         /// Versions of locked keys (resolved without shipping values).
         lock_versions: Vec<(Key, Version)>,
         /// Keys whose pending DMA resolves a version only (lock-side).
-        lock_only: Vec<Key>,
+        lock_only: SmallVec<Key, 4>,
         /// Present when this is a shipped (multi-hop) execution.
         ship: Option<Box<ShipCtx>>,
         /// Set false when a DMA-resolved read turns out stale against
         /// NIC-authoritative metadata; the request is then refused.
         ok: bool,
         /// Locks acquired by this request (released on refusal).
-        locked: Vec<Key>,
+        locked: SmallVec<Key, 4>,
     },
     /// A Validate request that needed DMA version fetches.
     Val {
@@ -188,7 +279,7 @@ enum PendingOp {
 
 /// Context of a shipped execution at a remote primary.
 struct ShipCtx {
-    spec: TxnSpec,
+    spec: Rc<TxnSpec>,
     local_vals: Vec<(Key, Value, Version)>,
 }
 
@@ -224,6 +315,12 @@ pub struct XenicNode {
     host_txns: FastMap<u64, (u32, bool)>, // seq → (slot, metric)
     // Coordinator-NIC in-flight transactions.
     coord: FastMap<u64, CoordTxn>,
+    // Retired coordinator contexts, recycled like the runtime's frame
+    // freelist so the steady state re-uses their container capacity.
+    coord_pool: Vec<CoordTxn>,
+    // Placeholder spec for contexts that never carry one (local fast
+    // path); cached so those transactions don't allocate a default spec.
+    default_spec: Rc<TxnSpec>,
     // Server-side pending operations.
     pending: FastMap<u64, PendingOp>,
     next_op: u64,
@@ -231,16 +328,18 @@ pub struct XenicNode {
     ship_staged: FastMap<TxnId, WriteSet>,
     // All keys a shipped execution locked here (incl. read-set keys),
     // released at CommitReq.
-    ship_locked: FastMap<TxnId, Vec<Key>>,
-    // In-order log application.
-    apply_ready: BTreeMap<u64, ()>,
+    ship_locked: FastMap<TxnId, KeySet>,
+    // LSNs whose records are durable but not yet applied in order. Pure
+    // membership — never iterated — so an unordered set is safe.
+    apply_ready: FastSet<u64>,
     next_apply_lsn: u64,
 
     // ---- Loss tolerance (populated only when fault injection is on) ----
     // Next Execute/Validate request id.
     next_req: u64,
     // Commit retransmission: seq → unacked (shard, dst, CommitReq).
-    committing: BTreeMap<u64, Vec<(u32, usize, XMsg)>>,
+    // Iterated only by on_restart, which sorts the keys first.
+    committing: FastMap<u64, Vec<(u32, usize, XMsg)>>,
     // CommitReqs already applied at this primary (dedup + re-ack).
     commit_seen: FastSet<TxnId>,
     // Backup log records by (txn, shard): false while the append's DMA is
@@ -302,10 +401,20 @@ impl XenicNode {
         let mut backups = FastMap::default();
         for s in part.backup_shards(node) {
             let data = workload.preload(s);
-            let map: FastMap<Key, (Value, Version)> =
-                data.into_iter().map(|(k, v)| (k, (v, 1))).collect();
+            // Exact-sized: `with_capacity` already budgets for the load
+            // factor, and the benchmark workloads write in place rather
+            // than inserting, so the preload is the high-water mark.
+            let mut map: FastMap<Key, (Value, Version)> =
+                FastMap::with_capacity_and_hasher(data.len(), Default::default());
+            map.extend(data.into_iter().map(|(k, v)| (k, (v, 1))));
             backups.insert(s, map);
         }
+        // Pre-size the per-transaction maps from config-derived bounds so
+        // the hot path never rehashes: the coordinator tracks at most one
+        // in-flight txn per app slot (plus commit-phase stragglers), and a
+        // primary serves pending ops from every node's slots.
+        let coord_cap = (app_threads * 4).max(64);
+        let pending_cap = (part.nodes as usize * app_threads * 2).max(128);
         XenicNode {
             cfg,
             part,
@@ -319,16 +428,18 @@ impl XenicNode {
             next_seq: 1,
             draining: false,
             stats: NodeStats::default(),
-            host_txns: FastMap::default(),
-            coord: FastMap::default(),
-            pending: FastMap::default(),
+            host_txns: FastMap::with_capacity_and_hasher(coord_cap, Default::default()),
+            coord: FastMap::with_capacity_and_hasher(coord_cap, Default::default()),
+            coord_pool: Vec::new(),
+            default_spec: Rc::new(TxnSpec::default()),
+            pending: FastMap::with_capacity_and_hasher(pending_cap, Default::default()),
             next_op: 1,
             ship_staged: FastMap::default(),
             ship_locked: FastMap::default(),
-            apply_ready: BTreeMap::new(),
+            apply_ready: FastSet::default(),
             next_apply_lsn: 1,
             next_req: 1,
-            committing: BTreeMap::new(),
+            committing: FastMap::default(),
             commit_seen: FastSet::default(),
             backup_log_acked: FastMap::default(),
             ship_resp: FastMap::default(),
@@ -343,6 +454,48 @@ impl XenicNode {
     /// behavior.
     pub fn set_recorder(&mut self, recorder: HistoryRecorder) {
         self.recorder = Some(recorder);
+    }
+
+    /// Current capacities of the pre-sized hot-path maps, for the
+    /// no-growth regression test: `[host_txns, coord, pending]` followed
+    /// by each backup replica map. A steady-state run must leave every
+    /// one unchanged (no mid-run rehash).
+    pub fn hot_map_capacities(&self) -> Vec<usize> {
+        let mut caps = vec![
+            self.host_txns.capacity(),
+            self.coord.capacity(),
+            self.pending.capacity(),
+        ];
+        let mut shards: Vec<u32> = self.backups.keys().copied().collect();
+        shards.sort_unstable();
+        caps.extend(shards.iter().map(|s| self.backups[s].capacity()));
+        caps
+    }
+
+    /// Takes a coordinator context from the pool (or builds one).
+    fn alloc_coord(&mut self, spec: Rc<TxnSpec>) -> CoordTxn {
+        match self.coord_pool.pop() {
+            Some(mut ct) => {
+                ct.reset(spec);
+                ct
+            }
+            None => CoordTxn::new(spec),
+        }
+    }
+
+    /// Returns a retired coordinator context to the pool.
+    fn recycle_coord(&mut self, mut ct: CoordTxn) {
+        if self.coord_pool.len() < COORD_POOL_MAX {
+            // Release shared payloads now (pooling them would pin value
+            // buffers and the spec arbitrarily long); capacity is kept.
+            ct.spec = Rc::clone(&self.default_spec);
+            ct.values.clear();
+            ct.writes.clear();
+            ct.local_writes.clear();
+            ct.awaiting.clear();
+            ct.resend.clear();
+            self.coord_pool.push(ct);
+        }
     }
 
     fn segment(&self, key: Key) -> usize {
@@ -423,7 +576,10 @@ impl Protocol for Xenic {
             XMsg::ApplyLog { lsn } => host_apply_log(st, rt, me, lsn),
 
             // ---------------- Coordinator NIC ----------------
-            XMsg::TxnSubmit(b) => cnic_submit(st, rt, me, b.seq, b.spec),
+            XMsg::TxnSubmit(b) => {
+                let b = b.take();
+                cnic_submit(st, rt, me, b.seq, b.spec)
+            }
             XMsg::ExecuteResp(b) => {
                 let ExecuteResp {
                     txn,
@@ -432,7 +588,7 @@ impl Protocol for Xenic {
                     ok,
                     values,
                     lock_versions,
-                } = *b;
+                } = b.take();
                 cnic_execute_resp(st, rt, me, txn, req, shard, ok, values, lock_versions)
             }
             XMsg::ValidateResp { txn, req, ok, .. } => {
@@ -447,9 +603,15 @@ impl Protocol for Xenic {
             XMsg::CommitAck { txn, shard } => cnic_commit_ack(st, txn, shard),
             XMsg::PhaseTimeout { seq, epoch } => cnic_phase_timeout(st, rt, me, seq, epoch),
             XMsg::CommitTick { seq, attempt } => cnic_commit_tick(st, rt, me, seq, attempt),
-            XMsg::ExecShipResp(b) => cnic_ship_resp(st, rt, me, b.txn, b.ok, b.local_writes),
+            XMsg::ExecShipResp(b) => {
+                let b = b.take();
+                cnic_ship_resp(st, rt, me, b.txn, b.ok, b.local_writes)
+            }
             XMsg::WritesReady { seq, writes } => cnic_writes_ready(st, rt, me, seq, writes),
-            XMsg::LocalCommit(b) => cnic_local_commit(st, rt, me, b.seq, b.checks, b.writes),
+            XMsg::LocalCommit(b) => {
+                let b = b.take();
+                cnic_local_commit(st, rt, me, b.seq, b.checks, b.writes)
+            }
 
             // ---------------- Server NIC ----------------
             XMsg::Execute(b) => {
@@ -460,7 +622,7 @@ impl Protocol for Xenic {
                     mode,
                     reads,
                     locks,
-                } = *b;
+                } = b.take();
                 snic_execute(st, rt, me, txn, req, reply_to, mode, reads, locks, None)
             }
             XMsg::Validate(b) => {
@@ -469,7 +631,7 @@ impl Protocol for Xenic {
                     req,
                     reply_to,
                     checks,
-                } = *b;
+                } = b.take();
                 snic_validate(st, rt, me, txn, req, reply_to, checks)
             }
             XMsg::LogReq(b) => {
@@ -478,11 +640,15 @@ impl Protocol for Xenic {
                     shard,
                     reply_to,
                     writes,
-                } = *b;
+                } = b.take();
                 snic_log(st, rt, me, txn, shard, reply_to, writes, false)
             }
-            XMsg::CommitReq(b) => snic_commit(st, rt, me, b.txn, b.shard, b.writes),
+            XMsg::CommitReq(b) => {
+                let b = b.take();
+                snic_commit(st, rt, me, b.txn, b.shard, b.writes)
+            }
             XMsg::AbortReq(b) => {
+                let b = b.take();
                 for k in b.unlock {
                     let seg = st.segment(k);
                     st.nic_index.unlock(seg, k, b.txn);
@@ -494,7 +660,7 @@ impl Protocol for Xenic {
                     reply_to,
                     spec,
                     local_vals,
-                } = *b;
+                } = b.take();
                 // A retransmitted ExecShip replays the cached outcome —
                 // re-executing could re-lock keys the commit already
                 // released, or double-log at the backups.
@@ -509,14 +675,14 @@ impl Protocol for Xenic {
                         return;
                     }
                 }
-                let reads: Vec<Key> = spec
+                let reads: KeySet = spec
                     .reads
                     .iter()
                     .copied()
                     .filter(|k| shard_of(*k) == st.shard)
                     .collect();
                 // Shipped executions lock read keys too (validation-free).
-                let locks: Vec<Key> = spec
+                let locks: KeySet = spec
                     .all_keys()
                     .filter(|k| shard_of(*k) == st.shard)
                     .collect();
@@ -540,7 +706,7 @@ impl Protocol for Xenic {
                     key,
                     remaining,
                     result,
-                } = *b;
+                } = b.take();
                 snic_dma_lookup_done(st, rt, me, op, key, remaining, result)
             }
             XMsg::DmaLogDone(b) => {
@@ -549,10 +715,11 @@ impl Protocol for Xenic {
                     reply_to,
                     lsn,
                     unlock,
-                } = *b;
+                } = b.take();
                 snic_dma_log_done(st, rt, me, txn, reply_to, lsn, unlock)
             }
             XMsg::RetryCommitApply(b) => {
+                let b = b.take();
                 apply_commit_records(st, rt, me, b.txn, b.writes, b.unlock);
             }
             XMsg::RetryBackupLog(b) => {
@@ -561,7 +728,7 @@ impl Protocol for Xenic {
                     shard,
                     reply_to,
                     writes,
-                } = *b;
+                } = b.take();
                 snic_log(st, rt, me, txn, shard, reply_to, writes, true)
             }
             XMsg::AppliedAck { lsn } => {
@@ -652,7 +819,10 @@ impl Protocol for Xenic {
                     Phase::WaitHost | Phase::MhLocal => {}
                 }
             }
-            let pending_commits: Vec<u64> = st.committing.keys().copied().collect();
+            // Same sorted-scan idiom: `committing` is hash-ordered now,
+            // and the CommitTick arm order decides FIFO ties.
+            let mut pending_commits: Vec<u64> = st.committing.keys().copied().collect();
+            pending_commits.sort_unstable();
             for seq in pending_commits {
                 rt.send_local(
                     Exec::Nic,
@@ -674,13 +844,15 @@ fn host_start_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, slot: u
         return;
     }
     let spec = if retry {
+        // A retry re-uses the slot's spec — a refcount bump, not a deep
+        // copy of the key vectors.
         match st.slots[slot as usize].spec.clone() {
             Some(s) => s,
             None => return,
         }
     } else {
-        let s = st.workload.next_txn(me, &mut rt.rng);
-        st.slots[slot as usize].spec = Some(s.clone());
+        let s = Rc::new(st.workload.next_txn(me, &mut rt.rng));
+        st.slots[slot as usize].spec = Some(Rc::clone(&s));
         st.slots[slot as usize].first_started = rt.now();
         s
     };
@@ -816,9 +988,9 @@ fn host_outcome(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64
 }
 
 fn host_apply_log(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, lsn: u64) {
-    st.apply_ready.insert(lsn, ());
+    st.apply_ready.insert(lsn);
     let mut applied_to = None;
-    while st.apply_ready.remove(&st.next_apply_lsn).is_some() {
+    while st.apply_ready.remove(&st.next_apply_lsn) {
         let lsn = st.next_apply_lsn;
         st.next_apply_lsn += 1;
         let Some(entry) = st.log.get(lsn) else {
@@ -907,7 +1079,7 @@ fn compute_writes(
 // Coordinator-NIC handlers
 // =====================================================================
 
-fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, spec: TxnSpec) {
+fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, spec: Rc<TxnSpec>) {
     let fa = rt.faults_active();
     let txn = TxnId::new(me as u32, seq);
     // The Execute span covers every coordinator variant: the standard
@@ -915,7 +1087,8 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
     // direct-ship path (which stays "executing" until the ship resolves).
     rt.trace_begin("Execute", seq);
     let shards = spec.shards();
-    let remote_shards: Vec<u32> = shards.iter().copied().filter(|&s| s != st.shard).collect();
+    let remote_shards: SmallVec<u32, 4> =
+        shards.iter().copied().filter(|&s| s != st.shard).collect();
 
     // Multi-hop requires a single remote shard, shippable logic, and —
     // when the local shard participates — a cache-resolvable local read
@@ -938,31 +1111,11 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
         && remote_shards.len() == 1
         && local_reads_cached;
 
-    let mut ct = CoordTxn {
-        spec: spec.clone(),
-        phase: Phase::Exec,
-        pending: 0,
-        ok: true,
-        values: Vec::new(),
-        lock_versions: Vec::new(),
-        writes: Vec::new(),
-        locked_shards: Vec::new(),
-        shards_contacted: 0,
-        rounds_done: 0,
-        remote_shard: None,
-        local_writes: Vec::new(),
-        local_locked: Vec::new(),
-        epoch: 0,
-        attempts: 0,
-        awaiting: BTreeMap::new(),
-        resend: Vec::new(),
-        acks: FastSet::default(),
-        mh_ship_seen: false,
-    };
+    let mut ct = st.alloc_coord(Rc::clone(&spec));
 
     if multihop_ok {
         ct.remote_shard = Some(remote_shards[0]);
-        let local_keys: Vec<Key> = spec
+        let local_keys: KeySet = spec
             .all_keys()
             .filter(|k| shard_of(*k) == st.shard)
             .collect();
@@ -973,7 +1126,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             let msg = XMsg::from(ExecShip {
                 txn,
                 reply_to: me as u32,
-                spec: spec.clone(),
+                spec: Rc::clone(&spec),
                 local_vals: Vec::new(),
             });
             let bytes = msg.wire_bytes();
@@ -991,7 +1144,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             ct.phase = Phase::MhLocal;
             ct.pending = 1;
             ct.local_locked = local_keys.clone();
-            let local_reads: Vec<Key> = spec
+            let local_reads: KeySet = spec
                 .reads
                 .iter()
                 .copied()
@@ -1003,19 +1156,17 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                 // Self-delivery is reliable; the entry exists for dedup
                 // symmetry, never for retransmission (MhLocal arms no
                 // timer).
-                ct.awaiting.insert(
+                ct.await_req(
                     req,
-                    (
-                        me,
-                        XMsg::from(Execute {
-                            txn,
-                            req,
-                            reply_to: me as u32,
-                            mode: ExecMode::Combined,
-                            reads: local_reads.clone(),
-                            locks: local_keys.clone(),
-                        }),
-                    ),
+                    me,
+                    XMsg::from(Execute {
+                        txn,
+                        req,
+                        reply_to: me as u32,
+                        mode: ExecMode::Combined,
+                        reads: local_reads.clone(),
+                        locks: local_keys.clone(),
+                    }),
                 );
             }
             st.stats.multihop.inc();
@@ -1047,13 +1198,13 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
     // delta payloads make the values unnecessary at the coordinator.
     ct.shards_contacted = shards.len();
     for &shard in &shards {
-        let reads: Vec<Key> = spec
+        let reads: KeySet = spec
             .reads
             .iter()
             .copied()
             .filter(|k| shard_of(*k) == shard)
             .collect();
-        let locks: Vec<Key> = spec.write_keys().filter(|k| shard_of(*k) == shard).collect();
+        let locks: KeySet = spec.write_keys().filter(|k| shard_of(*k) == shard).collect();
         let dst = st.part.primary(shard);
         if st.cfg.smart_remote_ops {
             ct.pending += 1;
@@ -1068,7 +1219,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                 locks,
             });
             if fa {
-                ct.awaiting.insert(req, (dst, msg.clone()));
+                ct.await_req(req, dst, msg.clone());
             }
             let bytes = msg.wire_bytes();
             rt.send_net(dst, Exec::Nic, msg, bytes);
@@ -1084,11 +1235,11 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                     req,
                     reply_to: me as u32,
                     mode: ExecMode::ReadOnly,
-                    reads: vec![k],
-                    locks: vec![],
+                    reads: std::iter::once(k).collect(),
+                    locks: KeySet::new(),
                 });
                 if fa {
-                    ct.awaiting.insert(req, (dst, msg.clone()));
+                    ct.await_req(req, dst, msg.clone());
                 }
                 let bytes = msg.wire_bytes();
                 rt.send_net(dst, Exec::Nic, msg, bytes);
@@ -1102,11 +1253,11 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                     req,
                     reply_to: me as u32,
                     mode: ExecMode::LockOnly,
-                    reads: vec![],
-                    locks: vec![k],
+                    reads: KeySet::new(),
+                    locks: std::iter::once(k).collect(),
                 });
                 if fa {
-                    ct.awaiting.insert(req, (dst, msg.clone()));
+                    ct.await_req(req, dst, msg.clone());
                 }
                 let bytes = msg.wire_bytes();
                 rt.send_net(dst, Exec::Nic, msg, bytes);
@@ -1171,7 +1322,7 @@ fn cnic_execute_resp(
     // Count each request's response exactly once: a duplicated frame or a
     // response to a request we already retransmitted-and-heard must not
     // decrement `pending` again.
-    if rt.faults_active() && ct.awaiting.remove(&req).is_none() {
+    if rt.faults_active() && !ct.take_await(req) {
         return;
     }
     if !ok {
@@ -1186,7 +1337,7 @@ fn cnic_execute_resp(
         }
     } else {
         // The txn is already aborting: release whatever this shard locked.
-        let unlock: Vec<Key> = if ct.phase == Phase::MhLocal {
+        let unlock: KeySet = if ct.phase == Phase::MhLocal {
             ct.local_locked.clone()
         } else {
             ct.spec
@@ -1215,8 +1366,8 @@ fn cnic_execute_resp(
             let ct = st.coord.get_mut(&seq).expect("coord exists");
             ct.enter_phase(Phase::MhShipped);
             let remote = ct.remote_shard.expect("multihop has remote");
-            let spec = ct.spec.clone();
-            let mut local_vals = ct.values.clone();
+            let spec = Rc::clone(&ct.spec);
+            let mut local_vals = ct.values.to_vec();
             local_vals.extend(
                 ct.lock_versions
                     .iter()
@@ -1258,23 +1409,34 @@ fn exec_complete(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64
             // additional keys until execution is finished.
             let round = ct.spec.rounds[ct.rounds_done].clone();
             ct.rounds_done += 1;
-            let mut by_shard: BTreeMap<u32, (Vec<Key>, Vec<Key>)> = BTreeMap::new();
+            // Group by shard without a tree map: linear-scan into a tiny
+            // vec (≤ nodes entries), then sort by shard so the send order
+            // matches the old ascending-key BTreeMap iteration exactly.
+            let mut sends: Vec<(u32, KeySet, KeySet)> = Vec::new();
+            let entry_of = |sends: &mut Vec<(u32, KeySet, KeySet)>, s: u32| -> usize {
+                match sends.iter().position(|(sh, _, _)| *sh == s) {
+                    Some(i) => i,
+                    None => {
+                        sends.push((s, KeySet::new(), KeySet::new()));
+                        sends.len() - 1
+                    }
+                }
+            };
             for k in &round.reads {
-                by_shard.entry(shard_of(*k)).or_default().0.push(*k);
+                let i = entry_of(&mut sends, shard_of(*k));
+                sends[i].1.push(*k);
             }
             for (k, _) in &round.updates {
-                by_shard.entry(shard_of(*k)).or_default().1.push(*k);
+                let i = entry_of(&mut sends, shard_of(*k));
+                sends[i].2.push(*k);
             }
-            ct.pending = by_shard.len();
-            ct.shards_contacted += by_shard.len();
+            sends.sort_unstable_by_key(|(s, _, _)| *s);
+            ct.pending = sends.len();
+            ct.shards_contacted += sends.len();
             // New round, new wait: bump the epoch so the previous round's
             // timer chain dies, and start a fresh retransmission budget.
             ct.epoch += 1;
             ct.attempts = 0;
-            let sends: Vec<(u32, Vec<Key>, Vec<Key>)> = by_shard
-                .into_iter()
-                .map(|(s, (r, l))| (s, r, l))
-                .collect();
             let fa = rt.faults_active();
             let mut msgs: Vec<(usize, u64, XMsg)> = Vec::with_capacity(sends.len());
             for (shard, reads, locks) in sends {
@@ -1293,7 +1455,7 @@ fn exec_complete(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64
             if fa {
                 let ct = st.coord.get_mut(&seq).expect("coord exists");
                 for (dst, req, msg) in &msgs {
-                    ct.awaiting.insert(*req, (*dst, msg.clone()));
+                    ct.await_req(*req, *dst, msg.clone());
                 }
             }
             for (dst, _, msg) in msgs {
@@ -1334,7 +1496,7 @@ fn exec_complete(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64
         ct.enter_phase(Phase::WaitHost);
         let msg = XMsg::ReadSet {
             seq,
-            values: ct.values.clone(),
+            values: ct.values.to_vec(),
         };
         let bytes = msg.wire_bytes();
         rt.send_pcie(Exec::Host, msg, bytes);
@@ -1403,10 +1565,17 @@ fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u6
         log_phase(st, rt, me, seq, txn);
         return;
     }
-    let mut by_shard: BTreeMap<u32, Vec<(Key, Version)>> = BTreeMap::new();
+    // Group by shard via linear scan + sort (≤ nodes entries); sorted
+    // order matches the old ascending-key BTreeMap iteration.
+    let mut by_shard: Vec<(u32, CheckSet)> = Vec::new();
     for (k, v) in checks {
-        by_shard.entry(shard_of(k)).or_default().push((k, v));
+        let s = shard_of(k);
+        match by_shard.iter_mut().find(|(sh, _)| *sh == s) {
+            Some((_, group)) => group.push((k, v)),
+            None => by_shard.push((s, std::iter::once((k, v)).collect())),
+        }
     }
+    by_shard.sort_unstable_by_key(|(s, _)| *s);
     ct.pending = 0;
     let smart = st.cfg.smart_remote_ops;
     let mut to_send = Vec::new();
@@ -1415,7 +1584,7 @@ fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u6
             to_send.push((shard, checks));
         } else {
             for c in checks {
-                to_send.push((shard, vec![c]));
+                to_send.push((shard, std::iter::once(c).collect::<CheckSet>()));
             }
         }
     }
@@ -1436,7 +1605,7 @@ fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u6
     ct.pending = msgs.len();
     if fa {
         for (dst, req, msg) in &msgs {
-            ct.awaiting.insert(*req, (*dst, msg.clone()));
+            ct.await_req(*req, *dst, msg.clone());
         }
     }
     for (dst, _, msg) in msgs {
@@ -1463,7 +1632,7 @@ fn cnic_validate_resp(
     if ct.phase != Phase::Validate {
         return;
     }
-    if rt.faults_active() && ct.awaiting.remove(&req).is_none() {
+    if rt.faults_active() && !ct.take_await(req) {
         return;
     }
     if !ok {
@@ -1498,13 +1667,17 @@ fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, tx
     ct.enter_phase(Phase::Log);
     ct.acks.clear();
     rt.trace_begin("Log", seq);
-    let mut by_shard: BTreeMap<u32, WriteSet> = BTreeMap::new();
+    // Group by shard via linear scan + sort (≤ nodes entries); sorted
+    // order matches the old ascending-key BTreeMap iteration.
+    let mut by_shard: Vec<(u32, WriteSet)> = Vec::new();
     for (k, p, ver) in &ct.writes {
-        by_shard
-            .entry(shard_of(*k))
-            .or_default()
-            .push((*k, p.clone(), *ver));
+        let s = shard_of(*k);
+        match by_shard.iter_mut().find(|(sh, _)| *sh == s) {
+            Some((_, group)) => group.push((*k, p.clone(), *ver)),
+            None => by_shard.push((s, vec![(*k, p.clone(), *ver)])),
+        }
     }
+    by_shard.sort_unstable_by_key(|(s, _)| *s);
     let mut sends = Vec::new();
     for (shard, writes) in by_shard {
         for b in st.part.backups(shard) {
@@ -1596,7 +1769,7 @@ fn cnic_log_resp(
                         st.nic_index.unlock(seg, *k, txn);
                     }
                     if let Some(remote) = ct.remote_shard {
-                        let unlock: Vec<Key> = ct
+                        let unlock: KeySet = ct
                             .spec
                             .all_keys()
                             .filter(|k| shard_of(*k) == remote)
@@ -1605,6 +1778,7 @@ fn cnic_log_resp(
                         let bytes = msg.wire_bytes();
                         rt.send_net(st.part.primary(remote), Exec::Nic, msg, bytes);
                     }
+                    st.recycle_coord(ct);
                     let msg = XMsg::Outcome {
                         seq,
                         committed: false,
@@ -1628,6 +1802,7 @@ fn cnic_log_resp(
                         let seg = st.segment(*k);
                         st.nic_index.unlock(seg, *k, txn);
                     }
+                    st.recycle_coord(ct);
                     let msg = XMsg::Outcome {
                         seq,
                         committed: false,
@@ -1662,7 +1837,7 @@ fn report_committed(st: &mut XenicNode, rt: &mut Runtime<XMsg>, seq: u64) {
 }
 
 fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, txn: TxnId) {
-    let ct = st.coord.remove(&seq).expect("coord exists");
+    let mut ct = st.coord.remove(&seq).expect("coord exists");
     rt.trace_end("Log", seq);
     rt.trace_instant("Commit", seq);
     // Commit point: every Log ack is in hand, so the writes are durable
@@ -1675,10 +1850,19 @@ fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u6
         r.commit(txn);
     }
     report_committed(st, rt, seq);
-    let mut by_shard: BTreeMap<u32, WriteSet> = BTreeMap::new();
-    for (k, p, ver) in ct.writes {
-        by_shard.entry(shard_of(k)).or_default().push((k, p, ver));
+    let writes = std::mem::take(&mut ct.writes);
+    st.recycle_coord(ct);
+    // Group by shard via linear scan + sort (≤ nodes entries); sorted
+    // order matches the old ascending-key BTreeMap iteration.
+    let mut by_shard: Vec<(u32, WriteSet)> = Vec::new();
+    for (k, p, ver) in writes {
+        let s = shard_of(k);
+        match by_shard.iter_mut().find(|(sh, _)| *sh == s) {
+            Some((_, group)) => group.push((k, p, ver)),
+            None => by_shard.push((s, vec![(k, p, ver)])),
+        }
     }
+    by_shard.sort_unstable_by_key(|(s, _)| *s);
     let fa = rt.faults_active();
     let mut unacked: Vec<(u32, usize, XMsg)> = Vec::new();
     for (shard, writes) in by_shard {
@@ -1710,6 +1894,9 @@ fn finish_commit_readonly(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize,
         r.note_reads(txn, ct.values.iter().map(|(k, _, v)| (*k, *v)));
         r.commit(txn);
     }
+    if let Some(ct) = ct {
+        st.recycle_coord(ct);
+    }
     rt.trace_instant("Commit", seq);
     report_committed(st, rt, seq);
 }
@@ -1721,7 +1908,7 @@ fn finish_commit_multihop(
     seq: u64,
     txn: TxnId,
 ) {
-    let ct = st.coord.remove(&seq).expect("coord exists");
+    let mut ct = st.coord.remove(&seq).expect("coord exists");
     // A multi-hop txn is one Execute span: the shipped round subsumes
     // validation and logging at the remote primary.
     rt.trace_end("Execute", seq);
@@ -1756,11 +1943,14 @@ fn finish_commit_multihop(
         rt.send_net(dst, Exec::Nic, msg, bytes);
     }
     // Apply the local-shard commit here (locks released after the DMA).
-    if !ct.local_writes.is_empty() {
-        apply_commit_records(st, rt, me, txn, ct.local_writes, ct.local_locked);
-    } else if !ct.local_locked.is_empty() {
+    let local_writes = std::mem::take(&mut ct.local_writes);
+    let local_locked = std::mem::take(&mut ct.local_locked);
+    st.recycle_coord(ct);
+    if !local_writes.is_empty() {
+        apply_commit_records(st, rt, me, txn, local_writes, local_locked);
+    } else if !local_locked.is_empty() {
         // Read-only local participation: just unlock.
-        for k in &ct.local_locked {
+        for k in &local_locked {
             let seg = st.segment(*k);
             st.nic_index.unlock(seg, *k, txn);
         }
@@ -1788,6 +1978,7 @@ fn cnic_ship_resp(
             let seg = st.segment(*k);
             st.nic_index.unlock(seg, *k, txn);
         }
+        st.recycle_coord(ct);
         let msg = XMsg::Outcome {
             seq,
             committed: false,
@@ -1826,7 +2017,7 @@ fn abort_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, t
     }
     rt.trace_instant("Abort", seq);
     for shard in &ct.locked_shards {
-        let unlock: Vec<Key> = if ct.remote_shard.is_some() && *shard == st.shard {
+        let unlock: KeySet = if ct.remote_shard.is_some() && *shard == st.shard {
             ct.local_locked.clone()
         } else {
             ct.spec
@@ -1841,6 +2032,7 @@ fn abort_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, t
         let bytes = msg.wire_bytes();
         rt.send_net(st.part.primary(*shard), Exec::Nic, msg, bytes);
     }
+    st.recycle_coord(ct);
     let msg = XMsg::Outcome {
         seq,
         committed: false,
@@ -1894,7 +2086,8 @@ fn cnic_phase_timeout(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq
                 return;
             }
             ct.attempts += 1;
-            let resends: Vec<(usize, XMsg)> = ct.awaiting.values().cloned().collect();
+            let resends: Vec<(usize, XMsg)> =
+                ct.awaiting.iter().map(|(_, d, m)| (*d, m.clone())).collect();
             rt.trace_instant("Retransmit", seq);
             for (dst, msg) in resends {
                 let bytes = msg.wire_bytes();
@@ -1969,7 +2162,7 @@ fn cnic_local_commit(
 ) {
     let txn = TxnId::new(me as u32, seq);
     // Lock write keys.
-    let mut locked = Vec::new();
+    let mut locked: SmallVec<Key, 4> = SmallVec::new();
     let mut ok = true;
     for (k, _, _) in &writes {
         let seg = st.segment(*k);
@@ -2020,29 +2213,17 @@ fn cnic_local_commit(
         r.note_reads(txn, checks.iter().copied());
         r.note_writes(txn, writes.iter().map(|(k, _, v)| (*k, *v)));
     }
-    // Replicate to this shard's backups.
+    // Replicate to this shard's backups. The context comes from the pool:
+    // the local fast path never runs Execute rounds, so only the fields
+    // it uses are filled in after the reset.
     let backups = st.part.backups(st.shard);
-    let ct = CoordTxn {
-        spec: TxnSpec::default(),
-        phase: Phase::LocalRepl,
-        pending: backups.len(),
-        ok: true,
-        values: Vec::new(),
-        lock_versions: Vec::new(),
-        writes: writes.clone(),
-        locked_shards: vec![st.shard],
-        shards_contacted: 1,
-        rounds_done: 0,
-        remote_shard: None,
-        local_writes: Vec::new(),
-        local_locked: locked,
-        epoch: 0,
-        attempts: 0,
-        awaiting: BTreeMap::new(),
-        resend: Vec::new(),
-        acks: FastSet::default(),
-        mh_ship_seen: false,
-    };
+    let mut ct = st.alloc_coord(Rc::clone(&st.default_spec));
+    ct.phase = Phase::LocalRepl;
+    ct.pending = backups.len();
+    ct.writes = writes.clone();
+    ct.locked_shards.push(st.shard);
+    ct.shards_contacted = 1;
+    ct.local_locked = locked;
     st.coord.insert(seq, ct);
     // The local fast path skips Execute/Validate rounds entirely; its
     // replication wait is the transaction's Log phase.
@@ -2073,14 +2254,17 @@ fn cnic_local_commit(
 }
 
 fn finish_commit_local(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, txn: TxnId) {
-    let ct = st.coord.remove(&seq).expect("coord exists");
+    let mut ct = st.coord.remove(&seq).expect("coord exists");
     rt.trace_end("Log", seq);
     rt.trace_instant("Commit", seq);
     if let Some(r) = &st.recorder {
         r.commit(txn);
     }
     report_committed(st, rt, seq);
-    apply_commit_records(st, rt, me, txn, ct.writes, ct.local_locked);
+    let writes = std::mem::take(&mut ct.writes);
+    let unlock = std::mem::take(&mut ct.local_locked);
+    st.recycle_coord(ct);
+    apply_commit_records(st, rt, me, txn, writes, unlock);
 }
 
 /// Commits a write set at this (primary) node: log append + DMA, cache
@@ -2091,7 +2275,7 @@ fn apply_commit_records(
     _me: usize,
     txn: TxnId,
     writes: WriteSet,
-    unlock: Vec<Key>,
+    unlock: KeySet,
 ) {
     let shard = st.shard;
     let appended = st.log.append(txn, LogKind::Commit, shard, writes.clone());
@@ -2156,12 +2340,12 @@ fn snic_execute(
     req: u64,
     reply_to: u32,
     _mode: ExecMode,
-    reads: Vec<Key>,
-    locks: Vec<Key>,
+    reads: KeySet,
+    locks: KeySet,
     ship: Option<Box<ShipCtx>>,
 ) {
     // Lock phase (§4.2 step 2): all-or-nothing within this request.
-    let mut acquired = Vec::new();
+    let mut acquired: SmallVec<Key, 4> = SmallVec::new();
     for k in &locks {
         let seg = st.segment(*k);
         if st.nic_index.try_lock(seg, *k, txn) {
@@ -2194,7 +2378,7 @@ fn snic_execute(
     st.next_op += 1;
     let mut values = Vec::new();
     let mut lock_versions = Vec::new();
-    let mut lock_only = Vec::new();
+    let mut lock_only: SmallVec<Key, 4> = SmallVec::new();
     let mut awaiting = 0usize;
     for k in &reads {
         let seg = st.segment(*k);
@@ -2256,7 +2440,7 @@ fn refuse_exec(
     req: u64,
     reply_to: u32,
     shipped: bool,
-    acquired: Vec<Key>,
+    acquired: SmallVec<Key, 4>,
 ) {
     for a in acquired {
         let seg = st.segment(a);
@@ -2546,7 +2730,7 @@ fn snic_validate(
     txn: TxnId,
     req: u64,
     reply_to: u32,
-    checks: Vec<(Key, Version)>,
+    checks: CheckSet,
 ) {
     let mut ok = true;
     let mut dma_fetch: Vec<Key> = Vec::new();
@@ -2554,7 +2738,7 @@ fn snic_validate(
     // every Validate answers ok — the seeded isolation bug the
     // serializability checker must catch (tests/serializability.rs).
     let checks = if st.cfg.weaken_validation {
-        Vec::new()
+        CheckSet::new()
     } else {
         checks
     };
@@ -2662,7 +2846,7 @@ fn snic_log(
                     txn,
                     reply_to: Some(reply_to),
                     lsn,
-                    unlock: Vec::new(),
+                    unlock: KeySet::new(),
                 }),
             );
         }
@@ -2730,7 +2914,7 @@ fn snic_commit(
     if writes.is_empty() {
         return;
     }
-    let unlock: Vec<Key> = writes.iter().map(|(k, _, _)| *k).collect();
+    let unlock: KeySet = writes.iter().map(|(k, _, _)| *k).collect();
     apply_commit_records(st, rt, me, txn, writes, unlock);
 }
 
@@ -2741,7 +2925,7 @@ fn snic_dma_log_done(
     txn: TxnId,
     reply_to: Option<u32>,
     lsn: u64,
-    unlock: Vec<Key>,
+    unlock: KeySet,
 ) {
     // Locks release only once the commit record is durable (§4.2 step 6).
     for k in unlock {

@@ -8,11 +8,24 @@
 //! the load-bearing part of the model.
 
 use crate::api::TxnSpec;
+use std::fmt;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+use xenic_sim::SmallVec;
 use xenic_store::{Key, TxnId, Value, Version, WritePayload};
 
 /// A replicated write set: key, payload (full value or shipped delta),
 /// and the new version.
 pub type WriteSet = Vec<(Key, WritePayload, Version)>;
+
+/// A small key set carried inline in a (boxed) message body: the common
+/// transaction touches ≤ 4 keys per shard, so read/lock/unlock sets ride
+/// in the message's own box instead of a second heap block.
+pub type KeySet = SmallVec<Key, 4>;
+
+/// A small (key, version) check set, same rationale as [`KeySet`].
+pub type CheckSet = SmallVec<(Key, Version), 4>;
 
 /// Per-message operation header bytes.
 pub const OP_HEADER: u32 = 24;
@@ -91,18 +104,18 @@ pub enum XMsg {
 
     // ---- Coordinator host → coordinator NIC ----
     /// Transaction state shipped to the local SmartNIC (§4.2 step 1).
-    TxnSubmit(Box<TxnSubmit>),
+    TxnSubmit(MsgBox<TxnSubmit>),
     /// A local write transaction, pre-executed on the host (§4.2.4): the
     /// NIC validates, locks, and replicates.
-    LocalCommit(Box<LocalCommit>),
+    LocalCommit(MsgBox<LocalCommit>),
 
     // ---- NIC ↔ NIC remote operations ----
     /// Execute-phase request to a primary NIC.
-    Execute(Box<Execute>),
+    Execute(MsgBox<Execute>),
     /// Execute-phase response.
-    ExecuteResp(Box<ExecuteResp>),
+    ExecuteResp(MsgBox<ExecuteResp>),
     /// Validate-phase version check (§4.2 step 4).
-    Validate(Box<Validate>),
+    Validate(MsgBox<Validate>),
     /// Validate-phase response.
     ValidateResp {
         /// Transaction id.
@@ -115,7 +128,7 @@ pub enum XMsg {
         ok: bool,
     },
     /// Log-phase request to a backup NIC (§4.2 step 5).
-    LogReq(Box<LogReq>),
+    LogReq(MsgBox<LogReq>),
     /// Log-phase acknowledgement (sent after the log DMA completes).
     LogResp {
         /// Transaction id.
@@ -133,7 +146,7 @@ pub enum XMsg {
         ok: bool,
     },
     /// Commit-phase request to a primary NIC (§4.2 step 6).
-    CommitReq(Box<CommitReq>),
+    CommitReq(MsgBox<CommitReq>),
     /// Acknowledges a [`XMsg::CommitReq`]. Only sent (and only awaited)
     /// when fault injection is active: commit messages are fire-and-forget
     /// on a reliable fabric, but under loss the coordinator retransmits
@@ -145,26 +158,26 @@ pub enum XMsg {
         shard: u32,
     },
     /// Abort: release the locks this shard holds for `txn`.
-    AbortReq(Box<AbortReq>),
+    AbortReq(MsgBox<AbortReq>),
 
     // ---- Multi-hop / shipped execution (§4.2.3) ----
     /// Ship a whole transaction to a remote primary NIC for execution.
-    ExecShip(Box<ExecShip>),
+    ExecShip(MsgBox<ExecShip>),
     /// The remote primary's response: execution outcome plus the write
     /// values for the coordinator's local shard.
-    ExecShipResp(Box<ExecShipResp>),
+    ExecShipResp(MsgBox<ExecShipResp>),
 
     // ---- DMA continuations (same node, NIC pool) ----
     /// One roundtrip of a chained DMA lookup finished.
-    DmaLookupDone(Box<DmaLookupDone>),
+    DmaLookupDone(MsgBox<DmaLookupDone>),
     /// A primary's Commit append found the log ring full: retry after
     /// the host drains (locks stay held; cache entries stay pinned).
-    RetryCommitApply(Box<RetryCommitApply>),
+    RetryCommitApply(MsgBox<RetryCommitApply>),
     /// A backup's Log append found the ring full: retry.
-    RetryBackupLog(Box<RetryBackupLog>),
+    RetryBackupLog(MsgBox<RetryBackupLog>),
     /// A log-append DMA write became durable; acknowledge and hand the
     /// record to a host worker.
-    DmaLogDone(Box<DmaLogDone>),
+    DmaLogDone(MsgBox<DmaLogDone>),
 
     // ---- Loss-tolerance timers (same node, NIC pool; faults only) ----
     /// A coordinator-NIC phase timer fired: if the transaction is still in
@@ -192,8 +205,10 @@ pub enum XMsg {
 pub struct TxnSubmit {
     /// Coordinator-local sequence.
     pub seq: u64,
-    /// The transaction.
-    pub spec: TxnSpec,
+    /// The transaction. Shared, not owned: submits, retries, and
+    /// function-shipping re-sends all bump the same `Rc` instead of
+    /// deep-copying the spec's key vectors.
+    pub spec: Rc<TxnSpec>,
 }
 
 /// Body of [`XMsg::LocalCommit`].
@@ -221,9 +236,9 @@ pub struct Execute {
     /// Request flavor.
     pub mode: ExecMode,
     /// Keys to read (Combined/ReadOnly).
-    pub reads: Vec<Key>,
+    pub reads: KeySet,
     /// Keys to write-lock (Combined/LockOnly).
-    pub locks: Vec<Key>,
+    pub locks: KeySet,
 }
 
 /// Body of [`XMsg::ExecuteResp`].
@@ -254,7 +269,7 @@ pub struct Validate {
     /// Coordinator node to respond to.
     pub reply_to: u32,
     /// Keys and the versions observed at Execute.
-    pub checks: Vec<(Key, Version)>,
+    pub checks: CheckSet,
 }
 
 /// Body of [`XMsg::LogReq`].
@@ -288,7 +303,7 @@ pub struct AbortReq {
     /// Transaction id.
     pub txn: TxnId,
     /// Keys to unlock.
-    pub unlock: Vec<Key>,
+    pub unlock: KeySet,
 }
 
 /// Body of [`XMsg::ExecShip`].
@@ -298,8 +313,9 @@ pub struct ExecShip {
     pub txn: TxnId,
     /// Coordinator node.
     pub reply_to: u32,
-    /// The transaction (remote + local keys).
-    pub spec: TxnSpec,
+    /// The transaction (remote + local keys), shared with the
+    /// coordinator's own context — see [`TxnSubmit::spec`].
+    pub spec: Rc<TxnSpec>,
     /// Values of the coordinator-local keys, read and locked by the
     /// coordinator NIC before shipping.
     pub local_vals: Vec<(Key, Value, Version)>,
@@ -337,7 +353,7 @@ pub struct RetryCommitApply {
     /// The write set to apply.
     pub writes: WriteSet,
     /// Keys to unlock once durable.
-    pub unlock: Vec<Key>,
+    pub unlock: KeySet,
 }
 
 /// Body of [`XMsg::RetryBackupLog`].
@@ -363,14 +379,127 @@ pub struct DmaLogDone {
     /// The record's LSN.
     pub lsn: u64,
     /// Write-set keys to unlock once durable (Commit records).
-    pub unlock: Vec<Key>,
+    pub unlock: KeySet,
+}
+
+/// Per-type freelist cap: deep enough to absorb a burst of in-flight
+/// messages of one kind, small enough that an idle pool pins < 40 KB.
+const POOL_MAX: usize = 256;
+
+/// A message body type with a thread-local allocation pool. Implemented
+/// by the `from_body!` macro for every boxed [`XMsg`] variant.
+pub trait PoolSlot: Sized + 'static {
+    /// Runs `f` with this type's freelist of spare allocations.
+    fn with_pool<R>(f: impl FnOnce(&mut Vec<Box<MaybeUninit<Self>>>) -> R) -> R;
+}
+
+fn recycle<T: PoolSlot>(slot: Box<MaybeUninit<T>>) {
+    T::with_pool(|p| {
+        if p.len() < POOL_MAX {
+            p.push(slot);
+        }
+    });
+}
+
+/// A pooled box for message bodies.
+///
+/// Behaves like `Box<T>` (deref, clone, drop) except the allocation is
+/// recycled through a per-type thread-local freelist instead of hitting
+/// the allocator: messages are the dominant short-lived heap object on
+/// the hot path (one body per send, plus clones for retransmit buffers
+/// and duplication faults), so in steady state every construction reuses
+/// a slot — the same freelist discipline as the runtime's frame pool and
+/// the engine's `CoordTxn` pool (DESIGN.md §13). Thread-local pools keep
+/// this sound under the parallel sweep runner (each cluster is confined
+/// to one thread, like the `Rc`s it carries).
+///
+/// Unlike `Box`, fields cannot be moved out through the pointer; use
+/// [`MsgBox::take`] to move the whole body out (recycling the slot).
+pub struct MsgBox<T: PoolSlot>(ManuallyDrop<Box<T>>);
+
+impl<T: PoolSlot> MsgBox<T> {
+    /// Boxes `v`, reusing a pooled allocation when one is free.
+    pub fn new(v: T) -> Self {
+        let b = match T::with_pool(|p| p.pop()) {
+            Some(mut slot) => {
+                slot.write(v);
+                // SAFETY: the slot was fully initialized by the write
+                // above; MaybeUninit<T> and T share layout.
+                unsafe { Box::from_raw(Box::into_raw(slot).cast::<T>()) }
+            }
+            None => Box::new(v),
+        };
+        MsgBox(ManuallyDrop::new(b))
+    }
+
+    /// Moves the body out and returns the allocation to the pool.
+    pub fn take(self) -> T {
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: `this` is never dropped; the value is read out exactly
+        // once (ownership moves to the caller) and the allocation is
+        // recycled uninitialized.
+        unsafe {
+            let raw = Box::into_raw(ManuallyDrop::take(&mut this.0));
+            let v = raw.read();
+            recycle::<T>(Box::from_raw(raw.cast::<MaybeUninit<T>>()));
+            v
+        }
+    }
+}
+
+impl<T: PoolSlot> Drop for MsgBox<T> {
+    fn drop(&mut self) {
+        // SAFETY: the box is live until here; drop the body in place,
+        // then recycle the now-uninitialized allocation.
+        unsafe {
+            let raw = Box::into_raw(ManuallyDrop::take(&mut self.0));
+            raw.drop_in_place();
+            recycle::<T>(Box::from_raw(raw.cast::<MaybeUninit<T>>()));
+        }
+    }
+}
+
+impl<T: PoolSlot> Deref for MsgBox<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: PoolSlot> DerefMut for MsgBox<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: PoolSlot + Clone> Clone for MsgBox<T> {
+    fn clone(&self) -> Self {
+        MsgBox::new((**self).clone())
+    }
+}
+
+impl<T: PoolSlot + fmt::Debug> fmt::Debug for MsgBox<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
 }
 
 macro_rules! from_body {
     ($($t:ident),* $(,)?) => {$(
         impl From<$t> for XMsg {
             fn from(b: $t) -> XMsg {
-                XMsg::$t(Box::new(b))
+                XMsg::$t(MsgBox::new(b))
+            }
+        }
+        impl PoolSlot for $t {
+            fn with_pool<R>(f: impl FnOnce(&mut Vec<Box<MaybeUninit<Self>>>) -> R) -> R {
+                thread_local! {
+                    static POOL: std::cell::RefCell<Vec<Box<MaybeUninit<$t>>>> =
+                        const { std::cell::RefCell::new(Vec::new()) };
+                }
+                POOL.with(|p| f(&mut p.borrow_mut()))
             }
         }
     )*};
@@ -456,16 +585,16 @@ mod tests {
             req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
-            reads: vec![make_key(1, 1)],
-            locks: vec![],
+            reads: vec![make_key(1, 1)].into(),
+            locks: vec![].into(),
         });
         let large = XMsg::from(Execute {
             txn: TxnId::new(0, 1),
             req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
-            reads: vec![make_key(1, 1); 10],
-            locks: vec![make_key(1, 2); 5],
+            reads: vec![make_key(1, 1); 10].into(),
+            locks: vec![make_key(1, 2); 5].into(),
         });
         assert_eq!(small.wire_bytes(), 24 + 12);
         assert_eq!(large.wire_bytes(), 24 + 15 * 12);
@@ -501,13 +630,65 @@ mod tests {
         assert_eq!(log_delta.wire_bytes(), 24 + 8 + 20);
     }
 
+    /// The body pool is LIFO per type: dropping (or `take`-ing) a box
+    /// and constructing the next one must reuse the same allocation —
+    /// the property that makes steady-state sends allocation-free.
+    #[test]
+    fn msgbox_recycles_allocations() {
+        let b = MsgBox::new(AbortReq {
+            txn: TxnId::new(0, 1),
+            unlock: KeySet::new(),
+        });
+        let p1 = &*b as *const AbortReq as usize;
+        drop(b);
+        let b2 = MsgBox::new(AbortReq {
+            txn: TxnId::new(0, 2),
+            unlock: KeySet::new(),
+        });
+        assert_eq!(
+            &*b2 as *const AbortReq as usize,
+            p1,
+            "drop returns the slot; the next construction reuses it"
+        );
+        let body = b2.take();
+        assert_eq!(body.txn, TxnId::new(0, 2), "take moves the body out intact");
+        let b3 = MsgBox::new(AbortReq {
+            txn: TxnId::new(0, 3),
+            unlock: KeySet::new(),
+        });
+        assert_eq!(
+            &*b3 as *const AbortReq as usize,
+            p1,
+            "take recycles the slot too"
+        );
+    }
+
+    /// Clones (retransmit buffers, duplication faults) draw from the
+    /// pool as well, and carried heap state survives the round-trip.
+    #[test]
+    fn msgbox_clone_preserves_contents() {
+        let mut unlock = KeySet::new();
+        for k in 0..7 {
+            unlock.push(k); // spills past the inline capacity
+        }
+        let a = MsgBox::new(AbortReq {
+            txn: TxnId::new(1, 9),
+            unlock,
+        });
+        let b = a.clone();
+        drop(a);
+        let body = b.take();
+        assert_eq!(body.unlock.len(), 7);
+        assert_eq!(body.unlock.as_slice(), &[0, 1, 2, 3, 4, 5, 6]);
+    }
+
     #[test]
     fn continuations_are_free() {
         let m = XMsg::from(DmaLogDone {
             txn: TxnId::new(0, 1),
             reply_to: None,
             lsn: 9,
-            unlock: vec![1, 2, 3],
+            unlock: vec![1, 2, 3].into(),
         });
         assert_eq!(m.wire_bytes(), 0);
         assert_eq!(XMsg::ApplyLog { lsn: 1 }.wire_bytes(), 0);
@@ -523,8 +704,8 @@ mod tests {
             req: 0,
             reply_to: 0,
             mode: ExecMode::Combined,
-            reads: vec![1, 2],
-            locks: vec![3],
+            reads: vec![1, 2].into(),
+            locks: vec![3].into(),
         })
         .wire_bytes();
         let split: u32 = [
@@ -533,8 +714,8 @@ mod tests {
                 req: 0,
                 reply_to: 0,
                 mode: ExecMode::ReadOnly,
-                reads: vec![1],
-                locks: vec![],
+                reads: vec![1].into(),
+                locks: vec![].into(),
             })
             .wire_bytes(),
             XMsg::from(Execute {
@@ -542,8 +723,8 @@ mod tests {
                 req: 0,
                 reply_to: 0,
                 mode: ExecMode::ReadOnly,
-                reads: vec![2],
-                locks: vec![],
+                reads: vec![2].into(),
+                locks: vec![].into(),
             })
             .wire_bytes(),
             XMsg::from(Execute {
@@ -551,8 +732,8 @@ mod tests {
                 req: 0,
                 reply_to: 0,
                 mode: ExecMode::LockOnly,
-                reads: vec![],
-                locks: vec![3],
+                reads: vec![].into(),
+                locks: vec![3].into(),
             })
             .wire_bytes(),
         ]

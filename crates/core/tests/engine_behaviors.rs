@@ -465,6 +465,46 @@ fn batching_factors_grow_with_load() {
     );
 }
 
+/// The per-transaction maps are pre-sized in `XenicNode::new` from
+/// config-derived bounds (slots, nodes, preload size) precisely so the
+/// hot path never rehashes mid-run. A capacity that grows under a
+/// write-heavy cross-shard load means the sizing formula went stale.
+#[test]
+fn hot_maps_never_grow_after_construction() {
+    let mut cluster = cluster_of(
+        XenicConfig::full(),
+        NetConfig::full(),
+        4,
+        |node| TxnSpec {
+            reads: vec![make_key(((node + 1) % 6) as u32, 3)],
+            updates: vec![
+                (make_key(node as u32, 5), UpdateOp::AddI64(1)),
+                (make_key(((node + 2) % 6) as u32, 9), UpdateOp::Mutate),
+            ],
+            ship: ShipMode::Nic,
+            exec_host_ns: 100,
+            exec_nic_ns: 320,
+            ..Default::default()
+        },
+    );
+    let before: Vec<Vec<usize>> = cluster
+        .states
+        .iter()
+        .map(|s| s.hot_map_capacities())
+        .collect();
+    cluster.run_until(SimTime::from_ms(5));
+    drain(&mut cluster);
+    assert!(committed(&cluster) > 100, "workload must actually commit");
+    for (node, st) in cluster.states.iter().enumerate() {
+        assert_eq!(
+            st.hot_map_capacities(),
+            before[node],
+            "node {node}: a hot map rehashed mid-run; fix the capacity \
+             formula in XenicNode::new"
+        );
+    }
+}
+
 /// The message enum rides in every queue slot, inbox entry, and
 /// aggregation buffer, so its footprint is a performance contract
 /// (msg.rs promises this guard): large variants must stay boxed.

@@ -35,12 +35,14 @@
 pub mod event;
 pub mod fasthash;
 pub mod rng;
+pub mod smallvec;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
 pub use fasthash::{FastMap, FastSet};
+pub use smallvec::SmallVec;
 pub use rng::{DetRng, Zipf};
 pub use stats::{Counter, Histogram, Meter, Summary};
 pub use time::SimTime;

@@ -2,7 +2,7 @@
 //! lock state.
 
 use std::fmt;
-use std::sync::Arc;
+use std::rc::Rc;
 
 /// A database key. Workloads map their composite keys (warehouse id,
 /// account number, post id, ...) into this 64-bit space; see
@@ -13,20 +13,31 @@ pub type Key = u64;
 /// by the Commit phase; compared by the Validate phase.
 pub type Version = u64;
 
-/// A value payload. `Arc` keeps cloning cheap while transactions carry
-/// read-set snapshots around the cluster.
+/// A value payload. The shared `Rc<[u8]>` backing keeps cloning a
+/// refcount bump while transactions carry read-set snapshots around the
+/// cluster. `Rc`, not `Arc`: the whole simulated cluster lives on one
+/// thread (parallel sweeps run one cluster per worker thread and only
+/// ship plain-data results across — see DESIGN.md §13), so the atomic
+/// refcount would be pure overhead on the hottest clone path.
 #[derive(Clone, PartialEq, Eq)]
-pub struct Value(Arc<[u8]>);
+pub struct Value(Rc<[u8]>);
 
 impl Value {
     /// Creates a value from bytes.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        Value(Arc::from(bytes))
+        Value(Rc::from(bytes))
+    }
+
+    /// Creates a value from an owned buffer without copying twice:
+    /// `Rc::from(Vec)` reuses one move/copy where
+    /// `from_bytes(&vec)` would copy the bytes again.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        Value(Rc::from(bytes))
     }
 
     /// A value of `len` copies of `fill` — handy for synthetic workloads.
     pub fn filled(len: usize, fill: u8) -> Self {
-        Value(Arc::from(vec![fill; len].as_slice()))
+        Value(Rc::from(vec![fill; len]))
     }
 
     /// The payload bytes.
@@ -44,13 +55,13 @@ impl Value {
         self.0.is_empty()
     }
 
-    /// Mutable access to the bytes when this is the only `Arc` holder —
+    /// Mutable access to the bytes when this is the only `Rc` holder —
     /// lets length-preserving writes update a table-resident value
     /// without reallocating. Returns `None` if any snapshot still shares
     /// the buffer (the caller must copy-on-write via
     /// [`WritePayload::apply`]).
     pub fn bytes_mut_if_unique(&mut self) -> Option<&mut [u8]> {
-        Arc::get_mut(&mut self.0)
+        Rc::get_mut(&mut self.0)
     }
 }
 
@@ -69,7 +80,7 @@ impl From<&[u8]> for Value {
 
 impl From<Vec<u8>> for Value {
     fn from(b: Vec<u8>) -> Self {
-        Value(Arc::from(b.as_slice()))
+        Value::from_vec(b)
     }
 }
 
@@ -100,14 +111,14 @@ impl WritePayload {
                 let ctr = i64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
                     .wrapping_add(*d);
                 bytes[..8].copy_from_slice(&ctr.to_le_bytes());
-                Value::from_bytes(&bytes)
+                Value::from_vec(bytes)
             }
             WritePayload::Mutate => {
                 let mut bytes = current.bytes().to_vec();
                 if let Some(b) = bytes.first_mut() {
                     *b = b.wrapping_add(1);
                 }
-                Value::from_bytes(&bytes)
+                Value::from_vec(bytes)
             }
         }
     }
@@ -115,7 +126,7 @@ impl WritePayload {
     /// Applies the payload to `current` in place, equivalent to
     /// `*current = self.apply(current)` but without reallocating when
     /// `current`'s buffer is uniquely owned (no outstanding read-set
-    /// snapshots hold the `Arc`). Delta ops preserve the value's length.
+    /// snapshots hold the `Rc`). Delta ops preserve the value's length.
     pub fn apply_in_place(&self, current: &mut Value) {
         match self {
             WritePayload::Full(v) => *current = v.clone(),

@@ -440,6 +440,120 @@ fn zero_rate_fault_plan_reproduces_fault_free_run() {
     }
 }
 
+/// FNV digest over every shard's final host table (keys visited in
+/// sorted order; values and versions folded in) — the whole-cluster
+/// state fingerprint used by the determinism pinning tests.
+fn table_digest(cluster: &xenic_net::Cluster<xenic::engine::Xenic>) -> u64 {
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for st in &cluster.states {
+        let mut keys: Vec<u64> = st.host_table.iter_keys().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        for k in keys {
+            let (v, ver) = st.host_table.get(k).expect("key present");
+            for b in v.bytes() {
+                digest = (digest ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+            }
+            digest = (digest ^ ver).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    digest
+}
+
+/// The hot-path memory refactor (shared specs/values, inline small-sets,
+/// slab txn contexts — DESIGN.md §13) must be *bit-invariant*: these
+/// exact commit/abort counts, whole-cluster table digests, and
+/// event-queue `processed` totals were captured before the refactor and
+/// pinned. Any divergence means an observable reordering (map iteration,
+/// timer arming, send order) leaked into the simulation.
+#[test]
+fn hot_path_pinned_digests() {
+    use xenic::harness::run_xenic_cluster;
+
+    struct Pin {
+        name: &'static str,
+        plan: Option<FaultPlan>,
+        smallbank: bool,
+        seed: u64,
+        expect: (u64, u64, u64, u64), // (committed, aborted, digest, processed)
+    }
+    let pins = [
+        Pin {
+            name: "retwis_fault_free",
+            plan: None,
+            smallbank: false,
+            seed: 7,
+            expect: PIN_RETWIS_FAULT_FREE,
+        },
+        Pin {
+            name: "retwis_lossy",
+            plan: Some(FaultPlan::lossy(0.01, 0.01, 200)),
+            smallbank: false,
+            seed: 7,
+            expect: PIN_RETWIS_LOSSY,
+        },
+        Pin {
+            name: "smallbank_lossy",
+            plan: Some(FaultPlan::lossy(0.02, 0.01, 500)),
+            smallbank: true,
+            seed: 9,
+            expect: PIN_SMALLBANK_LOSSY,
+        },
+    ];
+    for pin in pins {
+        let opts = RunOptions {
+            windows: 4,
+            warmup: SimTime::from_us(200),
+            measure: SimTime::from_us(500),
+            seed: pin.seed,
+        };
+        let net = match &pin.plan {
+            Some(p) => NetConfig::full().with_faults(p.clone()),
+            None => NetConfig::full(),
+        };
+        let mk = |_: usize| -> Box<dyn Workload> {
+            if pin.smallbank {
+                Box::new(xenic_workloads::Smallbank::new(
+                    xenic_workloads::SmallbankConfig {
+                        accounts_per_node: 10_000,
+                        ..xenic_workloads::SmallbankConfig::sim(6)
+                    },
+                ))
+            } else {
+                Box::new(xenic_workloads::Retwis::new(
+                    xenic_workloads::RetwisConfig::sim(6),
+                ))
+            }
+        };
+        let (r, cluster) = run_xenic_cluster(
+            HwParams::paper_testbed(),
+            net,
+            XenicConfig::full(),
+            &opts,
+            mk,
+        );
+        let got = (
+            r.committed,
+            r.aborted,
+            table_digest(&cluster),
+            cluster.rt.queue.processed(),
+        );
+        assert_eq!(
+            got, pin.expect,
+            "{}: run fingerprint diverged from the pre-refactor pin",
+            pin.name
+        );
+    }
+}
+
+/// Pre-refactor pinned fingerprints for [`hot_path_pinned_digests`]:
+/// (committed, aborted, whole-cluster table digest, events processed).
+const PIN_RETWIS_FAULT_FREE: (u64, u64, u64, u64) =
+    (1612, 1, 12097254398695214283, 227362);
+const PIN_RETWIS_LOSSY: (u64, u64, u64, u64) =
+    (924, 2, 6914849258777022703, 155977);
+const PIN_SMALLBANK_LOSSY: (u64, u64, u64, u64) =
+    (1076, 23, 14308353731268317752, 105268);
+
 /// The serializability history recorder must be a pure observer:
 /// attaching it changes no measured bit of a run. Commit and abort
 /// counts, the full latency fingerprint, and an FNV digest over every
@@ -447,26 +561,8 @@ fn zero_rate_fault_plan_reproduces_fault_free_run() {
 /// recording on and off — fault-free and under lossy fault plans.
 #[test]
 fn history_recorder_is_a_pure_observer() {
-    use xenic::engine::Xenic;
     use xenic::harness::run_xenic_cluster_with;
     use xenic_check::HistoryRecorder;
-    use xenic_net::Cluster;
-
-    fn table_digest(cluster: &Cluster<Xenic>) -> u64 {
-        let mut digest = 0xcbf2_9ce4_8422_2325u64;
-        for st in &cluster.states {
-            let mut keys: Vec<u64> = st.host_table.iter_keys().map(|(k, _)| k).collect();
-            keys.sort_unstable();
-            for k in keys {
-                let (v, ver) = st.host_table.get(k).expect("key present");
-                for b in v.bytes() {
-                    digest = (digest ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
-                }
-                digest = (digest ^ ver).wrapping_mul(0x100_0000_01b3);
-            }
-        }
-        digest
-    }
 
     for_cases("history_recorder_is_a_pure_observer", 4, |case, rng| {
         let seed = rng.below(1 << 20);

@@ -15,8 +15,13 @@ cargo test -q
 echo "==> cargo test --release -q --test conformance"
 cargo test --release -q --test conformance
 
-echo "==> perf_report --quick"
-cargo run --release -q -p xenic-bench --bin perf_report -- --quick
+echo "==> perf_report --quick (alloc-count, budget-gated)"
+# The counting allocator's overhead is one relaxed atomic per allocation
+# — noise — so the gated run also refreshes BENCH_simperf.json with both
+# throughput and allocs/event. Budgets are generous (~2× the measured
+# steady state) so this catches hot-path re-fattening, not jitter.
+cargo run --release -q -p xenic-bench --features alloc-count --bin perf_report -- \
+    --quick --alloc-budget retwis_fig8=1200,chaos_replay=1300,tpcc_mix=4500
 
 echo "==> serial_fuzz --quick"
 cargo run --release -q -p xenic-bench --bin serial_fuzz -- --quick
