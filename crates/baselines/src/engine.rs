@@ -6,7 +6,7 @@
 //! `xenic_net::Runtime::rdma_request`); two-sided RPCs consume remote
 //! host CPU.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use xenic_hw::rdma::Verb;
 use xenic_hw::HwParams;
@@ -16,9 +16,22 @@ use xenic_store::chained::ChainedTable;
 use xenic_store::{Key, TxnId, Value, Version};
 
 use std::rc::Rc;
-use xenic::api::{shard_of, Partitioning, TxnSpec, Workload};
+use xenic::api::{
+    scan_fingerprint, shard_of, Partitioning, ScanSpec, TxnSpec, Workload, SCAN_FP_INIT,
+};
 use xenic::stats::NodeStats;
 use xenic_check::HistoryRecorder;
+
+/// One scan re-check as it rides a FaSST Validate: `(lo, hi_obs,
+/// count, fp)` — the summary the Execute walk returned.
+type ScanCheckTuple = (Key, Key, u32, u64);
+
+/// Per-shard Validate payload: item version checks + scan re-checks.
+type ValidatePayload = (Vec<(Key, Version)>, Vec<ScanCheckTuple>);
+
+/// A successful walk: matched rows, observed upper bound, row count,
+/// and the `(key, version)` fingerprint.
+type ScanWalkOut = (Vec<(Key, Value, Version)>, Key, u32, u64);
 
 /// Which baseline system this node runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -157,6 +170,8 @@ pub enum BMsg {
         reads: Vec<Key>,
         /// Keys to lock.
         locks: Vec<Key>,
+        /// Range predicates to walk on this shard's ordered mirror.
+        scans: Vec<ScanSpec>,
     },
     /// Execute RPC response.
     RpcExecResp {
@@ -164,8 +179,10 @@ pub enum BMsg {
         txn: TxnId,
         /// Success (all locks acquired).
         ok: bool,
-        /// Values read.
+        /// Values read (point reads first, then scan rows).
         values: Vec<(Key, Value, Version)>,
+        /// Per-scan observations: (lo, observed hi, row count, fingerprint).
+        scan_obs: Vec<(Key, Key, u32, u64)>,
     },
     /// Validation RPC.
     RpcValidate {
@@ -175,6 +192,9 @@ pub enum BMsg {
         from: u32,
         /// Version checks.
         checks: Vec<(Key, Version)>,
+        /// Range re-checks: (lo, observed hi, expected count, expected
+        /// fingerprint) — the phantom defence for FaSST scans.
+        scan_checks: Vec<(Key, Key, u32, u64)>,
     },
     /// Validation response.
     RpcValidateResp {
@@ -242,6 +262,8 @@ struct Coord {
     values: Vec<(Key, Value, Version)>,
     writes: Vec<(Key, Value, Version)>,
     locked: Vec<Key>,
+    /// Scan observations gathered during Execute: (lo, hi_obs, count, fp).
+    scan_obs: Vec<(Key, Key, u32, u64)>,
 }
 
 /// Per-node baseline state.
@@ -257,6 +279,13 @@ pub struct BaselineNode {
     pub table: ChainedTable,
     /// Lock words (host memory; CAS target).
     pub locks: HashMap<Key, TxnId>,
+    /// Ordered mirror of this shard's keys → committed versions, plus
+    /// version-0 sentinels for in-flight inserts. The chained hash table
+    /// has no key order, so FaSST's scan RPCs walk this instead (real
+    /// FaSST keeps a B-tree beside the hash index for the same reason).
+    pub ordered: BTreeMap<Key, Version>,
+    /// Owners of the version-0 sentinels (next-key lock information).
+    pending_inserts: HashMap<Key, TxnId>,
     /// Workload generator.
     pub workload: Box<dyn Workload>,
     /// App-thread slots.
@@ -293,8 +322,14 @@ impl BaselineNode {
         // Bucket width 8, sized for ~65% main-bucket occupancy.
         let buckets = (data.len() / 8 * 100 / 65).max(64);
         let mut table = ChainedTable::new(buckets, 8, workload.value_bytes());
+        let mut ordered = BTreeMap::new();
         for (k, v) in &data {
             table.insert(*k, v.clone());
+        }
+        for (k, _) in &data {
+            if let Some((_, ver)) = table.get(*k) {
+                ordered.insert(*k, ver);
+            }
         }
         BaselineNode {
             kind,
@@ -302,6 +337,8 @@ impl BaselineNode {
             shard,
             table,
             locks: HashMap::new(),
+            ordered,
+            pending_inserts: HashMap::new(),
             workload,
             slots: vec![None; app_threads],
             slot_started: vec![SimTime::ZERO; app_threads],
@@ -318,6 +355,83 @@ impl BaselineNode {
     /// read and write sets to it. Pure observer: never alters execution.
     pub fn set_recorder(&mut self, recorder: HistoryRecorder) {
         self.recorder = Some(recorder);
+    }
+
+    // ---- Ordered-mirror maintenance (FaSST scan support) ----
+
+    /// Registers a freshly acquired lock in the mirror: if the key is an
+    /// insert (absent from the table), a version-0 sentinel marks the gap
+    /// so concurrent scans of the range refuse — next-key locking.
+    fn mirror_lock(&mut self, k: Key, txn: TxnId) {
+        if self.table.get(k).is_none() {
+            self.ordered.entry(k).or_insert(0);
+            self.pending_inserts.insert(k, txn);
+        }
+    }
+
+    /// Clears `txn`'s insert sentinel for `k`, if any (abort/unlock).
+    fn mirror_unlock(&mut self, k: Key, txn: TxnId) {
+        if self.pending_inserts.get(&k) == Some(&txn) {
+            self.pending_inserts.remove(&k);
+            self.ordered.remove(&k);
+        }
+    }
+
+    /// Publishes a committed write's version in the mirror.
+    fn mirror_apply(&mut self, k: Key, ver: Version) {
+        self.pending_inserts.remove(&k);
+        self.ordered.insert(k, ver);
+    }
+
+    /// Walks `lo..=hi` for `txn`, up to `limit` rows. Returns the rows,
+    /// observed upper bound, count and fingerprint — or `None` if the
+    /// range contains another transaction's pending insert or lock.
+    fn scan_walk(&self, txn: TxnId, lo: Key, hi: Key, limit: u32) -> Option<ScanWalkOut> {
+        let mut rows = Vec::new();
+        let mut fp = SCAN_FP_INIT;
+        let mut count = 0u32;
+        let mut hi_obs = hi;
+        for (&k, &ver) in self.ordered.range(lo..=hi) {
+            if self.pending_inserts.get(&k) == Some(&txn) {
+                continue; // the transaction's own in-flight insert
+            }
+            if ver == 0 {
+                return None; // another transaction's pending insert
+            }
+            if self.locks.get(&k).map(|o| *o != txn).unwrap_or(false) {
+                return None; // row locked by another transaction
+            }
+            let (v, tver) = self.table.get(k)?;
+            debug_assert_eq!(tver, ver, "ordered mirror out of sync");
+            rows.push((k, v.clone(), ver));
+            count += 1;
+            fp = scan_fingerprint(fp, k, ver);
+            if count >= limit {
+                hi_obs = k;
+                break;
+            }
+        }
+        Some((rows, hi_obs, count, fp))
+    }
+
+    /// Re-walks a validated range. Returns `(still matches, keys visited)`;
+    /// a count or fingerprint change means a phantom slipped in.
+    fn scan_recheck(&self, txn: TxnId, lo: Key, hi_obs: Key, count: u32, fp: u64) -> (bool, u64) {
+        let mut c = 0u32;
+        let mut f = SCAN_FP_INIT;
+        let mut visited = 0u64;
+        for (&k, &ver) in self.ordered.range(lo..=hi_obs) {
+            visited += 1;
+            if self.pending_inserts.get(&k) == Some(&txn) {
+                continue;
+            }
+            if ver == 0 || self.locks.get(&k).map(|o| *o != txn).unwrap_or(false) {
+                return (false, visited);
+            }
+            c += 1;
+            f = scan_fingerprint(f, k, ver);
+        }
+        (c == count && f == fp, visited)
     }
 }
 
@@ -340,17 +454,31 @@ impl Protocol for Baseline {
                 | BMsg::CommitWriteResp { .. }
                 | BMsg::LogWriteDone { .. } => 120,
                 // RPC handlers burn host CPU (§3.3).
-                BMsg::RpcExec { reads, locks, .. } => {
+                BMsg::RpcExec {
+                    reads,
+                    locks,
+                    scans,
+                    ..
+                } => {
                     // Full store operations per key at the handler:
                     // lookup, lock word, value marshalling — for TPC-C
                     // sized objects this dwarfs the bare echo cost, which
                     // is why FaSST's host threads become the bottleneck
                     // (§5.2: "limits FaSST's throughput ... even when
-                    // utilizing all host threads").
-                    p.host_rpc_handle_ns + 900 * (reads.len() + locks.len()) as u64
+                    // utilizing all host threads"). Scans additionally
+                    // charge per visited row inside the handler.
+                    p.host_rpc_handle_ns
+                        + 900 * (reads.len() + locks.len()) as u64
+                        + 600 * scans.len() as u64
                 }
-                BMsg::RpcValidate { checks, .. } => {
-                    p.host_rpc_handle_ns + 150 * checks.len() as u64
+                BMsg::RpcValidate {
+                    checks,
+                    scan_checks,
+                    ..
+                } => {
+                    p.host_rpc_handle_ns
+                        + 150 * checks.len() as u64
+                        + 400 * scan_checks.len() as u64
                 }
                 BMsg::RpcLog { bytes, .. } => p.host_rpc_handle_ns + u64::from(*bytes) / 8,
                 BMsg::RpcCommit { writes, .. } => {
@@ -436,6 +564,7 @@ impl Protocol for Baseline {
                 let (k, v, ver) = write;
                 st.table.insert(k, v.clone());
                 st.table.update(k, v, ver);
+                st.mirror_apply(k, ver);
                 if st.locks.get(&k) == Some(&txn) {
                     st.locks.remove(&k);
                 }
@@ -449,6 +578,7 @@ impl Protocol for Baseline {
                 if st.locks.get(&key) == Some(&txn) {
                     st.locks.remove(&key);
                 }
+                st.mirror_unlock(key, txn);
             }
             BMsg::LogWriteDone { txn } => on_log_ack(st, rt, me, txn),
 
@@ -464,7 +594,12 @@ impl Protocol for Baseline {
             } => on_read_resp(st, rt, me, txn, key, result, locked, validate_ok, hops_left, hop),
             BMsg::CasResp { txn, key, won } => on_cas_resp(st, rt, me, txn, key, won),
             BMsg::CommitWriteResp { txn } => on_commit_ack(st, rt, me, txn),
-            BMsg::RpcExecResp { txn, ok, values } => on_exec_resp(st, rt, me, txn, ok, values),
+            BMsg::RpcExecResp {
+                txn,
+                ok,
+                values,
+                scan_obs,
+            } => on_exec_resp(st, rt, me, txn, ok, values, scan_obs),
             BMsg::RpcValidateResp { txn, ok } => on_validate_resp(st, rt, me, txn, ok),
             BMsg::RpcLogResp { txn } => on_log_ack(st, rt, me, txn),
             BMsg::RpcCommitResp { txn } => on_commit_ack(st, rt, me, txn),
@@ -475,12 +610,14 @@ impl Protocol for Baseline {
                 from,
                 reads,
                 locks,
+                scans,
             } => {
                 let mut ok = true;
                 let mut acquired = Vec::new();
                 for k in &locks {
                     match st.locks.get(k) {
                         None => {
+                            st.mirror_lock(*k, txn);
                             st.locks.insert(*k, txn);
                             acquired.push(*k);
                         }
@@ -491,27 +628,81 @@ impl Protocol for Baseline {
                         }
                     }
                 }
+                // Range walks run after the locks so the transaction's own
+                // insert sentinels exist (and are skipped) — mirroring the
+                // Xenic NIC walk's visibility rules.
+                let mut scan_obs = Vec::new();
+                let mut scan_rows = Vec::new();
+                if ok {
+                    for s in &scans {
+                        match st.scan_walk(txn, s.lo, s.hi, s.limit) {
+                            Some((rows, hi_obs, count, fp)) => {
+                                rt.charge(150 * (rows.len() as u64 + 1));
+                                scan_rows.extend(rows);
+                                scan_obs.push((s.lo, hi_obs, count, fp));
+                            }
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                }
                 if !ok {
                     for k in acquired {
                         st.locks.remove(&k);
+                        st.mirror_unlock(k, txn);
                     }
+                    scan_obs.clear();
+                    scan_rows.clear();
                 }
-                let values = if ok {
-                    reads
+                let mut values: Vec<(Key, Value, Version)> = if ok {
+                    let mut vals: Vec<(Key, Value, Version)> = reads
                         .iter()
                         .filter_map(|k| st.table.get(*k).map(|(v, ver)| (*k, v.clone(), ver)))
-                        .collect()
+                        .collect();
+                    // A locked insert key that already exists surfaces its
+                    // current version, so the coordinator's re-insert
+                    // installs version+1 rather than regressing to 1 (a
+                    // version regression breaks every later OCC check on
+                    // the key).
+                    for k in &locks {
+                        if !reads.contains(k) {
+                            if let Some((v, ver)) = st.table.get(*k) {
+                                vals.push((*k, v.clone(), ver));
+                            }
+                        }
+                    }
+                    vals
                 } else {
                     Vec::new()
                 };
-                let payload: u32 = 16 + values
-                    .iter()
-                    .map(|(_, v, _): &(Key, Value, Version)| 16 + v.len() as u32)
-                    .sum::<u32>();
-                rt.rdma_send(from as usize, BMsg::RpcExecResp { txn, ok, values }, payload, true);
+                values.extend(scan_rows);
+                let payload: u32 = 16
+                    + 28 * scan_obs.len() as u32
+                    + values
+                        .iter()
+                        .map(|(_, v, _): &(Key, Value, Version)| 16 + v.len() as u32)
+                        .sum::<u32>();
+                rt.rdma_send(
+                    from as usize,
+                    BMsg::RpcExecResp {
+                        txn,
+                        ok,
+                        values,
+                        scan_obs,
+                    },
+                    payload,
+                    true,
+                );
             }
-            BMsg::RpcValidate { txn, from, checks } => {
-                let ok = checks.iter().all(|(k, expected)| {
+            BMsg::RpcValidate {
+                txn,
+                from,
+                checks,
+                scan_checks,
+            } => {
+                let mut ok = checks.iter().all(|(k, expected)| {
                     let unlocked = st
                         .locks
                         .get(k)
@@ -519,6 +710,16 @@ impl Protocol for Baseline {
                         .unwrap_or(true);
                     unlocked && st.table.get(*k).map(|(_, v)| v) == Some(*expected)
                 });
+                if ok {
+                    for (lo, hi_obs, count, fp) in &scan_checks {
+                        let (good, visited) = st.scan_recheck(txn, *lo, *hi_obs, *count, *fp);
+                        rt.charge(100 * (visited + 1));
+                        if !good {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
                 rt.rdma_send(from as usize, BMsg::RpcValidateResp { txn, ok }, 16, true);
             }
             BMsg::RpcLog { txn, from, bytes } => {
@@ -535,6 +736,7 @@ impl Protocol for Baseline {
                 for (k, v, ver) in writes {
                     st.table.insert(k, v.clone());
                     st.table.update(k, v, ver);
+                    st.mirror_apply(k, ver);
                     if st.locks.get(&k) == Some(&txn) {
                         st.locks.remove(&k);
                     }
@@ -543,6 +745,7 @@ impl Protocol for Baseline {
                     if st.locks.get(&k) == Some(&txn) {
                         st.locks.remove(&k);
                     }
+                    st.mirror_unlock(k, txn);
                 }
                 if ack {
                     rt.rdma_send(from as usize, BMsg::RpcCommitResp { txn }, 16, true);
@@ -574,6 +777,12 @@ fn start_txn(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, slot: u32
          published baselines have no equivalent (chop the transaction \
          instead, as the paper does for TPC-C)"
     );
+    debug_assert!(
+        spec.scans.is_empty() || matches!(st.kind, BaselineKind::Fasst),
+        "range scans are implemented only for the FaSST baseline: a \
+         two-sided RPC can walk the primary's ordered index, but the \
+         one-sided mappings have no remote compute to serve a range"
+    );
     let seq = st.next_seq;
     st.next_seq += 1;
     st.host_txns.insert(seq, slot);
@@ -588,6 +797,7 @@ fn start_txn(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, slot: u32
         values: Vec::new(),
         writes: Vec::new(),
         locked: Vec::new(),
+        scan_obs: Vec::new(),
     };
 
     // Execute phase: reads + locks, per the system's op mapping.
@@ -618,7 +828,14 @@ fn start_txn(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, slot: u32
                     .copied()
                     .filter(|k| shard_of(*k) == shard)
                     .collect();
-                let payload = 24 + 12 * (reads.len() + locks.len()) as u32;
+                let scans: Vec<ScanSpec> = spec
+                    .scans
+                    .iter()
+                    .copied()
+                    .filter(|s| s.shard() == shard)
+                    .collect();
+                let payload =
+                    24 + 12 * (reads.len() + locks.len()) as u32 + 20 * scans.len() as u32;
                 coord.pending += 1;
                 rt.rdma_send(
                     st.part.primary(shard),
@@ -627,6 +844,7 @@ fn start_txn(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, slot: u32
                         from: me as u32,
                         reads,
                         locks,
+                        scans,
                     },
                     payload,
                     true,
@@ -926,6 +1144,7 @@ fn on_exec_resp(
     txn: TxnId,
     ok: bool,
     values: Vec<(Key, Value, Version)>,
+    scan_obs: Vec<(Key, Key, u32, u64)>,
 ) {
     let seq = txn.seq;
     let Some(ct) = st.coord.get_mut(&seq) else {
@@ -937,6 +1156,7 @@ fn on_exec_resp(
         // Remote locks were acquired within the RPC; remember them for
         // abort cleanup (FaSST unlocks by commit/abort RPC).
         ct.values.extend(values);
+        ct.scan_obs.extend(scan_obs);
     }
     ct.pending -= 1;
     if ct.pending == 0 {
@@ -978,21 +1198,36 @@ fn exec_done(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, seq: u64,
         .copied()
         .filter(|(k, _)| shard_of(*k) != st.shard)
         .collect();
+    let scan_obs = st.coord[&seq].scan_obs.clone();
+    let remote_scans: Vec<(Key, Key, u32, u64)> = scan_obs
+        .iter()
+        .copied()
+        .filter(|(lo, ..)| shard_of(*lo) != st.shard)
+        .collect();
     // Local checks are immediate.
-    let local_ok = checks
+    let mut local_ok = checks
         .iter()
         .filter(|(k, _)| shard_of(*k) == st.shard)
         .all(|(k, expected)| {
             let unlocked = st.locks.get(k).map(|o| *o == txn).unwrap_or(true);
             unlocked && st.table.get(*k).map(|(_, v)| v) == Some(*expected)
         });
+    // Home-shard range re-walks are immediate too (the mirror lives here).
+    for (lo, hi_obs, count, fp) in scan_obs.iter().filter(|(lo, ..)| shard_of(*lo) == st.shard) {
+        let (good, visited) = st.scan_recheck(txn, *lo, *hi_obs, *count, *fp);
+        rt.charge(100 * (visited + 1));
+        if !good {
+            local_ok = false;
+            break;
+        }
+    }
     let ct = st.coord.get_mut(&seq).expect("coord");
     if !local_ok {
         ct.ok = false;
         abort(st, rt, me, seq, txn);
         return;
     }
-    if remote_checks.is_empty() {
+    if remote_checks.is_empty() && remote_scans.is_empty() {
         ct.phase = Phase::Validate;
         validate_done(st, rt, me, seq, txn);
         return;
@@ -1000,25 +1235,26 @@ fn exec_done(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, seq: u64,
     ct.phase = Phase::Validate;
     match st.kind {
         BaselineKind::Fasst => {
-            let mut by_shard: HashMap<u32, Vec<(Key, Version)>> = HashMap::new();
+            let mut by_shard: HashMap<u32, ValidatePayload> = HashMap::new();
             for (k, v) in remote_checks {
-                by_shard.entry(shard_of(k)).or_default().push((k, v));
+                by_shard.entry(shard_of(k)).or_default().0.push((k, v));
             }
-            let mut sends = Vec::new();
-            for (shard, checks) in by_shard {
-                sends.push((shard, checks));
+            for sc in remote_scans {
+                by_shard.entry(shard_of(sc.0)).or_default().1.push(sc);
             }
+            let mut sends: Vec<_> = by_shard.into_iter().collect();
             sends.sort_by_key(|(s, _)| *s);
             let ct = st.coord.get_mut(&seq).expect("coord");
             ct.pending = sends.len();
-            for (shard, checks) in sends {
-                let payload = 24 + 16 * checks.len() as u32;
+            for (shard, (checks, scan_checks)) in sends {
+                let payload = 24 + 16 * checks.len() as u32 + 28 * scan_checks.len() as u32;
                 rt.rdma_send(
                     st.part.primary(shard),
                     BMsg::RpcValidate {
                         txn,
                         from: me as u32,
                         checks,
+                        scan_checks,
                     },
                     payload,
                     true,
@@ -1157,6 +1393,7 @@ fn finish(
         if let Some(r) = &st.recorder {
             r.note_reads(txn, ct.values.iter().map(|(k, _, ver)| (*k, *ver)));
             r.note_writes(txn, ct.writes.iter().map(|(k, _, ver)| (*k, *ver)));
+            r.note_scans(txn, ct.scan_obs.iter().map(|(lo, hi, _, _)| (*lo, *hi)));
             r.commit(txn);
         }
         let started = st.slot_started[slot as usize];
@@ -1191,6 +1428,7 @@ fn push_commit(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, txn: Tx
             for (k, v, ver) in writes {
                 st.table.insert(k, v.clone());
                 st.table.update(k, v, ver);
+                st.mirror_apply(k, ver);
                 if st.locks.get(&k) == Some(&txn) {
                     st.locks.remove(&k);
                 }
@@ -1272,6 +1510,7 @@ fn abort(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, seq: u64, txn
             if st.locks.get(&k) == Some(&txn) {
                 st.locks.remove(&k);
             }
+            st.mirror_unlock(k, txn);
         } else if uses_rpc {
             rt.rdma_send(
                 st.part.primary(shard_of(k)),
@@ -1301,7 +1540,7 @@ fn abort(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, seq: u64, txn
         // Home-shard keys were locked by the self-RPC handler: release
         // them directly (leaking them wedges every later transaction on
         // the same key — e.g. a TPC-C district).
-        let home_keys: Vec<Key> = ct
+        let home_keys: Vec<Key> = st.coord[&seq]
             .spec
             .write_keys()
             .filter(|k| shard_of(*k) == st.shard)
@@ -1310,6 +1549,7 @@ fn abort(st: &mut BaselineNode, rt: &mut Runtime<BMsg>, me: usize, seq: u64, txn
             if st.locks.get(&k) == Some(&txn) {
                 st.locks.remove(&k);
             }
+            st.mirror_unlock(k, txn);
         }
         let ct = st.coord.get(&seq).expect("coord");
         let mut shards: Vec<u32> = ct

@@ -20,6 +20,12 @@
 //!   transactions (new-order touches 10+ keys across shards), so
 //!   per-key hot-path costs that Retwis's short transactions hide show
 //!   up here.
+//! - `ycsbe_mix`: YCSB workload E at sim scale (95% range scans, 5%
+//!   inserts) — the range-walk hot path: per-node walk charging, scan
+//!   fingerprints, and the Validate re-walk for double-range scans.
+//! - `tpcc_stock`: the scan-weighted TPC-C variant (stock-level reads
+//!   the last 20 orders through an ordered-index range) — range scans
+//!   interleaved with wide write transactions.
 //!
 //! Each scenario reports best-of-N wall seconds and events/sec (via
 //! `EventQueue::processed`), and the run writes `BENCH_simperf.json` in
@@ -46,7 +52,7 @@ use xenic::XenicConfig;
 use xenic_hw::HwParams;
 use xenic_net::{FaultPlan, NetConfig};
 use xenic_sim::SimTime;
-use xenic_workloads::{Retwis, RetwisConfig, Tpcc, TpccConfig, TpccMix};
+use xenic_workloads::{Retwis, RetwisConfig, Tpcc, TpccConfig, TpccMix, YcsbE, YcsbEConfig};
 
 /// Counts heap allocations so the report can attribute them per event.
 /// Deallocation is uncounted (frees mirror allocs); the counter is a
@@ -120,6 +126,14 @@ fn mk_tpcc(_: usize) -> Box<dyn Workload> {
     Box::new(Tpcc::new(TpccConfig::sim(6, TpccMix::Full)))
 }
 
+fn mk_ycsbe(_: usize) -> Box<dyn Workload> {
+    Box::new(YcsbE::new(YcsbEConfig::sim(6)))
+}
+
+fn mk_tpcc_stock(_: usize) -> Box<dyn Workload> {
+    Box::new(Tpcc::new(TpccConfig::sim(6, TpccMix::StockScan)))
+}
+
 fn scenarios() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -136,6 +150,16 @@ fn scenarios() -> Vec<Scenario> {
             name: "tpcc_mix",
             net: NetConfig::full(),
             mk: mk_tpcc,
+        },
+        Scenario {
+            name: "ycsbe_mix",
+            net: NetConfig::full(),
+            mk: mk_ycsbe,
+        },
+        Scenario {
+            name: "tpcc_stock",
+            net: NetConfig::full(),
+            mk: mk_tpcc_stock,
         },
     ]
 }

@@ -5,12 +5,15 @@
 //! transaction's read/write sets, and verifies each history against
 //! Adya's DSG (`xenic-check`). Every point is replayable bit for bit.
 //!
-//! The sweep ends with a checker self-test: Xenic with `weaken_validation`
-//! (Validate's version re-check skipped) **must** be rejected with a
-//! witness cycle; the failing point is shrunk and its replay command
-//! printed. If the checker lets the weakened engine pass, this binary
-//! exits non-zero — a green run certifies both the engines and the
-//! checker's teeth.
+//! The sweep ends with two checker self-tests: Xenic with
+//! `weaken_validation` (Validate's version re-check skipped) **must** be
+//! rejected with a witness cycle, and Xenic with `weaken_predicate_locks`
+//! (Validate's range re-walks skipped) **must** be rejected with a
+//! phantom (predicate-rw) cycle under the scan workload. Each failing
+//! point is shrunk, replayed bit for bit, and its replay command printed.
+//! If the checker lets either weakened engine pass, this binary exits
+//! non-zero — a green run certifies both the engines and the checker's
+//! teeth.
 //!
 //! ```text
 //! serial_fuzz [--quick] [--jobs N]          # sweep + self-test
@@ -37,10 +40,12 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let points = if quick { quick_points() } else { sweep_points() };
 
+    let systems: std::collections::BTreeSet<&str> =
+        points.iter().map(|p| p.system.token()).collect();
     println!(
         "# serial_fuzz: {} points across {} systems ({} jobs)",
         points.len(),
-        if quick { 2 } else { FuzzSystem::SOUND.len() },
+        systems.len(),
         jobs
     );
     let outcomes = par_points(jobs, &points, run_point);
@@ -69,18 +74,26 @@ fn main() {
         println!("replay: {}", replay_cmd(&small));
     }
 
-    // Checker self-test: the weakened engine must be rejected.
-    let ok_self_test = weaken_demo(jobs, quick);
+    // Checker self-tests: both weakened engines must be rejected.
+    let ok_weaken = weaken_demo(jobs, quick);
+    let ok_phantom = phantom_demo(jobs, quick);
 
     if !failures.is_empty() {
         eprintln!("\n{} fuzz point(s) failed verification", failures.len());
         std::process::exit(1);
     }
-    if !ok_self_test {
+    if !ok_weaken {
         eprintln!("\nchecker self-test failed: weakened validation was not rejected");
         std::process::exit(1);
     }
-    println!("\nall {} points serializable; checker self-test passed", points.len());
+    if !ok_phantom {
+        eprintln!("\nchecker self-test failed: weakened predicate locks were not rejected");
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} points serializable; both checker self-tests passed",
+        points.len()
+    );
 }
 
 /// The full sweep: Xenic under every plan shape (including crashes),
@@ -127,6 +140,20 @@ fn sweep_points() -> Vec<FuzzPoint> {
             }
         }
     }
+    // Range scans under predicate crossfire. Only the two-sided systems
+    // speak the scan protocol (the one-sided baselines have no scan
+    // RPC), so the scan workload runs on the Xenic variants and FaSST.
+    for seed in 1..=3 {
+        for plan in 0..=2 {
+            pts.push(point(FuzzSystem::Xenic, WlKind::Scan, seed, plan));
+        }
+    }
+    for seed in 1..=2 {
+        pts.push(point(FuzzSystem::XenicFig9, WlKind::Scan, seed, 0));
+        for plan in [0, 1] {
+            pts.push(point(FuzzSystem::Fasst, WlKind::Scan, seed, plan));
+        }
+    }
     pts
 }
 
@@ -145,12 +172,15 @@ fn quick_points() -> Vec<FuzzPoint> {
         point(FuzzSystem::Xenic, WlKind::Mixed, 1, 0),
         point(FuzzSystem::Xenic, WlKind::Mixed, 2, 1),
         point(FuzzSystem::Xenic, WlKind::Skew, 3, 0),
+        point(FuzzSystem::Xenic, WlKind::Scan, 1, 0),
+        point(FuzzSystem::Fasst, WlKind::Scan, 1, 0),
         point(FuzzSystem::DrtmH, WlKind::Mixed, 1, 0),
     ]
 }
 
-/// Runs the weakened engine over a few seeds until the checker rejects a
-/// history, then shrinks and prints the witness. Returns success.
+/// Runs the weakened-validation engine over a few seeds until the
+/// checker rejects a history, then shrinks and prints the witness.
+/// Returns success.
 fn weaken_demo(jobs: usize, quick: bool) -> bool {
     // Jitter plans (1 mod 3) perturb message arrival order, widening the
     // window in which a skipped Validate lets a stale read commit.
@@ -169,7 +199,36 @@ fn weaken_demo(jobs: usize, quick: bool) -> bool {
             });
         }
     }
-    println!("\n# checker self-test: xenic-weakened must fail verification");
+    demo("xenic-weakened", jobs, pts)
+}
+
+/// Same drill for the weakened-predicate engine: with the Validate range
+/// re-walk skipped, the scan crossfire workload must produce a phantom
+/// (predicate-rw G2) witness that strict checking rejects.
+fn phantom_demo(jobs: usize, quick: bool) -> bool {
+    let seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=6).collect() };
+    let plans: &[u32] = if quick { &[0, 1] } else { &[0, 1, 2, 4] };
+    let mut pts = Vec::new();
+    for &plan in plans {
+        for &seed in &seeds {
+            pts.push(FuzzPoint {
+                system: FuzzSystem::XenicWeakPredicates,
+                wl: WlKind::Scan,
+                seed,
+                plan,
+                windows: 4,
+                measure_us: 800,
+            });
+        }
+    }
+    demo("xenic-weak-predicates", jobs, pts)
+}
+
+/// Runs a weakened-engine sweep, requiring at least one rejection; the
+/// first rejected point is shrunk and replayed twice to prove the
+/// witness reproduces bit for bit. Returns success.
+fn demo(label: &str, jobs: usize, pts: Vec<FuzzPoint>) -> bool {
+    println!("\n# checker self-test: {label} must fail verification");
     let outcomes = par_points(jobs, &pts, run_point);
     let Some((p, out)) = pts
         .iter()
@@ -188,8 +247,12 @@ fn weaken_demo(jobs: usize, quick: bool) -> bool {
     let small = shrink(*p);
     let shrunk_out = run_point(&small);
     assert!(!shrunk_out.passed(), "shrunk point must still fail");
+    let replayed = run_point(&small);
+    assert_eq!(replayed.committed, shrunk_out.committed, "replay diverged");
+    assert_eq!(replayed.report.txns, shrunk_out.report.txns, "replay diverged");
+    assert_eq!(replayed.report.edges, shrunk_out.report.edges, "replay diverged");
     println!(
-        "shrunk to seed={} plan={} windows={} measure_us={}",
+        "shrunk to seed={} plan={} windows={} measure_us={} (replayed bit for bit)",
         small.seed, small.plan, small.windows, small.measure_us
     );
     println!("{}", shrunk_out.report.describe());
@@ -201,7 +264,9 @@ fn weaken_demo(jobs: usize, quick: bool) -> bool {
 fn replay(args: &[String]) -> i32 {
     let system = flag_val(args, "--system")
         .and_then(|s| FuzzSystem::parse(&s))
-        .expect("--system <xenic|xenic-fig9|xenic-weakened|drtmh|drtmh-nc|fasst|drtmr>");
+        .expect(
+            "--system <xenic|xenic-fig9|xenic-weakened|xenic-weak-predicates|drtmh|drtmh-nc|fasst|drtmr>",
+        );
     let p = FuzzPoint {
         system,
         wl: flag_val(args, "--wl")

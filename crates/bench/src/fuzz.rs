@@ -21,7 +21,7 @@
 //! reduction that still fails, then [`replay_cmd`] prints the exact
 //! command that reproduces the minimal failure.
 
-use xenic::api::{make_key, ShipMode, TxnSpec, UpdateOp, Workload};
+use xenic::api::{make_key, ScanSpec, ShipMode, TxnSpec, UpdateOp, Workload};
 use xenic::harness::{run_xenic_recorded, RunOptions};
 use xenic::XenicConfig;
 use xenic_baselines::{run_baseline_recorded, BaselineKind};
@@ -43,6 +43,10 @@ pub enum FuzzSystem {
     XenicFig9,
     /// TEST ONLY: Xenic with `weaken_validation` set. Must be rejected.
     XenicWeakened,
+    /// TEST ONLY: Xenic with `weaken_predicate_locks` set (Validate's
+    /// range re-walks skipped while item checks stay intact). Must be
+    /// rejected on scan workloads with a phantom (G2) witness.
+    XenicWeakPredicates,
     /// DrTM+H (hybrid one-sided, location cache).
     DrtmH,
     /// DrTM+H without the location cache.
@@ -70,6 +74,7 @@ impl FuzzSystem {
             FuzzSystem::Xenic => "xenic",
             FuzzSystem::XenicFig9 => "xenic-fig9",
             FuzzSystem::XenicWeakened => "xenic-weakened",
+            FuzzSystem::XenicWeakPredicates => "xenic-weak-predicates",
             FuzzSystem::DrtmH => "drtmh",
             FuzzSystem::DrtmHNc => "drtmh-nc",
             FuzzSystem::Fasst => "fasst",
@@ -83,6 +88,7 @@ impl FuzzSystem {
             FuzzSystem::Xenic,
             FuzzSystem::XenicFig9,
             FuzzSystem::XenicWeakened,
+            FuzzSystem::XenicWeakPredicates,
             FuzzSystem::DrtmH,
             FuzzSystem::DrtmHNc,
             FuzzSystem::Fasst,
@@ -98,7 +104,10 @@ impl FuzzSystem {
     pub fn is_xenic(&self) -> bool {
         matches!(
             self,
-            FuzzSystem::Xenic | FuzzSystem::XenicFig9 | FuzzSystem::XenicWeakened
+            FuzzSystem::Xenic
+                | FuzzSystem::XenicFig9
+                | FuzzSystem::XenicWeakened
+                | FuzzSystem::XenicWeakPredicates
         )
     }
 }
@@ -112,6 +121,11 @@ pub enum WlKind {
     /// [`SkewWl`]: pure write-skew crossfire between paired shards — the
     /// shape that turns a skipped Validate into a G2 cycle fastest.
     Skew,
+    /// [`ScanWl`]: predicate write-skew crossfire — paired nodes scan a
+    /// hot range on one shard while inserting into the range their
+    /// partner scans. Two-sided systems only (the Xenic variants and
+    /// FaSST); the one-sided baselines have no scan protocol.
+    Scan,
 }
 
 impl WlKind {
@@ -120,6 +134,7 @@ impl WlKind {
         match self {
             WlKind::Mixed => "mixed",
             WlKind::Skew => "skew",
+            WlKind::Scan => "scan",
         }
     }
 
@@ -128,6 +143,7 @@ impl WlKind {
         match s {
             "mixed" => Some(WlKind::Mixed),
             "skew" => Some(WlKind::Skew),
+            "scan" => Some(WlKind::Scan),
             _ => None,
         }
     }
@@ -301,6 +317,88 @@ impl Workload for SkewWl {
     }
 }
 
+/// Predicate write-skew crossfire: the scan-shaped analogue of
+/// [`SkewWl`].
+///
+/// Nodes pair up exactly as in [`SkewWl`] (0↔1, 2↔3, 4↔5) over a shared
+/// pair of third-party shards, but the read side is a *range*: the even
+/// partner scans the hot span on shard X and inserts into the span on
+/// shard Y, the odd partner scans Y and inserts into X. Each insert
+/// lands on an odd local index *inside* the span the partner scans
+/// (preload fills the even indices), so every concurrent pair is a
+/// potential phantom: if both range walks run before either insert's
+/// lock lands, only the Validate re-walk can catch the vanished
+/// serialization order. Skip it (`weaken_predicate_locks`) and the
+/// history collapses into predicate-rw (G2) cycles.
+///
+/// Both shapes are two-shard transactions on purpose — a single-shard
+/// scan commits on the Execute walk's atomicity alone and never reaches
+/// the re-walk this workload exists to exercise.
+pub struct ScanWl {
+    /// Hot range width per shard (evens preloaded, odds inserted).
+    pub span: u64,
+}
+
+impl Workload for ScanWl {
+    fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> TxnSpec {
+        let n = node as u32;
+        let (scan_shard, ins_shard) = if n.is_multiple_of(2) {
+            ((n + 2) % 6, (n + 3) % 6)
+        } else {
+            ((n + 2) % 6, (n + 1) % 6)
+        };
+        let span = self.span;
+        let whole = |shard: u32| ScanSpec::new(make_key(shard, 0), make_key(shard, span - 1));
+        let base = TxnSpec {
+            ship: ShipMode::Host,
+            exec_host_ns: 200,
+            exec_nic_ns: 650,
+            ..Default::default()
+        };
+        let roll = rng.below(10);
+        if roll < 7 {
+            // Scan-skew: observe the partner's span, insert into ours.
+            // Re-inserting an occupied odd slot is deliberate — it turns
+            // the insert into a version bump on a row some walk observed.
+            let slot = 2 * rng.below(span / 2) + 1;
+            TxnSpec {
+                scans: vec![whole(scan_shard)],
+                inserts: vec![(
+                    make_key(ins_shard, slot),
+                    Value::from_bytes(&1i64.to_le_bytes()),
+                )],
+                ..base
+            }
+        } else if roll < 9 {
+            // Pure observer: both spans in one transaction, so the
+            // Validate re-walk must hold two ranges consistent at once.
+            TxnSpec {
+                scans: vec![whole(scan_shard), whole(ins_shard)],
+                ..base
+            }
+        } else {
+            // Version churn on a preloaded (even) row inside the span,
+            // read against a key on the partner shard.
+            let slot = 2 * rng.below(span / 2);
+            TxnSpec {
+                reads: vec![make_key(scan_shard, slot)],
+                updates: vec![(make_key(ins_shard, slot), UpdateOp::AddI64(1))],
+                ..base
+            }
+        }
+    }
+
+    fn value_bytes(&self) -> u32 {
+        8
+    }
+
+    fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+        (0..self.span / 2)
+            .map(|i| (make_key(shard, 2 * i), Value::from_bytes(&0i64.to_le_bytes())))
+            .collect()
+    }
+}
+
 /// Result of running and verifying one fuzz point.
 #[derive(Clone, Debug)]
 pub struct PointOutcome {
@@ -342,6 +440,7 @@ pub fn run_point(p: &FuzzPoint) -> PointOutcome {
         match wl {
             WlKind::Mixed => Box::new(FuzzWl { keys: 32 }),
             WlKind::Skew => Box::new(SkewWl { keys: 1 }),
+            WlKind::Scan => Box::new(ScanWl { span: 16 }),
         }
     };
     let (result, history) = match p.system {
@@ -362,6 +461,13 @@ pub fn run_point(p: &FuzzPoint) -> PointOutcome {
         FuzzSystem::XenicWeakened => {
             let cfg = XenicConfig {
                 weaken_validation: true,
+                ..XenicConfig::full()
+            };
+            run_xenic_recorded(params, NetConfig::full().with_faults(plan), cfg, &opts, mk)
+        }
+        FuzzSystem::XenicWeakPredicates => {
+            let cfg = XenicConfig {
+                weaken_predicate_locks: true,
                 ..XenicConfig::full()
             };
             run_xenic_recorded(params, NetConfig::full().with_faults(plan), cfg, &opts, mk)
@@ -464,6 +570,13 @@ mod tests {
             FuzzSystem::parse("xenic-weakened"),
             Some(FuzzSystem::XenicWeakened)
         );
+        assert_eq!(
+            FuzzSystem::parse("xenic-weak-predicates"),
+            Some(FuzzSystem::XenicWeakPredicates)
+        );
+        for wl in [WlKind::Mixed, WlKind::Skew, WlKind::Scan] {
+            assert_eq!(WlKind::parse(wl.token()), Some(wl));
+        }
         assert_eq!(FuzzSystem::parse("nope"), None);
     }
 
@@ -479,6 +592,23 @@ mod tests {
         };
         let out = run_point(&p);
         assert!(out.committed > 50, "committed {}", out.committed);
+        assert!(out.passed(), "{}", out.report.describe());
+    }
+
+    #[test]
+    fn clean_scan_point_verifies() {
+        // Sound Xenic survives the predicate crossfire that breaks the
+        // weakened-predicate engine (the control arm of the self-test).
+        let p = FuzzPoint {
+            system: FuzzSystem::Xenic,
+            wl: WlKind::Scan,
+            seed: 11,
+            plan: 0,
+            windows: 3,
+            measure_us: 600,
+        };
+        let out = run_point(&p);
+        assert!(out.committed > 30, "committed {}", out.committed);
         assert!(out.passed(), "{}", out.report.describe());
     }
 

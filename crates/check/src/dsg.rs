@@ -242,6 +242,35 @@ pub fn check_history(history: &History, opts: &CheckOptions) -> Report {
             }
         }
     }
+    // Predicate (phantom) anti-dependencies. A committed scan of
+    // `[lo, hi_obs]` whose item reads never observed key `k` asserts
+    // that `k` had no committed version when the walk ran; a committed
+    // transaction that installed `k`'s first version inside the range is
+    // therefore a phantom the scan logically preceded — an rw edge from
+    // scanner to inserter (Adya's predicate anti-dependency). Edges to
+    // later installers follow transitively through the ww chain, so only
+    // the first installer is targeted. At this point `owner` holds
+    // exactly the writer-installed versions (init/ext fill-ins come
+    // later), which is precisely the set a phantom can hide in.
+    let mut pred_edges: Vec<(usize, usize, Key)> = Vec::new();
+    for (t, rec) in &committed {
+        if rec.predicates.is_empty() {
+            continue;
+        }
+        let i = idx_of[t];
+        for &(lo, hi) in &rec.predicates {
+            for (&k, chain) in owner.range(lo..=hi) {
+                if rec.reads.contains_key(&k) || rec.writes.contains_key(&k) {
+                    continue;
+                }
+                let &j = chain.values().next().expect("writer chain nonempty");
+                if j != i {
+                    pred_edges.push((i, j, k));
+                }
+            }
+        }
+    }
+
     let mut readers: BTreeMap<Key, BTreeMap<Version, Vec<usize>>> = BTreeMap::new();
     for (t, rec) in &committed {
         let i = idx_of[t];
@@ -273,6 +302,9 @@ pub fn check_history(history: &History, opts: &CheckOptions) -> Report {
 
     // Edges, deduplicated and deterministically ordered.
     let mut edges: BTreeSet<(usize, usize, EdgeKind, Key)> = BTreeSet::new();
+    for (f, to, k) in pred_edges {
+        edges.insert((f, to, EdgeKind::Rw, k));
+    }
     for (&k, own) in &owner {
         let chain: Vec<(Version, usize)> = own.iter().map(|(&v, &i)| (v, i)).collect();
         for w in chain.windows(2) {
@@ -623,6 +655,64 @@ mod tests {
         let mut h = History::new();
         h.push(t(0, 1), &[(7, 0)], &[]);
         h.push(t(1, 1), &[(9, 1)], &[(9, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(r.is_serializable(), "{}", r.describe());
+    }
+
+    #[test]
+    fn phantom_write_skew_is_g2() {
+        // T1 scans [100, 199] (sees nothing) and inserts 250; T2 scans
+        // [200, 299] (sees nothing) and inserts 150. Each insert is a
+        // phantom for the other's predicate: predicate rw edges both
+        // ways, a G2 cycle.
+        let mut h = History::new();
+        h.note_scan(t(0, 1), 100, 199);
+        h.push(t(0, 1), &[], &[(250, 2)]);
+        h.note_scan(t(1, 1), 200, 299);
+        h.push(t(1, 1), &[], &[(150, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        match &r.verdict {
+            Verdict::Cycle { class, witness } => {
+                assert_eq!(*class, AnomalyClass::G2);
+                assert!(witness.iter().all(|e| e.kind == EdgeKind::Rw));
+                assert_eq!(witness.len(), 2, "{}", r.describe());
+            }
+            other => panic!("expected G2 phantom cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observed_insert_is_not_a_phantom() {
+        // T2 inserts 150@2; T1's scan of [100, 199] *did* observe it
+        // (item read 150@2). The ordinary wr edge T2 → T1 is the only
+        // cross edge: serializable.
+        let mut h = History::new();
+        h.push(t(1, 1), &[], &[(150, 2)]);
+        h.note_scan(t(0, 1), 100, 199);
+        h.push(t(0, 1), &[(150, 2)], &[(250, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(r.is_serializable(), "{}", r.describe());
+    }
+
+    #[test]
+    fn own_insert_inside_scanned_range_is_not_a_phantom() {
+        // A transaction that scans a range and inserts into it must not
+        // get a self rw edge.
+        let mut h = History::new();
+        h.note_scan(t(0, 1), 100, 199);
+        h.push(t(0, 1), &[], &[(150, 2)]);
+        let r = check_history(&h, &CheckOptions::strict());
+        assert!(r.is_serializable(), "{}", r.describe());
+    }
+
+    #[test]
+    fn phantom_only_inside_observed_bounds() {
+        // An insert at 250 is outside T1's scanned [100, 199] (e.g. the
+        // walk stopped at hi_obs = 199 after hitting its limit): no edge.
+        let mut h = History::new();
+        h.note_scan(t(0, 1), 100, 199);
+        h.push(t(0, 1), &[], &[(50, 2)]);
+        h.push(t(1, 1), &[], &[(250, 2)]);
         let r = check_history(&h, &CheckOptions::strict());
         assert!(r.is_serializable(), "{}", r.describe());
     }

@@ -23,6 +23,13 @@ pub struct TxnRecord {
     pub reads: BTreeMap<Key, Version>,
     /// Key → version installed by the write.
     pub writes: BTreeMap<Key, Version>,
+    /// Predicate (range) reads: each entry is the half-open evidence of a
+    /// scan — the requested low bound and the highest key the walk
+    /// actually covered (`hi_obs`). Every committed key the scan saw in
+    /// `[lo, hi_obs]` also appears in `reads` as an item read; the pair
+    /// lets the verifier detect *phantoms*: keys another transaction
+    /// inserted into the range that this scan never observed.
+    pub predicates: Vec<(Key, Key)>,
     /// True once the engine reached its commit point for this attempt.
     pub committed: bool,
 }
@@ -49,6 +56,16 @@ impl History {
     /// Notes that `txn` wrote `key`, installing `version`.
     pub fn note_write(&mut self, txn: TxnId, key: Key, version: Version) {
         self.txns.entry(txn).or_default().writes.insert(key, version);
+    }
+
+    /// Notes that `txn` scanned the range `[lo, hi_obs]`. Idempotent per
+    /// distinct range (re-noting the same pair is dropped) so engines may
+    /// note the evidence from more than one vantage point.
+    pub fn note_scan(&mut self, txn: TxnId, lo: Key, hi_obs: Key) {
+        let r = self.txns.entry(txn).or_default();
+        if !r.predicates.contains(&(lo, hi_obs)) {
+            r.predicates.push((lo, hi_obs));
+        }
     }
 
     /// Marks `txn` committed.
@@ -129,6 +146,19 @@ impl HistoryRecorder {
         let mut h = self.0.borrow_mut();
         for (k, v) in writes {
             h.note_write(txn, k, v);
+        }
+    }
+
+    /// Notes a single predicate (range) read.
+    pub fn note_scan(&self, txn: TxnId, lo: Key, hi_obs: Key) {
+        self.0.borrow_mut().note_scan(txn, lo, hi_obs);
+    }
+
+    /// Notes a batch of predicate reads.
+    pub fn note_scans(&self, txn: TxnId, scans: impl IntoIterator<Item = (Key, Key)>) {
+        let mut h = self.0.borrow_mut();
+        for (lo, hi) in scans {
+            h.note_scan(txn, lo, hi);
         }
     }
 

@@ -11,7 +11,7 @@
 //! transaction".
 
 use xenic_sim::SmallVec;
-use xenic_store::{Key, Value};
+use xenic_store::{Key, Value, Version};
 
 /// Number of bits of a [`Key`] reserved for the shard id (top byte).
 pub const SHARD_SHIFT: u32 = 56;
@@ -150,6 +150,65 @@ pub struct TxnRound {
     pub updates: Vec<(Key, UpdateOp)>,
 }
 
+/// A range-read predicate: all keys in `lo..=hi` (one shard), up to
+/// `limit` matches in key order. Executed as a NIC-resident ordered-index
+/// walk at the range's primary; Validate re-checks the predicate
+/// (membership, versions, and in-range locks) so concurrent inserts into
+/// the scanned range force an abort — the next-key/predicate-locking
+/// phantom guard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanSpec {
+    /// First key of the range (inclusive). Must be on the same shard as
+    /// `hi` — ranges never span shards.
+    pub lo: Key,
+    /// Last key of the range (inclusive).
+    pub hi: Key,
+    /// Maximum number of matches returned (`u32::MAX` = unbounded).
+    pub limit: u32,
+}
+
+impl ScanSpec {
+    /// An unbounded range predicate over `lo..=hi`.
+    pub fn new(lo: Key, hi: Key) -> Self {
+        debug_assert!(lo <= hi, "empty scan range");
+        debug_assert_eq!(shard_of(lo), shard_of(hi), "scan range spans shards");
+        ScanSpec {
+            lo,
+            hi,
+            limit: u32::MAX,
+        }
+    }
+
+    /// Caps the number of matches.
+    pub fn with_limit(mut self, limit: u32) -> Self {
+        self.limit = limit.max(1);
+        self
+    }
+
+    /// The shard the whole range lives on.
+    pub fn shard(&self) -> u32 {
+        shard_of(self.lo)
+    }
+}
+
+/// Order-sensitive fingerprint of a scan's observed `(key, version)`
+/// sequence (FNV-1a). The Execute walk computes it at the primary, the
+/// coordinator echoes it into Validate, and the primary's re-walk must
+/// reproduce it bit-for-bit — any membership or version change in the
+/// observed range (a phantom) breaks the fingerprint.
+pub fn scan_fingerprint(acc: u64, key: Key, version: Version) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = acc;
+    for b in key.to_le_bytes().into_iter().chain(version.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Initial accumulator for [`scan_fingerprint`] (FNV-1a offset basis).
+pub const SCAN_FP_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// A declarative transaction.
 #[derive(Clone, Debug)]
 pub struct TxnSpec {
@@ -160,6 +219,9 @@ pub struct TxnSpec {
     pub updates: Vec<(Key, UpdateOp)>,
     /// Brand-new keys inserted at Commit.
     pub inserts: Vec<(Key, Value)>,
+    /// Range-read predicates, executed as ordered-index walks at each
+    /// range's primary and re-validated for phantoms before commit.
+    pub scans: Vec<ScanSpec>,
     /// Application compute on the coordinator host (e.g. B+tree work),
     /// charged when execution runs on the host, in ns.
     pub exec_host_ns: u64,
@@ -187,6 +249,7 @@ impl Default for TxnSpec {
             reads: Vec::new(),
             updates: Vec::new(),
             inserts: Vec::new(),
+            scans: Vec::new(),
             exec_host_ns: 0,
             exec_nic_ns: 0,
             ship: ShipMode::Host,
@@ -255,12 +318,21 @@ impl TxnSpec {
         self.rounds.is_empty()
     }
 
+    /// True if the transaction carries any range-read predicate.
+    pub fn has_scans(&self) -> bool {
+        !self.scans.is_empty()
+    }
+
     /// The distinct shards the transaction touches, sorted. Inline up to
     /// four shards: this runs once per submitted transaction on the
     /// coordinator hot path, and the workloads rarely span more.
     pub fn shards(&self) -> SmallVec<u32, 4> {
         let mut v: SmallVec<u32, 4> = SmallVec::new();
-        for s in self.all_keys().map(shard_of) {
+        for s in self
+            .all_keys()
+            .map(shard_of)
+            .chain(self.scans.iter().map(ScanSpec::shard))
+        {
             if !v.contains(&s) {
                 v.push(s);
             }
@@ -272,6 +344,8 @@ impl TxnSpec {
     /// Serialized size estimate for PCIe/wire transfer of the spec.
     pub fn spec_bytes(&self) -> u32 {
         let keys = self.reads.len() + self.updates.len() + self.inserts.len();
+        // A scan predicate travels as (lo, hi, limit): 20 bytes.
+        let scan_bytes = self.scans.len() * 20;
         let insert_payload: usize = self.inserts.iter().map(|(_, v)| v.len()).sum();
         let update_payload: usize = self
             .updates
@@ -281,7 +355,7 @@ impl TxnSpec {
                 _ => 8,
             })
             .sum();
-        (24 + keys * 12 + insert_payload + update_payload) as u32
+        (24 + keys * 12 + scan_bytes + insert_payload + update_payload) as u32
     }
 }
 

@@ -54,6 +54,14 @@ pub struct XenicConfig {
     /// can fail: a run with this knob set must be rejected with a G2
     /// cycle (see `tests/serializability.rs`). Never set by any preset.
     pub weaken_validation: bool,
+    /// TEST ONLY: skip the Validate phase's predicate re-walk and
+    /// in-range lock check for scans, so range transactions commit on
+    /// whatever the Execute walk observed even when a concurrent insert
+    /// landed inside the range. Exists to prove the checker's phantom
+    /// detection can fail: a scan-heavy run with this knob set must be
+    /// rejected with a G2 (phantom) cycle — see `serial_fuzz`'s
+    /// negative self-test. Never set by any preset.
+    pub weaken_predicate_locks: bool,
 }
 
 impl XenicConfig {
@@ -72,6 +80,7 @@ impl XenicConfig {
             commit_ack_timeout_ns: 30_000,
             max_phase_retries: 4,
             weaken_validation: false,
+            weaken_predicate_locks: false,
         }
     }
 

@@ -48,12 +48,12 @@ use xenic_store::nic_index::{NicIndex, NicIndexConfig, NicLookup};
 use xenic_store::robinhood::{RobinhoodConfig, RobinhoodTable};
 use xenic_store::{CommitLog, Key, TxnId, Value, Version, WritePayload};
 
-use crate::api::{shard_of, Partitioning, TxnSpec, UpdateOp, Workload};
+use crate::api::{scan_fingerprint, shard_of, Partitioning, TxnSpec, UpdateOp, Workload, SCAN_FP_INIT};
 use crate::config::XenicConfig;
 use crate::msg::{
     AbortReq, CheckSet, CommitReq, DmaLogDone, DmaLookupDone, ExecMode, ExecShip, ExecShipResp,
-    Execute, ExecuteResp, KeySet, LocalCommit, LogReq, RetryBackupLog, RetryCommitApply,
-    TxnSubmit, Validate, WriteSet, XMsg,
+    Execute, ExecuteResp, KeySet, LocalCommit, LogReq, RetryBackupLog, RetryCommitApply, ScanCheck,
+    ScanCheckSet, ScanObs, ScanObsSet, ScanSet, TxnSubmit, Validate, WriteSet, XMsg,
 };
 use crate::stats::NodeStats;
 use xenic_hw::HwParams;
@@ -124,6 +124,12 @@ struct CoordTxn {
     values: Vec<(Key, Value, Version)>,
     /// Versions of locked write-set keys collected in Execute.
     lock_versions: Vec<(Key, Version)>,
+    /// Range-walk summaries collected in Execute, as `(shard, obs)` in
+    /// per-shard arrival order; Validate re-walk checks are built from
+    /// them. Boxed to respect the 320-byte move contract below — the box
+    /// (and its capacity) recycles through the pool like the Vecs.
+    #[allow(clippy::box_collection)]
+    scan_obs: Box<Vec<(u32, ScanObs)>>,
     /// Computed write set. Stays a `Vec`: it is moved in whole from
     /// host/NIC execution results, and the pool recycles its capacity.
     writes: WriteSet,
@@ -177,6 +183,7 @@ impl CoordTxn {
             ok: true,
             values: Vec::new(),
             lock_versions: Vec::new(),
+            scan_obs: Box::new(Vec::new()),
             writes: Vec::new(),
             locked_shards: SmallVec::new(),
             shards_contacted: 0,
@@ -202,6 +209,7 @@ impl CoordTxn {
         self.ok = true;
         self.values.clear();
         self.lock_versions.clear();
+        self.scan_obs.clear();
         self.writes.clear();
         self.locked_shards.clear();
         self.shards_contacted = 0;
@@ -245,6 +253,9 @@ impl CoordTxn {
 }
 
 /// Server-side pending operation (waiting on DMA chains).
+// `Exec` dwarfs `Val` but is also the overwhelmingly common variant;
+// boxing it would put an allocation on every Execute request.
+#[allow(clippy::large_enum_variant)]
 enum PendingOp {
     /// An Execute request resolving read values.
     Exec {
@@ -256,6 +267,9 @@ enum PendingOp {
         values: Vec<(Key, Value, Version)>,
         /// Versions of locked keys (resolved without shipping values).
         lock_versions: Vec<(Key, Version)>,
+        /// Range-walk summaries (resolved synchronously: the ordered
+        /// index lives in NIC memory, so walks never wait on DMA).
+        scan_obs: ScanObsSet,
         /// Keys whose pending DMA resolves a version only (lock-side).
         lock_only: SmallVec<Key, 4>,
         /// Present when this is a shipped (multi-hop) execution.
@@ -388,6 +402,12 @@ impl XenicNode {
         });
         for seg in 0..host_table.segments() {
             nic_index.set_hint(seg, host_table.seg_max_disp(seg), host_table.seg_has_overflow(seg));
+        }
+        // The NIC-resident ordered index mirrors every committed key of
+        // this shard (DESIGN.md §14): preloaded data starts at version 1,
+        // exactly like the host table.
+        for (k, _) in &own {
+            nic_index.preload_ordered(*k, 1);
         }
         // Pre-warm: the LiquidIO's 16 GB DRAM holds the paper's benchmark
         // datasets outright, so a deployed node's cache is resident. Only
@@ -528,9 +548,15 @@ impl Protocol for Xenic {
         match exec {
             Exec::Nic => match msg {
                 XMsg::TxnSubmit(b) => 180 + 15 * b.spec.all_keys().count() as u64,
-                XMsg::Execute(b) => 150 + 35 * (b.reads.len() + b.locks.len()) as u64,
-                XMsg::ExecuteResp(b) => 100 + 15 * b.values.len() as u64,
-                XMsg::Validate(b) => 110 + 12 * b.checks.len() as u64,
+                XMsg::Execute(b) => {
+                    150 + 35 * (b.reads.len() + b.locks.len()) as u64 + 60 * b.scans.len() as u64
+                }
+                XMsg::ExecuteResp(b) => {
+                    100 + 15 * b.values.len() as u64 + 20 * b.scan_obs.len() as u64
+                }
+                XMsg::Validate(b) => {
+                    110 + 12 * b.checks.len() as u64 + 20 * b.scan_checks.len() as u64
+                }
                 XMsg::ValidateResp { .. } => 70,
                 XMsg::LogReq(b) => {
                     let bytes: u64 = b
@@ -588,8 +614,9 @@ impl Protocol for Xenic {
                     ok,
                     values,
                     lock_versions,
+                    scan_obs,
                 } = b.take();
-                cnic_execute_resp(st, rt, me, txn, req, shard, ok, values, lock_versions)
+                cnic_execute_resp(st, rt, me, txn, req, shard, ok, values, lock_versions, scan_obs)
             }
             XMsg::ValidateResp { txn, req, ok, .. } => {
                 cnic_validate_resp(st, rt, me, txn, req, ok)
@@ -622,8 +649,9 @@ impl Protocol for Xenic {
                     mode,
                     reads,
                     locks,
+                    scans,
                 } = b.take();
-                snic_execute(st, rt, me, txn, req, reply_to, mode, reads, locks, None)
+                snic_execute(st, rt, me, txn, req, reply_to, mode, reads, locks, scans, None)
             }
             XMsg::Validate(b) => {
                 let Validate {
@@ -631,8 +659,9 @@ impl Protocol for Xenic {
                     req,
                     reply_to,
                     checks,
+                    scan_checks,
                 } = b.take();
-                snic_validate(st, rt, me, txn, req, reply_to, checks)
+                snic_validate(st, rt, me, txn, req, reply_to, checks, scan_checks)
             }
             XMsg::LogReq(b) => {
                 let LogReq {
@@ -686,6 +715,10 @@ impl Protocol for Xenic {
                     .all_keys()
                     .filter(|k| shard_of(*k) == st.shard)
                     .collect();
+                // Multi-hop shipping is gated on `!spec.has_scans()` at
+                // the coordinator, so shipped executions never carry
+                // range predicates.
+                debug_assert!(!spec.has_scans());
                 let ship = Some(Box::new(ShipCtx { spec, local_vals }));
                 snic_execute(
                     st,
@@ -697,6 +730,7 @@ impl Protocol for Xenic {
                     ExecMode::Combined,
                     reads,
                     locks,
+                    ScanSet::new(),
                     ship,
                 );
             }
@@ -881,6 +915,11 @@ fn host_start_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, slot: u
         rt.send_local(Exec::Host, XMsg::StartTxn { slot }, 50);
         return;
     }
+
+    // Range transactions always go through the NIC: the ordered index
+    // (and its phantom protection) lives in NIC memory, so the host fast
+    // paths below cannot serve or guard a predicate read.
+    let local_only = local_only && !spec.has_scans();
 
     if local_only && spec.is_read_only() {
         // §4.2.4: local reads complete entirely on the host. The host
@@ -1108,6 +1147,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
         && spec.ship == crate::api::ShipMode::Nic
         && !spec.is_read_only()
         && spec.single_round()
+        && !spec.has_scans()
         && remote_shards.len() == 1
         && local_reads_cached;
 
@@ -1166,6 +1206,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                         mode: ExecMode::Combined,
                         reads: local_reads.clone(),
                         locks: local_keys.clone(),
+                        scans: ScanSet::new(),
                     }),
                 );
             }
@@ -1182,6 +1223,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                 ExecMode::Combined,
                 local_reads,
                 local_keys,
+                ScanSet::new(),
                 None,
             );
             return;
@@ -1205,6 +1247,12 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             .filter(|k| shard_of(*k) == shard)
             .collect();
         let locks: KeySet = spec.write_keys().filter(|k| shard_of(*k) == shard).collect();
+        let scans: ScanSet = spec
+            .scans
+            .iter()
+            .copied()
+            .filter(|s| s.shard() == shard)
+            .collect();
         let dst = st.part.primary(shard);
         if st.cfg.smart_remote_ops {
             ct.pending += 1;
@@ -1217,6 +1265,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                 mode: ExecMode::Combined,
                 reads,
                 locks,
+                scans,
             });
             if fa {
                 ct.await_req(req, dst, msg.clone());
@@ -1237,6 +1286,28 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                     mode: ExecMode::ReadOnly,
                     reads: std::iter::once(k).collect(),
                     locks: KeySet::new(),
+                    scans: ScanSet::new(),
+                });
+                if fa {
+                    ct.await_req(req, dst, msg.clone());
+                }
+                let bytes = msg.wire_bytes();
+                rt.send_net(dst, Exec::Nic, msg, bytes);
+            }
+            for s in scans {
+                // One request per predicate, mirroring the baseline's
+                // one-op-one-request structure.
+                ct.pending += 1;
+                let req = st.next_req;
+                st.next_req += 1;
+                let msg = XMsg::from(Execute {
+                    txn,
+                    req,
+                    reply_to: me as u32,
+                    mode: ExecMode::ReadOnly,
+                    reads: KeySet::new(),
+                    locks: KeySet::new(),
+                    scans: std::iter::once(s).collect(),
                 });
                 if fa {
                     ct.await_req(req, dst, msg.clone());
@@ -1255,6 +1326,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
                     mode: ExecMode::LockOnly,
                     reads: KeySet::new(),
                     locks: std::iter::once(k).collect(),
+                    scans: ScanSet::new(),
                 });
                 if fa {
                     ct.await_req(req, dst, msg.clone());
@@ -1314,6 +1386,7 @@ fn cnic_execute_resp(
     ok: bool,
     values: Vec<(Key, Value, Version)>,
     lock_versions: Vec<(Key, Version)>,
+    scan_obs: ScanObsSet,
 ) {
     let seq = txn.seq;
     let Some(ct) = st.coord.get_mut(&seq) else {
@@ -1330,6 +1403,7 @@ fn cnic_execute_resp(
     } else if ct.ok {
         ct.values.extend(values);
         ct.lock_versions.extend(lock_versions);
+        ct.scan_obs.extend(scan_obs.iter().map(|o| (shard, *o)));
         let locks_here = ct.spec.write_keys().any(|k| shard_of(k) == shard)
             || ct.phase == Phase::MhLocal;
         if locks_here && !ct.locked_shards.contains(&shard) {
@@ -1449,6 +1523,7 @@ fn exec_complete(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64
                     mode: ExecMode::Combined,
                     reads,
                     locks,
+                    scans: ScanSet::new(),
                 });
                 msgs.push((st.part.primary(shard), req, msg));
             }
@@ -1560,37 +1635,60 @@ fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u6
             (k, ver)
         })
         .collect();
-    if checks.is_empty() || ct.shards_contacted <= 1 {
-        // Single-shard execute was atomic at the primary; no window.
+    if (checks.is_empty() && ct.scan_obs.is_empty()) || ct.shards_contacted <= 1 {
+        // Single-shard execute was atomic at the primary; no window —
+        // the walk's in-range lock/pending-insert refusal covers
+        // predicates too.
         log_phase(st, rt, me, seq, txn);
         return;
     }
     // Group by shard via linear scan + sort (≤ nodes entries); sorted
-    // order matches the old ascending-key BTreeMap iteration.
-    let mut by_shard: Vec<(u32, CheckSet)> = Vec::new();
-    for (k, v) in checks {
-        let s = shard_of(k);
-        match by_shard.iter_mut().find(|(sh, _)| *sh == s) {
-            Some((_, group)) => group.push((k, v)),
-            None => by_shard.push((s, std::iter::once((k, v)).collect())),
+    // order matches the old ascending-key BTreeMap iteration. Scan
+    // re-checks ride the same per-shard Validate: each Execute-phase
+    // observation already carries everything the primary needs to
+    // re-walk its predicate.
+    let mut by_shard: Vec<(u32, CheckSet, ScanCheckSet)> = Vec::new();
+    let entry_of = |by: &mut Vec<(u32, CheckSet, ScanCheckSet)>, s: u32| -> usize {
+        match by.iter().position(|(sh, _, _)| *sh == s) {
+            Some(i) => i,
+            None => {
+                by.push((s, CheckSet::new(), ScanCheckSet::new()));
+                by.len() - 1
+            }
         }
+    };
+    for (k, v) in checks {
+        let i = entry_of(&mut by_shard, shard_of(k));
+        by_shard[i].1.push((k, v));
     }
-    by_shard.sort_unstable_by_key(|(s, _)| *s);
+    for &(s, o) in ct.scan_obs.iter() {
+        let i = entry_of(&mut by_shard, s);
+        by_shard[i].2.push(ScanCheck {
+            lo: o.lo,
+            hi_obs: o.hi_obs,
+            count: o.count,
+            fp: o.fp,
+        });
+    }
+    by_shard.sort_unstable_by_key(|(s, _, _)| *s);
     ct.pending = 0;
     let smart = st.cfg.smart_remote_ops;
-    let mut to_send = Vec::new();
-    for (shard, checks) in by_shard {
+    let mut to_send: Vec<(u32, CheckSet, ScanCheckSet)> = Vec::new();
+    for (shard, checks, scan_checks) in by_shard {
         if smart {
-            to_send.push((shard, checks));
+            to_send.push((shard, checks, scan_checks));
         } else {
             for c in checks {
-                to_send.push((shard, std::iter::once(c).collect::<CheckSet>()));
+                to_send.push((shard, std::iter::once(c).collect(), ScanCheckSet::new()));
+            }
+            for sc in scan_checks {
+                to_send.push((shard, CheckSet::new(), std::iter::once(sc).collect()));
             }
         }
     }
     let fa = rt.faults_active();
     let mut msgs: Vec<(usize, u64, XMsg)> = Vec::with_capacity(to_send.len());
-    for (shard, checks) in to_send {
+    for (shard, checks, scan_checks) in to_send {
         let req = st.next_req;
         st.next_req += 1;
         let msg = XMsg::from(Validate {
@@ -1598,6 +1696,7 @@ fn send_validates(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u6
             req,
             reply_to: me as u32,
             checks,
+            scan_checks,
         });
         msgs.push((st.part.primary(shard), req, msg));
     }
@@ -1846,6 +1945,7 @@ fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u6
     if let Some(r) = &st.recorder {
         r.note_reads(txn, ct.values.iter().map(|(k, _, v)| (*k, *v)));
         r.note_reads(txn, ct.lock_versions.iter().copied());
+        r.note_scans(txn, ct.scan_obs.iter().map(|(_, o)| (o.lo, o.hi_obs)));
         r.note_writes(txn, ct.writes.iter().map(|(k, _, v)| (*k, *v)));
         r.commit(txn);
     }
@@ -1892,6 +1992,7 @@ fn finish_commit_readonly(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize,
     if let (Some(r), Some(ct)) = (&st.recorder, ct.as_ref()) {
         let txn = TxnId::new(me as u32, seq);
         r.note_reads(txn, ct.values.iter().map(|(k, _, v)| (*k, *v)));
+        r.note_scans(txn, ct.scan_obs.iter().map(|(_, o)| (o.lo, o.hi_obs)));
         r.commit(txn);
     }
     if let Some(ct) = ct {
@@ -2342,6 +2443,7 @@ fn snic_execute(
     _mode: ExecMode,
     reads: KeySet,
     locks: KeySet,
+    scans: ScanSet,
     ship: Option<Box<ShipCtx>>,
 ) {
     // Lock phase (§4.2 step 2): all-or-nothing within this request.
@@ -2368,6 +2470,85 @@ fn snic_execute(
             return;
         }
     }
+    // Range walks (DESIGN.md §14): the ordered index is NIC-resident and
+    // authoritative, so walks resolve synchronously — no DMA wait. The
+    // same conservative refusals that guard point reads apply per row:
+    // another transaction's pending insert or write lock inside the
+    // range, or a row whose only value copy (the host table) lags the
+    // committed version, all refuse the request. That atomicity is what
+    // lets single-shard scans skip Validate.
+    let mut scan_obs = ScanObsSet::new();
+    let mut scan_values: Vec<(Key, Value, Version)> = Vec::new();
+    if !scans.is_empty() {
+        let mut scan_rows: Vec<(Key, Value, Version)> = Vec::new();
+        let mut visits_total = 0u64;
+        let mut conflict = false;
+        let XenicNode {
+            nic_index,
+            host_table,
+            ..
+        } = &*st;
+        for s in &scans {
+            let mut count = 0u32;
+            let mut fp = SCAN_FP_INIT;
+            let mut hi_obs = s.hi;
+            let visits = nic_index.range_walk(s.lo, s.hi, Some(txn), &mut |k, v| {
+                let Some(ver) = v else {
+                    // Another transaction's uncommitted insert sentinel.
+                    conflict = true;
+                    return false;
+                };
+                let seg = host_table.segment_of_key(k);
+                let lock = nic_index.lock_state(seg, k);
+                if lock.is_held() && !lock.held_by(txn) {
+                    conflict = true;
+                    return false;
+                }
+                let value = match nic_index.peek_value(seg, k) {
+                    Some(val) => val,
+                    None => match host_table.get(k) {
+                        Some((val, hv)) if hv == ver => val.clone(),
+                        // Host copy lags the committed version (the log
+                        // apply is still in flight) or is missing: the
+                        // same staleness refusal the DMA path makes.
+                        _ => {
+                            conflict = true;
+                            return false;
+                        }
+                    },
+                };
+                scan_rows.push((k, value, ver));
+                count += 1;
+                fp = scan_fingerprint(fp, k, ver);
+                if count >= s.limit {
+                    hi_obs = k;
+                    return false;
+                }
+                true
+            });
+            visits_total += visits as u64;
+            if conflict {
+                break;
+            }
+            scan_obs.push(ScanObs {
+                lo: s.lo,
+                count,
+                hi_obs,
+                fp,
+            });
+        }
+        rt.charge(visits_total * rt.params.nic_scan_visit_ns);
+        if rt.trace_enabled() {
+            rt.trace_instant("RangeWalk", txn.seq);
+        }
+        if conflict {
+            refuse_exec(st, rt, txn, req, reply_to, ship.is_some(), acquired);
+            return;
+        }
+        st.stats.range_walks.add(scans.len() as u64);
+        st.stats.scan_rows.add(scan_rows.len() as u64);
+        scan_values = scan_rows;
+    }
     if ship.is_some() && !acquired.is_empty() {
         st.ship_locked.insert(txn, acquired.clone());
     }
@@ -2376,7 +2557,9 @@ fn snic_execute(
     // payloads are applied here at commit).
     let op_id = st.next_op;
     st.next_op += 1;
-    let mut values = Vec::new();
+    // Scan rows join the value stream; the per-scan summaries delimit
+    // and identify them for the coordinator.
+    let mut values = scan_values;
     let mut lock_versions = Vec::new();
     let mut lock_only: SmallVec<Key, 4> = SmallVec::new();
     let mut awaiting = 0usize;
@@ -2419,6 +2602,7 @@ fn snic_execute(
         awaiting,
         values,
         lock_versions,
+        scan_obs,
         lock_only,
         ship,
         ok: true,
@@ -2468,6 +2652,7 @@ fn refuse_exec(
             ok: false,
             values: Vec::new(),
             lock_versions: Vec::new(),
+            scan_obs: ScanObsSet::new(),
         });
         let bytes = msg.wire_bytes();
         rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
@@ -2621,6 +2806,7 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
         shard,
         values,
         lock_versions,
+        scan_obs,
         ship,
         ok,
         locked,
@@ -2644,6 +2830,7 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
                 ok: true,
                 values,
                 lock_versions,
+                scan_obs,
             });
             let bytes = msg.wire_bytes();
             rt.send_net(reply_to as usize, Exec::Nic, msg, bytes);
@@ -2723,6 +2910,7 @@ fn resolve_exec(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, op: Pendi
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn snic_validate(
     st: &mut XenicNode,
     rt: &mut Runtime<XMsg>,
@@ -2731,6 +2919,7 @@ fn snic_validate(
     req: u64,
     reply_to: u32,
     checks: CheckSet,
+    scan_checks: ScanCheckSet,
 ) {
     let mut ok = true;
     let mut dma_fetch: Vec<Key> = Vec::new();
@@ -2742,6 +2931,58 @@ fn snic_validate(
     } else {
         checks
     };
+    // TEST ONLY: `weaken_predicate_locks` drops the predicate re-walk —
+    // the seeded phantom bug `serial_fuzz`'s negative self-test must
+    // catch. Dropping it server-side keeps the message flow (and thus
+    // the schedule) identical to a correct run.
+    let scan_checks = if st.cfg.weaken_predicate_locks {
+        ScanCheckSet::new()
+    } else {
+        scan_checks
+    };
+    // Predicate re-walk (DESIGN.md §14): replay each scan over
+    // `[lo, hi_obs]` and require the identical (key, version) sequence.
+    // A key inserted into the range since Execute — committed (version
+    // change breaks the fingerprint), still pending (sentinel), or
+    // merely write-locked — fails the transaction, which is exactly the
+    // guarantee next-key locking provides in a lock-based design.
+    if ok && !scan_checks.is_empty() {
+        let mut visits_total = 0u64;
+        let XenicNode {
+            nic_index,
+            host_table,
+            ..
+        } = &*st;
+        for sc in &scan_checks {
+            let mut count = 0u32;
+            let mut fp = SCAN_FP_INIT;
+            let mut clean = true;
+            let visits = nic_index.range_walk(sc.lo, sc.hi_obs, Some(txn), &mut |k, v| {
+                let Some(ver) = v else {
+                    clean = false;
+                    return false;
+                };
+                let seg = host_table.segment_of_key(k);
+                let lock = nic_index.lock_state(seg, k);
+                if lock.is_held() && !lock.held_by(txn) {
+                    clean = false;
+                    return false;
+                }
+                count += 1;
+                fp = scan_fingerprint(fp, k, ver);
+                true
+            });
+            visits_total += visits as u64;
+            if !clean || count != sc.count || fp != sc.fp {
+                ok = false;
+                break;
+            }
+        }
+        rt.charge(visits_total * rt.params.nic_scan_visit_ns);
+        if rt.trace_enabled() {
+            rt.trace_instant("RangeRecheck", txn.seq);
+        }
+    }
     for (k, expected) in &checks {
         let seg = st.segment(*k);
         let lock = st.nic_index.lock_state(seg, *k);

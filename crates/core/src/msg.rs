@@ -7,7 +7,7 @@
 //! is where Xenic's throughput advantage comes from, so these sizes are
 //! the load-bearing part of the model.
 
-use crate::api::TxnSpec;
+use crate::api::{ScanSpec, TxnSpec};
 use std::fmt;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::{Deref, DerefMut};
@@ -27,6 +27,16 @@ pub type KeySet = SmallVec<Key, 4>;
 /// A small (key, version) check set, same rationale as [`KeySet`].
 pub type CheckSet = SmallVec<(Key, Version), 4>;
 
+/// Scan predicates carried by an Execute request. Transactions rarely
+/// carry more than one range per shard, so two ride inline.
+pub type ScanSet = SmallVec<ScanSpec, 2>;
+
+/// Per-scan observation summaries in an ExecuteResp, request order.
+pub type ScanObsSet = SmallVec<ScanObs, 2>;
+
+/// Scan re-check set in a Validate request, same rationale.
+pub type ScanCheckSet = SmallVec<ScanCheck, 2>;
+
 /// Per-message operation header bytes.
 pub const OP_HEADER: u32 = 24;
 /// Bytes per key reference in a message.
@@ -35,6 +45,51 @@ pub const KEY_BYTES: u32 = 12;
 pub const CHECK_BYTES: u32 = 16;
 /// Bytes per returned (key, value-header, version) before the payload.
 pub const VALUE_HDR: u32 = 16;
+/// Bytes per scan predicate in a request (lo, hi, limit).
+pub const SCAN_BYTES: u32 = 20;
+/// Bytes per scan observation summary in a response (lo, count, hi_obs,
+/// fp).
+pub const SCAN_OBS_BYTES: u32 = 28;
+/// Bytes per scan re-check in a Validate (lo, hi_obs, count, fp).
+pub const SCAN_CHECK_BYTES: u32 = 28;
+
+/// What a primary NIC's range walk observed for one [`ScanSpec`]: the
+/// matched rows themselves ride in [`ExecuteResp::values`] after the
+/// point reads; this summary is what the coordinator needs to re-check
+/// the predicate at Validate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanObs {
+    /// Lower bound of the predicate this summary answers. Echoed so the
+    /// coordinator can pair summaries with the spec's scans exactly even
+    /// when split-mode responses (one request per predicate) or
+    /// retransmissions reorder arrivals.
+    pub lo: Key,
+    /// Rows matched.
+    pub count: u32,
+    /// Upper bound actually observed: the scan's `hi`, unless the row
+    /// limit cut the walk short — then the last matched key. The
+    /// interval `[lo, hi_obs]` is the predicate the transaction truly
+    /// depends on, and what Validate re-walks.
+    pub hi_obs: Key,
+    /// FNV-1a fingerprint over the matched (key, version) sequence
+    /// (see [`crate::api::scan_fingerprint`]).
+    pub fp: u64,
+}
+
+/// One scan's Validate-phase re-check: re-walk `[lo, hi_obs]` at the
+/// primary and compare count + fingerprint against what Execute saw —
+/// the next-key/predicate-lock equivalent that makes ranges phantom-safe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanCheck {
+    /// Scanned interval lower bound.
+    pub lo: Key,
+    /// Observed upper bound (see [`ScanObs::hi_obs`]).
+    pub hi_obs: Key,
+    /// Expected row count.
+    pub count: u32,
+    /// Expected (key, version) fingerprint.
+    pub fp: u64,
+}
 
 /// What a server-side Execute request does (smart mode combines; the
 /// Figure 9 baseline splits, mimicking one-sided RDMA's restrictions).
@@ -239,6 +294,9 @@ pub struct Execute {
     pub reads: KeySet,
     /// Keys to write-lock (Combined/LockOnly).
     pub locks: KeySet,
+    /// Range predicates to walk on the NIC-resident ordered index
+    /// (Combined/ReadOnly).
+    pub scans: ScanSet,
 }
 
 /// Body of [`XMsg::ExecuteResp`].
@@ -252,11 +310,15 @@ pub struct ExecuteResp {
     pub shard: u32,
     /// False if a lock was unavailable.
     pub ok: bool,
-    /// Read values and their versions.
+    /// Read values and their versions: the point reads in request
+    /// order, then each scan's matched rows in key order (grouped per
+    /// scan; `scan_obs[i].count` delimits group `i`).
     pub values: Vec<(Key, Value, Version)>,
     /// Current versions of the locked (write-set) keys — all the
     /// coordinator needs for delta updates; the value bytes stay home.
     pub lock_versions: Vec<(Key, Version)>,
+    /// Per-scan observation summaries, request order.
+    pub scan_obs: ScanObsSet,
 }
 
 /// Body of [`XMsg::Validate`].
@@ -270,6 +332,8 @@ pub struct Validate {
     pub reply_to: u32,
     /// Keys and the versions observed at Execute.
     pub checks: CheckSet,
+    /// Scan predicates to re-walk and compare against Execute.
+    pub scan_checks: ScanCheckSet,
 }
 
 /// Body of [`XMsg::LogReq`].
@@ -545,12 +609,21 @@ impl XMsg {
                 OP_HEADER + b.checks.len() as u32 * CHECK_BYTES + ws(&b.writes)
             }
             XMsg::Execute(b) => {
-                OP_HEADER + (b.reads.len() + b.locks.len()) as u32 * KEY_BYTES
+                OP_HEADER
+                    + (b.reads.len() + b.locks.len()) as u32 * KEY_BYTES
+                    + b.scans.len() as u32 * SCAN_BYTES
             }
             XMsg::ExecuteResp(b) => {
-                OP_HEADER + vals(&b.values) + b.lock_versions.len() as u32 * CHECK_BYTES
+                OP_HEADER
+                    + vals(&b.values)
+                    + b.lock_versions.len() as u32 * CHECK_BYTES
+                    + b.scan_obs.len() as u32 * SCAN_OBS_BYTES
             }
-            XMsg::Validate(b) => OP_HEADER + b.checks.len() as u32 * CHECK_BYTES,
+            XMsg::Validate(b) => {
+                OP_HEADER
+                    + b.checks.len() as u32 * CHECK_BYTES
+                    + b.scan_checks.len() as u32 * SCAN_CHECK_BYTES
+            }
             XMsg::ValidateResp { .. } => OP_HEADER,
             XMsg::LogReq(b) => OP_HEADER + ws(&b.writes),
             XMsg::LogResp { .. } => OP_HEADER,
@@ -587,6 +660,7 @@ mod tests {
             mode: ExecMode::Combined,
             reads: vec![make_key(1, 1)].into(),
             locks: vec![].into(),
+            scans: ScanSet::new(),
         });
         let large = XMsg::from(Execute {
             txn: TxnId::new(0, 1),
@@ -595,6 +669,7 @@ mod tests {
             mode: ExecMode::Combined,
             reads: vec![make_key(1, 1); 10].into(),
             locks: vec![make_key(1, 2); 5].into(),
+            scans: ScanSet::new(),
         });
         assert_eq!(small.wire_bytes(), 24 + 12);
         assert_eq!(large.wire_bytes(), 24 + 15 * 12);
@@ -609,6 +684,7 @@ mod tests {
             ok: true,
             values: vec![(1, v(64), 1), (2, v(12), 3)],
             lock_versions: vec![(3, 7)],
+            scan_obs: ScanObsSet::new(),
         });
         assert_eq!(resp.wire_bytes(), 24 + (16 + 64) + (16 + 12) + 16);
 
@@ -706,6 +782,7 @@ mod tests {
             mode: ExecMode::Combined,
             reads: vec![1, 2].into(),
             locks: vec![3].into(),
+            scans: ScanSet::new(),
         })
         .wire_bytes();
         let split: u32 = [
@@ -716,6 +793,7 @@ mod tests {
                 mode: ExecMode::ReadOnly,
                 reads: vec![1].into(),
                 locks: vec![].into(),
+                scans: ScanSet::new(),
             })
             .wire_bytes(),
             XMsg::from(Execute {
@@ -725,6 +803,7 @@ mod tests {
                 mode: ExecMode::ReadOnly,
                 reads: vec![2].into(),
                 locks: vec![].into(),
+                scans: ScanSet::new(),
             })
             .wire_bytes(),
             XMsg::from(Execute {
@@ -734,6 +813,7 @@ mod tests {
                 mode: ExecMode::LockOnly,
                 reads: vec![].into(),
                 locks: vec![3].into(),
+                scans: ScanSet::new(),
             })
             .wire_bytes(),
         ]

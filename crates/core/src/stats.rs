@@ -20,6 +20,11 @@ pub struct NodeStats {
     pub nic_executed: Counter,
     /// Transactions committed via the multi-hop pattern.
     pub multihop: Counter,
+    /// Range walks served by the NIC-resident ordered index (Execute
+    /// phase; Validate re-walks are not counted).
+    pub range_walks: Counter,
+    /// Rows returned by those walks.
+    pub scan_rows: Counter,
     /// Whether measurement is active (set after warmup; latency and
     /// committed are only recorded while true).
     pub measuring: bool,
@@ -36,6 +41,8 @@ impl NodeStats {
         self.local_fast_path = Counter::new();
         self.nic_executed = Counter::new();
         self.multihop = Counter::new();
+        self.range_walks = Counter::new();
+        self.scan_rows = Counter::new();
     }
 
     /// Records a committed transaction.

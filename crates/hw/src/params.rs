@@ -109,6 +109,14 @@ pub struct HwParams {
     /// (~4 µs) by far more than the handler-cost difference.
     pub host_rpc_extra_ns: u64,
 
+    /// NIC-core cost per ordered-index node visited during a range walk,
+    /// ns. The LiquidIO keeps the ordered index in its own DRAM, so a
+    /// B+tree node visit is a couple of cache-missing pointer chases plus
+    /// an in-node binary search on an ARM core — modeled at the same
+    /// order as one Coremark-normalized host tree visit (35 ns / 0.31 ≈
+    /// 113, rounded to the measured LiquidIO DRAM-touch granularity).
+    pub nic_scan_visit_ns: u64,
+
     // ---- Xenic protocol framing (§4.3) ----
     /// Per-operation header inside an aggregated Xenic frame, bytes
     /// (txn id, op kind, shard, key hash, flags).
@@ -158,6 +166,8 @@ impl HwParams {
             rdma_post_ns: 70,
             rdma_post_batched_ns: 20,
             host_rpc_extra_ns: 1500,
+
+            nic_scan_visit_ns: 115,
 
             xenic_op_header_bytes: 24,
             nic_poll_burst_ns: 1500,

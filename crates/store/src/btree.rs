@@ -254,13 +254,45 @@ impl<V> BTree<V> {
 
     /// Collects all `(key, &value)` pairs with `lo <= key <= hi`, in key
     /// order.
+    ///
+    /// Allocates a fresh `Vec` per call — fine for tests and cold paths;
+    /// hot paths (the NIC scan walk, TPC-C generation) use [`Self::range_visit`]
+    /// or [`Self::range_into`] instead.
     pub fn range(&self, lo: TreeKey, hi: TreeKey) -> Vec<(TreeKey, &V)> {
         let mut out = Vec::new();
-        Self::range_rec(&self.root, lo, hi, &mut out);
+        self.range_visit(lo, hi, &mut |k, v| {
+            out.push((k, v));
+            true
+        });
         out
     }
 
-    fn range_rec<'a>(node: &'a Node<V>, lo: TreeKey, hi: TreeKey, out: &mut Vec<(TreeKey, &'a V)>) {
+    /// Visits every `(key, &value)` pair with `lo <= key <= hi` in key
+    /// order without allocating. `f` returns `false` to stop the walk
+    /// early (scan limits). Returns the number of tree nodes visited —
+    /// the DPA-style per-node cost input, matching [`Self::get_traced`]'s
+    /// accounting.
+    pub fn range_visit<'a, F>(&'a self, lo: TreeKey, hi: TreeKey, f: &mut F) -> usize
+    where
+        F: FnMut(TreeKey, &'a V) -> bool,
+    {
+        let mut visited = 0;
+        Self::range_visit_rec(&self.root, lo, hi, f, &mut visited);
+        visited
+    }
+
+    /// Returns `false` when the visitor asked to stop.
+    fn range_visit_rec<'a, F>(
+        node: &'a Node<V>,
+        lo: TreeKey,
+        hi: TreeKey,
+        f: &mut F,
+        visited: &mut usize,
+    ) -> bool
+    where
+        F: FnMut(TreeKey, &'a V) -> bool,
+    {
+        *visited += 1;
         match node {
             Node::Leaf { keys, vals } => {
                 let start = keys.partition_point(|&k| k < lo);
@@ -268,39 +300,78 @@ impl<V> BTree<V> {
                     if keys[i] > hi {
                         break;
                     }
-                    out.push((keys[i], &vals[i]));
+                    if !f(keys[i], &vals[i]) {
+                        return false;
+                    }
                 }
+                true
             }
             Node::Internal { keys, children } => {
                 let first = keys.partition_point(|&k| k <= lo);
                 let last = keys.partition_point(|&k| k <= hi);
                 for child in &children[first..=last] {
-                    Self::range_rec(child, lo, hi, out);
+                    if !Self::range_visit_rec(child, lo, hi, f, visited) {
+                        return false;
+                    }
                 }
+                true
             }
         }
     }
 
+    /// Clears `out` and fills it with every `(key, value)` pair in
+    /// `lo..=hi`, reusing the caller's scratch buffer (no per-call
+    /// allocation once the scratch has grown to steady state). Returns
+    /// the number of tree nodes visited.
+    pub fn range_into(&self, lo: TreeKey, hi: TreeKey, out: &mut Vec<(TreeKey, V)>) -> usize
+    where
+        V: Clone,
+    {
+        out.clear();
+        self.range_visit(lo, hi, &mut |k, v| {
+            out.push((k, v.clone()));
+            true
+        })
+    }
+
     /// The smallest key ≥ `lo`, with its value.
     pub fn first_at_or_after(&self, lo: TreeKey) -> Option<(TreeKey, &V)> {
-        let mut node = &self.root;
-        loop {
-            match node {
-                Node::Internal { keys, children } => {
-                    let idx = keys.partition_point(|&k| k <= lo);
-                    // Descend; if this subtree has nothing ≥ lo we may need
-                    // a sibling — handled by the range fallback below.
-                    node = &children[idx];
+        self.first_at_or_after_traced(lo).0
+    }
+
+    /// [`Self::first_at_or_after`], also returning the number of nodes
+    /// visited. Walks right siblings directly instead of allocating a
+    /// whole-tail range when the target leaf turns out empty-suffixed
+    /// (possible after deletions).
+    pub fn first_at_or_after_traced(&self, lo: TreeKey) -> (Option<(TreeKey, &V)>, usize) {
+        let mut visited = 0;
+        (Self::first_from(&self.root, lo, &mut visited), visited)
+    }
+
+    fn first_from<'a>(
+        node: &'a Node<V>,
+        lo: TreeKey,
+        visited: &mut usize,
+    ) -> Option<(TreeKey, &'a V)> {
+        *visited += 1;
+        match node {
+            Node::Leaf { keys, vals } => {
+                let i = keys.partition_point(|&k| k < lo);
+                if i < keys.len() {
+                    Some((keys[i], &vals[i]))
+                } else {
+                    None
                 }
-                Node::Leaf { keys, vals } => {
-                    let i = keys.partition_point(|&k| k < lo);
-                    if i < keys.len() {
-                        return Some((keys[i], &vals[i]));
-                    }
-                    // Rare: the leaf had nothing ≥ lo (possible after
-                    // deletions); fall back to a bounded range walk.
-                    return self.range(lo, TreeKey::MAX).into_iter().next();
-                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= lo);
+                // The target subtree may have nothing ≥ lo (lazily pruned
+                // deletions leave thin leaves); continue with the next
+                // sibling — every key there is ≥ lo by the separator
+                // invariant.
+                children[idx..]
+                    .iter()
+                    .find_map(|child| Self::first_from(child, lo, visited))
             }
         }
     }

@@ -18,6 +18,9 @@
 //! pages as needed; a global NIC-memory budget drives clock eviction of
 //! unpinned, unlocked, value-holding records.
 
+use std::collections::HashMap;
+
+use crate::btree::BTree;
 use crate::types::{Key, LockState, TxnId, Value, Version};
 
 /// Configuration for a [`NicIndex`].
@@ -120,6 +123,17 @@ pub struct NicIndex {
     cached_values: usize,
     clock_hand: usize,
     stats: IndexStats,
+    /// NIC-resident ordered index: every committed key homed at this
+    /// node, in key order, mapped to its last committed version. Range
+    /// scans walk this tree (metered per node visit, like
+    /// `RobinhoodTable::get_traced` meters point reads) instead of the
+    /// unordered host table. In-flight inserts appear as sentinels so a
+    /// concurrent scan detects the phantom before it commits.
+    ordered: BTree<Version>,
+    /// Owners of in-flight inserts: keys locked by a transaction that
+    /// did not exist before it — present in `ordered` as sentinels,
+    /// retracted on abort, promoted to committed on commit.
+    pending_inserts: HashMap<Key, TxnId>,
 }
 
 impl NicIndex {
@@ -131,6 +145,8 @@ impl NicIndex {
             cached_values: 0,
             clock_hand: 0,
             stats: IndexStats::default(),
+            ordered: BTree::new(),
+            pending_inserts: HashMap::new(),
             cfg,
         }
     }
@@ -286,18 +302,33 @@ impl NicIndex {
     /// Re-locking by the same transaction succeeds (idempotent).
     pub fn try_lock(&mut self, segment: usize, key: Key, txn: TxnId) -> bool {
         let r = self.ensure_record(segment, key);
-        match r.lock {
+        let ok = match r.lock {
             LockState::Free => {
                 r.lock = LockState::Held(txn);
                 true
             }
             LockState::Held(t) => t == txn,
+        };
+        if ok && self.ordered.get(key).is_none() {
+            // First lock on a key that has never committed: an insert in
+            // flight. Register a sentinel in the ordered index so any
+            // concurrent range walk over an interval containing `key`
+            // sees the phantom and refuses/aborts instead of missing it.
+            self.ordered.insert(key, 0);
+            self.pending_inserts.insert(key, txn);
         }
+        ok
     }
 
     /// Releases `key`'s lock if held by `txn`. Valueless, pin-free
     /// records are garbage-collected.
     pub fn unlock(&mut self, segment: usize, key: Key, txn: TxnId) {
+        if self.pending_inserts.get(&key) == Some(&txn) {
+            // Aborted insert (commit_write would have promoted the
+            // sentinel before unlock): retract it from the ordered index.
+            self.pending_inserts.remove(&key);
+            self.ordered.remove(key);
+        }
         let entry = &mut self.entries[segment];
         if let Some(i) = entry.records.iter().position(|r| r.key == key) {
             if entry.records[i].lock.held_by(txn) {
@@ -320,6 +351,14 @@ impl NicIndex {
         self.record(segment, key)
             .filter(|r| r.has_version || r.value.is_some() || r.pins > 0)
             .map(|r| r.version)
+    }
+
+    /// Cached value, if NIC memory holds one. Unlike [`Self::lookup`]
+    /// this is a pure peek: no hit/miss accounting, no recency bit —
+    /// range walks use it to serve rows without perturbing the
+    /// point-read cache statistics.
+    pub fn peek_value(&self, segment: usize, key: Key) -> Option<Value> {
+        self.record(segment, key).and_then(|r| r.value.clone())
     }
 
     /// Records a committed write: updates the cached entry (if present)
@@ -345,6 +384,7 @@ impl NicIndex {
         if newly {
             self.cached_values += 1;
         }
+        self.commit_ordered(key, version);
     }
 
     /// Like [`NicIndex::commit_write`] but stores only the version
@@ -356,6 +396,15 @@ impl NicIndex {
         r.has_version = true;
         r.pins += 1;
         r.referenced = true;
+        self.commit_ordered(key, version);
+    }
+
+    /// A write committed: the key is now (or remains) a committed member
+    /// of the ordered index at `version`; any insert sentinel it carried
+    /// is promoted.
+    fn commit_ordered(&mut self, key: Key, version: Version) {
+        self.pending_inserts.remove(&key);
+        self.ordered.insert(key, version);
     }
 
     /// Host acknowledged applying this key's write: unpin.
@@ -391,6 +440,52 @@ impl NicIndex {
             e.records
                 .retain(|r| r.value.is_some() || r.pins > 0 || r.lock.is_held());
         }
+        // Every in-flight insert dies with its lock: retract the
+        // sentinels (sorted, so the rebuilt tree shape is deterministic
+        // regardless of hash-map iteration order).
+        let mut aborted: Vec<Key> = self.pending_inserts.drain().map(|(k, _)| k).collect();
+        aborted.sort_unstable();
+        for key in aborted {
+            self.ordered.remove(key);
+        }
+    }
+
+    /// Seeds the ordered index with a preloaded committed key (node
+    /// bring-up mirrors the host table's initial contents, the way the
+    /// real NIC builds its index when a partition is loaded).
+    pub fn preload_ordered(&mut self, key: Key, version: Version) {
+        self.ordered.insert(key, version);
+    }
+
+    /// Walks the NIC-resident ordered index over `lo..=hi` in key order.
+    /// Committed keys arrive as `f(key, Some(version))`; in-flight
+    /// inserts by transactions *other than* `exclude` arrive as
+    /// `f(key, None)` (the caller's own pending inserts are skipped —
+    /// they are not committed state). `f` returns false to stop early.
+    ///
+    /// Returns the number of tree nodes visited: the walk is metered per
+    /// node touched, exactly as [`NicIndex::lookup`] misses meter DMA
+    /// depth — the engine charges NIC compute per visit.
+    pub fn range_walk<F>(&self, lo: Key, hi: Key, exclude: Option<TxnId>, f: &mut F) -> usize
+    where
+        F: FnMut(Key, Option<Version>) -> bool,
+    {
+        let pending = &self.pending_inserts;
+        self.ordered.range_visit(lo, hi, &mut |k, v| match pending.get(&k) {
+            Some(owner) if Some(*owner) == exclude => true,
+            Some(_) => f(k, None),
+            None => f(k, Some(*v)),
+        })
+    }
+
+    /// Owner of the in-flight insert sentinel at `key`, if any.
+    pub fn pending_insert_owner(&self, key: Key) -> Option<TxnId> {
+        self.pending_inserts.get(&key).copied()
+    }
+
+    /// Committed + in-flight keys in the ordered index (diagnostics).
+    pub fn ordered_len(&self) -> usize {
+        self.ordered.len()
     }
 
     /// All currently held locks (diagnostics / recovery assertions).
@@ -573,6 +668,83 @@ mod tests {
         assert!(ix.held_locks().is_empty());
         // Cached values survive a lock wipe.
         assert!(matches!(ix.lookup(2, 3), NicLookup::Hit { .. }));
+    }
+
+    fn walk(ix: &NicIndex, lo: Key, hi: Key, exclude: Option<TxnId>) -> Vec<(Key, Option<Version>)> {
+        let mut out = Vec::new();
+        ix.range_walk(lo, hi, exclude, &mut |k, v| {
+            out.push((k, v));
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn range_walk_sees_committed_keys_in_order() {
+        let mut ix = idx(16);
+        for k in [30u64, 10, 20] {
+            ix.preload_ordered(k, 1);
+        }
+        ix.commit_write(0, 20, val(2), 5);
+        assert_eq!(
+            walk(&ix, 10, 30, None),
+            vec![(10, Some(1)), (20, Some(5)), (30, Some(1))]
+        );
+        assert_eq!(walk(&ix, 11, 19, None), vec![]);
+    }
+
+    #[test]
+    fn pending_insert_is_visible_to_other_walkers_only() {
+        let mut ix = idx(16);
+        ix.preload_ordered(10, 1);
+        // t(1) locks a brand-new key: sentinel appears.
+        assert!(ix.try_lock(0, 15, t(1)));
+        assert_eq!(ix.pending_insert_owner(15), Some(t(1)));
+        assert_eq!(walk(&ix, 10, 20, None), vec![(10, Some(1)), (15, None)]);
+        // The inserter's own walk skips its pending key.
+        assert_eq!(walk(&ix, 10, 20, Some(t(1))), vec![(10, Some(1))]);
+        // Abort: sentinel retracted, lock freed.
+        ix.unlock(0, 15, t(1));
+        assert_eq!(ix.pending_insert_owner(15), None);
+        assert_eq!(walk(&ix, 10, 20, None), vec![(10, Some(1))]);
+    }
+
+    #[test]
+    fn pending_insert_promotes_on_commit() {
+        let mut ix = idx(16);
+        assert!(ix.try_lock(0, 7, t(2)));
+        ix.commit_write(0, 7, val(7), 1);
+        ix.unlock(0, 7, t(2));
+        assert_eq!(ix.pending_insert_owner(7), None);
+        assert_eq!(walk(&ix, 0, 100, None), vec![(7, Some(1))]);
+        // Re-locking a committed key is an update, not an insert: no
+        // sentinel, version stays visible.
+        assert!(ix.try_lock(0, 7, t(3)));
+        assert_eq!(ix.pending_insert_owner(7), None);
+        assert_eq!(walk(&ix, 0, 100, None), vec![(7, Some(1))]);
+        ix.unlock(0, 7, t(3));
+        assert_eq!(walk(&ix, 0, 100, None), vec![(7, Some(1))]);
+    }
+
+    #[test]
+    fn clear_locks_retracts_pending_inserts() {
+        let mut ix = idx(16);
+        ix.preload_ordered(5, 1);
+        assert!(ix.try_lock(0, 6, t(1)));
+        assert!(ix.try_lock(1, 8, t(2)));
+        ix.clear_locks();
+        assert!(ix.held_locks().is_empty());
+        assert_eq!(walk(&ix, 0, 100, None), vec![(5, Some(1))]);
+        assert_eq!(ix.ordered_len(), 1);
+    }
+
+    #[test]
+    fn commit_write_meta_promotes_sentinel_too() {
+        let mut ix = idx(16);
+        assert!(ix.try_lock(0, 9, t(4)));
+        ix.commit_write_meta(0, 9, 3);
+        ix.unlock(0, 9, t(4));
+        assert_eq!(walk(&ix, 0, 100, None), vec![(9, Some(3))]);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   per transaction, 64 B values, Zipf α = 0.5.
 //! * [`smallbank`] — Smallbank: six H-Store transaction types over 12 B
 //!   account balances, 15% read-only, 90% of accesses to 4% of keys.
+//! * [`ycsb`] — YCSB workload E: 95% short range scans / 5% inserts,
+//!   the phantom-stressing mix; scans run as NIC ordered-index walks.
 //!
 //! Each workload has a `paper()` scale (the evaluation's sizes: 72
 //! warehouses/server, 1 M keys/server, 2.4 M accounts/server) and a
@@ -22,7 +24,9 @@
 pub mod retwis;
 pub mod smallbank;
 pub mod tpcc;
+pub mod ycsb;
 
 pub use retwis::{Retwis, RetwisConfig};
 pub use smallbank::{Smallbank, SmallbankConfig};
 pub use tpcc::{Tpcc, TpccConfig, TpccMix};
+pub use ycsb::{YcsbE, YcsbEConfig};

@@ -31,7 +31,7 @@
 //! cross-node readers, so this reordering does not affect any measured
 //! metric.
 
-use xenic::api::{make_key, ShipMode, TxnSpec, UpdateOp, Workload};
+use xenic::api::{make_key, ScanSpec, ShipMode, TxnSpec, UpdateOp, Workload};
 use xenic_sim::DetRng;
 use xenic_store::{BTree, Key, Value};
 
@@ -47,7 +47,17 @@ const T_WAREHOUSE: u64 = 0;
 const T_DISTRICT: u64 = 1;
 const T_CUSTOMER: u64 = 2;
 const T_STOCK: u64 = 3;
+/// ORDER rows mirrored into the replicated KV store — only in the
+/// [`TpccMix::StockScan`] variant, where stock-level reads them back
+/// through a real ordered-index range scan.
+const T_ORDER: u64 = 4;
 const TABLE_SHIFT: u32 = 48;
+
+/// Orders preloaded per district in the StockScan variant, so the first
+/// stock-level scans observe a non-empty window.
+const SEED_ORDERS: u32 = 10;
+/// Largest order id representable in the ORDER key packing.
+const MAX_O_ID: u32 = (1 << 28) - 1;
 
 /// Which transaction mix to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +71,14 @@ pub enum TpccMix {
     PaymentOnly,
     /// The standard five-type mix.
     Full,
+    /// The five-type mix with ORDER rows mirrored into the replicated KV
+    /// store: new-order inserts the order row, and stock-level reads the
+    /// district's recent-order window back through a phantom-checked
+    /// ordered-index scan ([`xenic::api::ScanSpec`]) instead of a purely
+    /// coordinator-local tree walk. Stock-level is upweighted (12%) so
+    /// the scan path carries measurable load; throughput is still
+    /// reported as new-order transactions only.
+    StockScan,
 }
 
 /// TPC-C configuration.
@@ -140,6 +158,9 @@ pub struct Tpcc {
     cust_by_name: BTree<u32>,
     /// Distinct last names per district.
     lastnames: u32,
+    /// Reusable scratch for stock-level's distinct-item collection —
+    /// keeps the generator allocation-free at steady state.
+    scratch_items: Vec<u32>,
 }
 
 impl Tpcc {
@@ -165,10 +186,19 @@ impl Tpcc {
             new_orders: BTree::with_order(32),
             order_lines: BTree::with_order(32),
             history_rows: 0,
-            next_o_id: vec![1; slots],
+            // StockScan preloads SEED_ORDERS KV order rows per district.
+            next_o_id: vec![
+                if cfg.mix == TpccMix::StockScan {
+                    SEED_ORDERS + 1
+                } else {
+                    1
+                };
+                slots
+            ],
             deliver_cursor: vec![0; cfg.warehouses_per_node as usize],
             cust_by_name,
             lastnames,
+            scratch_items: Vec::new(),
         }
     }
 
@@ -199,13 +229,29 @@ impl Tpcc {
             ) as u32;
             let lo = Self::name_key(w_local, d, lname, 0);
             let hi = Self::name_key(w_local, d, lname, u32::MAX >> 12);
-            let matches = self.cust_by_name.range(lo, hi);
-            let work = TREE_VISIT_NS * (4 + matches.len() as u64);
-            if matches.is_empty() {
+            let mut n = 0usize;
+            self.cust_by_name.range_visit(lo, hi, &mut |_, _| {
+                n += 1;
+                true
+            });
+            let work = TREE_VISIT_NS * (4 + n as u64);
+            if n == 0 {
                 (rng.below(cpd) as u32, work)
             } else {
                 // Spec: position n/2 rounded up in the sorted matches.
-                (*matches[matches.len() / 2].1, work)
+                // Second zero-alloc walk stops at the median.
+                let mut idx = 0usize;
+                let mut picked = 0u32;
+                self.cust_by_name.range_visit(lo, hi, &mut |_, c| {
+                    if idx == n / 2 {
+                        picked = *c;
+                        false
+                    } else {
+                        idx += 1;
+                        true
+                    }
+                });
+                (picked, work)
             }
         } else {
             let c = rng.nurand(Self::nurand_a(cpd), 0, cpd - 1) as u32;
@@ -255,6 +301,20 @@ impl Tpcc {
         make_key(
             shard,
             (T_STOCK << TABLE_SHIFT) | (u64::from(w_local) << 20) | u64::from(i),
+        )
+    }
+
+    /// KV key of the mirrored ORDER row (StockScan variant). Public so
+    /// tests can assert which district a scanned range covers. Orders of
+    /// one district are contiguous, so `[order_key(.., lo) ..=
+    /// order_key(.., hi)]` is exactly that district's order-id window.
+    pub fn order_key(&self, shard: u32, w_local: u32, d: u32, o_id: u32) -> Key {
+        debug_assert!(o_id <= MAX_O_ID);
+        make_key(
+            shard,
+            (T_ORDER << TABLE_SHIFT)
+                | ((u64::from(w_local) * 16 + u64::from(d)) << 28)
+                | u64::from(o_id),
         )
     }
 
@@ -313,7 +373,7 @@ impl Tpcc {
                     let s = rng.below(u64::from(cfg.nodes)) as u32;
                     (s, rng.below(u64::from(cfg.warehouses_per_node)) as u32)
                 }
-                TpccMix::PaymentOnly | TpccMix::Full => {
+                TpccMix::PaymentOnly | TpccMix::Full | TpccMix::StockScan => {
                     if rng.chance(0.01) {
                         let s = rng.below(u64::from(cfg.nodes)) as u32;
                         (s, rng.below(u64::from(cfg.warehouses_per_node)) as u32)
@@ -347,17 +407,29 @@ impl Tpcc {
                 .insert(Self::tree_key(w_local, d, o_id, line + 1), 0);
             local_work += visits as u64 * TREE_VISIT_NS + TREE_INSERT_NS;
         }
+        // StockScan: mirror the ORDER row into the KV store so stock-level
+        // scans observe it — this is the insert that phantom validation
+        // must defend against.
+        let inserts = if cfg.mix == TpccMix::StockScan {
+            vec![(
+                self.order_key(shard, w_local, d, o_id),
+                Value::filled(24, 0xA7),
+            )]
+        } else {
+            vec![]
+        };
 
         TxnSpec {
             reads,
             updates,
-            inserts: vec![],
+            inserts,
             exec_host_ns: 500,
             exec_nic_ns: 1600,
             ship: ShipMode::Nic,
             local_work_ns: local_work,
             metric: true,
             rounds: Vec::new(),
+            scans: vec![],
         }
     }
 
@@ -404,6 +476,7 @@ impl Tpcc {
             local_work_ns: 250 + name_work, // HISTORY append + name scan
             metric: false,
             rounds: Vec::new(),
+            scans: vec![],
         }
     }
 
@@ -422,10 +495,13 @@ impl Tpcc {
             let okey = Self::tree_key(w_local, d, last, 0);
             let (_, visits) = self.orders.get_traced(okey);
             local_work += visits as u64 * TREE_VISIT_NS;
-            let lines = self
-                .order_lines
-                .range(okey + 1, Self::tree_key(w_local, d, last, 255));
-            local_work += (lines.len() as u64 + 1) * TREE_VISIT_NS;
+            let mut lines = 0u64;
+            self.order_lines
+                .range_visit(okey + 1, Self::tree_key(w_local, d, last, 255), &mut |_, _| {
+                    lines += 1;
+                    true
+                });
+            local_work += (lines + 1) * TREE_VISIT_NS;
         }
         TxnSpec {
             reads: vec![self.customer_key(shard, w_local, d, c)],
@@ -437,6 +513,7 @@ impl Tpcc {
             local_work_ns: local_work,
             metric: false,
             rounds: Vec::new(),
+            scans: vec![],
         }
     }
 
@@ -460,8 +537,12 @@ impl Tpcc {
                     (c.copied(), v)
                 };
                 local_work += 2 * visits as u64 * TREE_VISIT_NS;
-                let lines = self.order_lines.range(okey + 1, okey + 255);
-                local_work += (lines.len() as u64 + 1) * (TREE_VISIT_NS + 20);
+                let mut lines = 0u64;
+                self.order_lines.range_visit(okey + 1, okey + 255, &mut |_, _| {
+                    lines += 1;
+                    true
+                });
+                local_work += (lines + 1) * (TREE_VISIT_NS + 20);
                 customer = c;
             }
         }
@@ -482,6 +563,7 @@ impl Tpcc {
             local_work_ns: local_work,
             metric: false,
             rounds: Vec::new(),
+            scans: vec![],
         }
     }
 
@@ -496,20 +578,38 @@ impl Tpcc {
         // Scan the last 20 orders' lines in the local tree.
         let lo = Self::tree_key(w_local, d, last.saturating_sub(20), 0);
         let hi = Self::tree_key(w_local, d, last, 255);
-        let lines = self.order_lines.range(lo, hi);
-        let local_work = 300 + (lines.len() as u64 + 1) * TREE_VISIT_NS;
-        // Distinct items → home stock reads (chopped/sampled to 20).
-        let mut items: Vec<u32> = lines.iter().map(|(_, i)| **i).collect();
-        items.sort_unstable();
-        items.dedup();
-        items.truncate(20);
-        if items.is_empty() {
-            items.push(rng.below(u64::from(cfg.items)) as u32);
+        self.scratch_items.clear();
+        {
+            let items = &mut self.scratch_items;
+            self.order_lines.range_visit(lo, hi, &mut |_, i| {
+                items.push(*i);
+                true
+            });
         }
-        let reads: Vec<Key> = items
+        let local_work = 300 + (self.scratch_items.len() as u64 + 1) * TREE_VISIT_NS;
+        // Distinct items → home stock reads (chopped/sampled to 20).
+        self.scratch_items.sort_unstable();
+        self.scratch_items.dedup();
+        self.scratch_items.truncate(20);
+        if self.scratch_items.is_empty() {
+            self.scratch_items.push(rng.below(u64::from(cfg.items)) as u32);
+        }
+        let reads: Vec<Key> = self
+            .scratch_items
             .iter()
             .map(|i| self.stock_key(shard, w_local, *i))
             .collect();
+        // StockScan: read the district's recent-order window through the
+        // phantom-checked ordered index. The range is open at the top
+        // (new orders keep arriving), so a concurrent new-order insert
+        // into this district is a phantom unless validation catches it.
+        let scans = if cfg.mix == TpccMix::StockScan {
+            let lo = self.order_key(shard, w_local, d, last.saturating_sub(19).max(1));
+            let hi = self.order_key(shard, w_local, d, MAX_O_ID);
+            vec![ScanSpec::new(lo, hi).with_limit(40)]
+        } else {
+            vec![]
+        };
         TxnSpec {
             reads,
             updates: vec![],
@@ -520,6 +620,7 @@ impl Tpcc {
             local_work_ns: local_work,
             metric: false,
             rounds: Vec::new(),
+            scans,
         }
     }
 }
@@ -537,6 +638,16 @@ impl Workload for Tpcc {
                     45..=87 => self.payment(shard, rng),
                     88..=91 => self.order_status(shard, rng),
                     92..=95 => self.delivery(shard, rng),
+                    _ => self.stock_level(shard, rng),
+                }
+            }
+            TpccMix::StockScan => {
+                // Upweighted stock-level: 45 / 35 / 4 / 4 / 12.
+                match rng.below(100) {
+                    0..=44 => self.new_order(shard, rng),
+                    45..=79 => self.payment(shard, rng),
+                    80..=83 => self.order_status(shard, rng),
+                    84..=87 => self.delivery(shard, rng),
                     _ => self.stock_level(shard, rng),
                 }
             }
@@ -575,6 +686,16 @@ impl Workload for Tpcc {
             }
             for i in 0..cfg.items {
                 out.push((self.stock_key(shard, w, i), stock.clone()));
+            }
+            if cfg.mix == TpccMix::StockScan {
+                // Seed each district's KV order window (matches the
+                // generator's next_o_id start of SEED_ORDERS + 1).
+                let order = Value::filled(24, 0xA7);
+                for d in 0..cfg.districts {
+                    for o in 1..=SEED_ORDERS {
+                        out.push((self.order_key(shard, w, d, o), order.clone()));
+                    }
+                }
             }
         }
         out
@@ -743,6 +864,77 @@ mod tests {
         assert!(!a.is_empty());
         assert_eq!(a.len(), b.len());
         assert_eq!(a[a.len() / 2].1, b[b.len() / 2].1);
+    }
+
+    #[test]
+    fn stock_scan_mix_emits_scans_and_mirror_inserts() {
+        let mut w = Tpcc::new(cfg(TpccMix::StockScan));
+        let mut rng = DetRng::new(8);
+        let mut scans = 0usize;
+        let mut inserts = 0usize;
+        const N: usize = 5_000;
+        for _ in 0..N {
+            let s = w.next_txn(0, &mut rng);
+            for sc in &s.scans {
+                scans += 1;
+                // One range, on the home shard, inside the ORDER region.
+                assert_eq!(shard_of(sc.lo), 0);
+                assert_eq!(shard_of(sc.hi), 0);
+                assert_eq!(xenic::api::local_of(sc.lo) >> 48, 4);
+                assert_eq!(sc.limit, 40);
+            }
+            assert!(s.scans.len() <= 1);
+            for (k, v) in &s.inserts {
+                inserts += 1;
+                assert_eq!(shard_of(*k), 0, "order mirror stays on home shard");
+                assert_eq!(xenic::api::local_of(*k) >> 48, 4);
+                assert_eq!(v.len(), 24);
+            }
+        }
+        // ~12% stock-level, ~45% new-order.
+        let sf = scans as f64 / N as f64;
+        let inf = inserts as f64 / N as f64;
+        assert!((0.09..=0.15).contains(&sf), "scan fraction {sf}");
+        assert!((0.40..=0.50).contains(&inf), "insert fraction {inf}");
+    }
+
+    #[test]
+    fn stock_scan_inserts_land_inside_open_scan_window() {
+        // The phantom interplay the variant exists for: a new-order's
+        // mirrored insert for district (w, d) falls inside the range a
+        // concurrent stock-level of the same district scans.
+        let mut w = Tpcc::new(cfg(TpccMix::StockScan));
+        let lo = w.order_key(0, 1, 3, 1);
+        let hi = w.order_key(0, 1, 3, MAX_O_ID);
+        let mut rng = DetRng::new(9);
+        let mut found = false;
+        for _ in 0..2_000 {
+            let s = w.next_txn(0, &mut rng);
+            for (k, _) in &s.inserts {
+                if (lo..=hi).contains(k) {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no insert ever hit district (1, 3)'s order window");
+    }
+
+    #[test]
+    fn stock_scan_preload_seeds_order_rows() {
+        let w = Tpcc::new(cfg(TpccMix::StockScan));
+        let data = w.preload(0);
+        // Full preload (8044) + 4 wh × 10 d × SEED_ORDERS order rows.
+        assert_eq!(data.len(), 8044 + 400);
+        let mut keys: Vec<Key> = data.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "order rows collide with another table");
+        // The seeded window starts exactly where the generator expects.
+        assert!(data.iter().any(|(k, _)| *k == w.order_key(0, 0, 0, 1)));
+        assert!(data
+            .iter()
+            .any(|(k, _)| *k == w.order_key(0, 0, 0, SEED_ORDERS)));
     }
 
     #[test]

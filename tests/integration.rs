@@ -343,3 +343,77 @@ fn xenic_beats_best_baseline_on_paper_benchmarks() {
         best_baseline
     );
 }
+
+#[test]
+fn scan_workloads_run_under_xenic_and_fasst_serializably() {
+    // The two range-scan evaluation workloads — YCSB-E (95% scans) and
+    // the scan-weighted TPC-C stock-level mix — must run under Xenic
+    // full *and* the FaSST baseline (the one other system that speaks
+    // the scan protocol), commit real work including predicate reads,
+    // and leave strictly serializable histories.
+    use xenic::harness::run_xenic_recorded;
+    use xenic_baselines::run_baseline_recorded;
+    use xenic_check::{check_history, CheckOptions};
+    use xenic_workloads::{YcsbE, YcsbEConfig};
+
+    let opts = RunOptions {
+        windows: 3,
+        warmup: SimTime::from_us(500),
+        measure: SimTime::from_ms(2),
+        seed: 17,
+    };
+    let params = HwParams::paper_testbed();
+    let workloads: [(&str, WorkloadFactory); 2] = [
+        (
+            "ycsbe",
+            Box::new(|_| {
+                Box::new(YcsbE::new(YcsbEConfig {
+                    keys_per_node: 5_000,
+                    ..YcsbEConfig::sim(6)
+                })) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "tpcc_stock",
+            Box::new(|_| {
+                Box::new(Tpcc::new(TpccConfig {
+                    warehouses_per_node: 2,
+                    ..TpccConfig::sim(6, TpccMix::StockScan)
+                })) as Box<dyn Workload>
+            }),
+        ),
+    ];
+    for (name, mkw) in &workloads {
+        let (x, xh) = run_xenic_recorded(
+            params.clone(),
+            NetConfig::full(),
+            XenicConfig::full(),
+            &opts,
+            mkw.as_ref(),
+        );
+        let (f, fh) = run_baseline_recorded(
+            BaselineKind::Fasst,
+            params.clone(),
+            NetConfig::baseline(),
+            &opts,
+            mkw.as_ref(),
+        );
+        for (sys, r, h) in [("xenic", &x, &xh), ("fasst", &f, &fh)] {
+            assert!(r.committed > 100, "{name}/{sys} committed {}", r.committed);
+            let with_preds = h
+                .committed()
+                .filter(|(_, rec)| !rec.predicates.is_empty())
+                .count();
+            assert!(
+                with_preds > 20,
+                "{name}/{sys}: only {with_preds} committed scans recorded"
+            );
+            let report = check_history(h, &CheckOptions::strict());
+            assert!(
+                report.is_serializable(),
+                "{name}/{sys} not serializable:\n{}",
+                report.describe()
+            );
+        }
+    }
+}

@@ -545,6 +545,52 @@ fn hot_path_pinned_digests() {
     }
 }
 
+/// Scan-heavy runs must be deterministic under sweep parallelism: each
+/// point is an independent seeded cluster, so running the same YCSB-E
+/// points serially and through `par_points` worker threads (the `--jobs
+/// N` machinery every sweep binary uses) must produce byte-identical
+/// commit counts and whole-cluster table digests. Range walks are the
+/// newest hot path — any thread-sensitive state (shared caches, iteration
+/// order) would show up here first.
+#[test]
+fn scan_cluster_digests_are_identical_serial_vs_parallel_jobs() {
+    use xenic::harness::run_xenic_cluster;
+    use xenic_bench::par_points;
+    use xenic_workloads::{YcsbE, YcsbEConfig};
+
+    let cfg = YcsbEConfig {
+        keys_per_node: 2_000,
+        nodes: 6,
+        scan_pct: 90,
+        max_scan_len: 40,
+        double_scan_pct: 20,
+        value_bytes: 32,
+    };
+    let run = |seed: &u64| {
+        let opts = RunOptions {
+            windows: 4,
+            warmup: SimTime::from_us(200),
+            measure: SimTime::from_ms(1),
+            seed: *seed,
+        };
+        let (r, cluster) = run_xenic_cluster(
+            HwParams::paper_testbed(),
+            NetConfig::full(),
+            XenicConfig::full(),
+            &opts,
+            move |_| Box::new(YcsbE::new(cfg)) as Box<dyn Workload>,
+        );
+        (r.committed, r.aborted, table_digest(&cluster))
+    };
+    let seeds = [3u64, 4, 5, 6];
+    let serial = par_points(1, &seeds, run);
+    let parallel = par_points(4, &seeds, run);
+    assert_eq!(serial, parallel, "--jobs must not perturb scan runs");
+    for (seed, (committed, _, _)) in seeds.iter().zip(&serial) {
+        assert!(*committed > 50, "seed {seed}: committed {committed}");
+    }
+}
+
 /// Pre-refactor pinned fingerprints for [`hot_path_pinned_digests`]:
 /// (committed, aborted, whole-cluster table digest, events processed).
 const PIN_RETWIS_FAULT_FREE: (u64, u64, u64, u64) =

@@ -75,3 +75,69 @@ fn weakened_validation_is_rejected_with_a_g2_cycle() {
         assert!(cmd.contains(needle), "replay command missing `{needle}`: {cmd}");
     }
 }
+
+#[test]
+fn sound_scan_engines_survive_the_phantom_crossfire() {
+    // The control arm for the predicate self-test: the scan workload
+    // pairs range observers with inserts into the observed ranges, and
+    // both engines that speak the scan protocol (Xenic's NIC walk +
+    // Validate re-walk, FaSST's RPC walk + re-walk) must keep every
+    // history serializable under it.
+    for system in [FuzzSystem::Xenic, FuzzSystem::Fasst] {
+        for seed in 1..=2 {
+            // Three windows, not four: FaSST's retry backoff collapses
+            // under maximal crossfire concurrency, and a near-empty
+            // history would verify vacuously.
+            let out = run_point(&FuzzPoint {
+                windows: 3,
+                ..point(system, WlKind::Scan, seed, 0)
+            });
+            assert!(
+                out.committed > 20,
+                "{system:?} seed {seed}: committed {}",
+                out.committed
+            );
+            assert!(
+                out.passed(),
+                "{system:?} seed {seed}: sound engine rejected:\n{}",
+                out.report.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn weakened_predicate_locks_are_rejected_with_a_phantom_g2_cycle() {
+    // Skipping only the Validate range re-walks (item version checks
+    // stay intact) admits phantoms: both halves of a scan/insert pair
+    // walk their ranges before either insert's lock lands, then commit
+    // unchecked. The recorded predicates must turn that into a G2
+    // (anti-dependency) witness cycle, and the witness must survive
+    // shrinking so the replay command reproduces it. Jitter plans widen
+    // the walk-before-lock window, so the sweep covers both fault-free
+    // and jittered schedules (as `serial_fuzz`'s self-test does).
+    let failing = [0u32, 1, 2, 4]
+        .into_iter()
+        .flat_map(|plan| {
+            (1..=6).map(move |seed| point(FuzzSystem::XenicWeakPredicates, WlKind::Scan, seed, plan))
+        })
+        .find(|p| !run_point(p).passed())
+        .expect("weakened predicate locks must be caught on some point");
+
+    let out = run_point(&failing);
+    match &out.report.verdict {
+        Verdict::Cycle { class, witness } => {
+            assert_eq!(*class, AnomalyClass::G2, "phantoms must class as G2");
+            assert!(witness.len() >= 2, "a cycle needs at least two edges");
+        }
+        other => panic!("expected a witness cycle, got {other:?}"),
+    }
+
+    let small = shrink(failing);
+    let small_out = run_point(&small);
+    assert!(!small_out.passed(), "shrunk point must still fail");
+    let cmd = replay_cmd(&small);
+    for needle in ["--system xenic-weak-predicates", "--wl scan"] {
+        assert!(cmd.contains(needle), "replay command missing `{needle}`: {cmd}");
+    }
+}

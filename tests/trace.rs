@@ -97,6 +97,54 @@ fn export_is_byte_identical_across_reruns() {
 }
 
 #[test]
+fn range_walk_tracing_is_a_pure_observer_and_emits_instants() {
+    // Same purity contract as `tracing_is_a_pure_observer`, but over the
+    // scan crossfire workload so the range paths are on the hot path:
+    // the `RangeWalk` (Execute-phase ordered-index walk) and
+    // `RangeRecheck` (Validate-phase re-walk) instants must appear in
+    // the trace without perturbing one measured bit of the run.
+    use xenic_bench::fuzz::ScanWl;
+    let mk = |_: usize| Box::new(ScanWl { span: 16 }) as Box<dyn Workload>;
+    let digest = |net: NetConfig| {
+        let r = run_xenic(
+            HwParams::paper_testbed(),
+            net,
+            XenicConfig::full(),
+            &traced_opts(13),
+            mk,
+        );
+        (r.committed, r.aborted, r.p50_ns, r.p99_ns, r.ops_per_frame)
+    };
+    let plain = digest(NetConfig::full());
+    let disabled = digest(NetConfig::full().with_trace(TraceConfig::disabled()));
+    let traced = digest(NetConfig::full().with_trace(TraceConfig::full()));
+    assert_eq!(plain, disabled, "disabled tracing must be invisible");
+    assert_eq!(plain, traced, "enabled tracing must not perturb scans");
+
+    let (_, cluster) = run_xenic_cluster(
+        HwParams::paper_testbed(),
+        NetConfig::full().with_trace(TraceConfig::full().with_capacity(1 << 22)),
+        XenicConfig::full(),
+        &traced_opts(13),
+        mk,
+    );
+    let tracer = cluster.rt.tracer();
+    assert_eq!(tracer.dropped(), 0, "ring must hold the whole run");
+    let (mut walks, mut rechecks) = (0u64, 0u64);
+    for ev in tracer.events() {
+        if matches!(ev.kind, TraceKind::Instant { .. }) {
+            match ev.name {
+                "RangeWalk" => walks += 1,
+                "RangeRecheck" => rechecks += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(walks > 100, "expected many Execute walks, saw {walks}");
+    assert!(rechecks > 20, "expected Validate re-walks, saw {rechecks}");
+}
+
+#[test]
 fn tracing_is_a_pure_observer() {
     // Three universes that must be indistinguishable at the protocol
     // level: no trace config at all, tracing explicitly disabled, and

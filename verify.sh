@@ -15,15 +15,24 @@ cargo test -q
 echo "==> cargo test --release -q --test conformance"
 cargo test --release -q --test conformance
 
+echo "==> cargo test --release -q -p xenic-store --test btree_differential"
+# The B-tree differential suite (vs std BTreeMap) in release mode: the
+# randomized schedules are 100k steps each, so the optimized build keeps
+# this fast while still exercising split/merge/borrow at both orders.
+cargo test --release -q -p xenic-store --test btree_differential
+
 echo "==> perf_report --quick (alloc-count, budget-gated)"
 # The counting allocator's overhead is one relaxed atomic per allocation
 # — noise — so the gated run also refreshes BENCH_simperf.json with both
 # throughput and allocs/event. Budgets are generous (~2× the measured
 # steady state) so this catches hot-path re-fattening, not jitter.
 cargo run --release -q -p xenic-bench --features alloc-count --bin perf_report -- \
-    --quick --alloc-budget retwis_fig8=1200,chaos_replay=1300,tpcc_mix=4500
+    --quick --alloc-budget retwis_fig8=1200,chaos_replay=1300,tpcc_mix=4500,ycsbe_mix=2000,tpcc_stock=6500
 
 echo "==> serial_fuzz --quick"
+# Includes both checker self-tests: xenic-weakened (skipped version
+# re-checks) and xenic-weak-predicates (skipped range re-walks) must
+# each be rejected with a shrunk, bit-for-bit-replayable witness.
 cargo run --release -q -p xenic-bench --bin serial_fuzz -- --quick
 
 if [[ "${1:-}" != "--quick" ]]; then
