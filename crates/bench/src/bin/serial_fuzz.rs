@@ -5,22 +5,28 @@
 //! transaction's read/write sets, and verifies each history against
 //! Adya's DSG (`xenic-check`). Every point is replayable bit for bit.
 //!
-//! The sweep ends with two checker self-tests: Xenic with
+//! The sweep ends with three checker self-tests: Xenic with
 //! `weaken_validation` (Validate's version re-check skipped) **must** be
-//! rejected with a witness cycle, and Xenic with `weaken_predicate_locks`
+//! rejected with a witness cycle, Xenic with `weaken_predicate_locks`
 //! (Validate's range re-walks skipped) **must** be rejected with a
-//! phantom (predicate-rw) cycle under the scan workload. Each failing
-//! point is shrunk, replayed bit for bit, and its replay command printed.
-//! If the checker lets either weakened engine pass, this binary exits
-//! non-zero — a green run certifies both the engines and the checker's
-//! teeth.
+//! phantom (predicate-rw) cycle under the scan workload, and the
+//! Raft-style replication backend with `weaken_quorum` (commit before
+//! the majority logged, no post-commit retransmission) **must** be
+//! rejected under lossy plans — the wire eats an unretried append or
+//! commit record and the post-drain durability audit pins the
+//! evaporated commit to an exact key/version. Each failing point is
+//! shrunk, replayed bit for bit, and its replay command printed. If the
+//! checker lets any weakened engine pass, this binary exits non-zero —
+//! a green run certifies both the engines and the checker's teeth.
 //!
 //! ```text
 //! serial_fuzz [--quick] [--jobs N]          # sweep + self-test
 //! serial_fuzz --replay --system S --seed N --plan P --windows W --measure-us M
 //! ```
 
-use xenic_bench::fuzz::{expand_plan, replay_cmd, run_point, shrink, FuzzPoint, FuzzSystem, WlKind};
+use xenic_bench::fuzz::{
+    expand_plan, replay_cmd, run_point, shrink, FuzzPoint, FuzzSystem, PointOutcome, WlKind,
+};
 use xenic_bench::{jobs_from_args, par_points};
 
 fn flag_val(args: &[String], name: &str) -> Option<String> {
@@ -59,7 +65,7 @@ fn main() {
             p.plan,
             p.windows,
             out.committed,
-            summary(&out.report)
+            summary(out)
         );
         if !out.passed() {
             failures.push(*p);
@@ -70,13 +76,14 @@ fn main() {
         let small = shrink(*p);
         let out = run_point(&small);
         println!("\nFAILURE shrunk to {:?}", small);
-        println!("{}", out.report.describe());
+        println!("{}", describe(&out));
         println!("replay: {}", replay_cmd(&small));
     }
 
-    // Checker self-tests: both weakened engines must be rejected.
+    // Checker self-tests: every weakened engine must be rejected.
     let ok_weaken = weaken_demo(jobs, quick);
     let ok_phantom = phantom_demo(jobs, quick);
+    let ok_quorum = quorum_demo(jobs, quick);
 
     if !failures.is_empty() {
         eprintln!("\n{} fuzz point(s) failed verification", failures.len());
@@ -90,8 +97,12 @@ fn main() {
         eprintln!("\nchecker self-test failed: weakened predicate locks were not rejected");
         std::process::exit(1);
     }
+    if !ok_quorum {
+        eprintln!("\nchecker self-test failed: weakened replication quorum was not rejected");
+        std::process::exit(1);
+    }
     println!(
-        "\nall {} points serializable; both checker self-tests passed",
+        "\nall {} points serializable; all three checker self-tests passed",
         points.len()
     );
 }
@@ -126,6 +137,16 @@ fn sweep_points() -> Vec<FuzzPoint> {
     for seed in 1..=2 {
         for plan in 0..=2 {
             pts.push(point(FuzzSystem::XenicFig9, WlKind::Mixed, seed, plan));
+        }
+    }
+    // The alternative replication backends (DESIGN.md §15) carry the
+    // same obligation under every plan shape — jitter, loss+dup, and
+    // loss+crash all reorder their append/ack/retransmission schedules.
+    for kind in [FuzzSystem::XenicRaft, FuzzSystem::XenicHermes] {
+        for seed in 1..=2 {
+            for plan in 0..=5 {
+                pts.push(point(kind, WlKind::Mixed, seed, plan));
+            }
         }
     }
     for kind in [
@@ -173,6 +194,10 @@ fn quick_points() -> Vec<FuzzPoint> {
         point(FuzzSystem::Xenic, WlKind::Mixed, 2, 1),
         point(FuzzSystem::Xenic, WlKind::Skew, 3, 0),
         point(FuzzSystem::Xenic, WlKind::Scan, 1, 0),
+        point(FuzzSystem::XenicRaft, WlKind::Mixed, 1, 0),
+        point(FuzzSystem::XenicRaft, WlKind::Mixed, 1, 2),
+        point(FuzzSystem::XenicHermes, WlKind::Mixed, 1, 0),
+        point(FuzzSystem::XenicHermes, WlKind::Mixed, 1, 2),
         point(FuzzSystem::Fasst, WlKind::Scan, 1, 0),
         point(FuzzSystem::DrtmH, WlKind::Mixed, 1, 0),
     ]
@@ -224,6 +249,30 @@ fn phantom_demo(jobs: usize, quick: bool) -> bool {
     demo("xenic-weak-predicates", jobs, pts)
 }
 
+/// Same drill for the weakened-quorum Raft backend: committing before
+/// the majority logged — with the post-commit retransmissions dropped —
+/// must lose a commit under a lossy plan; the post-drain durability
+/// audit catches the acknowledged write missing from its primary. Lossy
+/// plans only (2 mod 3): on a reliable fabric every append still lands.
+fn quorum_demo(jobs: usize, quick: bool) -> bool {
+    let seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=6).collect() };
+    let plans: &[u32] = if quick { &[2, 5] } else { &[2, 5, 8, 11] };
+    let mut pts = Vec::new();
+    for &plan in plans {
+        for &seed in &seeds {
+            pts.push(FuzzPoint {
+                system: FuzzSystem::XenicWeakQuorum,
+                wl: WlKind::Mixed,
+                seed,
+                plan,
+                windows: 4,
+                measure_us: 800,
+            });
+        }
+    }
+    demo("xenic-weak-quorum", jobs, pts)
+}
+
 /// Runs a weakened-engine sweep, requiring at least one rejection; the
 /// first rejected point is shrunk and replayed twice to prove the
 /// witness reproduces bit for bit. Returns success.
@@ -242,7 +291,7 @@ fn demo(label: &str, jobs: usize, pts: Vec<FuzzPoint>) -> bool {
         p.seed,
         p.plan,
         out.committed,
-        summary(&out.report)
+        summary(out)
     );
     let small = shrink(*p);
     let shrunk_out = run_point(&small);
@@ -251,11 +300,15 @@ fn demo(label: &str, jobs: usize, pts: Vec<FuzzPoint>) -> bool {
     assert_eq!(replayed.committed, shrunk_out.committed, "replay diverged");
     assert_eq!(replayed.report.txns, shrunk_out.report.txns, "replay diverged");
     assert_eq!(replayed.report.edges, shrunk_out.report.edges, "replay diverged");
+    assert_eq!(
+        replayed.lost_commits, shrunk_out.lost_commits,
+        "replay diverged"
+    );
     println!(
         "shrunk to seed={} plan={} windows={} measure_us={} (replayed bit for bit)",
         small.seed, small.plan, small.windows, small.measure_us
     );
-    println!("{}", shrunk_out.report.describe());
+    println!("{}", describe(&shrunk_out));
     println!("replay: {}", replay_cmd(&small));
     true
 }
@@ -265,7 +318,8 @@ fn replay(args: &[String]) -> i32 {
     let system = flag_val(args, "--system")
         .and_then(|s| FuzzSystem::parse(&s))
         .expect(
-            "--system <xenic|xenic-fig9|xenic-weakened|xenic-weak-predicates|drtmh|drtmh-nc|fasst|drtmr>",
+            "--system <xenic|xenic-fig9|xenic-raft|xenic-hermes|xenic-weakened|\
+             xenic-weak-predicates|xenic-weak-quorum|drtmh|drtmh-nc|fasst|drtmr>",
         );
     let p = FuzzPoint {
         system,
@@ -295,11 +349,40 @@ fn replay(args: &[String]) -> i32 {
         "committed={} aborted={}\n{}",
         out.committed,
         out.aborted,
-        out.report.describe()
+        describe(&out)
     );
     i32::from(!out.passed())
 }
 
-fn summary(report: &xenic_check::Report) -> String {
-    format!("txns={} edges={}", report.txns, report.edges)
+fn summary(out: &PointOutcome) -> String {
+    if out.lost_commits.is_empty() {
+        format!("txns={} edges={}", out.report.txns, out.report.edges)
+    } else {
+        format!(
+            "txns={} edges={} LOST COMMITS={}",
+            out.report.txns,
+            out.report.edges,
+            out.lost_commits.len()
+        )
+    }
+}
+
+/// Full human-readable verdict: the DSG report, plus — when the
+/// durability audit failed — each committed write that evaporated.
+fn describe(out: &PointOutcome) -> String {
+    let mut s = out.report.describe();
+    if !out.lost_commits.is_empty() {
+        s.push_str(&format!(
+            "\ndurability audit: {} committed write(s) missing from their \
+             primaries after drain",
+            out.lost_commits.len()
+        ));
+        for lc in out.lost_commits.iter().take(5) {
+            s.push_str(&format!("\n  {lc}"));
+        }
+        if out.lost_commits.len() > 5 {
+            s.push_str(&format!("\n  ... and {} more", out.lost_commits.len() - 5));
+        }
+    }
+    s
 }

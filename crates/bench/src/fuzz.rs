@@ -11,25 +11,29 @@
 //!
 //! Each run records every committed transaction's read and write sets
 //! (`xenic_check::HistoryRecorder`) and hands the history to the Adya DSG
-//! verifier. A sound system must produce a serializable history at every
-//! point; the test-only [`FuzzSystem::XenicWeakened`] variant (Validate's
-//! version re-check skipped) exists to prove the checker *can* fail, and
-//! must be rejected with a G2 witness cycle.
+//! verifier. Xenic points additionally drain in-flight work after the
+//! measurement window and audit **commit durability**: every committed
+//! write must be installed at its key's primary once retransmission has
+//! quiesced — the invariant an under-quorum acknowledgement breaks. A
+//! sound system must pass both checks at every point; the test-only
+//! [`FuzzSystem::XenicWeakened`] variant (Validate's version re-check
+//! skipped) exists to prove the checker *can* fail, and must be rejected
+//! with a G2 witness cycle.
 //!
 //! On failure, [`shrink`] greedily minimizes the point — shorter horizon,
 //! fewer windows, simpler plan — re-running candidates and keeping each
 //! reduction that still fails, then [`replay_cmd`] prints the exact
 //! command that reproduces the minimal failure.
 
-use xenic::api::{make_key, ScanSpec, ShipMode, TxnSpec, UpdateOp, Workload};
-use xenic::harness::{run_xenic_recorded, RunOptions};
-use xenic::XenicConfig;
+use xenic::api::{make_key, shard_of, Partitioning, ScanSpec, ShipMode, TxnSpec, UpdateOp, Workload};
+use xenic::harness::{run_xenic_cluster_with, RunOptions, RunResult};
+use xenic::{ReplBackend, XenicConfig};
 use xenic_baselines::{run_baseline_recorded, BaselineKind};
-use xenic_check::{check_history, CheckOptions, Report};
+use xenic_check::{check_history, CheckOptions, History, HistoryRecorder, Report};
 use xenic_hw::HwParams;
 use xenic_net::{FaultPlan, NetConfig};
 use xenic_sim::{DetRng, SimTime};
-use xenic_store::Value;
+use xenic_store::{Key, TxnId, Value, Version};
 
 /// Systems the fuzzer can drive. All of them share the same workload,
 /// recorder, and verifier; only the engine under test differs.
@@ -41,12 +45,25 @@ pub enum FuzzSystem {
     /// no shipping, no multi-hop) — different message schedules, same
     /// correctness obligation.
     XenicFig9,
+    /// Xenic running the Raft-style leader-commit replication backend
+    /// (majority quorum, term-tagged appends; DESIGN.md §15).
+    XenicRaft,
+    /// Xenic running the Hermes-style invalidation replication backend
+    /// (broadcast invalidations, all-ack quorum; DESIGN.md §15).
+    XenicHermes,
     /// TEST ONLY: Xenic with `weaken_validation` set. Must be rejected.
     XenicWeakened,
     /// TEST ONLY: Xenic with `weaken_predicate_locks` set (Validate's
     /// range re-walks skipped while item checks stay intact). Must be
     /// rejected on scan workloads with a phantom (G2) witness.
     XenicWeakPredicates,
+    /// TEST ONLY: the Raft-style backend with `weaken_quorum` set (the
+    /// commit point ignores the majority and the post-commit
+    /// retransmission bookkeeping is dropped). Must be rejected on lossy
+    /// plans: the wire eats an unacked append or commit record, the
+    /// acknowledged transaction evaporates, and the post-drain
+    /// durability audit pins the loss to an exact key/version.
+    XenicWeakQuorum,
     /// DrTM+H (hybrid one-sided, location cache).
     DrtmH,
     /// DrTM+H without the location cache.
@@ -59,9 +76,11 @@ pub enum FuzzSystem {
 
 impl FuzzSystem {
     /// Every system expected to produce serializable histories.
-    pub const SOUND: [FuzzSystem; 6] = [
+    pub const SOUND: [FuzzSystem; 8] = [
         FuzzSystem::Xenic,
         FuzzSystem::XenicFig9,
+        FuzzSystem::XenicRaft,
+        FuzzSystem::XenicHermes,
         FuzzSystem::DrtmH,
         FuzzSystem::DrtmHNc,
         FuzzSystem::Fasst,
@@ -73,8 +92,11 @@ impl FuzzSystem {
         match self {
             FuzzSystem::Xenic => "xenic",
             FuzzSystem::XenicFig9 => "xenic-fig9",
+            FuzzSystem::XenicRaft => "xenic-raft",
+            FuzzSystem::XenicHermes => "xenic-hermes",
             FuzzSystem::XenicWeakened => "xenic-weakened",
             FuzzSystem::XenicWeakPredicates => "xenic-weak-predicates",
+            FuzzSystem::XenicWeakQuorum => "xenic-weak-quorum",
             FuzzSystem::DrtmH => "drtmh",
             FuzzSystem::DrtmHNc => "drtmh-nc",
             FuzzSystem::Fasst => "fasst",
@@ -87,8 +109,11 @@ impl FuzzSystem {
         [
             FuzzSystem::Xenic,
             FuzzSystem::XenicFig9,
+            FuzzSystem::XenicRaft,
+            FuzzSystem::XenicHermes,
             FuzzSystem::XenicWeakened,
             FuzzSystem::XenicWeakPredicates,
+            FuzzSystem::XenicWeakQuorum,
             FuzzSystem::DrtmH,
             FuzzSystem::DrtmHNc,
             FuzzSystem::Fasst,
@@ -106,8 +131,11 @@ impl FuzzSystem {
             self,
             FuzzSystem::Xenic
                 | FuzzSystem::XenicFig9
+                | FuzzSystem::XenicRaft
+                | FuzzSystem::XenicHermes
                 | FuzzSystem::XenicWeakened
                 | FuzzSystem::XenicWeakPredicates
+                | FuzzSystem::XenicWeakQuorum
         )
     }
 }
@@ -399,6 +427,37 @@ impl Workload for ScanWl {
     }
 }
 
+/// One committed write that never became durable at its key's primary,
+/// even after a full drain let every retransmission path quiesce — the
+/// smoking gun of an under-quorum commit acknowledgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LostCommit {
+    /// The acknowledged transaction whose write evaporated.
+    pub txn: TxnId,
+    /// The key the transaction committed.
+    pub key: Key,
+    /// The version the commit installed (per the recorded history).
+    pub expected: Version,
+    /// The version actually found at the primary (`None`: key absent).
+    pub found: Option<Version>,
+}
+
+impl std::fmt::Display for LostCommit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "txn {:?} committed key {} @ v{} but the primary holds {}",
+            self.txn,
+            self.key,
+            self.expected,
+            match self.found {
+                Some(v) => format!("v{v}"),
+                None => "no row".to_string(),
+            }
+        )
+    }
+}
+
 /// Result of running and verifying one fuzz point.
 #[derive(Clone, Debug)]
 pub struct PointOutcome {
@@ -408,12 +467,16 @@ pub struct PointOutcome {
     pub aborted: u64,
     /// The verifier's report on the recorded history.
     pub report: Report,
+    /// Committed writes missing from their primaries after the drain
+    /// (Xenic systems only; always empty for the lossless baselines).
+    pub lost_commits: Vec<LostCommit>,
 }
 
 impl PointOutcome {
-    /// True when the history verified serializable.
+    /// True when the history verified serializable **and** every
+    /// committed write survived to its primary.
     pub fn passed(&self) -> bool {
-        self.report.is_serializable()
+        self.report.is_serializable() && self.lost_commits.is_empty()
     }
 }
 
@@ -443,34 +506,43 @@ pub fn run_point(p: &FuzzPoint) -> PointOutcome {
             WlKind::Scan => Box::new(ScanWl { span: 16 }),
         }
     };
-    let (result, history) = match p.system {
-        FuzzSystem::Xenic => run_xenic_recorded(
-            params,
-            NetConfig::full().with_faults(plan),
-            XenicConfig::full(),
-            &opts,
-            mk,
-        ),
-        FuzzSystem::XenicFig9 => run_xenic_recorded(
-            params,
-            NetConfig::full().with_faults(plan),
-            XenicConfig::fig9_baseline(),
-            &opts,
-            mk,
-        ),
+    let (result, history, lost_commits) = match p.system {
+        FuzzSystem::Xenic => xenic_point(params, plan, XenicConfig::full(), &opts, mk),
+        FuzzSystem::XenicFig9 => xenic_point(params, plan, XenicConfig::fig9_baseline(), &opts, mk),
         FuzzSystem::XenicWeakened => {
             let cfg = XenicConfig {
                 weaken_validation: true,
                 ..XenicConfig::full()
             };
-            run_xenic_recorded(params, NetConfig::full().with_faults(plan), cfg, &opts, mk)
+            xenic_point(params, plan, cfg, &opts, mk)
         }
         FuzzSystem::XenicWeakPredicates => {
             let cfg = XenicConfig {
                 weaken_predicate_locks: true,
                 ..XenicConfig::full()
             };
-            run_xenic_recorded(params, NetConfig::full().with_faults(plan), cfg, &opts, mk)
+            xenic_point(params, plan, cfg, &opts, mk)
+        }
+        FuzzSystem::XenicRaft => xenic_point(
+            params,
+            plan,
+            XenicConfig::with_backend(ReplBackend::Raft),
+            &opts,
+            mk,
+        ),
+        FuzzSystem::XenicHermes => xenic_point(
+            params,
+            plan,
+            XenicConfig::with_backend(ReplBackend::Hermes),
+            &opts,
+            mk,
+        ),
+        FuzzSystem::XenicWeakQuorum => {
+            let cfg = XenicConfig {
+                weaken_quorum: true,
+                ..XenicConfig::with_backend(ReplBackend::Raft)
+            };
+            xenic_point(params, plan, cfg, &opts, mk)
         }
         FuzzSystem::DrtmH => baseline_point(BaselineKind::DrtmH, plan, &opts, mk),
         FuzzSystem::DrtmHNc => baseline_point(BaselineKind::DrtmHNc, plan, &opts, mk),
@@ -482,7 +554,67 @@ pub fn run_point(p: &FuzzPoint) -> PointOutcome {
         committed: result.committed,
         aborted: result.aborted,
         report,
+        lost_commits,
     }
+}
+
+/// Sim time appended after the measurement horizon to let every
+/// retransmission path quiesce before the durability audit. The event
+/// queue empties long before this on every sound point (draining stops
+/// new transactions), so the bound costs nothing when nothing is wrong.
+const DRAIN_NS: u64 = 200_000_000;
+
+/// Runs one Xenic config with history recording, drains in-flight work,
+/// and audits commit durability: after the drain, every committed write
+/// in the history must be installed (version-wise) at its key's primary.
+/// Sound backends hold this under arbitrary loss — commit records are
+/// retried until applied — so any miss is a real protocol violation, not
+/// scheduling noise.
+fn xenic_point(
+    params: HwParams,
+    plan: FaultPlan,
+    cfg: XenicConfig,
+    opts: &RunOptions,
+    mk: impl Fn(usize) -> Box<dyn Workload>,
+) -> (RunResult, History, Vec<LostCommit>) {
+    let nodes = params.nodes as u32;
+    let recorder = HistoryRecorder::new();
+    let hook = recorder.clone();
+    let (result, mut cluster) = run_xenic_cluster_with(
+        params,
+        NetConfig::full().with_faults(plan),
+        cfg,
+        opts,
+        mk,
+        move |cluster| {
+            for st in &mut cluster.states {
+                st.set_recorder(hook.clone());
+            }
+        },
+    );
+    for st in &mut cluster.states {
+        st.draining = true;
+    }
+    let horizon = opts.warmup.as_ns() + opts.measure.as_ns();
+    cluster.run_until(SimTime::from_ns(horizon + DRAIN_NS));
+    let history = recorder.snapshot();
+    let part = Partitioning::new(nodes, cfg.replication);
+    let mut lost = Vec::new();
+    for (txn, rec) in history.committed() {
+        for (&key, &expected) in &rec.writes {
+            let primary = part.primary(shard_of(key));
+            let found = cluster.states[primary].current_version(key);
+            if found.is_none_or(|v| v < expected) {
+                lost.push(LostCommit {
+                    txn,
+                    key,
+                    expected,
+                    found,
+                });
+            }
+        }
+    }
+    (result, history, lost)
 }
 
 fn baseline_point(
@@ -490,14 +622,15 @@ fn baseline_point(
     plan: FaultPlan,
     opts: &RunOptions,
     mk: impl Fn(usize) -> Box<dyn Workload>,
-) -> (xenic::harness::RunResult, xenic_check::History) {
-    run_baseline_recorded(
+) -> (RunResult, History, Vec<LostCommit>) {
+    let (result, history) = run_baseline_recorded(
         kind,
         HwParams::paper_testbed(),
         NetConfig::baseline().with_faults(plan),
         opts,
         mk,
-    )
+    );
+    (result, history, Vec::new())
 }
 
 /// Greedily shrinks a failing point: repeatedly tries (in order) halving
@@ -593,6 +726,25 @@ mod tests {
         let out = run_point(&p);
         assert!(out.committed > 50, "committed {}", out.committed);
         assert!(out.passed(), "{}", out.report.describe());
+    }
+
+    #[test]
+    fn clean_backend_points_verify() {
+        // The alternative replication backends carry the same
+        // serializability obligation as the native one.
+        for system in [FuzzSystem::XenicRaft, FuzzSystem::XenicHermes] {
+            let p = FuzzPoint {
+                system,
+                wl: WlKind::Mixed,
+                seed: 11,
+                plan: 0,
+                windows: 3,
+                measure_us: 600,
+            };
+            let out = run_point(&p);
+            assert!(out.committed > 50, "{system:?} committed {}", out.committed);
+            assert!(out.passed(), "{system:?}: {}", out.report.describe());
+        }
     }
 
     #[test]

@@ -1,5 +1,45 @@
 //! Xenic engine configuration — including the Figure 9 ablation knobs.
 
+/// Which replication protocol the Log phase runs (DESIGN.md §15). All
+/// three are NIC-resident and charged the same `xenic-hw` costs; they
+/// differ in who the coordinator talks to, how many acks commit, and
+/// what keeps laggards convergent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplBackend {
+    /// Xenic's native scheme (§4.2 step 5): the coordinator fans log
+    /// appends to every backup of each written shard and commits when
+    /// all of them ack.
+    LogShipping,
+    /// Leader-based Raft-style commit: term-tagged appends route through
+    /// the shard group's current leader, which relays to followers; the
+    /// coordinator commits on a majority of backup acks and re-elects
+    /// (bumps the term) when the leader stops answering.
+    Raft,
+    /// Invalidation-based Hermes-style protocol: appends double as
+    /// broadcast invalidations; every backup must ack (making local
+    /// reads at any replica safe), and a post-commit validation
+    /// broadcast returns replicas to the valid state.
+    Hermes,
+}
+
+impl ReplBackend {
+    /// All backends, in sweep order.
+    pub const ALL: [ReplBackend; 3] = [
+        ReplBackend::LogShipping,
+        ReplBackend::Raft,
+        ReplBackend::Hermes,
+    ];
+
+    /// Short lowercase token (CLI flags, CSV columns).
+    pub fn token(self) -> &'static str {
+        match self {
+            ReplBackend::LogShipping => "logship",
+            ReplBackend::Raft => "raft",
+            ReplBackend::Hermes => "hermes",
+        }
+    }
+}
+
 /// Configuration for the Xenic protocol engine.
 #[derive(Clone, Copy, Debug)]
 pub struct XenicConfig {
@@ -62,6 +102,18 @@ pub struct XenicConfig {
     /// rejected with a G2 (phantom) cycle — see `serial_fuzz`'s
     /// negative self-test. Never set by any preset.
     pub weaken_predicate_locks: bool,
+    /// Which replication backend owns the Log phase (DESIGN.md §15).
+    pub replication_backend: ReplBackend,
+    /// TEST ONLY: the Raft-style backend acks the Log phase before a
+    /// majority of backups have logged, and drops the post-commit
+    /// retransmission bookkeeping that keeps lossy commits convergent.
+    /// Exists to prove the checker catches quorum violations: under a
+    /// lossy plan the wire eats an unretried commit record, the
+    /// acknowledged write never reaches its primary, and the fuzzer's
+    /// post-drain durability audit pins the evaporated commit to an
+    /// exact key/version — see `serial_fuzz`'s negative self-test.
+    /// Never set by any preset.
+    pub weaken_quorum: bool,
 }
 
 impl XenicConfig {
@@ -81,6 +133,8 @@ impl XenicConfig {
             max_phase_retries: 4,
             weaken_validation: false,
             weaken_predicate_locks: false,
+            replication_backend: ReplBackend::LogShipping,
+            weaken_quorum: false,
         }
     }
 
@@ -91,6 +145,19 @@ impl XenicConfig {
             smart_remote_ops: false,
             nic_execution: false,
             occ_multihop: false,
+            ..Self::full()
+        }
+    }
+
+    /// The full design running `backend`'s Log phase. Multi-hop shipped
+    /// execution (§4.2.3) is a log-shipping-specific commit pattern —
+    /// the remote primary fans LogReqs acked straight to the
+    /// coordinator — so it is disabled for the other backends; the
+    /// local fast path stays on for all of them.
+    pub fn with_backend(backend: ReplBackend) -> Self {
+        XenicConfig {
+            replication_backend: backend,
+            occ_multihop: backend == ReplBackend::LogShipping,
             ..Self::full()
         }
     }
@@ -114,5 +181,19 @@ mod tests {
         assert!(!base.smart_remote_ops && !base.nic_execution && !base.occ_multihop);
         assert_eq!(full.replication, 3);
         assert!(base.nic_cache);
+    }
+
+    #[test]
+    fn backend_presets() {
+        let ls = XenicConfig::with_backend(ReplBackend::LogShipping);
+        assert!(ls.occ_multihop);
+        assert_eq!(ls.replication_backend, ReplBackend::LogShipping);
+        for b in [ReplBackend::Raft, ReplBackend::Hermes] {
+            let cfg = XenicConfig::with_backend(b);
+            assert!(!cfg.occ_multihop, "{b:?} must not run multi-hop commit");
+            assert!(cfg.nic_execution && cfg.smart_remote_ops);
+            assert!(!cfg.weaken_quorum);
+        }
+        assert_eq!(XenicConfig::full().replication_backend, ReplBackend::LogShipping);
     }
 }

@@ -49,7 +49,7 @@ use xenic_store::robinhood::{RobinhoodConfig, RobinhoodTable};
 use xenic_store::{CommitLog, Key, TxnId, Value, Version, WritePayload};
 
 use crate::api::{scan_fingerprint, shard_of, Partitioning, TxnSpec, UpdateOp, Workload, SCAN_FP_INIT};
-use crate::config::XenicConfig;
+use crate::config::{ReplBackend, XenicConfig};
 use crate::msg::{
     AbortReq, CheckSet, CommitReq, DmaLogDone, DmaLookupDone, ExecMode, ExecShip, ExecShipResp,
     Execute, ExecuteResp, KeySet, LocalCommit, LogReq, RetryBackupLog, RetryCommitApply, ScanCheck,
@@ -86,7 +86,7 @@ pub struct Slot {
 
 /// Coordinator-NIC phase of an in-flight transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     /// Waiting for Execute responses.
     Exec,
     /// Waiting for the host to compute writes.
@@ -113,13 +113,13 @@ enum Phase {
 /// transactions (equally allocation-free after warmup), while inline
 /// buffers would bloat the struct — which is moved by value through
 /// the pool and the coordinator map on every transaction.
-struct CoordTxn {
+pub(crate) struct CoordTxn {
     spec: Rc<TxnSpec>,
-    phase: Phase,
+    pub(crate) phase: Phase,
     /// Outstanding responses in the current phase.
-    pending: usize,
+    pub(crate) pending: usize,
     /// Set false at the first failure; the txn is aborting.
-    ok: bool,
+    pub(crate) ok: bool,
     /// Read results collected in Execute.
     values: Vec<(Key, Value, Version)>,
     /// Versions of locked write-set keys collected in Execute.
@@ -149,20 +149,23 @@ struct CoordTxn {
     // ---- Loss tolerance (populated only when fault injection is on) ----
     /// Phase epoch: bumped on every phase entry so stale [`XMsg::PhaseTimeout`]
     /// timers are ignored.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Retransmission attempts in the current Exec/Validate phase.
-    attempts: u32,
+    pub(crate) attempts: u32,
     /// Outstanding Execute/Validate requests as `(req, dst, msg)`.
     /// Request ids are allocated monotonically and removal shifts (never
     /// swaps), so iteration order is ascending request id — exactly the
     /// old `BTreeMap<req, _>` order the retransmit path depends on.
     /// Empty (and allocation-free) whenever faults are inactive.
-    awaiting: Vec<(u64, usize, XMsg)>,
-    /// Retransmittable sends for the Log/LocalRepl phases (LogReqs, keyed
-    /// by `(dst, shard)`) and the MhShipped phase (the ExecShip).
-    resend: Vec<(usize, u32, XMsg)>,
-    /// Log acks already counted, keyed by `(from, shard)`.
-    acks: FastSet<(u32, u32)>,
+    pub(crate) awaiting: Vec<(u64, usize, XMsg)>,
+    /// Retransmittable sends for the Log/LocalRepl phases (backend
+    /// append messages, keyed by `(dst, shard)`) and the MhShipped
+    /// phase (the ExecShip).
+    pub(crate) resend: Vec<(usize, u32, XMsg)>,
+    /// Log acks already counted, keyed by `(from, shard)`. The Raft
+    /// backend also tallies these on a reliable fabric (its majority
+    /// quorum needs per-shard counts either way).
+    pub(crate) acks: FastSet<(u32, u32)>,
     /// The multi-hop ExecShipResp was already counted.
     mh_ship_seen: bool,
 }
@@ -328,7 +331,7 @@ pub struct XenicNode {
     // Host-side per-transaction record.
     host_txns: FastMap<u64, (u32, bool)>, // seq → (slot, metric)
     // Coordinator-NIC in-flight transactions.
-    coord: FastMap<u64, CoordTxn>,
+    pub(crate) coord: FastMap<u64, CoordTxn>,
     // Retired coordinator contexts, recycled like the runtime's frame
     // freelist so the steady state re-uses their container capacity.
     coord_pool: Vec<CoordTxn>,
@@ -351,14 +354,30 @@ pub struct XenicNode {
     // ---- Loss tolerance (populated only when fault injection is on) ----
     // Next Execute/Validate request id.
     next_req: u64,
-    // Commit retransmission: seq → unacked (shard, dst, CommitReq).
-    // Iterated only by on_restart, which sorts the keys first.
-    committing: FastMap<u64, Vec<(u32, usize, XMsg)>>,
+    // Commit retransmission: seq → unacked (shard, dst, msg). Holds
+    // CommitReqs plus backend post-commit traffic (Hermes validations,
+    // Raft laggard catch-up appends). Iterated only by on_restart,
+    // which sorts the keys first.
+    pub(crate) committing: FastMap<u64, Vec<(u32, usize, XMsg)>>,
     // CommitReqs already applied at this primary (dedup + re-ack).
     commit_seen: FastSet<TxnId>,
     // Backup log records by (txn, shard): false while the append's DMA is
     // in flight, true once durable (a duplicate LogReq then re-acks).
-    backup_log_acked: FastMap<(TxnId, u32), bool>,
+    pub(crate) backup_log_acked: FastMap<(TxnId, u32), bool>,
+    // Raft backend: adopted leader terms by shard (absent = term 0, the
+    // primary leads). Only ever populated by re-elections under faults.
+    pub(crate) raft_terms: FastMap<u32, u32>,
+    // Backup appends that arrived ahead of a version gap, buffered until
+    // the missing versions land (key → pending (payload, version)).
+    // Backups apply per-key in version order; only the Raft backend's
+    // majority commit can reorder appends (a laggard's catch-up record
+    // races later transactions' direct appends), so this stays empty
+    // under the all-ack backends and on every drained, healed cluster.
+    pub(crate) backup_gaps: FastMap<Key, Vec<(WritePayload, Version)>>,
+    // Hermes backend: invalid marks installed by in-flight invalidations
+    // at this backup, by (txn, shard). Reads of a marked key refuse
+    // until the validation clears it.
+    pub(crate) hermes_invalid: FastMap<(TxnId, u32), KeySet>,
     // Shipped-execution outcomes: the ExecShipResp plus the LogReq
     // fan-out, replayed verbatim when a retransmitted ExecShip arrives
     // (re-executing could re-lock keys the commit already released).
@@ -462,6 +481,9 @@ impl XenicNode {
             committing: FastMap::default(),
             commit_seen: FastSet::default(),
             backup_log_acked: FastMap::default(),
+            raft_terms: FastMap::default(),
+            backup_gaps: FastMap::default(),
+            hermes_invalid: FastMap::default(),
             ship_resp: FastMap::default(),
             recorder: None,
         }
@@ -531,6 +553,30 @@ impl XenicNode {
             .version_of(seg, key)
             .or_else(|| self.host_table.get(key).map(|(_, v)| v))
     }
+
+    /// Number of keys at this replica still marked invalid by in-flight
+    /// Hermes invalidations. Diagnostic for the chaos drain audits:
+    /// always 0 under the other backends, and 0 on any drained, healed
+    /// Hermes cluster (every INV is eventually resolved by its VAL).
+    pub fn hermes_pending_invalidations(&self) -> usize {
+        self.hermes_invalid.values().map(|ks| ks.len()).sum()
+    }
+
+    /// Number of backup appends still buffered behind a version gap
+    /// (see `backup_apply`). Diagnostic for the chaos drain audits:
+    /// zero on any drained, healed cluster under every backend.
+    pub fn backup_gap_entries(&self) -> usize {
+        self.backup_gaps.values().map(|v| v.len()).sum()
+    }
+
+    /// Hermes backend: whether `key` is under an in-flight invalidation
+    /// at this replica (an invalidated key must not serve reads until
+    /// its validation arrives). The map is empty under every other
+    /// backend, so the check is one branch on the hot path.
+    pub(crate) fn hermes_key_invalid(&self, key: Key) -> bool {
+        !self.hermes_invalid.is_empty()
+            && self.hermes_invalid.values().any(|ks| ks.contains(&key))
+    }
 }
 
 /// The Xenic protocol (marker type implementing [`Protocol`]).
@@ -567,6 +613,29 @@ impl Protocol for Xenic {
                     150 + bytes / 16
                 }
                 XMsg::LogResp { .. } => 70,
+                // Backend append messages carry the same record as a
+                // LogReq and pay the same per-byte DMA-descriptor cost;
+                // the protocol deltas ride on top (leader relay work is
+                // charged in the handler — it scales with the follower
+                // count, which the message alone doesn't know).
+                XMsg::RaftAppend(b) => {
+                    let bytes: u64 = b
+                        .writes
+                        .iter()
+                        .map(|(_, p, _)| u64::from(p.wire_bytes()) + 8)
+                        .sum();
+                    150 + bytes / 16
+                }
+                XMsg::HermesInv(b) => {
+                    let bytes: u64 = b
+                        .writes
+                        .iter()
+                        .map(|(_, p, _)| u64::from(p.wire_bytes()) + 8)
+                        .sum();
+                    150 + bytes / 16 + p.repl_inval_apply_ns
+                }
+                XMsg::HermesVal { .. } => 40 + p.repl_val_apply_ns,
+                XMsg::RaftNack { .. } => 70,
                 XMsg::CommitReq(b) => 150 + 40 * b.writes.len() as u64,
                 XMsg::AbortReq(b) => 80 + 25 * b.unlock.len() as u64,
                 XMsg::ExecShip(b) => 150 + 35 * b.spec.all_keys().count() as u64,
@@ -627,7 +696,10 @@ impl Protocol for Xenic {
                 shard,
                 ok,
             } => cnic_log_resp(st, rt, me, txn, from, shard, ok),
-            XMsg::CommitAck { txn, shard } => cnic_commit_ack(st, txn, shard),
+            XMsg::CommitAck { txn, shard, from } => cnic_commit_ack(st, txn, shard, from),
+            XMsg::RaftNack { txn, shard, term } => {
+                crate::repl::RaftCommit::coordinator_nack(st, rt, txn, shard, term)
+            }
             XMsg::PhaseTimeout { seq, epoch } => cnic_phase_timeout(st, rt, me, seq, epoch),
             XMsg::CommitTick { seq, attempt } => cnic_commit_tick(st, rt, me, seq, attempt),
             XMsg::ExecShipResp(b) => {
@@ -671,6 +743,28 @@ impl Protocol for Xenic {
                     writes,
                 } = b.take();
                 snic_log(st, rt, me, txn, shard, reply_to, writes, false)
+            }
+            XMsg::RaftAppend(b) => {
+                let crate::msg::RaftAppend {
+                    txn,
+                    shard,
+                    term,
+                    reply_to,
+                    writes,
+                } = b.take();
+                crate::repl::RaftCommit::leader_append(st, rt, me, txn, shard, term, reply_to, writes)
+            }
+            XMsg::HermesInv(b) => {
+                let crate::msg::HermesInv {
+                    txn,
+                    shard,
+                    reply_to,
+                    writes,
+                } = b.take();
+                crate::repl::HermesInval::backup_invalidate(st, rt, me, txn, shard, reply_to, writes)
+            }
+            XMsg::HermesVal { txn, shard } => {
+                crate::repl::HermesInval::backup_validate(st, rt, txn, shard)
             }
             XMsg::CommitReq(b) => {
                 let b = b.take();
@@ -1055,15 +1149,7 @@ fn host_apply_log(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, lsn: u
         } else {
             let map = st.backups.entry(entry.shard).or_default();
             for (k, p, ver) in &entry.writes {
-                match map.get_mut(k) {
-                    Some(slot) => {
-                        p.apply_in_place(&mut slot.0);
-                        slot.1 = *ver;
-                    }
-                    None => {
-                        map.insert(*k, (p.apply(&Value::filled(0, 0)), *ver));
-                    }
-                }
+                backup_apply(map, &mut st.backup_gaps, *k, p, *ver);
             }
         }
         applied_to = Some(lsn);
@@ -1072,6 +1158,58 @@ fn host_apply_log(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, lsn: u
         let msg = XMsg::AppliedAck { lsn };
         let bytes = msg.wire_bytes();
         rt.send_pcie(Exec::Nic, msg, bytes);
+    }
+}
+
+/// Applies one backup-replica write in per-key version order. In-order
+/// records (`ver == cur + 1`, the only case the all-ack backends ever
+/// produce) install directly; a record past a gap is buffered until the
+/// missing versions land (the Raft backend's laggard catch-up can
+/// deliver an older append after a newer transaction's direct append);
+/// a record at or below the installed version is a duplicate and drops.
+/// `Full` payloads replace, deltas accumulate — both are correct only
+/// in version order, which this enforces.
+fn backup_apply(
+    map: &mut FastMap<Key, (Value, Version)>,
+    gaps: &mut FastMap<Key, Vec<(WritePayload, Version)>>,
+    k: Key,
+    p: &WritePayload,
+    ver: Version,
+) {
+    let cur = map.get(&k).map_or(0, |slot| slot.1);
+    if ver <= cur {
+        return;
+    }
+    if ver > cur + 1 {
+        let pending = gaps.entry(k).or_default();
+        if !pending.iter().any(|(_, v)| *v == ver) {
+            pending.push((p.clone(), ver));
+        }
+        return;
+    }
+    match map.get_mut(&k) {
+        Some(slot) => {
+            p.apply_in_place(&mut slot.0);
+            slot.1 = ver;
+        }
+        None => {
+            map.insert(k, (p.apply(&Value::filled(0, 0)), ver));
+        }
+    }
+    // The gap just closed may unblock buffered successors; drain every
+    // now-contiguous version in order.
+    if let Some(pending) = gaps.get_mut(&k) {
+        let mut next = ver + 1;
+        while let Some(i) = pending.iter().position(|(_, v)| *v == next) {
+            let (dp, dv) = pending.swap_remove(i);
+            let slot = map.get_mut(&k).expect("just installed");
+            dp.apply_in_place(&mut slot.0);
+            slot.1 = dv;
+            next = dv + 1;
+        }
+        if pending.is_empty() {
+            gaps.remove(&k);
+        }
     }
 }
 
@@ -1348,7 +1486,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
 
 /// Arms one retransmission-timer chain for the coordinator transaction's
 /// current phase epoch (fault injection only).
-fn arm_phase_timer(st: &mut XenicNode, rt: &mut Runtime<XMsg>, seq: u64) {
+pub(crate) fn arm_phase_timer(st: &mut XenicNode, rt: &mut Runtime<XMsg>, seq: u64) {
     let Some(ct) = st.coord.get(&seq) else {
         return;
     };
@@ -1754,8 +1892,10 @@ fn cnic_validate_resp(
     }
 }
 
-/// §4.2 step 5: replicate the write set to every backup of every written
-/// shard.
+/// §4.2 step 5: replicate the write set. The configured replication
+/// backend (DESIGN.md §15) owns everything from here to the commit
+/// point — who the appends go to, how many acks commit, and what the
+/// retransmission policy is.
 fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, txn: TxnId) {
     rt.trace_end("Validate", seq);
     let ct = st.coord.get_mut(&seq).expect("coord exists");
@@ -1777,40 +1917,7 @@ fn log_phase(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, tx
         }
     }
     by_shard.sort_unstable_by_key(|(s, _)| *s);
-    let mut sends = Vec::new();
-    for (shard, writes) in by_shard {
-        for b in st.part.backups(shard) {
-            sends.push((b, shard, writes.clone()));
-        }
-    }
-    let fa = rt.faults_active();
-    let ct = st.coord.get_mut(&seq).expect("coord exists");
-    ct.pending = sends.len();
-    if sends.is_empty() {
-        // No backups configured (replication = 1): commit directly.
-        finish_commit(st, rt, me, seq, txn);
-        return;
-    }
-    let mut msgs: Vec<(usize, XMsg)> = Vec::with_capacity(sends.len());
-    for (backup, shard, writes) in sends {
-        let msg = XMsg::from(LogReq {
-            txn,
-            shard,
-            reply_to: me as u32,
-            writes,
-        });
-        if fa {
-            ct.resend.push((backup, shard, msg.clone()));
-        }
-        msgs.push((backup, msg));
-    }
-    for (backup, msg) in msgs {
-        let bytes = msg.wire_bytes();
-        rt.send_net(backup, Exec::Nic, msg, bytes);
-    }
-    if fa {
-        arm_phase_timer(st, rt, seq);
-    }
+    crate::repl::backend(st.cfg.replication_backend).begin_log(st, rt, me, seq, txn, by_shard);
 }
 
 fn cnic_log_resp(
@@ -1823,7 +1930,18 @@ fn cnic_log_resp(
     ok: bool,
 ) {
     let seq = txn.seq;
+    let backend_kind = st.cfg.replication_backend;
     let Some(ct) = st.coord.get_mut(&seq) else {
+        // Post-commit ack under Raft: a laggard catch-up append became
+        // durable — stop retransmitting that backup's entry.
+        if rt.faults_active() && backend_kind == ReplBackend::Raft {
+            if let Some(unacked) = st.committing.get_mut(&seq) {
+                unacked.retain(|(s, d, _)| !(*s == shard && *d == from as usize));
+                if unacked.is_empty() {
+                    st.committing.remove(&seq);
+                }
+            }
+        }
         return;
     };
     if rt.faults_active() {
@@ -1837,20 +1955,17 @@ fn cnic_log_resp(
         if !ct.acks.insert((from, shard)) {
             return;
         }
+    } else if backend_kind == ReplBackend::Raft && ct.phase == Phase::Log {
+        // Raft's majority quorum needs per-shard ack tallies even on a
+        // reliable fabric (the other backends count every ack equally).
+        ct.acks.insert((from, shard));
     }
     if !ok {
         ct.ok = false;
     }
     match ct.phase {
         Phase::Log => {
-            ct.pending -= 1;
-            if ct.pending == 0 {
-                if st.coord[&seq].ok {
-                    finish_commit(st, rt, me, seq, txn);
-                } else {
-                    abort_txn(st, rt, me, seq, txn);
-                }
-            }
+            crate::repl::backend(backend_kind).on_log_ack(st, rt, me, seq, txn, shard);
         }
         Phase::MhShipped => {
             ct.pending -= 1;
@@ -1935,13 +2050,20 @@ fn report_committed(st: &mut XenicNode, rt: &mut Runtime<XMsg>, seq: u64) {
     rt.send_pcie(Exec::Host, msg, bytes);
 }
 
-fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, txn: TxnId) {
+pub(crate) fn finish_commit(
+    st: &mut XenicNode,
+    rt: &mut Runtime<XMsg>,
+    me: usize,
+    seq: u64,
+    txn: TxnId,
+) {
+    let backend_kind = st.cfg.replication_backend;
     let mut ct = st.coord.remove(&seq).expect("coord exists");
     rt.trace_end("Log", seq);
     rt.trace_instant("Commit", seq);
-    // Commit point: every Log ack is in hand, so the writes are durable
-    // at the backups and will install even across a coordinator crash
-    // (on_restart re-arms CommitTick for `committing` entries).
+    // Commit point: the backend's quorum of Log acks is in hand, so the
+    // writes are durable at enough backups to survive a coordinator
+    // crash (on_restart re-arms CommitTick for `committing` entries).
     if let Some(r) = &st.recorder {
         r.note_reads(txn, ct.values.iter().map(|(k, _, v)| (*k, *v)));
         r.note_reads(txn, ct.lock_versions.iter().copied());
@@ -1951,6 +2073,20 @@ fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u6
     }
     report_committed(st, rt, seq);
     let writes = std::mem::take(&mut ct.writes);
+    let fa = rt.faults_active();
+    // TEST ONLY: a weakened quorum also drops the retransmission
+    // bookkeeping that keeps lossy commits convergent (see
+    // `XenicConfig::weaken_quorum`).
+    let weakened = st.cfg.weaken_quorum && backend_kind == ReplBackend::Raft;
+    let track = fa && !weakened;
+    // Raft's post-commit catch-up needs the final ack set; the other
+    // backends committed on every ack, so theirs is never consulted
+    // (and the set's capacity stays with the pooled context).
+    let acks = if track && backend_kind == ReplBackend::Raft {
+        std::mem::take(&mut ct.acks)
+    } else {
+        FastSet::default()
+    };
     st.recycle_coord(ct);
     // Group by shard via linear scan + sort (≤ nodes entries); sorted
     // order matches the old ascending-key BTreeMap iteration.
@@ -1963,21 +2099,22 @@ fn finish_commit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u6
         }
     }
     by_shard.sort_unstable_by_key(|(s, _)| *s);
-    let fa = rt.faults_active();
     let mut unacked: Vec<(u32, usize, XMsg)> = Vec::new();
+    crate::repl::backend(backend_kind)
+        .after_commit(st, rt, me, txn, &acks, &by_shard, track, &mut unacked);
     for (shard, writes) in by_shard {
         let dst = st.part.primary(shard);
         let msg = XMsg::from(CommitReq { txn, shard, writes });
-        if fa {
+        if track {
             unacked.push((shard, dst, msg.clone()));
         }
         let bytes = msg.wire_bytes();
         rt.send_net(dst, Exec::Nic, msg, bytes);
     }
-    if fa && !unacked.is_empty() {
-        // The outcome is already reported: CommitReqs must eventually land
-        // at every primary or the commit evaporates. Retransmit until each
-        // target acks.
+    if track && !unacked.is_empty() {
+        // The outcome is already reported: CommitReqs (and the backend's
+        // post-commit traffic) must eventually land or the commit
+        // evaporates. Retransmit until each target acks.
         st.committing.insert(seq, unacked);
         rt.send_local(
             Exec::Nic,
@@ -2105,7 +2242,7 @@ fn cnic_ship_resp(
 }
 
 /// Abort: release locks at every shard that acquired them, tell the host.
-fn abort_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, txn: TxnId) {
+pub(crate) fn abort_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, txn: TxnId) {
     let ct = st.coord.remove(&seq).expect("coord exists");
     // Close whichever phase span is open for this transaction before
     // recording the abort (WaitHost has no open span: Execute already
@@ -2146,11 +2283,14 @@ fn abort_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64, t
 // Loss-tolerance handlers (reached only when fault injection is active)
 // =====================================================================
 
-/// A primary acknowledged a CommitReq: stop retransmitting it.
-fn cnic_commit_ack(st: &mut XenicNode, txn: TxnId, shard: u32) {
+/// A replica acknowledged a post-commit message (a primary's CommitReq,
+/// or a backup's Hermes validation): stop retransmitting that entry.
+/// Matching on `(shard, from)` keeps a backup's ack from clearing the
+/// primary's CommitReq for the same shard.
+fn cnic_commit_ack(st: &mut XenicNode, txn: TxnId, shard: u32, from: u32) {
     let seq = txn.seq;
     if let Some(unacked) = st.committing.get_mut(&seq) {
-        unacked.retain(|(s, _, _)| *s != shard);
+        unacked.retain(|(s, d, _)| !(*s == shard && *d == from as usize));
         if unacked.is_empty() {
             st.committing.remove(&seq);
         }
@@ -2196,7 +2336,13 @@ fn cnic_phase_timeout(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq
             }
             arm_phase_timer(st, rt, seq);
         }
-        Phase::Log | Phase::LocalRepl => {
+        Phase::Log => {
+            // The replication backend owns the Log-phase retransmission
+            // policy (resend-unacked for the all-ack backends; term
+            // bumps and leader re-routing for Raft).
+            crate::repl::backend(st.cfg.replication_backend).on_log_timeout(st, rt, me, seq, txn);
+        }
+        Phase::LocalRepl => {
             let resends: Vec<(usize, XMsg)> = ct
                 .resend
                 .iter()
@@ -2335,13 +2481,27 @@ fn cnic_local_commit(
     }
     let fa = rt.faults_active();
     let my_shard = st.shard;
+    // The local fast path replicates to all backups under every backend
+    // (its coordinator IS the shard's primary — Raft's term-0 leader —
+    // so a leader relay would be a self-send); Hermes appends double as
+    // invalidations here exactly like in the remote Log phase.
+    let hermes = st.cfg.replication_backend == ReplBackend::Hermes;
     for b in backups {
-        let msg = XMsg::from(LogReq {
-            txn,
-            shard: my_shard,
-            reply_to: me as u32,
-            writes: writes.clone(),
-        });
+        let msg = if hermes {
+            XMsg::from(crate::msg::HermesInv {
+                txn,
+                shard: my_shard,
+                reply_to: me as u32,
+                writes: writes.clone(),
+            })
+        } else {
+            XMsg::from(LogReq {
+                txn,
+                shard: my_shard,
+                reply_to: me as u32,
+                writes: writes.clone(),
+            })
+        };
         if fa {
             let ct = st.coord.get_mut(&seq).expect("coord exists");
             ct.resend.push((b, my_shard, msg.clone()));
@@ -2365,6 +2525,23 @@ fn finish_commit_local(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, se
     let writes = std::mem::take(&mut ct.writes);
     let unlock = std::mem::take(&mut ct.local_locked);
     st.recycle_coord(ct);
+    if st.cfg.replication_backend == ReplBackend::Hermes {
+        // Return the backups to the valid state now that the write is
+        // committed; under faults the validations retransmit until each
+        // backup acks (on_restart re-arms the tick like any commit).
+        let track = rt.faults_active();
+        let shard = st.shard;
+        let mut unacked: Vec<(u32, usize, XMsg)> = Vec::new();
+        crate::repl::HermesInval::broadcast_validation(st, rt, txn, shard, track, &mut unacked);
+        if track && !unacked.is_empty() {
+            st.committing.insert(seq, unacked);
+            rt.send_local(
+                Exec::Nic,
+                XMsg::CommitTick { seq, attempt: 0 },
+                st.cfg.commit_ack_timeout_ns,
+            );
+        }
+    }
     apply_commit_records(st, rt, me, txn, writes, unlock);
 }
 
@@ -2470,6 +2647,20 @@ fn snic_execute(
             return;
         }
     }
+    // Hermes-style backend: reads of a key with an in-flight
+    // invalidation refuse until the validation clears it — only valid
+    // replicas serve reads. On a healthy primary this never fires
+    // (invalid marks only cover keys this node *backs up*), but after
+    // recover_shard promotes a backup it is what keeps not-yet-validated
+    // writes invisible.
+    if !st.hermes_invalid.is_empty() {
+        for k in &reads {
+            if st.hermes_key_invalid(*k) {
+                refuse_exec(st, rt, txn, req, reply_to, ship.is_some(), acquired);
+                return;
+            }
+        }
+    }
     // Range walks (DESIGN.md §14): the ordered index is NIC-resident and
     // authoritative, so walks resolve synchronously — no DMA wait. The
     // same conservative refusals that guard point reads apply per row:
@@ -2486,6 +2677,7 @@ fn snic_execute(
         let XenicNode {
             nic_index,
             host_table,
+            hermes_invalid,
             ..
         } = &*st;
         for s in &scans {
@@ -2501,6 +2693,14 @@ fn snic_execute(
                 let seg = host_table.segment_of_key(k);
                 let lock = nic_index.lock_state(seg, k);
                 if lock.is_held() && !lock.held_by(txn) {
+                    conflict = true;
+                    return false;
+                }
+                // Hermes: rows under an in-flight invalidation are not
+                // readable (see the point-read check above).
+                if !hermes_invalid.is_empty()
+                    && hermes_invalid.values().any(|ks| ks.contains(&k))
+                {
                     conflict = true;
                     return false;
                 }
@@ -3043,7 +3243,7 @@ fn snic_validate(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn snic_log(
+pub(crate) fn snic_log(
     st: &mut XenicNode,
     rt: &mut Runtime<XMsg>,
     _me: usize,
@@ -3128,7 +3328,11 @@ fn snic_commit(
         // the point of no return once processed, so ack immediately and
         // drop duplicates (re-applying delta writes would corrupt state).
         let dup = !st.commit_seen.insert(txn);
-        let msg = XMsg::CommitAck { txn, shard };
+        let msg = XMsg::CommitAck {
+            txn,
+            shard,
+            from: st.shard,
+        };
         let bytes = msg.wire_bytes();
         rt.send_net(txn.node as usize, Exec::Nic, msg, bytes);
         if dup {

@@ -65,6 +65,7 @@
 //! | [`config`] | §5.7 | [`config::XenicConfig`] with the Figure 9 ablation knobs |
 //! | [`msg`] | §4.3 | Protocol messages with byte-accurate wire sizes |
 //! | [`engine`] | §4.2 | Coordinator/server NIC handlers: Execute, Validate, Log, Commit, shipping, multi-hop, local fast path |
+//! | [`repl`] | §4.2 step 5 | Pluggable NIC-resident replication backends: log shipping, Raft-style, Hermes-style (DESIGN.md §15) |
 //! | [`recovery`] | §4.2.1 | Lease-based membership, primary and coordinator failure recovery |
 //! | [`audit`] | — | Exact whole-cluster correctness checks (conservation, convergence) |
 //! | [`harness`] | §5 | Cluster build + measurement harness |
@@ -77,10 +78,11 @@ pub mod engine;
 pub mod harness;
 pub mod msg;
 pub mod recovery;
+pub mod repl;
 pub mod stats;
 
 pub use api::{local_of, make_key, shard_of, Partitioning, ShipMode, TxnSpec, UpdateOp, Workload};
-pub use config::XenicConfig;
+pub use config::{ReplBackend, XenicConfig};
 pub use engine::{Xenic, XenicNode};
 pub use harness::{
     run_xenic, run_xenic_cluster, run_xenic_cluster_with, run_xenic_recorded, RunOptions, RunResult,

@@ -211,9 +211,41 @@ pub enum XMsg {
         txn: TxnId,
         /// The shard acknowledging the commit.
         shard: u32,
+        /// The node acknowledging. For [`XMsg::CommitReq`] acks this is
+        /// the shard's primary (== `shard` under identity placement);
+        /// for Hermes validation acks and Raft laggard catch-up it is a
+        /// backup, and `(shard, from)` identifies which registered
+        /// retransmission to clear.
+        from: u32,
     },
     /// Abort: release the locks this shard holds for `txn`.
     AbortReq(MsgBox<AbortReq>),
+
+    // ---- Replication backends (DESIGN.md §15) ----
+    /// Raft-style term-tagged append, routed to the shard group's
+    /// current leader, which relays [`XMsg::LogReq`]s to followers.
+    RaftAppend(MsgBox<RaftAppend>),
+    /// A Raft leader's refusal of a stale-term append; carries the
+    /// term the coordinator should adopt.
+    RaftNack {
+        /// Transaction id.
+        txn: TxnId,
+        /// The shard whose append was refused.
+        shard: u32,
+        /// The refusing node's current term for that shard.
+        term: u32,
+    },
+    /// Hermes-style invalidation broadcast: doubles as the log append
+    /// (the backup marks the keys invalid, then logs like a LogReq).
+    HermesInv(MsgBox<HermesInv>),
+    /// Hermes-style post-commit validation: the backup clears its
+    /// invalid marks for `txn`'s keys on `shard`.
+    HermesVal {
+        /// Transaction id.
+        txn: TxnId,
+        /// The shard whose invalidation this validates.
+        shard: u32,
+    },
 
     // ---- Multi-hop / shipped execution (§4.2.3) ----
     /// Ship a whole transaction to a remote primary NIC for execution.
@@ -345,6 +377,35 @@ pub struct LogReq {
     pub shard: u32,
     /// Node to acknowledge (the coordinator — possibly not the
     /// sender, in the multi-hop pattern of Figure 7b).
+    pub reply_to: u32,
+    /// The write set.
+    pub writes: WriteSet,
+}
+
+/// Body of [`XMsg::RaftAppend`].
+#[derive(Clone, Debug)]
+pub struct RaftAppend {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Shard whose group should log this write set.
+    pub shard: u32,
+    /// The coordinator's view of the shard group's term; the leader
+    /// refuses stale terms with a [`XMsg::RaftNack`].
+    pub term: u32,
+    /// Coordinator node to acknowledge (followers ack it directly).
+    pub reply_to: u32,
+    /// The write set.
+    pub writes: WriteSet,
+}
+
+/// Body of [`XMsg::HermesInv`].
+#[derive(Clone, Debug)]
+pub struct HermesInv {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Shard whose backup should invalidate and log this write set.
+    pub shard: u32,
+    /// Coordinator node to acknowledge.
     pub reply_to: u32,
     /// The write set.
     pub writes: WriteSet,
@@ -575,6 +636,8 @@ from_body!(
     ExecuteResp,
     Validate,
     LogReq,
+    RaftAppend,
+    HermesInv,
     CommitReq,
     AbortReq,
     ExecShip,
@@ -626,6 +689,12 @@ impl XMsg {
             }
             XMsg::ValidateResp { .. } => OP_HEADER,
             XMsg::LogReq(b) => OP_HEADER + ws(&b.writes),
+            // A Raft append is a LogReq plus the 8-byte term tag; a
+            // Hermes invalidation is wire-identical to a LogReq (the
+            // invalid marks are derived from the write set).
+            XMsg::RaftAppend(b) => OP_HEADER + 8 + ws(&b.writes),
+            XMsg::HermesInv(b) => OP_HEADER + ws(&b.writes),
+            XMsg::RaftNack { .. } | XMsg::HermesVal { .. } => OP_HEADER,
             XMsg::LogResp { .. } => OP_HEADER,
             XMsg::CommitReq(b) => OP_HEADER + ws(&b.writes),
             XMsg::CommitAck { .. } => OP_HEADER,

@@ -259,20 +259,38 @@ pub struct CoordinatorRecovery {
 /// half: the paper's replicas "communicate to ensure each recovering
 /// transaction is either aborted or fully applied").
 ///
-/// Evidence rule (FaRM's): a transaction reaches its Log phase only
-/// after validation succeeds, and the coordinator acknowledges commit
-/// only after *all* backups logged. So:
+/// Evidence rule (FaRM's, generalized per backend): a transaction
+/// reaches its Log phase only after validation succeeds, and the
+/// coordinator acknowledges commit only after its replication backend's
+/// quorum logged. So:
 ///
-/// * records at **every** backup of every written shard → the outcome
-///   may have been observable → commit everywhere;
+/// * at least [`crate::repl::Replication::evidence_threshold`] records
+///   at every written shard → the outcome may have been observable →
+///   commit everywhere;
 /// * anything less → it cannot have been acknowledged → abort and
 ///   release its locks.
+///
+/// For the all-ack backends (log shipping, Hermes) the threshold is
+/// every backup; for the Raft-style backend it is the majority that
+/// committed — fewer surviving records than backups can still prove a
+/// commit, which is exactly why its laggard catch-up stream must keep
+/// running after the commit point.
 pub fn recover_coordinator(
     states: &mut [Option<&mut XenicNode>],
     part: &Partitioning,
     failed_coord: usize,
 ) -> CoordinatorRecovery {
     let mut report = CoordinatorRecovery::default();
+    // All nodes of a cluster share one config; any survivor knows the
+    // backend whose quorum rule the evidence must be judged against.
+    let backend = crate::repl::backend(
+        states
+            .iter()
+            .flatten()
+            .next()
+            .map(|st| st.cfg.replication_backend)
+            .unwrap_or(crate::config::ReplBackend::LogShipping),
+    );
 
     // Gather evidence: which (txn, shard) pairs have backup log records,
     // and each txn's write set per shard.
@@ -316,8 +334,9 @@ pub fn recover_coordinator(
         let full_evidence = writes_of.get(&txn).is_some_and(|shards| {
             !shards.is_empty()
                 && shards.iter().all(|(shard, _)| {
-                    let backups = part.backups(*shard).len();
-                    logged_at.get(&(txn, *shard)).copied().unwrap_or(0) >= backups
+                    let group = part.backups(*shard).len() + 1;
+                    let needed = backend.evidence_threshold(group);
+                    logged_at.get(&(txn, *shard)).copied().unwrap_or(0) >= needed
                 })
         });
         if full_evidence {

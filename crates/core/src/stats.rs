@@ -25,6 +25,15 @@ pub struct NodeStats {
     pub range_walks: Counter,
     /// Rows returned by those walks.
     pub scan_rows: Counter,
+    /// Raft-style backend: term bumps this coordinator initiated after
+    /// an unresponsive leader (re-elections).
+    pub raft_elections: Counter,
+    /// Raft-style backend: stale-term appends refused by a leader.
+    pub raft_nacks: Counter,
+    /// Hermes-style backend: invalidation messages applied at backups.
+    pub hermes_invalidations: Counter,
+    /// Hermes-style backend: validation messages applied at backups.
+    pub hermes_validations: Counter,
     /// Whether measurement is active (set after warmup; latency and
     /// committed are only recorded while true).
     pub measuring: bool,
@@ -43,6 +52,10 @@ impl NodeStats {
         self.multihop = Counter::new();
         self.range_walks = Counter::new();
         self.scan_rows = Counter::new();
+        self.raft_elections = Counter::new();
+        self.raft_nacks = Counter::new();
+        self.hermes_invalidations = Counter::new();
+        self.hermes_validations = Counter::new();
     }
 
     /// Records a committed transaction.

@@ -117,6 +117,21 @@ pub struct HwParams {
     /// 113, rounded to the measured LiquidIO DRAM-touch granularity).
     pub nic_scan_visit_ns: u64,
 
+    // ---- Replication-protocol NIC costs (DESIGN.md §15) ----
+    // "Reliable Replication Protocols on SmartNICs" puts the protocol
+    // state machine on the NIC cores; these are the per-message compute
+    // costs beyond the generic RPC handling, sized from the same
+    // Coremark-normalized ARM-core budget as the other NIC handlers.
+    /// Leader-side cost per relayed follower append in the Raft-style
+    /// backend (copy descriptor, bump match index), ns.
+    pub repl_leader_relay_ns: u64,
+    /// Backup-side cost to install per-key invalid marks for one
+    /// Hermes-style invalidation, ns.
+    pub repl_inval_apply_ns: u64,
+    /// Backup-side cost to clear invalid marks on a Hermes-style
+    /// validation, ns.
+    pub repl_val_apply_ns: u64,
+
     // ---- Xenic protocol framing (§4.3) ----
     /// Per-operation header inside an aggregated Xenic frame, bytes
     /// (txn id, op kind, shard, key hash, flags).
@@ -168,6 +183,10 @@ impl HwParams {
             host_rpc_extra_ns: 1500,
 
             nic_scan_visit_ns: 115,
+
+            repl_leader_relay_ns: 90,
+            repl_inval_apply_ns: 60,
+            repl_val_apply_ns: 40,
 
             xenic_op_header_bytes: 24,
             nic_poll_burst_ns: 1500,
@@ -225,6 +244,20 @@ mod tests {
         assert_eq!(p.dma_read_latency_ns, 1295);
         assert_eq!(p.dma_write_latency_ns, 570);
         assert!((p.nic_core_ratio - 0.31).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_costs_are_sub_handler() {
+        // Per-message protocol work rides inside one RPC handling slot:
+        // each extra cost must stay below the base NIC handler cost.
+        let p = HwParams::paper_testbed();
+        for ns in [
+            p.repl_leader_relay_ns,
+            p.repl_inval_apply_ns,
+            p.repl_val_apply_ns,
+        ] {
+            assert!(ns > 0 && ns < p.nic_rpc_handle_ns);
+        }
     }
 
     #[test]

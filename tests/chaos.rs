@@ -6,12 +6,17 @@
 //! invariants the engine offers: committed-increment conservation,
 //! replica convergence, and an empty commit log. The plans are
 //! deterministic, so every one of these runs is replayable bit for bit.
+//!
+//! The `all_backends_*` tests run the same drills over every pluggable
+//! replication backend (DESIGN.md §15) — DMA log shipping, Raft-style
+//! leader commit, Hermes-style invalidation — so each backend earns the
+//! same conservation/convergence/recovery guarantees individually.
 
 use xenic::api::{make_key, Partitioning, ShipMode, TxnSpec, UpdateOp, Workload};
 use xenic::engine::{Xenic, XenicNode};
 use xenic::msg::XMsg;
 use xenic::recovery::{audit_recovery, recover_shard};
-use xenic::XenicConfig;
+use xenic::{ReplBackend, XenicConfig};
 use xenic_hw::HwParams;
 use xenic_net::{Cluster, Exec, FaultPlan, NetConfig};
 use xenic_sim::{DetRng, SimTime};
@@ -54,13 +59,22 @@ impl Workload for Counters {
 }
 
 fn chaos_cluster(windows: usize, seed: u64, plan: FaultPlan) -> Cluster<Xenic> {
+    chaos_cluster_cfg(XenicConfig::full(), windows, seed, plan)
+}
+
+fn chaos_cluster_cfg(
+    cfg: XenicConfig,
+    windows: usize,
+    seed: u64,
+    plan: FaultPlan,
+) -> Cluster<Xenic> {
     let part = Partitioning::new(6, 3);
     let net = NetConfig::full().with_faults(plan);
     let mut cluster: Cluster<Xenic> =
         Cluster::new(HwParams::paper_testbed(), net, seed, |node| {
             XenicNode::new(
                 node,
-                XenicConfig::full(),
+                cfg,
                 part,
                 Box::new(Counters {
                     keys: 3000,
@@ -199,6 +213,105 @@ fn crash_restart_preserves_conservation_then_recovers() {
         .map(|(i, s)| if i == FAILED { None } else { Some(s) })
         .collect();
     audit_recovery(&ro, &part, FAILED, report.new_primary).expect("recovery audit");
+}
+
+/// Post-drain residue check shared by the per-backend drills: no
+/// lingering Hermes invalidation marks (every INV must have been
+/// resolved by its retransmitted VAL) and no backup appends still
+/// buffered behind a version gap (every Raft laggard catch-up must have
+/// completed) — both trivially true for the backends that don't use the
+/// respective machinery.
+fn assert_no_invalidation_residue(cluster: &Cluster<Xenic>) {
+    for (n, st) in cluster.states.iter().enumerate() {
+        assert_eq!(
+            st.hermes_pending_invalidations(),
+            0,
+            "node {n}: invalidation marks survived the drain"
+        );
+        assert_eq!(
+            st.backup_gap_entries(),
+            0,
+            "node {n}: version-gapped backup appends survived the drain"
+        );
+    }
+}
+
+/// Every replication backend conserves committed increments — and keeps
+/// all replicas convergent — under message loss and duplication. Loss
+/// exercises each backend's own retransmission machinery (log-shipping
+/// unacked resends, Raft laggard catch-up, Hermes INV/VAL redelivery);
+/// duplication exercises its dedup.
+#[test]
+fn all_backends_conserve_under_loss_and_duplication() {
+    for &backend in ReplBackend::ALL.iter() {
+        let plan = FaultPlan::lossy(0.01, 0.01, 2_000);
+        let mut cluster = chaos_cluster_cfg(XenicConfig::with_backend(backend), 6, 81, plan);
+        cluster.run_until(SimTime::from_ms(4));
+        drain(&mut cluster, SimTime::from_ms(200));
+        assert_conserved(&cluster, 1_000);
+        assert_replicas_converged(&cluster);
+        assert_no_invalidation_residue(&cluster);
+    }
+}
+
+/// Every backend converges across a healed partition: nodes 0 and 3
+/// cannot exchange appends/acks/validations for 1.5ms mid-run, so each
+/// backend's redelivery path must finish every stalled replication after
+/// the heal.
+#[test]
+fn all_backends_converge_after_partition_heals() {
+    for &backend in ReplBackend::ALL.iter() {
+        let plan =
+            FaultPlan::lossy(0.005, 0.005, 1_000).with_partition(0, 3, 1_000_000, 2_500_000);
+        let mut cluster = chaos_cluster_cfg(XenicConfig::with_backend(backend), 6, 82, plan);
+        cluster.run_until(SimTime::from_ms(4));
+        drain(&mut cluster, SimTime::from_ms(200));
+        assert_conserved(&cluster, 1_000);
+        assert_replicas_converged(&cluster);
+        assert_no_invalidation_residue(&cluster);
+    }
+}
+
+/// Every backend survives a crash/restart (node 4 down for 1ms with
+/// background loss), drains clean, and then hands a consistent enough
+/// cluster to the recovery module: node 4 is declared permanently failed
+/// and `recover_shard` + `audit_recovery` must rebuild its shard from
+/// the survivors — the crash re-priming and evidence rules the
+/// Replication trait owes recovery (DESIGN.md §15).
+#[test]
+fn all_backends_recover_after_crash_restart() {
+    for &backend in ReplBackend::ALL.iter() {
+        let plan = FaultPlan::lossy(0.002, 0.002, 500).with_crash(4, 2_000_000, Some(3_000_000));
+        let mut cluster = chaos_cluster_cfg(XenicConfig::with_backend(backend), 6, 83, plan);
+        cluster.run_until(SimTime::from_ms(4));
+        drain(&mut cluster, SimTime::from_ms(300));
+        assert_conserved(&cluster, 1_000);
+        assert_replicas_converged(&cluster);
+        assert_no_invalidation_residue(&cluster);
+
+        const FAILED: usize = 4;
+        let part = Partitioning::new(6, 3);
+        let mut refs: Vec<Option<&mut XenicNode>> = cluster
+            .states
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| if i == FAILED { None } else { Some(s) })
+            .collect();
+        let report = recover_shard(&mut refs, &part, FAILED);
+        assert!(
+            report.keys_recovered >= 3000,
+            "{backend:?}: recovered only {}",
+            report.keys_recovered
+        );
+        let ro: Vec<Option<&XenicNode>> = cluster
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| if i == FAILED { None } else { Some(s) })
+            .collect();
+        audit_recovery(&ro, &part, FAILED, report.new_primary)
+            .unwrap_or_else(|e| panic!("{backend:?}: recovery audit failed: {e}"));
+    }
 }
 
 #[test]

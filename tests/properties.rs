@@ -600,6 +600,184 @@ const PIN_RETWIS_LOSSY: (u64, u64, u64, u64) =
 const PIN_SMALLBANK_LOSSY: (u64, u64, u64, u64) =
     (1076, 23, 14308353731268317752, 105268);
 
+/// Deterministic increment workload for the replication-backend
+/// equivalence tests: each node's first `budget` transactions increment
+/// a key chosen by a fixed (rng-free) formula, everything after is
+/// read-only padding. Because every increment commits exactly once and
+/// `AddI64` commutes, the final table state — values *and* versions — is
+/// a pure function of the issued set, independent of schedule, so runs
+/// of different replication backends must land on identical digests.
+struct BudgetWl {
+    issued: u64,
+    budget: u64,
+    keys: u64,
+}
+
+impl Workload for BudgetWl {
+    fn next_txn(&mut self, node: usize, rng: &mut DetRng) -> xenic::TxnSpec {
+        use xenic::{make_key, ShipMode, TxnSpec, UpdateOp};
+        let home = node as u32;
+        let base = TxnSpec {
+            exec_host_ns: 150,
+            exec_nic_ns: 480,
+            ship: ShipMode::Nic,
+            ..Default::default()
+        };
+        if self.issued < self.budget {
+            let i = self.issued;
+            self.issued += 1;
+            let shard = ((node as u64 + 1 + i) % 6) as u32;
+            TxnSpec {
+                reads: vec![make_key(home, i % self.keys)],
+                updates: vec![(make_key(shard, (i * 7) % self.keys), UpdateOp::AddI64(1))],
+                ..base
+            }
+        } else {
+            TxnSpec {
+                reads: vec![make_key(home, rng.below(self.keys))],
+                ..base
+            }
+        }
+    }
+
+    fn value_bytes(&self) -> u32 {
+        16
+    }
+
+    fn preload(&self, shard: u32) -> Vec<(u64, Value)> {
+        (0..self.keys)
+            .map(|i| (xenic::make_key(shard, i), Value::from_bytes(&0i64.to_le_bytes())))
+            .collect()
+    }
+}
+
+/// Runs one replication backend over the budgeted workload, drains every
+/// in-flight transaction and retransmission, and fingerprints the final
+/// cluster: the whole-table digest plus the exact sum of all counters.
+fn backend_run(
+    backend: xenic::ReplBackend,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    budget: u64,
+) -> (u64, i64, u64) {
+    use xenic::harness::run_xenic_cluster;
+    let opts = RunOptions {
+        windows: 2,
+        warmup: SimTime::from_us(200),
+        measure: SimTime::from_ms(2),
+        seed,
+    };
+    let net = match &plan {
+        Some(p) => NetConfig::full().with_faults(p.clone()),
+        None => NetConfig::full(),
+    };
+    let (r, mut cluster) = run_xenic_cluster(
+        HwParams::paper_testbed(),
+        net,
+        XenicConfig::with_backend(backend),
+        &opts,
+        move |_| {
+            Box::new(BudgetWl {
+                issued: 0,
+                budget,
+                keys: 24,
+            }) as Box<dyn Workload>
+        },
+    );
+    for st in &mut cluster.states {
+        st.draining = true;
+    }
+    cluster.run_until(SimTime::from_ms(200));
+    let mut sum = 0i64;
+    for st in &cluster.states {
+        for (k, _) in st.host_table.iter_keys() {
+            let (v, _) = st.host_table.get(k).expect("key present");
+            sum += i64::from_le_bytes(v.bytes()[..8].try_into().unwrap());
+        }
+    }
+    (table_digest(&cluster), sum, r.committed)
+}
+
+/// Cross-backend equivalence (DESIGN.md §15): on fault-free runs of the
+/// same (seed, workload), all three replication backends — DMA log
+/// shipping, Raft-style leader commit, and Hermes-style invalidation —
+/// must install *identical* whole-cluster state: same values, same
+/// versions, same digest. Their schedules differ wildly (multi-hop vs
+/// leader relay vs invalidation broadcast), so this pins down exactly
+/// what the Replication trait owes the engine: the Log phase must not
+/// change what a committed transaction installs, only how it survives.
+#[test]
+fn replication_backends_install_identical_state() {
+    use xenic::ReplBackend;
+    const BUDGET: u64 = 40;
+    for seed in [11u64, 12] {
+        let fingerprints: Vec<(u64, i64)> = ReplBackend::ALL
+            .iter()
+            .map(|&b| {
+                let (digest, sum, _) = backend_run(b, seed, None, BUDGET);
+                (digest, sum)
+            })
+            .collect();
+        for (b, fp) in ReplBackend::ALL.iter().zip(&fingerprints) {
+            assert_eq!(
+                fp.1,
+                (BUDGET * 6) as i64,
+                "seed {seed} {b:?}: not every budgeted increment committed"
+            );
+            assert_eq!(
+                *fp, fingerprints[0],
+                "seed {seed} {b:?}: final cluster state diverged from {:?}",
+                ReplBackend::ALL[0]
+            );
+        }
+    }
+}
+
+/// Every replication backend's *lossy* run replays bit for bit: the same
+/// (seed, plan, backend) triple must reproduce identical commit/abort
+/// counts, whole-cluster digests, and event totals. Retransmission,
+/// election, and invalidation schedules all draw from the deterministic
+/// RNG tree, so any divergence means hidden nondeterminism in a backend.
+#[test]
+fn backend_lossy_runs_replay_bit_for_bit() {
+    use xenic::harness::run_xenic_cluster;
+    use xenic::ReplBackend;
+    for &backend in ReplBackend::ALL.iter() {
+        let run = || {
+            let opts = RunOptions {
+                windows: 4,
+                warmup: SimTime::from_us(200),
+                measure: SimTime::from_ms(1),
+                seed: 21,
+            };
+            let plan = FaultPlan::lossy(0.02, 0.01, 1_000);
+            let (r, cluster) = run_xenic_cluster(
+                HwParams::paper_testbed(),
+                NetConfig::full().with_faults(plan),
+                XenicConfig::with_backend(backend),
+                &opts,
+                move |_| {
+                    Box::new(BudgetWl {
+                        issued: 0,
+                        budget: u64::MAX,
+                        keys: 24,
+                    }) as Box<dyn Workload>
+                },
+            );
+            (
+                r.committed,
+                r.aborted,
+                table_digest(&cluster),
+                cluster.rt.queue.processed(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{backend:?}: lossy run diverged under replay");
+        assert!(a.0 > 100, "{backend:?}: committed only {}", a.0);
+    }
+}
+
 /// The serializability history recorder must be a pure observer:
 /// attaching it changes no measured bit of a run. Commit and abort
 /// counts, the full latency fingerprint, and an FNV digest over every

@@ -30,10 +30,23 @@ cargo run --release -q -p xenic-bench --features alloc-count --bin perf_report -
     --quick --alloc-budget retwis_fig8=1200,chaos_replay=1300,tpcc_mix=4500,ycsbe_mix=2000,tpcc_stock=6500
 
 echo "==> serial_fuzz --quick"
-# Includes both checker self-tests: xenic-weakened (skipped version
-# re-checks) and xenic-weak-predicates (skipped range re-walks) must
-# each be rejected with a shrunk, bit-for-bit-replayable witness.
+# Includes all three checker self-tests: xenic-weakened (skipped version
+# re-checks), xenic-weak-predicates (skipped range re-walks), and
+# xenic-weak-quorum (Raft-style backend commits before its majority)
+# must each be rejected with a shrunk, bit-for-bit-replayable witness.
 cargo run --release -q -p xenic-bench --bin serial_fuzz -- --quick
+
+echo "==> per-backend replication chaos tests"
+# Conservation under loss+dup, convergence across a healed partition,
+# and crash/restart chained into shard recovery — for each pluggable
+# replication backend (log shipping, Raft-style, Hermes-style).
+cargo test --release -q --test chaos all_backends_
+
+echo "==> repl_sweep --quick (DSG-gated)"
+# Availability/throughput/latency per backend at two fault rates; every
+# row's history is verified serializable, and the binary exits non-zero
+# on any violation.
+cargo run --release -q -p xenic-bench --bin repl_sweep -- --quick
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
