@@ -169,6 +169,7 @@ mod tests {
             warmup: SimTime::from_ms(1),
             measure: SimTime::from_ms(4),
             seed: 7,
+            lanes: 1,
         }
     }
 

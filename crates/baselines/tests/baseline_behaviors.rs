@@ -35,6 +35,7 @@ fn run_fixed(kind: BaselineKind, windows: usize, mk: impl Fn(usize) -> TxnSpec) 
         warmup: SimTime::from_ms(1),
         measure: SimTime::from_ms(4),
         seed: 17,
+        lanes: 1,
     };
     run_baseline(kind, HwParams::paper_testbed(), &opts, move |node| {
         Box::new(Fixed { spec: mk(node) })
@@ -234,6 +235,7 @@ fn recorded_history(kind: BaselineKind, net: NetConfig) -> (RunResult, xenic_che
         warmup: SimTime::from_us(200),
         measure: SimTime::from_us(900),
         seed: 23,
+        lanes: 1,
     };
     xenic_baselines::run_baseline_recorded(kind, HwParams::paper_testbed(), net, &opts, |_| {
         Box::new(ContendedWl { keys: 24 })
@@ -318,6 +320,7 @@ fn fasst_scans_commit_and_stay_phantom_free() {
         warmup: SimTime::from_us(200),
         measure: SimTime::from_ms(2),
         seed: 29,
+        lanes: 1,
     };
     let (r, history) = xenic_baselines::run_baseline_recorded(
         BaselineKind::Fasst,

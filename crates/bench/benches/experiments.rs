@@ -49,6 +49,7 @@ fn small_opts() -> RunOptions {
         warmup: SimTime::from_us(500),
         measure: SimTime::from_ms(2),
         seed: 42,
+        lanes: 1,
     }
 }
 

@@ -31,6 +31,7 @@ fn main() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(6),
         seed: 42,
+        lanes: 1,
     };
     println!("# Cache-pressure sweep: Retwis, 48 windows/node, 100k keys/shard");
     println!(

@@ -23,7 +23,7 @@ fn main() {
     ] {
         println!("== {name} ==");
         for w in [1usize, 16, 64] {
-            let opts = RunOptions { windows: w, warmup: SimTime::from_ms(2), measure: SimTime::from_ms(8), seed: 42 };
+            let opts = RunOptions { windows: w, warmup: SimTime::from_ms(2), measure: SimTime::from_ms(8), seed: 42, lanes: 1 };
             for sys in System::ALL {
                 let r = run_system(sys, params.clone(), &opts, mk);
                 println!(

@@ -28,6 +28,7 @@ fn main() {
             warmup: SimTime::from_ms(2),
             measure: SimTime::from_ms(8),
             seed: 42,
+            lanes: 1,
         };
         for (i, sys) in [System::Xenic, System::DrtmR].into_iter().enumerate() {
             let r = run_system(sys, params.clone(), &opts, &mkw);

@@ -51,6 +51,7 @@ fn main() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(if fast { 3 } else { 6 }),
         seed: 42,
+        lanes: 1,
     };
     let mk = |_: usize| -> Box<dyn Workload> {
         Box::new(Smallbank::new(SmallbankConfig {

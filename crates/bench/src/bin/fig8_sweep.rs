@@ -68,6 +68,7 @@ fn run_workload(name: &str, fast: bool, jobs: usize) {
             warmup: SimTime::from_ms(2),
             measure,
             seed: 42,
+            lanes: 1,
         };
         let r = run_system(sys, params.clone(), &opts, mk(name).as_ref());
         CurvePoint {
@@ -128,6 +129,7 @@ fn dump_trace(path: &str) {
             warmup: SimTime::from_ms(1),
             measure: SimTime::from_ms(2),
             seed: 42,
+            lanes: 1,
         },
         |_| Box::new(Retwis::new(RetwisConfig::sim(6))) as Box<dyn Workload>,
     );

@@ -40,6 +40,7 @@ fn main() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(8),
         seed: 42,
+        lanes: 1,
     };
     let base_cfg = XenicConfig::fig9_baseline();
     let steps_a: [(&str, XenicConfig, NetConfig); 4] = [
@@ -78,6 +79,7 @@ fn main() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(8),
         seed: 42,
+        lanes: 1,
     };
     let steps_b: [(&str, XenicConfig); 4] = [
         ("Xenic baseline", base_cfg),

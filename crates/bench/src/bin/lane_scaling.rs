@@ -1,0 +1,193 @@
+//! Lane-scaling report: wall-clock throughput of the multi-lane
+//! epoch-barrier scheduler (DESIGN.md §16) versus the serial event loop.
+//!
+//! Usage: `lane_scaling [--quick] [--lanes <a,b,c>] [--min-speedup <X>]
+//!                      [--out <path>]`
+//!
+//! One pinned scenario — a 16-node Smallbank cluster under the per-node
+//! RNG discipline — is run once per lane count (default 1, 2, 4). For
+//! every lane count the binary records best-of-N wall seconds and
+//! events/sec, and checks the run's *complete fingerprint* (committed,
+//! aborted, whole-cluster table digest, events processed) against the
+//! single-lane run: the conservative epoch-barrier schedule must be a
+//! pure function of `(seed, config)`, so any divergence is a
+//! determinism bug and exits non-zero immediately.
+//!
+//! Speedup is reported relative to 1 lane. `--min-speedup X` makes the
+//! binary exit non-zero if the largest lane count falls short of X× —
+//! the CI bar on multicore hosts is `--min-speedup 1.5` at 4 lanes. The
+//! report prints the machine's available parallelism next to the
+//! speedups: on a single-core host the lanes serialize onto one CPU and
+//! the speedup column measures only scheduler overhead, so the gate is
+//! meaningless there (pass the flag only where cores exist).
+//!
+//! `--quick` takes one short sample per lane count — the smoke mode
+//! `verify.sh` uses to pin lane-count invariance on a bigger cluster
+//! than the unit matrix, without timing noise mattering.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use xenic::api::Workload;
+use xenic::harness::{cluster_digest, run_xenic_cluster, RunOptions};
+use xenic::XenicConfig;
+use xenic_hw::HwParams;
+use xenic_net::NetConfig;
+use xenic_sim::SimTime;
+use xenic_workloads::{Smallbank, SmallbankConfig};
+
+const NODES: usize = 16;
+
+fn mk_workload(_: usize) -> Box<dyn Workload> {
+    Box::new(Smallbank::new(SmallbankConfig {
+        accounts_per_node: 10_000,
+        ..SmallbankConfig::sim(NODES as u32)
+    }))
+}
+
+/// Everything that must be identical across lane counts.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+struct Fingerprint {
+    committed: u64,
+    aborted: u64,
+    digest: u64,
+    processed: u64,
+}
+
+fn run(lanes: usize, quick: bool) -> (f64, Fingerprint) {
+    let opts = RunOptions {
+        windows: 32,
+        warmup: SimTime::from_us(500),
+        measure: if quick {
+            SimTime::from_us(750)
+        } else {
+            SimTime::from_ms(3)
+        },
+        seed: 71,
+        lanes,
+    };
+    let t0 = Instant::now();
+    let (r, cluster) = run_xenic_cluster(
+        HwParams {
+            nodes: NODES,
+            ..HwParams::paper_testbed()
+        },
+        NetConfig::full().with_per_node_rng(),
+        XenicConfig::full(),
+        &opts,
+        mk_workload,
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    (
+        wall,
+        Fingerprint {
+            committed: r.committed,
+            aborted: r.aborted,
+            digest: cluster_digest(&cluster),
+            processed: cluster.rt.queue.processed(),
+        },
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let lane_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--lanes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.split(',')
+                .map(|n| {
+                    let n: usize = n.parse().expect("--lanes takes integers");
+                    xenic::resolve_parallelism(n)
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let min_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--min-speedup takes a float"));
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_lanescale.json".to_string());
+    let samples = if quick { 1 } else { 3 };
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!(
+        "# Lane scaling: {NODES}-node smallbank, {} sample{}/lane-count, {} core{} available",
+        samples,
+        if samples == 1 { "" } else { "s" },
+        cores,
+        if cores == 1 { "" } else { "s" },
+    );
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>9}",
+        "lanes", "wall[s]", "events", "events/sec", "speedup"
+    );
+
+    let mut baseline: Option<(f64, Fingerprint)> = None;
+    let mut last_speedup = 1.0f64;
+    let mut json = format!(
+        "{{\n  \"scenario\": \"smallbank_{NODES}n\",\n  \"cores\": {cores},\n  \"points\": [\n"
+    );
+    let n = lane_counts.len();
+    for (i, &lanes) in lane_counts.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut fp = None;
+        for _ in 0..samples {
+            let (wall, f) = run(lanes, quick);
+            best = best.min(wall);
+            if let Some(prev) = fp {
+                assert_eq!(f, prev, "lanes={lanes} not deterministic across samples");
+            }
+            fp = Some(f);
+        }
+        let fp = fp.expect("at least one sample");
+        let (base_wall, base_fp) = *baseline.get_or_insert((best, fp));
+        if fp != base_fp {
+            eprintln!(
+                "FAIL: lanes={lanes} fingerprint {fp:?} diverged from lanes={} {base_fp:?}",
+                lane_counts[0]
+            );
+            std::process::exit(1);
+        }
+        let eps = fp.processed as f64 / best;
+        let speedup = base_wall / best;
+        last_speedup = speedup;
+        println!(
+            "{:<8} {:>10.3} {:>14} {:>14.0} {:>8.2}x",
+            lanes, best, fp.processed, eps, speedup
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"lanes\": {}, \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}}}{}",
+            lanes,
+            best,
+            fp.processed,
+            eps,
+            speedup,
+            if i + 1 < n { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write lane scaling report");
+    println!("(fingerprints identical across all lane counts; report written to {out_path})");
+
+    if let Some(min) = min_speedup {
+        if last_speedup < min {
+            eprintln!(
+                "FAIL: {}x at {} lanes, required {min}x (machine has {cores} cores)",
+                last_speedup,
+                lane_counts.last().unwrap()
+            );
+            std::process::exit(1);
+        }
+    }
+}

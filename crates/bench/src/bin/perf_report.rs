@@ -1,7 +1,7 @@
 //! Simulator performance report: wall-clock throughput of the event loop
 //! itself on three pinned workloads.
 //!
-//! Usage: `perf_report [--quick] [--out <path>] [--alloc-budget <N>]`
+//! Usage: `perf_report [--quick] [--out <path>] [--alloc-budget <N>] [--lanes <N>]`
 //!
 //! The figure/table harnesses measure the *modeled* system; this binary
 //! measures the *simulator* — how many discrete events per second the
@@ -197,6 +197,21 @@ fn main() {
                 })
                 .collect()
         });
+    // `--lanes N`: run every scenario on the multi-lane scheduler
+    // (DESIGN.md §16). N=0 resolves to the machine's parallelism. Lane
+    // execution requires the per-node RNG discipline, so lanes != 1
+    // switches the scenarios to `with_per_node_rng()` — a *different*
+    // (but equally pinned) event schedule than the serial default. The
+    // historical single-lane pins are therefore only comparable to other
+    // single-lane runs; the JSON records the lane count so trend tooling
+    // can separate the two series.
+    let lanes = xenic::resolve_parallelism(
+        args.iter()
+            .position(|a| a == "--lanes")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("--lanes needs an integer"))
+            .unwrap_or(1),
+    );
     // Undocumented profiling aid: run a single scenario by name.
     let only: Option<String> = args
         .iter()
@@ -213,6 +228,7 @@ fn main() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(if quick { 1 } else { 4 }),
         seed: 42,
+        lanes,
     };
     let samples = if quick { 1 } else { 3 };
 
@@ -230,17 +246,18 @@ fn main() {
     );
 
     println!(
-        "# Simulator performance ({} sample{}/scenario, measure={}ms)",
+        "# Simulator performance ({} sample{}/scenario, measure={}ms, lanes={})",
         samples,
         if samples == 1 { "" } else { "s" },
         if quick { 1 } else { 4 },
+        lanes,
     );
     println!(
         "{:<16} {:>10} {:>14} {:>14} {:>14}",
         "scenario", "wall[s]", "events", "events/sec", "allocs/kevent"
     );
     let mut over_budget = false;
-    let mut json = String::from("{\n  \"scenarios\": [\n");
+    let mut json = format!("{{\n  \"lanes\": {lanes},\n  \"scenarios\": [\n");
     let scs: Vec<Scenario> = scenarios()
         .into_iter()
         .filter(|s| only.as_deref().is_none_or(|o| o == s.name))
@@ -251,11 +268,16 @@ fn main() {
         let mut events = 0u64;
         let mut best_allocs: Option<u64> = None;
         for _ in 0..samples {
+            let net = if lanes == 1 {
+                sc.net.clone()
+            } else {
+                sc.net.clone().with_per_node_rng()
+            };
             let a0 = allocs_now();
             let t0 = Instant::now();
             let (_, cluster) = run_xenic_cluster(
                 HwParams::paper_testbed(),
-                sc.net.clone(),
+                net,
                 XenicConfig::full(),
                 &opts,
                 sc.mk,

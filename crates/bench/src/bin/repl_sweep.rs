@@ -45,6 +45,7 @@ fn main() {
         warmup: SimTime::from_ms(1),
         measure: SimTime::from_ms(if quick { 1 } else { 4 }),
         seed: 42,
+        lanes: 1,
     };
     let accounts = if quick { 10_000 } else { 60_000 };
     let mk = move |_: usize| -> Box<dyn Workload> {

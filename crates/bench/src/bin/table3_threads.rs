@@ -28,6 +28,7 @@ fn main() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(8),
         seed: 42,
+        lanes: 1,
     };
     println!("# Table 3: busy cores at peak (host, NIC) and normalized total");
     println!("#          normalized = host + NIC x {:.2}", params.nic_core_ratio);

@@ -496,6 +496,7 @@ pub fn run_point(p: &FuzzPoint) -> PointOutcome {
         warmup: SimTime::from_us(200),
         measure: SimTime::from_us(p.measure_us),
         seed: p.seed,
+        lanes: 1,
     };
     let params = HwParams::paper_testbed();
     let wl = p.wl;

@@ -21,9 +21,7 @@ use xenic_sim::SimTime;
 /// Default worker count for `--jobs`: the machine's available
 /// parallelism.
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    xenic::resolve_parallelism(0)
 }
 
 /// Parses a `--jobs N` flag out of already-collected argv (defaulting to
@@ -35,10 +33,11 @@ pub fn jobs_from_args(args: &[String]) -> usize {
             jobs = args
                 .get(i + 1)
                 .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("--jobs needs a positive integer"));
+                .unwrap_or_else(|| panic!("--jobs needs an integer"));
         }
     }
-    jobs.max(1)
+    // 0 = "use the machine", same resolver as `--lanes 0`.
+    xenic::resolve_parallelism(jobs)
 }
 
 /// Runs `run` over every point on up to `jobs` worker threads and returns
@@ -55,7 +54,7 @@ where
     T: Sync,
     R: Send,
 {
-    let jobs = jobs.max(1).min(points.len().max(1));
+    let jobs = xenic::resolve_parallelism(jobs).min(points.len().max(1));
     if jobs == 1 {
         return points.iter().map(run).collect();
     }
@@ -171,6 +170,7 @@ pub fn sweep(
                 warmup,
                 measure,
                 seed,
+                lanes: 1,
             };
             let r = run_system(system, params.clone(), &opts, mk_workload);
             CurvePoint {

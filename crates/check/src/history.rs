@@ -9,9 +9,8 @@
 //! verifier looks only at committed transactions, so notes from attempts
 //! that later abort are inert.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use xenic_store::{Key, TxnId, Version};
 
 /// What one transaction attempt did.
@@ -111,11 +110,14 @@ impl History {
 
 /// Shared handle to a [`History`] under construction.
 ///
-/// The simulator is single-threaded per run, so a plain
-/// `Rc<RefCell<...>>` suffices; every node of a cluster holds a clone of
-/// the same recorder and the harness snapshots it after the run.
+/// Every node of a cluster holds a clone of the same recorder and the
+/// harness snapshots it after the run. The handle is an `Arc<Mutex<..>>`
+/// so node states stay `Send` for the lane scheduler; recorded runs
+/// themselves always execute on the serial scheduler (the lock is never
+/// contended), because a global observer would otherwise impose a
+/// cross-lane ordering the barriers don't reproduce.
 #[derive(Clone, Default)]
-pub struct HistoryRecorder(Rc<RefCell<History>>);
+pub struct HistoryRecorder(Arc<Mutex<History>>);
 
 impl HistoryRecorder {
     /// A recorder over a fresh empty history.
@@ -125,12 +127,12 @@ impl HistoryRecorder {
 
     /// Notes a single read.
     pub fn note_read(&self, txn: TxnId, key: Key, version: Version) {
-        self.0.borrow_mut().note_read(txn, key, version);
+        self.0.lock().unwrap().note_read(txn, key, version);
     }
 
     /// Notes a batch of reads.
     pub fn note_reads(&self, txn: TxnId, reads: impl IntoIterator<Item = (Key, Version)>) {
-        let mut h = self.0.borrow_mut();
+        let mut h = self.0.lock().unwrap();
         for (k, v) in reads {
             h.note_read(txn, k, v);
         }
@@ -138,12 +140,12 @@ impl HistoryRecorder {
 
     /// Notes a single write.
     pub fn note_write(&self, txn: TxnId, key: Key, version: Version) {
-        self.0.borrow_mut().note_write(txn, key, version);
+        self.0.lock().unwrap().note_write(txn, key, version);
     }
 
     /// Notes a batch of writes.
     pub fn note_writes(&self, txn: TxnId, writes: impl IntoIterator<Item = (Key, Version)>) {
-        let mut h = self.0.borrow_mut();
+        let mut h = self.0.lock().unwrap();
         for (k, v) in writes {
             h.note_write(txn, k, v);
         }
@@ -151,12 +153,12 @@ impl HistoryRecorder {
 
     /// Notes a single predicate (range) read.
     pub fn note_scan(&self, txn: TxnId, lo: Key, hi_obs: Key) {
-        self.0.borrow_mut().note_scan(txn, lo, hi_obs);
+        self.0.lock().unwrap().note_scan(txn, lo, hi_obs);
     }
 
     /// Notes a batch of predicate reads.
     pub fn note_scans(&self, txn: TxnId, scans: impl IntoIterator<Item = (Key, Key)>) {
-        let mut h = self.0.borrow_mut();
+        let mut h = self.0.lock().unwrap();
         for (lo, hi) in scans {
             h.note_scan(txn, lo, hi);
         }
@@ -164,12 +166,12 @@ impl HistoryRecorder {
 
     /// Marks `txn` committed.
     pub fn commit(&self, txn: TxnId) {
-        self.0.borrow_mut().commit(txn);
+        self.0.lock().unwrap().commit(txn);
     }
 
     /// Clones the history recorded so far.
     pub fn snapshot(&self) -> History {
-        self.0.borrow().clone()
+        self.0.lock().unwrap().clone()
     }
 }
 

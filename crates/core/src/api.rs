@@ -360,7 +360,11 @@ impl TxnSpec {
 }
 
 /// A workload: a deterministic generator of transactions for a node.
-pub trait Workload {
+///
+/// `Send` is a supertrait so node states (which own their generator) can
+/// move onto lane worker threads under the multi-lane scheduler; workload
+/// generators are plain data plus a per-node RNG, so this costs nothing.
+pub trait Workload: Send {
     /// Produces the next transaction a coordinator on `node` should run.
     fn next_txn(&mut self, node: usize, rng: &mut xenic_sim::DetRng) -> TxnSpec;
 

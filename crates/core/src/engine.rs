@@ -37,7 +37,7 @@
 //!   coordinator reports the outcome as soon as all Log acks arrive, per
 //!   §4.2 step 6), so they are elided from the wire.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use xenic_check::HistoryRecorder;
 use xenic_sim::{FastMap, FastSet, SmallVec};
 
@@ -76,7 +76,7 @@ pub struct Slot {
     pub seq: u64,
     /// The spec being attempted (kept for retries). Shared with the
     /// in-flight submit/retry message, so re-attempts are refcount bumps.
-    pub spec: Option<Rc<TxnSpec>>,
+    pub spec: Option<Arc<TxnSpec>>,
     /// When the current attempt started.
     pub started: SimTime,
     /// When the first attempt started (for end-to-end latency including
@@ -105,7 +105,7 @@ pub(crate) enum Phase {
 
 /// Coordinator-NIC state for one in-flight transaction.
 ///
-/// Memory discipline (DESIGN.md §13): the spec is shared (`Rc`), the
+/// Memory discipline (DESIGN.md §13): the spec is shared (`Arc`), the
 /// tiny key/shard sets live inline (`SmallVec`), and retired contexts
 /// recycle through `XenicNode`'s pool, so the steady-state commit
 /// pipeline allocates nothing here. The larger collections stay `Vec`
@@ -114,7 +114,7 @@ pub(crate) enum Phase {
 /// buffers would bloat the struct — which is moved by value through
 /// the pool and the coordinator map on every transaction.
 pub(crate) struct CoordTxn {
-    spec: Rc<TxnSpec>,
+    spec: Arc<TxnSpec>,
     pub(crate) phase: Phase,
     /// Outstanding responses in the current phase.
     pub(crate) pending: usize,
@@ -178,7 +178,7 @@ pub(crate) struct CoordTxn {
 const _: () = assert!(std::mem::size_of::<CoordTxn>() <= 320);
 
 impl CoordTxn {
-    fn new(spec: Rc<TxnSpec>) -> Self {
+    fn new(spec: Arc<TxnSpec>) -> Self {
         CoordTxn {
             spec,
             phase: Phase::Exec,
@@ -205,7 +205,7 @@ impl CoordTxn {
 
     /// Re-initializes a pooled context for a fresh transaction, keeping
     /// any heap capacity its containers acquired.
-    fn reset(&mut self, spec: Rc<TxnSpec>) {
+    fn reset(&mut self, spec: Arc<TxnSpec>) {
         self.spec = spec;
         self.phase = Phase::Exec;
         self.pending = 0;
@@ -296,7 +296,7 @@ enum PendingOp {
 
 /// Context of a shipped execution at a remote primary.
 struct ShipCtx {
-    spec: Rc<TxnSpec>,
+    spec: Arc<TxnSpec>,
     local_vals: Vec<(Key, Value, Version)>,
 }
 
@@ -337,7 +337,7 @@ pub struct XenicNode {
     coord_pool: Vec<CoordTxn>,
     // Placeholder spec for contexts that never carry one (local fast
     // path); cached so those transactions don't allocate a default spec.
-    default_spec: Rc<TxnSpec>,
+    default_spec: Arc<TxnSpec>,
     // Server-side pending operations.
     pending: FastMap<u64, PendingOp>,
     next_op: u64,
@@ -470,7 +470,7 @@ impl XenicNode {
             host_txns: FastMap::with_capacity_and_hasher(coord_cap, Default::default()),
             coord: FastMap::with_capacity_and_hasher(coord_cap, Default::default()),
             coord_pool: Vec::new(),
-            default_spec: Rc::new(TxnSpec::default()),
+            default_spec: Arc::new(TxnSpec::default()),
             pending: FastMap::with_capacity_and_hasher(pending_cap, Default::default()),
             next_op: 1,
             ship_staged: FastMap::default(),
@@ -498,6 +498,14 @@ impl XenicNode {
         self.recorder = Some(recorder);
     }
 
+    /// Whether a history recorder is attached. The lane scheduler checks
+    /// this: recorded runs stay on the serial scheduler because a global
+    /// observer would see a cross-lane interleaving the epoch barriers
+    /// don't pin down.
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
     /// Current capacities of the pre-sized hot-path maps, for the
     /// no-growth regression test: `[host_txns, coord, pending]` followed
     /// by each backup replica map. A steady-state run must leave every
@@ -515,7 +523,7 @@ impl XenicNode {
     }
 
     /// Takes a coordinator context from the pool (or builds one).
-    fn alloc_coord(&mut self, spec: Rc<TxnSpec>) -> CoordTxn {
+    fn alloc_coord(&mut self, spec: Arc<TxnSpec>) -> CoordTxn {
         match self.coord_pool.pop() {
             Some(mut ct) => {
                 ct.reset(spec);
@@ -530,7 +538,7 @@ impl XenicNode {
         if self.coord_pool.len() < COORD_POOL_MAX {
             // Release shared payloads now (pooling them would pin value
             // buffers and the spec arbitrarily long); capacity is kept.
-            ct.spec = Rc::clone(&self.default_spec);
+            ct.spec = Arc::clone(&self.default_spec);
             ct.values.clear();
             ct.writes.clear();
             ct.local_writes.clear();
@@ -979,8 +987,8 @@ fn host_start_txn(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, slot: u
             None => return,
         }
     } else {
-        let s = Rc::new(st.workload.next_txn(me, &mut rt.rng));
-        st.slots[slot as usize].spec = Some(Rc::clone(&s));
+        let s = Arc::new(st.workload.next_txn(me, rt.txn_rng()));
+        st.slots[slot as usize].spec = Some(Arc::clone(&s));
         st.slots[slot as usize].first_started = rt.now();
         s
     };
@@ -1115,7 +1123,7 @@ fn host_outcome(st: &mut XenicNode, rt: &mut Runtime<XMsg>, _me: usize, seq: u64
     } else {
         st.stats.record_abort();
         let (lo, hi) = st.cfg.retry_backoff_ns;
-        let backoff = rt.rng.range_inclusive(lo, hi);
+        let backoff = rt.txn_rng().range_inclusive(lo, hi);
         rt.send_local(Exec::Host, XMsg::RetryTxn { slot }, backoff);
     }
 }
@@ -1256,7 +1264,7 @@ fn compute_writes(
 // Coordinator-NIC handlers
 // =====================================================================
 
-fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, spec: Rc<TxnSpec>) {
+fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, spec: Arc<TxnSpec>) {
     let fa = rt.faults_active();
     let txn = TxnId::new(me as u32, seq);
     // The Execute span covers every coordinator variant: the standard
@@ -1289,7 +1297,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
         && remote_shards.len() == 1
         && local_reads_cached;
 
-    let mut ct = st.alloc_coord(Rc::clone(&spec));
+    let mut ct = st.alloc_coord(Arc::clone(&spec));
 
     if multihop_ok {
         ct.remote_shard = Some(remote_shards[0]);
@@ -1304,7 +1312,7 @@ fn cnic_submit(st: &mut XenicNode, rt: &mut Runtime<XMsg>, me: usize, seq: u64, 
             let msg = XMsg::from(ExecShip {
                 txn,
                 reply_to: me as u32,
-                spec: Rc::clone(&spec),
+                spec: Arc::clone(&spec),
                 local_vals: Vec::new(),
             });
             let bytes = msg.wire_bytes();
@@ -1578,7 +1586,7 @@ fn cnic_execute_resp(
             let ct = st.coord.get_mut(&seq).expect("coord exists");
             ct.enter_phase(Phase::MhShipped);
             let remote = ct.remote_shard.expect("multihop has remote");
-            let spec = Rc::clone(&ct.spec);
+            let spec = Arc::clone(&ct.spec);
             let mut local_vals = ct.values.to_vec();
             local_vals.extend(
                 ct.lock_versions
@@ -2464,7 +2472,7 @@ fn cnic_local_commit(
     // the local fast path never runs Execute rounds, so only the fields
     // it uses are filled in after the reset.
     let backups = st.part.backups(st.shard);
-    let mut ct = st.alloc_coord(Rc::clone(&st.default_spec));
+    let mut ct = st.alloc_coord(Arc::clone(&st.default_spec));
     ct.phase = Phase::LocalRepl;
     ct.pending = backups.len();
     ct.writes = writes.clone();

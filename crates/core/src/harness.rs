@@ -10,7 +10,7 @@ use crate::config::XenicConfig;
 use crate::engine::{Xenic, XenicNode};
 use crate::msg::XMsg;
 use xenic_hw::HwParams;
-use xenic_net::{Cluster, Exec, NetConfig};
+use xenic_net::{Cluster, Exec, NetConfig, ParCluster};
 use xenic_sim::{Histogram, SimTime};
 
 /// Aggregate results of one measured run.
@@ -56,6 +56,13 @@ pub struct RunOptions {
     pub measure: SimTime,
     /// RNG seed.
     pub seed: u64,
+    /// Scheduler lanes: 1 = the serial scheduler; N > 1 runs the cluster
+    /// on N worker threads with epoch barriers (DESIGN.md §16) when the
+    /// configuration is lane-eligible (per-node RNG discipline, tracing
+    /// off, no history recorder) and falls back to serial — with
+    /// identical results — otherwise. 0 clamps to the machine's
+    /// available parallelism.
+    pub lanes: usize,
 }
 
 impl Default for RunOptions {
@@ -65,6 +72,7 @@ impl Default for RunOptions {
             warmup: SimTime::from_ms(2),
             measure: SimTime::from_ms(10),
             seed: 42,
+            lanes: 1,
         }
     }
 }
@@ -126,23 +134,103 @@ pub fn run_xenic_cluster_with(
             );
         }
     }
-    cluster.run_until(opts.warmup);
-    let mstart = cluster.rt.now();
-    for st in &mut cluster.states {
-        st.stats.start_measuring(mstart);
+    let lanes = crate::resolve_parallelism(opts.lanes);
+    let use_lanes = lanes > 1
+        && ParCluster::eligible(&cluster)
+        && !cluster.states.iter().any(|s| s.has_recorder());
+    let mut drv = if use_lanes {
+        Driver::Par(ParCluster::from_cluster(cluster, lanes))
+    } else {
+        Driver::Serial(cluster)
+    };
+    drv.run_until(opts.warmup);
+    let mstart = drv.now();
+    for n in 0..nodes {
+        drv.state_mut(n).stats.start_measuring(mstart);
     }
-    let host_busy0: u64 = (0..nodes).map(|n| cluster.rt.pool_busy_ns(n, Exec::Host)).sum();
-    let nic_busy0: u64 = (0..nodes).map(|n| cluster.rt.pool_busy_ns(n, Exec::Nic)).sum();
-    let lio0: u64 = (0..nodes).map(|n| cluster.rt.lio_tx_bytes(n)).sum();
-    let cx50: u64 = (0..nodes).map(|n| cluster.rt.cx5_tx_bytes(n)).sum();
-    let dma0: u64 = (0..nodes).map(|n| cluster.rt.dma_elements(n)).sum();
+    let host_busy0: u64 = (0..nodes).map(|n| drv.rt_for(n).pool_busy_ns(n, Exec::Host)).sum();
+    let nic_busy0: u64 = (0..nodes).map(|n| drv.rt_for(n).pool_busy_ns(n, Exec::Nic)).sum();
+    let lio0: u64 = (0..nodes).map(|n| drv.rt_for(n).lio_tx_bytes(n)).sum();
+    let cx50: u64 = (0..nodes).map(|n| drv.rt_for(n).cx5_tx_bytes(n)).sum();
+    let dma0: u64 = (0..nodes).map(|n| drv.rt_for(n).dma_elements(n)).sum();
 
     let horizon = SimTime::from_ns(opts.warmup.as_ns() + opts.measure.as_ns());
-    cluster.run_until(horizon);
-    let mend = cluster.rt.now().max(horizon);
+    drv.run_until(horizon);
+    let mend = drv.now().max(horizon);
+    let cluster = drv.finish();
 
     let result = collect(&cluster, mstart, mend, host_busy0, nic_busy0, lio0, cx50, dma0);
     (result, cluster)
+}
+
+/// The scheduler behind one harness run: the serial event loop or the
+/// multi-lane epoch-barrier scheduler. Both produce bit-identical
+/// simulations (DESIGN.md §16), so everything downstream of
+/// [`Driver::finish`] is scheduler-agnostic.
+enum Driver {
+    Serial(Cluster<Xenic>),
+    Par(ParCluster<Xenic>),
+}
+
+impl Driver {
+    fn run_until(&mut self, horizon: SimTime) {
+        match self {
+            Driver::Serial(c) => {
+                c.run_until(horizon);
+            }
+            Driver::Par(p) => {
+                p.run_until(horizon);
+            }
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            Driver::Serial(c) => c.rt.now(),
+            Driver::Par(p) => p.now(),
+        }
+    }
+
+    fn state_mut(&mut self, node: usize) -> &mut XenicNode {
+        match self {
+            Driver::Serial(c) => &mut c.states[node],
+            Driver::Par(p) => p.state_mut(node),
+        }
+    }
+
+    fn rt_for(&self, node: usize) -> &xenic_net::Runtime<XMsg> {
+        match self {
+            Driver::Serial(c) => &c.rt,
+            Driver::Par(p) => p.rt_for(node),
+        }
+    }
+
+    fn finish(self) -> Cluster<Xenic> {
+        match self {
+            Driver::Serial(c) => c,
+            Driver::Par(p) => p.into_cluster(),
+        }
+    }
+}
+
+/// FNV digest over every node's host table (sorted keys, value bytes,
+/// versions): the whole-cluster state fingerprint used by the lane
+/// invariance tests and `lane_scaling`. Equal digests mean the stores
+/// ended bit-identical.
+pub fn cluster_digest(cluster: &Cluster<Xenic>) -> u64 {
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for st in &cluster.states {
+        let mut keys: Vec<u64> = st.host_table.iter_keys().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        for k in keys {
+            let (v, ver) = st.host_table.get(k).expect("key present");
+            for b in v.bytes() {
+                digest = (digest ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+            }
+            digest = (digest ^ ver).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    digest
 }
 
 /// Runs Xenic with serializability-history recording attached to every
@@ -312,6 +400,7 @@ mod tests {
             warmup: SimTime::from_ms(1),
             measure: SimTime::from_ms(4),
             seed: 7,
+            lanes: 1,
         }
     }
 

@@ -51,7 +51,7 @@
 //!     NetConfig::full(),
 //!     XenicConfig::full(),
 //!     &RunOptions { windows: 4, warmup: SimTime::from_ms(1),
-//!                   measure: SimTime::from_ms(3), seed: 1 },
+//!                   measure: SimTime::from_ms(3), seed: 1, lanes: 1 },
 //!     |_| Box::new(Counters),
 //! );
 //! assert!(result.committed > 0);
@@ -80,6 +80,41 @@ pub mod msg;
 pub mod recovery;
 pub mod repl;
 pub mod stats;
+
+/// Resolves a user-facing parallelism knob (`--jobs N`, `--lanes N`,
+/// [`harness::RunOptions::lanes`]): `0` means "use the machine" and
+/// clamps to `std::thread::available_parallelism()`; any other value
+/// passes through unchanged.
+pub fn resolve_parallelism(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+#[cfg(test)]
+mod parallelism_tests {
+    use super::resolve_parallelism;
+
+    #[test]
+    fn zero_clamps_to_machine_parallelism() {
+        let machine = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(resolve_parallelism(0), machine);
+        assert!(resolve_parallelism(0) >= 1, "never resolves to zero workers");
+    }
+
+    #[test]
+    fn nonzero_passes_through() {
+        for n in [1usize, 2, 4, 7, 128] {
+            assert_eq!(resolve_parallelism(n), n);
+        }
+    }
+}
 
 pub use api::{local_of, make_key, shard_of, Partitioning, ShipMode, TxnSpec, UpdateOp, Workload};
 pub use config::{ReplBackend, XenicConfig};

@@ -11,7 +11,7 @@ use crate::api::{ScanSpec, TxnSpec};
 use std::fmt;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::{Deref, DerefMut};
-use std::rc::Rc;
+use std::sync::Arc;
 use xenic_sim::SmallVec;
 use xenic_store::{Key, TxnId, Value, Version, WritePayload};
 
@@ -293,9 +293,9 @@ pub struct TxnSubmit {
     /// Coordinator-local sequence.
     pub seq: u64,
     /// The transaction. Shared, not owned: submits, retries, and
-    /// function-shipping re-sends all bump the same `Rc` instead of
+    /// function-shipping re-sends all bump the same `Arc` instead of
     /// deep-copying the spec's key vectors.
-    pub spec: Rc<TxnSpec>,
+    pub spec: Arc<TxnSpec>,
 }
 
 /// Body of [`XMsg::LocalCommit`].
@@ -440,7 +440,7 @@ pub struct ExecShip {
     pub reply_to: u32,
     /// The transaction (remote + local keys), shared with the
     /// coordinator's own context — see [`TxnSubmit::spec`].
-    pub spec: Rc<TxnSpec>,
+    pub spec: Arc<TxnSpec>,
     /// Values of the coordinator-local keys, read and locked by the
     /// coordinator NIC before shipping.
     pub local_vals: Vec<(Key, Value, Version)>,
@@ -518,6 +518,38 @@ pub trait PoolSlot: Sized + 'static {
     fn with_pool<R>(f: impl FnOnce(&mut Vec<Box<MaybeUninit<Self>>>) -> R) -> R;
 }
 
+/// Debug-build count of pooled boxes that were freed instead of recycled
+/// because they were retired on a different thread (lane) than the one
+/// that allocated them — the cross-lane handoff path of the multi-lane
+/// scheduler. Tests use this to prove the drain path actually runs.
+#[cfg(debug_assertions)]
+static CROSS_LANE_DRAINS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Debug-build observer for [`MsgBox`]'s cross-lane drain counter.
+#[cfg(debug_assertions)]
+pub fn cross_lane_drains() -> u64 {
+    CROSS_LANE_DRAINS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Returns an emptied slot to the current thread's pool. Debug builds
+/// carry the allocating thread's id and assert the slot never entered a
+/// foreign pool — callers must route cross-lane slots to the drain path,
+/// never here.
+#[cfg(debug_assertions)]
+fn recycle<T: PoolSlot>(slot: Box<MaybeUninit<T>>, origin: std::thread::ThreadId) {
+    debug_assert_eq!(
+        origin,
+        std::thread::current().id(),
+        "pooled slot crossed lanes; cross-lane boxes are drained, not recycled"
+    );
+    T::with_pool(|p| {
+        if p.len() < POOL_MAX {
+            p.push(slot);
+        }
+    });
+}
+
+#[cfg(not(debug_assertions))]
 fn recycle<T: PoolSlot>(slot: Box<MaybeUninit<T>>) {
     T::with_pool(|p| {
         if p.len() < POOL_MAX {
@@ -534,13 +566,29 @@ fn recycle<T: PoolSlot>(slot: Box<MaybeUninit<T>>) {
 /// the hot path (one body per send, plus clones for retransmit buffers
 /// and duplication faults), so in steady state every construction reuses
 /// a slot — the same freelist discipline as the runtime's frame pool and
-/// the engine's `CoordTxn` pool (DESIGN.md §13). Thread-local pools keep
-/// this sound under the parallel sweep runner (each cluster is confined
-/// to one thread, like the `Rc`s it carries).
+/// the engine's `CoordTxn` pool (DESIGN.md §13).
+///
+/// # Thread confinement
+///
+/// Pools are `thread_local!`, so each lane worker of the multi-lane
+/// scheduler (DESIGN.md §16) owns an independent freelist and no pool is
+/// ever shared. A box built on lane A can legitimately travel to lane B
+/// inside a cross-lane frame; the allocation is plain heap memory, so
+/// retiring it on B is sound either way. Release builds recycle it into
+/// B's pool (it's just a spare allocation). Debug builds carry the
+/// allocating thread's id and *drain* (free) the box instead, with a
+/// `debug_assert` in [`recycle`] enforcing that no slot ever enters a
+/// foreign pool — making the confinement argument checkable, not just
+/// prose.
 ///
 /// Unlike `Box`, fields cannot be moved out through the pointer; use
 /// [`MsgBox::take`] to move the whole body out (recycling the slot).
-pub struct MsgBox<T: PoolSlot>(ManuallyDrop<Box<T>>);
+pub struct MsgBox<T: PoolSlot> {
+    inner: ManuallyDrop<Box<T>>,
+    /// Debug-only lane tag: the thread that allocated this box.
+    #[cfg(debug_assertions)]
+    origin: std::thread::ThreadId,
+}
 
 impl<T: PoolSlot> MsgBox<T> {
     /// Boxes `v`, reusing a pooled allocation when one is free.
@@ -554,19 +602,46 @@ impl<T: PoolSlot> MsgBox<T> {
             }
             None => Box::new(v),
         };
-        MsgBox(ManuallyDrop::new(b))
+        MsgBox {
+            inner: ManuallyDrop::new(b),
+            #[cfg(debug_assertions)]
+            origin: std::thread::current().id(),
+        }
+    }
+
+    /// Retires an emptied slot: recycle on the allocating thread, drain
+    /// (free) on any other — see the thread-confinement notes on the type.
+    #[inline]
+    fn retire(slot: Box<MaybeUninit<T>>, #[cfg(debug_assertions)] origin: std::thread::ThreadId) {
+        #[cfg(debug_assertions)]
+        {
+            if origin != std::thread::current().id() {
+                CROSS_LANE_DRAINS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                drop(slot);
+                return;
+            }
+            recycle::<T>(slot, origin);
+        }
+        #[cfg(not(debug_assertions))]
+        recycle::<T>(slot);
     }
 
     /// Moves the body out and returns the allocation to the pool.
     pub fn take(self) -> T {
         let mut this = ManuallyDrop::new(self);
+        #[cfg(debug_assertions)]
+        let origin = this.origin;
         // SAFETY: `this` is never dropped; the value is read out exactly
         // once (ownership moves to the caller) and the allocation is
         // recycled uninitialized.
         unsafe {
-            let raw = Box::into_raw(ManuallyDrop::take(&mut this.0));
+            let raw = Box::into_raw(ManuallyDrop::take(&mut this.inner));
             let v = raw.read();
-            recycle::<T>(Box::from_raw(raw.cast::<MaybeUninit<T>>()));
+            Self::retire(
+                Box::from_raw(raw.cast::<MaybeUninit<T>>()),
+                #[cfg(debug_assertions)]
+                origin,
+            );
             v
         }
     }
@@ -574,12 +649,18 @@ impl<T: PoolSlot> MsgBox<T> {
 
 impl<T: PoolSlot> Drop for MsgBox<T> {
     fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        let origin = self.origin;
         // SAFETY: the box is live until here; drop the body in place,
         // then recycle the now-uninitialized allocation.
         unsafe {
-            let raw = Box::into_raw(ManuallyDrop::take(&mut self.0));
+            let raw = Box::into_raw(ManuallyDrop::take(&mut self.inner));
             raw.drop_in_place();
-            recycle::<T>(Box::from_raw(raw.cast::<MaybeUninit<T>>()));
+            Self::retire(
+                Box::from_raw(raw.cast::<MaybeUninit<T>>()),
+                #[cfg(debug_assertions)]
+                origin,
+            );
         }
     }
 }
@@ -588,14 +669,14 @@ impl<T: PoolSlot> Deref for MsgBox<T> {
     type Target = T;
     #[inline]
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: PoolSlot> DerefMut for MsgBox<T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
@@ -825,6 +906,53 @@ mod tests {
         let body = b.take();
         assert_eq!(body.unlock.len(), 7);
         assert_eq!(body.unlock.as_slice(), &[0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    /// Thread-confinement discipline for the lane scheduler: a box
+    /// allocated here and dropped on another thread must be *drained*
+    /// (freed), never recycled into the foreign thread's pool, and the
+    /// home pool keeps recycling normally afterwards.
+    #[test]
+    fn cross_thread_boxes_drain_not_recycle() {
+        let handoff = MsgBox::new(AbortReq {
+            txn: TxnId::new(3, 2),
+            unlock: KeySet::new(),
+        });
+        #[cfg(debug_assertions)]
+        let drains0 = cross_lane_drains();
+        std::thread::spawn(move || {
+            let pool_before = AbortReq::with_pool(|p| p.len());
+            drop(handoff);
+            let pool_after = AbortReq::with_pool(|p| p.len());
+            #[cfg(debug_assertions)]
+            assert_eq!(
+                pool_after, pool_before,
+                "cross-lane drop must drain, not recycle into the foreign pool"
+            );
+            // Release builds recycle into the receiving thread's own pool,
+            // which is equally sound (the slot is plain heap memory).
+            #[cfg(not(debug_assertions))]
+            assert_eq!(pool_after, pool_before + 1);
+        })
+        .join()
+        .unwrap();
+        #[cfg(debug_assertions)]
+        assert!(
+            cross_lane_drains() > drains0,
+            "the cross-lane drain path must actually run"
+        );
+        // The home thread's pool still recycles same-thread boxes.
+        let a = MsgBox::new(AbortReq {
+            txn: TxnId::new(3, 3),
+            unlock: KeySet::new(),
+        });
+        let p = &*a as *const AbortReq as usize;
+        drop(a);
+        let b = MsgBox::new(AbortReq {
+            txn: TxnId::new(3, 4),
+            unlock: KeySet::new(),
+        });
+        assert_eq!(&*b as *const AbortReq as usize, p);
     }
 
     #[test]

@@ -444,6 +444,7 @@ fn batching_factors_grow_with_load() {
                 warmup: SimTime::from_ms(1),
                 measure: SimTime::from_ms(4),
                 seed: 2,
+                lanes: 1,
             },
             mk,
         )

@@ -168,6 +168,28 @@ impl FaultPlan {
     }
 }
 
+/// Which randomness (and equal-time event ordering) discipline a run
+/// uses. Both are fully deterministic; they are *different* deterministic
+/// schedules, so pinned digests are per-discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RngDiscipline {
+    /// One global RNG stream drawn in global event order, with equal-time
+    /// events popping in queue-insertion order. This is the historical
+    /// discipline every existing pinned digest was recorded under; it is
+    /// inherently serial (the draw order depends on the global
+    /// interleaving), so `--lanes N > 1` silently falls back to the
+    /// serial scheduler.
+    Global,
+    /// Per-node RNG streams (`node-txn-<i>` / `net-faults-<i>` off the
+    /// cluster seed) drawn in each node's own handler order, with
+    /// equal-time events ordered by an intrinsic
+    /// `(owner_node, per-node counter)` stamp. Every draw and every
+    /// tie-break is a pure function of per-node history, which is what
+    /// lets lane workers execute nodes in parallel and still produce the
+    /// serial schedule bit for bit (DESIGN.md §16).
+    PerNode,
+}
+
 /// Communication-layer configuration for a [`crate::Cluster`].
 #[derive(Clone, Debug)]
 pub struct NetConfig {
@@ -186,6 +208,10 @@ pub struct NetConfig {
     /// events and no RNG draws, so traced-off runs are bit-identical to an
     /// untraced build).
     pub trace: TraceConfig,
+    /// Randomness/ordering discipline (see [`RngDiscipline`]). Defaults
+    /// to [`RngDiscipline::Global`], preserving every existing pinned
+    /// schedule; multi-lane runs require [`RngDiscipline::PerNode`].
+    pub rng: RngDiscipline,
 }
 
 impl NetConfig {
@@ -197,6 +223,7 @@ impl NetConfig {
             async_dma: true,
             faults: FaultPlan::none(),
             trace: TraceConfig::disabled(),
+            rng: RngDiscipline::Global,
         }
     }
 
@@ -208,6 +235,7 @@ impl NetConfig {
             async_dma: false,
             faults: FaultPlan::none(),
             trace: TraceConfig::disabled(),
+            rng: RngDiscipline::Global,
         }
     }
 
@@ -220,6 +248,15 @@ impl NetConfig {
     /// Attaches a tracing configuration (builder style).
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Switches to per-node RNG streams and intrinsic event stamping —
+    /// the lane-safe discipline required for `--lanes N > 1` (builder
+    /// style). Changes the deterministic schedule, so digests pinned
+    /// under the global discipline do not apply.
+    pub fn with_per_node_rng(mut self) -> Self {
+        self.rng = RngDiscipline::PerNode;
         self
     }
 }

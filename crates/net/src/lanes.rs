@@ -1,0 +1,325 @@
+//! Deterministic multi-lane cluster execution (DESIGN.md §16).
+//!
+//! [`ParCluster`] splits a fully-built serial [`Cluster`] into **lanes**:
+//! contiguous node ranges, each owning its nodes' protocol state, hardware
+//! resources, and a private event queue, each running on a scoped worker
+//! thread. Lanes synchronize at conservative epoch barriers:
+//!
+//! * The coordinator computes `t_min`, the earliest pending event across
+//!   all lanes (including cross-lane messages awaiting delivery), and sets
+//!   the barrier to `t_min + lookahead`, where the lookahead is
+//!   [`HwParams::wire_oneway_ns`] — the minimum latency any event can
+//!   cross between nodes (every cross-node schedule in the runtime adds at
+//!   least one `wire_oneway_ns` hop; everything else is node-local).
+//! * Each worker pops and dispatches its own events strictly below the
+//!   barrier. Intra-lane cascades under the barrier run freely; pushes
+//!   owned by foreign lanes divert to a per-lane outbox (see
+//!   `Runtime::push_ev`). By the lookahead bound those land at or beyond
+//!   the barrier, so no lane can affect another *within* an epoch.
+//! * At the barrier the coordinator routes every outbox entry to its
+//!   owner lane, which merges it by the event's intrinsic
+//!   `(time, owner-node, per-node counter)` stamp.
+//!
+//! Determinism does not depend on barrier placement: the stamps are
+//! assigned at *push* time from per-node counters (under
+//! [`RngDiscipline::PerNode`]), and each node's handler sequence — hence
+//! its pushes, stamps, and RNG draws — is identical whether the cluster
+//! runs serially or on any lane count. The global schedule is a pure
+//! function of `(seed, config)`, and whole-cluster digests are
+//! byte-identical to the serial scheduler's.
+//!
+//! Tracing and history recording are global observers with cross-lane
+//! ordering, so they force the serial scheduler (see
+//! [`ParCluster::eligible`]).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use xenic_sim::SimTime;
+
+use crate::config::RngDiscipline;
+use crate::runtime::{dispatch_event, Cluster, Event, Protocol, Runtime};
+
+/// One lane: a contiguous node range with its own runtime and states.
+struct LaneSlot<P: Protocol> {
+    /// First node this lane owns; it owns `base..base + states.len()`.
+    base: usize,
+    states: Vec<P::State>,
+    rt: Runtime<P::Msg>,
+    /// Events this lane has popped since the split.
+    processed: u64,
+}
+
+/// A buffered cross-lane event: `(time, stamp, event)`.
+type Pending<M> = (SimTime, u64, Event<M>);
+
+/// The coordinator→worker message for one epoch.
+struct Go<M> {
+    /// Exclusive time bound: pop events strictly below this.
+    barrier_ns: u64,
+    /// Cross-lane events routed to this lane at the previous barrier.
+    injects: Vec<Pending<M>>,
+}
+
+/// The worker→coordinator reply after one epoch.
+struct Done<M> {
+    lane: usize,
+    /// Cross-lane pushes made during the epoch.
+    outbox: Vec<Pending<M>>,
+    /// Earliest event now pending in the lane's own queue.
+    next: Option<SimTime>,
+    /// Events popped this epoch.
+    popped: u64,
+}
+
+/// A cluster split into parallel lanes. Built from (and reassembled into)
+/// a serial [`Cluster`]; see the module docs for the execution model.
+pub struct ParCluster<P: Protocol> {
+    lanes: Vec<LaneSlot<P>>,
+    /// node → owning lane.
+    node_lane: Arc<[u16]>,
+    /// Conservative lookahead: minimum inter-node delivery latency.
+    lookahead_ns: u64,
+    /// The master runtime, emptied of nodes and queue, kept for
+    /// reassembly in [`ParCluster::into_cluster`].
+    shell: Runtime<P::Msg>,
+}
+
+impl<P: Protocol> ParCluster<P>
+where
+    P::Msg: Send,
+    P::State: Send,
+{
+    /// Whether `cluster` can run on the lane scheduler: the per-node RNG
+    /// discipline (intrinsic stamps + per-node streams) with tracing off.
+    /// Ineligible configurations simply stay on the serial scheduler —
+    /// which produces identical results by construction.
+    pub fn eligible(cluster: &Cluster<P>) -> bool {
+        cluster.rt.cfg.rng == RngDiscipline::PerNode && !cluster.rt.trace_enabled()
+    }
+
+    /// Splits `cluster` into `lanes` contiguous node ranges. `lanes` is
+    /// clamped to `[1, nodes]`.
+    ///
+    /// # Panics
+    /// If the cluster is not [`ParCluster::eligible`].
+    pub fn from_cluster(cluster: Cluster<P>, lanes: usize) -> Self {
+        assert!(
+            Self::eligible(&cluster),
+            "lane scheduler requires RngDiscipline::PerNode with tracing off"
+        );
+        let n = cluster.states.len();
+        let lanes = lanes.clamp(1, n.max(1));
+        // Balanced block partition: node i belongs to lane i*lanes/n.
+        let node_lane: Arc<[u16]> =
+            (0..n).map(|i| (i * lanes / n) as u16).collect::<Vec<_>>().into();
+        let lookahead_ns = cluster.rt.params.wire_oneway_ns.max(1);
+
+        let Cluster { states, rt } = cluster;
+        let mut shell = rt;
+        let pending = shell.queue.drain_sorted();
+        let placeholders: Vec<_> = (0..n)
+            .map(|_| Runtime::<P::Msg>::mk_node(&shell.params, 0))
+            .collect();
+        let all_nodes = std::mem::replace(&mut shell.nodes, placeholders);
+
+        let mut slots: Vec<LaneSlot<P>> = Vec::with_capacity(lanes);
+        let mut states_iter = states.into_iter();
+        let mut base = 0;
+        for l in 0..lanes {
+            let count = node_lane.iter().filter(|&&x| x as usize == l).count();
+            slots.push(LaneSlot {
+                base,
+                states: states_iter.by_ref().take(count).collect(),
+                rt: shell.lane_shell(node_lane.clone(), l as u16),
+                processed: 0,
+            });
+            base += count;
+        }
+        for (i, res) in all_nodes.into_iter().enumerate() {
+            slots[node_lane[i] as usize].rt.nodes[i] = res;
+        }
+        for (t, seq, ev) in pending {
+            let owner = ev
+                .owner()
+                .expect("global events cannot cross into the lane scheduler");
+            slots[node_lane[owner] as usize].rt.queue.push_with_seq(t, seq, ev);
+        }
+        ParCluster {
+            lanes: slots,
+            node_lane,
+            lookahead_ns,
+            shell,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_lane.len()
+    }
+
+    /// Global simulated time: the furthest any lane has advanced (equal
+    /// to the serial scheduler's clock after the same horizon).
+    pub fn now(&self) -> SimTime {
+        self.lanes
+            .iter()
+            .map(|l| l.rt.queue.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The runtime owning `node` — use the per-node measurement accessors
+    /// on it exactly as on a serial cluster's runtime.
+    pub fn rt_for(&self, node: usize) -> &Runtime<P::Msg> {
+        &self.lanes[self.node_lane[node] as usize].rt
+    }
+
+    /// Shared read access to a node's protocol state.
+    pub fn state(&self, node: usize) -> &P::State {
+        let lane = &self.lanes[self.node_lane[node] as usize];
+        &lane.states[node - lane.base]
+    }
+
+    /// Exclusive access to a node's protocol state.
+    pub fn state_mut(&mut self, node: usize) -> &mut P::State {
+        let lane = &mut self.lanes[self.node_lane[node] as usize];
+        &mut lane.states[node - lane.base]
+    }
+
+    /// Runs all lanes until every queue drains or the clock passes
+    /// `horizon`. Returns the number of events processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let lanes_n = self.lanes.len();
+        let lookahead = self.lookahead_ns;
+        let node_lane = self.node_lane.clone();
+        let mut next: Vec<Option<SimTime>> =
+            self.lanes.iter().map(|l| l.rt.queue.peek_time()).collect();
+        // Cross-lane events awaiting delivery, per destination lane.
+        let mut pending: Vec<Vec<Pending<P::Msg>>> = (0..lanes_n).map(|_| Vec::new()).collect();
+        let mut total = 0u64;
+
+        std::thread::scope(|s| {
+            let (done_tx, done_rx) = mpsc::channel::<Done<P::Msg>>();
+            let mut go_txs = Vec::with_capacity(lanes_n);
+            for (li, lane) in self.lanes.iter_mut().enumerate() {
+                let (go_tx, go_rx) = mpsc::channel::<Go<P::Msg>>();
+                go_txs.push(go_tx);
+                let done_tx = done_tx.clone();
+                s.spawn(move || {
+                    while let Ok(go) = go_rx.recv() {
+                        for (t, seq, ev) in go.injects {
+                            lane.rt.queue.push_with_seq(t, seq, ev);
+                        }
+                        let upto = SimTime::from_ns(go.barrier_ns - 1);
+                        let mut popped = 0u64;
+                        while let Some((_, ev)) = lane.rt.queue.pop_at_or_before(upto) {
+                            popped += 1;
+                            dispatch_event::<P>(&mut lane.states, lane.base, &mut lane.rt, ev);
+                        }
+                        lane.processed += popped;
+                        let done = Done {
+                            lane: li,
+                            outbox: std::mem::take(&mut lane.rt.outbox),
+                            next: lane.rt.queue.peek_time(),
+                            popped,
+                        };
+                        if done_tx.send(done).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+
+            loop {
+                let mut t_min: Option<SimTime> = None;
+                for l in 0..lanes_n {
+                    for cand in next[l]
+                        .into_iter()
+                        .chain(pending[l].iter().map(|p| p.0))
+                    {
+                        t_min = Some(t_min.map_or(cand, |m| m.min(cand)));
+                    }
+                }
+                let Some(t_min) = t_min else { break };
+                if t_min > horizon {
+                    break;
+                }
+                // Exclusive pop bound; capped so no lane runs past the
+                // horizon (serial semantics pop events at `horizon` too).
+                let barrier_ns = (t_min.0 + lookahead).min(horizon.0 + 1);
+                for (l, tx) in go_txs.iter().enumerate() {
+                    let go = Go {
+                        barrier_ns,
+                        injects: std::mem::take(&mut pending[l]),
+                    };
+                    tx.send(go).expect("lane worker alive");
+                }
+                for _ in 0..lanes_n {
+                    let done = done_rx.recv().expect("lane worker alive");
+                    total += done.popped;
+                    next[done.lane] = done.next;
+                    for entry in done.outbox {
+                        let owner = entry
+                            .2
+                            .owner()
+                            .expect("only node-owned events divert to outboxes");
+                        pending[node_lane[owner] as usize].push(entry);
+                    }
+                }
+            }
+            drop(go_txs);
+        });
+
+        // Undelivered cross-lane events beyond the horizon survive for the
+        // next `run_until` call (or reassembly).
+        for (l, v) in pending.into_iter().enumerate() {
+            for (t, seq, ev) in v {
+                self.lanes[l].rt.queue.push_with_seq(t, seq, ev);
+            }
+        }
+        total
+    }
+
+    /// Reassembles the serial [`Cluster`]: node resources, protocol
+    /// states, RNG streams, and queue remainders return to the master
+    /// runtime, with the clock and processed-event counter advanced as a
+    /// serial run over the same horizon would have left them — post-run
+    /// inspection is indistinguishable.
+    pub fn into_cluster(self) -> Cluster<P> {
+        let mut rt = self.shell;
+        let max_now = self
+            .lanes
+            .iter()
+            .map(|l| l.rt.queue.now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut states: Vec<P::State> = Vec::with_capacity(self.node_lane.len());
+        let mut lane_pops = 0u64;
+        for lane in self.lanes {
+            lane_pops += lane.processed;
+            let mut lane_rt = lane.rt;
+            for (j, st) in lane.states.into_iter().enumerate() {
+                let node = lane.base + j;
+                states.push(st);
+                let placeholder = Runtime::<P::Msg>::mk_node(&lane_rt.params, 0);
+                rt.nodes[node] = std::mem::replace(&mut lane_rt.nodes[node], placeholder);
+                rt.crashed[node] = lane_rt.crashed[node];
+                rt.push_ctr[node] = lane_rt.push_ctr[node];
+                rt.node_rngs[node] = lane_rt.node_rngs[node].clone();
+                rt.fault_rngs[node] = lane_rt.fault_rngs[node].clone();
+            }
+            for (t, seq, ev) in lane_rt.queue.drain_sorted() {
+                rt.queue.push_with_seq(t, seq, ev);
+            }
+        }
+        rt.queue.set_now(max_now);
+        rt.queue.add_processed(lane_pops);
+        Cluster { states, rt }
+    }
+}

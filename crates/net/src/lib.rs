@@ -24,8 +24,10 @@
 //!   all driven from a dedicated RNG stream so chaos runs replay exactly.
 
 pub mod config;
+pub mod lanes;
 pub mod runtime;
 
-pub use config::{CrashEvent, FaultPlan, LinkFaults, NetConfig, Partition};
+pub use config::{CrashEvent, FaultPlan, LinkFaults, NetConfig, Partition, RngDiscipline};
+pub use lanes::ParCluster;
 pub use runtime::{Cluster, Event, Exec, Protocol, Runtime};
 pub use xenic_sim::{TraceConfig, Tracer};

@@ -20,7 +20,7 @@ use xenic_hw::rdma::Verb;
 use xenic_hw::{CorePool, DmaEngine, HwParams, RdmaNic};
 use xenic_sim::{Component, DetRng, EventQueue, SimTime, Tracer};
 
-use crate::config::NetConfig;
+use crate::config::{NetConfig, RngDiscipline};
 
 /// Which of a node's processor complexes executes a message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -151,6 +151,27 @@ pub enum Event<M> {
     GaugeSample,
 }
 
+
+impl<M> Event<M> {
+    /// The node this event belongss to.
+    pub(crate) fn owner(&self) -> Option<usize> {
+        match self {
+            Event::Deliver { node, .. }
+            | Event::CoreFree { node, .. }
+            | Event::FlushNet { node, .. }
+            | Event::FlushPcie { node, .. }
+            | Event::FlushDma { node }
+            | Event::Crash { node }
+            | Event::Restart { node } => Some(*node),
+            Event::NetArrive { dst, .. }
+            | Event::RdmaArrive { dst, .. }
+            | Event::RdmaServed { dst, .. } => Some(*dst),
+            Event::RdmaReturn { to, .. } => Some(*to),
+            Event::GaugeSample => None,
+        }
+    }
+}
+
 /// What the responder does once an RDMA request is served.
 #[derive(Debug)]
 pub enum RdmaCont<M> {
@@ -192,7 +213,7 @@ impl<M> Default for AggBuf<M> {
 }
 
 /// Per-node hardware resources and queues.
-struct NodeRes<M> {
+pub(crate) struct NodeRes<M> {
     host: CorePool,
     nic: CorePool,
     /// LiquidIO Ethernet port (Xenic traffic).
@@ -233,6 +254,11 @@ const AGG_SYNC_NS: u64 = 60;
 /// engine is idle; larger batches accumulate behind a busy queue.
 const DMA_WINDOW_NS: u64 = 60;
 
+/// Bit position of the owner-node id in an intrinsic push stamp: the low
+/// 44 bits hold the per-node push counter (~17.6e12 pushes per node), the
+/// high bits the node id (up to ~2^20 nodes).
+const STAMP_NODE_SHIFT: u32 = 44;
+
 /// Upper bound on retained frame buffers in the transmit freelist — caps
 /// idle memory while still covering the in-flight frame population.
 const FRAME_POOL_MAX: usize = 256;
@@ -250,20 +276,49 @@ pub struct Runtime<M> {
     /// Dedicated randomness for fault injection. A separate stream keeps
     /// workload randomness identical whether or not faults are enabled,
     /// and keeps fault schedules reproducible per `(seed, plan)`.
-    fault_rng: DetRng,
+    pub(crate) fault_rng: DetRng,
+    /// Per-node fault streams (`net-faults-<i>`), drawn instead of
+    /// `fault_rng` under [`RngDiscipline::PerNode`] so each node's fault
+    /// schedule is a pure function of that node's own send history —
+    /// which is what lets lossy plans run lane-parallel.
+    pub(crate) fault_rngs: Vec<DetRng>,
+    /// Per-node protocol streams (`node-txn-<i>`), handed out by
+    /// [`Runtime::txn_rng`] instead of `rng` under
+    /// [`RngDiscipline::PerNode`].
+    pub(crate) node_rngs: Vec<DetRng>,
     /// Whether the configured fault plan can perturb this run at all.
-    faults_active: bool,
+    pub(crate) faults_active: bool,
     /// Per-node crashed flags (all false unless the plan crashes nodes).
-    crashed: Vec<bool>,
+    pub(crate) crashed: Vec<bool>,
     /// The run's trace recorder (disabled by default: zero events, zero
     /// RNG draws, so traced-off runs match an untraced build bit for bit).
-    tracer: Tracer,
-    nodes: Vec<NodeRes<M>>,
-    cur_node: usize,
-    cur_exec: Exec,
-    cur_core: usize,
-    cur_end: SimTime,
-    in_handler: bool,
+    pub(crate) tracer: Tracer,
+    pub(crate) nodes: Vec<NodeRes<M>>,
+    pub(crate) cur_node: usize,
+    pub(crate) cur_exec: Exec,
+    pub(crate) cur_core: usize,
+    pub(crate) cur_end: SimTime,
+    pub(crate) in_handler: bool,
+    /// True under [`RngDiscipline::PerNode`]: every push carries an
+    /// intrinsic `(owner node, per-node counter)` ordering key instead of
+    /// the queue's global insertion sequence. Each node's handler
+    /// sequence is the same however the cluster is scheduled, so the
+    /// stamps — and therefore equal-time tie-breaks — are identical in
+    /// serial and lane-parallel runs. See DESIGN.md §16.
+    pub(crate) stamp: bool,
+    /// Owner node of the event being dispatched: the stamp source for any
+    /// push the current handler performs.
+    pub(crate) stamp_node: usize,
+    /// Per-node push counters backing the intrinsic stamps.
+    pub(crate) push_ctr: Vec<u64>,
+    /// When this runtime is one lane of a [`crate::ParCluster`]: node →
+    /// lane id. `None` on the serial scheduler.
+    pub(crate) lane_of: Option<std::sync::Arc<[u16]>>,
+    /// This runtime's lane id when split.
+    pub(crate) my_lane: u16,
+    /// Pushes owned by other lanes, buffered for the epoch coordinator to
+    /// route at the next barrier.
+    pub(crate) outbox: Vec<(SimTime, u64, Event<M>)>,
     // Reusable hot-path scratch: the transmit/flush paths drain borrowed
     // vectors instead of allocating per flush, and arrived frames recycle
     // their buffers through `frame_pool` (bounded by FRAME_POOL_MAX).
@@ -278,49 +333,22 @@ pub struct Runtime<M> {
 impl<M: Clone + fmt::Debug> Runtime<M> {
     fn new(params: HwParams, cfg: NetConfig, seed: u64) -> Self {
         let n = params.nodes;
-        let nodes = (0..n)
-            .map(|_| NodeRes {
-                host: CorePool::new(CoreClass::Host, params.host_threads),
-                nic: CorePool::new(CoreClass::Nic, params.nic_cores),
-                lio: Port::new(&params),
-                cx5: Port::with(params.net_gbps, 0),
-                pcie: Port::with(params.pcie_gbps, PCIE_MSG_OVERHEAD),
-                dma: DmaEngine::new(&params),
-                rdma: RdmaNic::new(&params),
-                inbox_host: VecDeque::new(),
-                inbox_nic: VecDeque::new(),
-                agg_net: (0..n).map(|_| AggBuf::default()).collect(),
-                agg_pcie_up: AggBuf::default(),
-                agg_pcie_down: AggBuf::default(),
-                dma_pending: Vec::new(),
-                dma_scheduled: false,
-                dma_rr: 0,
-                net_msgs_sent: 0,
-                net_msgs_dropped: 0,
-                net_msgs_duped: 0,
-            })
-            .collect();
-        let mut queue = EventQueue::new();
-        for c in &cfg.faults.crashes {
-            queue.push(SimTime::from_ns(c.at_ns), Event::Crash { node: c.node });
-            if let Some(r) = c.restart_at_ns {
-                queue.push(SimTime::from_ns(r), Event::Restart { node: c.node });
-            }
-        }
+        let nodes = (0..n).map(|_| Self::mk_node(&params, n)).collect();
         let faults_active = cfg.faults.active();
         let tracer = Tracer::from_config(&cfg.trace);
-        if tracer.enabled() && tracer.gauge_interval_ns() > 0 {
-            queue.push(
-                SimTime::from_ns(tracer.gauge_interval_ns()),
-                Event::GaugeSample,
-            );
-        }
-        Runtime {
-            params,
-            cfg,
-            queue,
+        let stamp = cfg.rng == RngDiscipline::PerNode;
+        let mut rt = Runtime {
             rng: DetRng::new(seed),
             fault_rng: DetRng::new(seed).stream("net-faults"),
+            fault_rngs: (0..n)
+                .map(|i| DetRng::new(seed).stream(&format!("net-faults-{i}")))
+                .collect(),
+            node_rngs: (0..n)
+                .map(|i| DetRng::new(seed).stream(&format!("node-txn-{i}")))
+                .collect(),
+            params,
+            cfg,
+            queue: EventQueue::new(),
             faults_active,
             crashed: vec![false; n],
             tracer,
@@ -336,6 +364,147 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             frame_pool: Vec::new(),
             dma_batch_scratch: Vec::new(),
             dma_ops_scratch: Vec::new(),
+            stamp,
+            stamp_node: 0,
+            push_ctr: vec![0; n],
+            lane_of: None,
+            my_lane: 0,
+            outbox: Vec::new(),
+        };
+        // Fault-plan schedule: each crash/restart is stamped by (and lane-
+        // routed to) the node it hits.
+        let crashes = rt.cfg.faults.crashes.clone();
+        for c in &crashes {
+            rt.stamp_node = c.node;
+            rt.push_ev(SimTime::from_ns(c.at_ns), Event::Crash { node: c.node });
+            if let Some(r) = c.restart_at_ns {
+                rt.push_ev(SimTime::from_ns(r), Event::Restart { node: c.node });
+            }
+        }
+        rt.stamp_node = 0;
+        if rt.tracer.enabled() && rt.tracer.gauge_interval_ns() > 0 {
+            let at = SimTime::from_ns(rt.tracer.gauge_interval_ns());
+            rt.push_ev(at, Event::GaugeSample);
+        }
+        rt
+    }
+
+    /// One node's hardware-resource block. `agg_fanout` is the Ethernet
+    /// aggregation fan-out: the cluster size for live nodes, 0 for the
+    /// cheap placeholders a lane runtime holds for nodes it does not own.
+    pub(crate) fn mk_node(params: &HwParams, agg_fanout: usize) -> NodeRes<M> {
+        NodeRes {
+            host: CorePool::new(CoreClass::Host, params.host_threads),
+            nic: CorePool::new(CoreClass::Nic, params.nic_cores),
+            lio: Port::new(params),
+            cx5: Port::with(params.net_gbps, 0),
+            pcie: Port::with(params.pcie_gbps, PCIE_MSG_OVERHEAD),
+            dma: DmaEngine::new(params),
+            rdma: RdmaNic::new(params),
+            inbox_host: VecDeque::new(),
+            inbox_nic: VecDeque::new(),
+            agg_net: (0..agg_fanout).map(|_| AggBuf::default()).collect(),
+            agg_pcie_up: AggBuf::default(),
+            agg_pcie_down: AggBuf::default(),
+            dma_pending: Vec::new(),
+            dma_scheduled: false,
+            dma_rr: 0,
+            net_msgs_sent: 0,
+            net_msgs_dropped: 0,
+            net_msgs_duped: 0,
+        }
+    }
+
+    /// A lane's runtime: clones the master's deterministic state (RNG
+    /// streams, push counters, crashed flags, config) with an empty queue
+    /// and placeholder node resources. The caller moves the lane's owned
+    /// [`NodeRes`] blocks in and routes its share of the pending events.
+    pub(crate) fn lane_shell(&self, lane_of: std::sync::Arc<[u16]>, my_lane: u16) -> Runtime<M> {
+        let n = self.params.nodes;
+        Runtime {
+            params: self.params.clone(),
+            cfg: self.cfg.clone(),
+            queue: EventQueue::new(),
+            rng: self.rng.clone(),
+            fault_rng: self.fault_rng.clone(),
+            fault_rngs: self.fault_rngs.clone(),
+            node_rngs: self.node_rngs.clone(),
+            faults_active: self.faults_active,
+            crashed: self.crashed.clone(),
+            tracer: Tracer::disabled(),
+            nodes: (0..n).map(|_| Self::mk_node(&self.params, 0)).collect(),
+            cur_node: 0,
+            cur_exec: Exec::Host,
+            cur_core: 0,
+            cur_end: SimTime::ZERO,
+            in_handler: false,
+            net_scratch: Vec::new(),
+            pcie_scratch: Vec::new(),
+            fault_scratch: Vec::new(),
+            frame_pool: Vec::new(),
+            dma_batch_scratch: Vec::new(),
+            dma_ops_scratch: Vec::new(),
+            stamp: self.stamp,
+            stamp_node: 0,
+            push_ctr: self.push_ctr.clone(),
+            lane_of: Some(lane_of),
+            my_lane,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Central push: every event the runtime or a protocol handler
+    /// schedules goes through here. Under [`RngDiscipline::Global`] this
+    /// is exactly `queue.push` — bit-identical to the historical
+    /// scheduler. Under [`RngDiscipline::PerNode`] the event is stamped
+    /// with `(stamp_node << STAMP_NODE_SHIFT) | per-node counter`, an
+    /// ordering key that is a pure function of the stamping node's own
+    /// history; when this runtime is a lane of a [`crate::ParCluster`],
+    /// events owned by foreign lanes divert to the outbox for barrier-time
+    /// routing.
+    #[inline]
+    pub(crate) fn push_ev(&mut self, t: SimTime, ev: Event<M>) {
+        if !self.stamp {
+            self.queue.push(t, ev);
+            return;
+        }
+        let node = self.stamp_node;
+        let ctr = &mut self.push_ctr[node];
+        debug_assert!(*ctr < 1 << STAMP_NODE_SHIFT, "per-node stamp counter overflow");
+        let seq = ((node as u64) << STAMP_NODE_SHIFT) | *ctr;
+        *ctr += 1;
+        if let Some(map) = &self.lane_of {
+            if let Some(owner) = ev.owner() {
+                if map[owner] != self.my_lane {
+                    self.outbox.push((t, seq, ev));
+                    return;
+                }
+            }
+        }
+        self.queue.push_with_seq(t, seq, ev);
+    }
+
+    /// The stream protocol engines draw workload/backoff randomness from:
+    /// the shared `rng` under [`RngDiscipline::Global`] (draws happen in
+    /// global event order), the current node's private stream under
+    /// [`RngDiscipline::PerNode`] (draws happen in per-node order — what
+    /// makes lane-parallel execution reproduce them exactly).
+    pub fn txn_rng(&mut self) -> &mut DetRng {
+        if self.stamp {
+            &mut self.node_rngs[self.cur_node]
+        } else {
+            &mut self.rng
+        }
+    }
+
+    /// The fault-injection stream for messages leaving `src` (see
+    /// [`Runtime::txn_rng`] for the discipline split).
+    #[inline]
+    fn fault_stream(&mut self, src: usize) -> &mut DetRng {
+        if self.stamp {
+            &mut self.fault_rngs[src]
+        } else {
+            &mut self.fault_rng
         }
     }
 
@@ -380,14 +549,14 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
     /// Schedules `msg` for `node`/`exec` at an absolute time (harness
     /// seeding and protocol timers).
     pub fn schedule_at(&mut self, at: SimTime, node: usize, exec: Exec, msg: M) {
-        self.queue.push(at, Event::Deliver { node, exec, msg });
+        self.push_ev(at, Event::Deliver { node, exec, msg });
     }
 
     /// Delivers `msg` to this node after `delay_ns` (timer / self-send).
     pub fn send_local(&mut self, exec: Exec, msg: M, delay_ns: u64) {
         let t = self.departure() + delay_ns.max(LOCAL_HOP_NS);
         let node = self.cur_node;
-        self.queue.push(t, Event::Deliver { node, exec, msg });
+        self.push_ev(t, Event::Deliver { node, exec, msg });
     }
 
     /// Sends over the LiquidIO Ethernet fabric to `dst` (NIC-to-NIC).
@@ -410,7 +579,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 // Opportunistic: flush almost immediately when the port is
                 // idle; coalesce behind the serializer when it is busy.
                 let at = (t0 + AGG_SYNC_NS).max(port_free);
-                self.queue.push(at, Event::FlushNet { node: src, dst });
+                self.push_ev(at, Event::FlushNet { node: src, dst });
             }
         } else {
             let mut one = std::mem::take(&mut self.net_scratch);
@@ -462,11 +631,11 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 let mut kept = std::mem::take(&mut self.fault_scratch);
                 debug_assert!(kept.is_empty());
                 for (exec, msg, bytes) in msgs.drain(..) {
-                    if cut || (lf.drop_prob > 0.0 && self.fault_rng.chance(lf.drop_prob)) {
+                    if cut || (lf.drop_prob > 0.0 && self.fault_stream(src).chance(lf.drop_prob)) {
                         self.nodes[src].net_msgs_dropped += 1;
                         continue;
                     }
-                    if lf.dup_prob > 0.0 && self.fault_rng.chance(lf.dup_prob) {
+                    if lf.dup_prob > 0.0 && self.fault_stream(src).chance(lf.dup_prob) {
                         self.nodes[src].net_msgs_duped += 1;
                         kept.push((exec, msg.clone(), bytes));
                     }
@@ -517,11 +686,11 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
     ) {
         let tx_done = self.nodes[src].lio.send_frame(t0, frame_bytes);
         let extra = if jitter_max > 0 {
-            self.fault_rng.below(jitter_max + 1)
+            self.fault_stream(src).below(jitter_max + 1)
         } else {
             0
         };
-        self.queue.push(
+        self.push_ev(
             tx_done + self.params.wire_oneway_ns + extra,
             Event::NetArrive {
                 dst,
@@ -549,7 +718,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             if !buf.scheduled {
                 buf.scheduled = true;
                 let at = (t0 + AGG_SYNC_NS).max(port_free);
-                self.queue.push(at, Event::FlushPcie { node, up });
+                self.push_ev(at, Event::FlushPcie { node, up });
             }
         } else {
             let mut one = std::mem::take(&mut self.pcie_scratch);
@@ -592,7 +761,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         };
         let arrival = done + lat;
         for (exec, msg, _) in msgs.drain(..) {
-            self.queue.push(arrival, Event::Deliver { node, exec, msg });
+            self.push_ev(arrival, Event::Deliver { node, exec, msg });
         }
     }
 
@@ -636,7 +805,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                     res.dma.queue_free_at(res.dma_rr)
                 };
                 let t = (self.departure() + DMA_WINDOW_NS).max(queue_free);
-                self.queue.push(t, Event::FlushDma { node });
+                self.push_ev(t, Event::FlushDma { node });
             }
         } else {
             // Synchronous model (Figure 9 baseline): submit immediately
@@ -651,7 +820,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 let block = done_at.since(self.cur_end) + completion.submit_busy_ns;
                 self.charge(block);
             }
-            self.queue.push(
+            self.push_ev(
                 done_at,
                 Event::Deliver {
                     node,
@@ -684,7 +853,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             let (_, _, submit_end) = res.nic.reserve(now, self.params.dma_submit_ns);
             let completion = res.dma.submit(submit_end, queue_id, &ops);
             for ((_, done), at) in batch.drain(..).zip(completion.element_done) {
-                self.queue.push(
+                self.push_ev(
                     at,
                     Event::Deliver {
                         node,
@@ -718,7 +887,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             };
             let (_, _, frame_ready) = self.nodes[dst].nic.reserve(rx_done, rx_cpu);
             for (exec, msg) in msgs.drain(..) {
-                self.queue.push(
+                self.push_ev(
                     frame_ready,
                     Event::Deliver { node: dst, exec, msg },
                 );
@@ -739,7 +908,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             RdmaCont::OneSided { requester, done } => {
                 let served = self.nodes[dst].rdma.reserve_rx(rx_done)
                     + self.nodes[dst].rdma.responder_fixed_ns(verb);
-                self.queue.push(
+                self.push_ev(
                     served,
                     Event::RdmaServed {
                         dst,
@@ -751,7 +920,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             RdmaCont::Request { msg } => {
                 let served = self.nodes[dst].rdma.reserve_rx(rx_done)
                     + self.nodes[dst].rdma.responder_fixed_ns(verb);
-                self.queue.push(
+                self.push_ev(
                     served,
                     Event::Deliver {
                         node: dst,
@@ -766,7 +935,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 // handler compute charged at delivery.
                 let nic_done = self.nodes[dst].rdma.reserve_rx(rx_done)
                     + self.params.host_rpc_extra_ns;
-                self.queue.push(
+                self.push_ev(
                     nic_done.max(rx_done),
                     Event::Deliver {
                         node: dst,
@@ -787,7 +956,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
         let resp_bytes = half_overhead + u64::from(verb.response_payload());
         let resp_tx = self.nodes[dst].cx5.send_frame(now, resp_bytes);
-        self.queue.push(
+        self.push_ev(
             resp_tx + self.params.wire_oneway_ns,
             Event::RdmaReturn {
                 to: requester,
@@ -803,7 +972,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         let half_overhead = u64::from(self.params.rdma_verb_wire_bytes) / 2;
         let resp_bytes = half_overhead + u64::from(verb.response_payload());
         let done_at = self.nodes[to].cx5.recv_frame(now, resp_bytes);
-        self.queue.push(
+        self.push_ev(
             done_at,
             Event::Deliver {
                 node: to,
@@ -829,7 +998,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         let req_bytes = half_overhead + u64::from(verb.request_payload());
         let issued = self.nodes[src].rdma.reserve_tx(t0);
         let tx_done = self.nodes[src].cx5.send_frame(issued, req_bytes);
-        self.queue.push(
+        self.push_ev(
             tx_done + self.params.wire_oneway_ns,
             Event::RdmaArrive {
                 dst,
@@ -863,7 +1032,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             // Loopback verb: skip the wire but keep the NIC pipeline.
             let served = self.nodes[src].rdma.reserve_rx(t0)
                 + self.nodes[src].rdma.responder_fixed_ns(verb);
-            self.queue.push(
+            self.push_ev(
                 served,
                 Event::Deliver {
                     node: dst,
@@ -876,7 +1045,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         let issued = self.nodes[src].rdma.reserve_tx(t0);
         let tx_done = self.nodes[src].cx5.send_frame(issued, req_bytes);
         let _ = req_bytes;
-        self.queue.push(
+        self.push_ev(
             tx_done + self.params.wire_oneway_ns,
             Event::RdmaArrive {
                 dst,
@@ -895,7 +1064,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         let resp_bytes = half_overhead + u64::from(verb.response_payload());
         let t0 = self.departure();
         if requester == me {
-            self.queue.push(
+            self.push_ev(
                 t0 + LOCAL_HOP_NS,
                 Event::Deliver {
                     node: requester,
@@ -906,7 +1075,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
             return;
         }
         let tx_done = self.nodes[me].cx5.send_frame(t0, resp_bytes);
-        self.queue.push(
+        self.push_ev(
             tx_done + self.params.wire_oneway_ns,
             Event::RdmaReturn {
                 to: requester,
@@ -932,7 +1101,7 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         }
         let issued = self.nodes[src].rdma.reserve_tx(t0);
         let tx_done = self.nodes[src].cx5.send_frame(issued, bytes);
-        self.queue.push(
+        self.push_ev(
             tx_done + self.params.wire_oneway_ns,
             Event::RdmaArrive {
                 dst,
@@ -1192,8 +1361,8 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
                 );
             }
         }
-        self.queue
-            .push(now + self.tracer.gauge_interval_ns(), Event::GaugeSample);
+        let at = now + self.tracer.gauge_interval_ns();
+        self.push_ev(at, Event::GaugeSample);
     }
 }
 
@@ -1220,8 +1389,10 @@ impl<P: Protocol> Cluster<P> {
         }
     }
 
-    /// Schedules an initial message.
+    /// Schedules an initial message (stamped by — and lane-routed to —
+    /// the target node).
     pub fn seed(&mut self, at: SimTime, node: usize, exec: Exec, msg: P::Msg) {
+        self.rt.stamp_node = node;
         self.rt.schedule_at(at, node, exec, msg);
     }
 
@@ -1231,83 +1402,105 @@ impl<P: Protocol> Cluster<P> {
         let mut processed = 0;
         while let Some((_, ev)) = self.rt.queue.pop_at_or_before(horizon) {
             processed += 1;
-            match ev {
-                Event::Deliver { node, exec, msg } => {
-                    if self.rt.crashed[node] {
-                        continue;
-                    }
-                    match exec {
-                        Exec::Host => self.rt.nodes[node].inbox_host.push_back(msg),
-                        Exec::Nic => self.rt.nodes[node].inbox_nic.push_back(msg),
-                    }
-                    self.service(node, exec);
-                }
-                Event::CoreFree { node, exec } => self.service(node, exec),
-                Event::FlushNet { node, dst } => self.rt.flush_net(node, dst),
-                Event::FlushPcie { node, up } => self.rt.flush_pcie(node, up),
-                Event::FlushDma { node } => self.rt.flush_dma(node),
-                Event::NetArrive {
-                    dst,
-                    payload_bytes,
-                    msgs,
-                } => self.rt.net_arrive(dst, payload_bytes, msgs),
-                Event::RdmaArrive { dst, verb, cont } => {
-                    if !self.rt.crashed[dst] {
-                        self.rt.rdma_arrive(dst, verb, *cont);
-                    }
-                }
-                Event::RdmaServed { dst, verb, cont } => {
-                    if !self.rt.crashed[dst] {
-                        self.rt.rdma_served(dst, verb, *cont);
-                    }
-                }
-                Event::RdmaReturn { to, verb, msg } => {
-                    if !self.rt.crashed[to] {
-                        self.rt.rdma_return(to, verb, msg);
-                    }
-                }
-                Event::Crash { node } => self.rt.crash_node(node),
-                Event::Restart { node } => {
-                    self.rt.restart_node(node);
-                    self.rt.cur_node = node;
-                    self.rt.cur_exec = Exec::Nic;
-                    P::on_restart(&mut self.states[node], &mut self.rt, node);
-                }
-                Event::GaugeSample => self.rt.sample_gauges(),
-            }
+            dispatch_event::<P>(&mut self.states, 0, &mut self.rt, ev);
         }
         processed
     }
+}
 
-    /// Pumps a node's run queue while idle cores and pending messages
-    /// exist.
-    fn service(&mut self, node: usize, exec: Exec) {
-        loop {
-            let now = self.rt.queue.now();
-            let res = &mut self.rt.nodes[node];
-            let (pool, inbox) = match exec {
-                Exec::Host => (&mut res.host, &mut res.inbox_host),
-                Exec::Nic => (&mut res.nic, &mut res.inbox_nic),
-            };
-            if inbox.is_empty() || !pool.has_idle(now) {
+/// Dispatches one popped event against the protocol: the single shared
+/// event-loop body of the serial scheduler and every lane worker.
+/// `states` holds the nodes `base..base + states.len()` — the serial
+/// scheduler passes the full slice with `base == 0`, a lane worker its
+/// contiguous chunk (the runtime's `nodes` vector is always full-length).
+pub(crate) fn dispatch_event<P: Protocol>(
+    states: &mut [P::State],
+    base: usize,
+    rt: &mut Runtime<P::Msg>,
+    ev: Event<P::Msg>,
+) {
+    if rt.stamp {
+        rt.stamp_node = ev.owner().unwrap_or(0);
+    }
+    match ev {
+        Event::Deliver { node, exec, msg } => {
+            if rt.crashed[node] {
                 return;
             }
-            let msg = inbox.pop_front().expect("checked non-empty");
-            let cost = P::cost(&msg, exec, &self.rt.params);
-            let (core, _start, end) = pool.reserve(now, cost);
-            self.rt.cur_node = node;
-            self.rt.cur_exec = exec;
-            self.rt.cur_core = core;
-            self.rt.cur_end = end;
-            self.rt.in_handler = true;
-            P::handle(&mut self.states[node], &mut self.rt, node, msg);
-            self.rt.in_handler = false;
-            let free = match exec {
-                Exec::Host => self.rt.nodes[node].host.free_at(core),
-                Exec::Nic => self.rt.nodes[node].nic.free_at(core),
-            };
-            self.rt.queue.push(free, Event::CoreFree { node, exec });
+            match exec {
+                Exec::Host => rt.nodes[node].inbox_host.push_back(msg),
+                Exec::Nic => rt.nodes[node].inbox_nic.push_back(msg),
+            }
+            service_node::<P>(states, base, rt, node, exec);
         }
+        Event::CoreFree { node, exec } => service_node::<P>(states, base, rt, node, exec),
+        Event::FlushNet { node, dst } => rt.flush_net(node, dst),
+        Event::FlushPcie { node, up } => rt.flush_pcie(node, up),
+        Event::FlushDma { node } => rt.flush_dma(node),
+        Event::NetArrive {
+            dst,
+            payload_bytes,
+            msgs,
+        } => rt.net_arrive(dst, payload_bytes, msgs),
+        Event::RdmaArrive { dst, verb, cont } => {
+            if !rt.crashed[dst] {
+                rt.rdma_arrive(dst, verb, *cont);
+            }
+        }
+        Event::RdmaServed { dst, verb, cont } => {
+            if !rt.crashed[dst] {
+                rt.rdma_served(dst, verb, *cont);
+            }
+        }
+        Event::RdmaReturn { to, verb, msg } => {
+            if !rt.crashed[to] {
+                rt.rdma_return(to, verb, msg);
+            }
+        }
+        Event::Crash { node } => rt.crash_node(node),
+        Event::Restart { node } => {
+            rt.restart_node(node);
+            rt.cur_node = node;
+            rt.cur_exec = Exec::Nic;
+            P::on_restart(&mut states[node - base], rt, node);
+        }
+        Event::GaugeSample => rt.sample_gauges(),
+    }
+}
+
+/// Pumps a node's run queue while idle cores and pending messages exist.
+pub(crate) fn service_node<P: Protocol>(
+    states: &mut [P::State],
+    base: usize,
+    rt: &mut Runtime<P::Msg>,
+    node: usize,
+    exec: Exec,
+) {
+    loop {
+        let now = rt.queue.now();
+        let res = &mut rt.nodes[node];
+        let (pool, inbox) = match exec {
+            Exec::Host => (&mut res.host, &mut res.inbox_host),
+            Exec::Nic => (&mut res.nic, &mut res.inbox_nic),
+        };
+        if inbox.is_empty() || !pool.has_idle(now) {
+            return;
+        }
+        let msg = inbox.pop_front().expect("checked non-empty");
+        let cost = P::cost(&msg, exec, &rt.params);
+        let (core, _start, end) = pool.reserve(now, cost);
+        rt.cur_node = node;
+        rt.cur_exec = exec;
+        rt.cur_core = core;
+        rt.cur_end = end;
+        rt.in_handler = true;
+        P::handle(&mut states[node - base], rt, node, msg);
+        rt.in_handler = false;
+        let free = match exec {
+            Exec::Host => rt.nodes[node].host.free_at(core),
+            Exec::Nic => rt.nodes[node].nic.free_at(core),
+        };
+        rt.push_ev(free, Event::CoreFree { node, exec });
     }
 }
 

@@ -158,6 +158,63 @@ impl<E> EventQueue<E> {
         self.push(t, event);
     }
 
+    /// Schedules `event` with a caller-supplied tie-break sequence.
+    ///
+    /// Lane-scheduler plumbing: the multi-lane cluster scheduler stamps
+    /// every event with an intrinsic `(owner_node, per-node counter)` key
+    /// so equal-time ordering is a pure function of simulation history
+    /// rather than of queue insertion order. The caller owns the sequence
+    /// space and must keep keys unique; the internal auto-sequence counter
+    /// is left untouched (mixing `push` and `push_with_seq` on one queue
+    /// is the caller's ordering problem).
+    pub fn push_with_seq(&mut self, time: SimTime, seq: u64, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "event scheduled in the past: {:?} < {:?}",
+            time,
+            self.now
+        );
+        let time = time.max(self.now);
+        let bucket = time.as_ns() / BUCKET_NS;
+        let horizon = self.now.as_ns() / BUCKET_NS + NEAR_BUCKETS as u64;
+        if bucket < horizon {
+            self.near_push(bucket, time, seq, event);
+        } else {
+            self.far_push(time, seq, event);
+        }
+    }
+
+    /// Removes and returns every pending event, ascending by
+    /// `(time, seq)`, without advancing the clock or counting anything as
+    /// processed. Lane-scheduler plumbing: used to split a master queue
+    /// into per-lane queues and to merge lane remainders back.
+    pub fn drain_sorted(&mut self) -> Vec<(SimTime, u64, E)> {
+        let mut all: Vec<(SimTime, u64, E)> = Vec::with_capacity(self.len());
+        for b in &mut self.near {
+            all.extend(b.drain(..));
+        }
+        all.append(&mut self.far);
+        self.occ = [0; OCC_WORDS];
+        self.near_len = 0;
+        self.near_min = None;
+        all.sort_by_key(|e| (e.0, e.1));
+        all
+    }
+
+    /// Advances the clock to `t` without popping (never moves backwards).
+    /// Lane-scheduler plumbing: a reassembled master queue takes the
+    /// latest lane clock so later pushes satisfy the `time >= now` check.
+    pub fn set_now(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Adds externally-processed events to the popped counter.
+    /// Lane-scheduler plumbing: per-lane pops count toward the reassembled
+    /// cluster's total so `processed()` matches the serial scheduler.
+    pub fn add_processed(&mut self, n: u64) {
+        self.popped += n;
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let take_near = match (self.near_min, self.far.first()) {
@@ -474,6 +531,52 @@ mod tests {
         let originals: Vec<u64> = got.iter().copied().filter(|&e| e < 1_000_000).collect();
         assert_eq!(originals, next);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn push_with_seq_orders_by_supplied_key() {
+        // Supplied seqs override insertion order at equal times, across
+        // both lanes and out-of-order arrival.
+        let mut q = EventQueue::new();
+        let horizon = NEAR_BUCKETS as u64 * BUCKET_NS;
+        q.push_with_seq(SimTime::from_ns(5), 30, 'c');
+        q.push_with_seq(SimTime::from_ns(5), 10, 'a');
+        q.push_with_seq(SimTime::from_ns(5), 20, 'b');
+        q.push_with_seq(SimTime::from_ns(2 * horizon), 2, 'e');
+        q.push_with_seq(SimTime::from_ns(2 * horizon), 1, 'd');
+        let got: Vec<char> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, vec!['a', 'b', 'c', 'd', 'e']);
+    }
+
+    #[test]
+    fn drain_sorted_preserves_keys_and_counters() {
+        let mut q = EventQueue::new();
+        let horizon = NEAR_BUCKETS as u64 * BUCKET_NS;
+        q.push_with_seq(SimTime::from_ns(9), 7, 'b');
+        q.push_with_seq(SimTime::from_ns(3 * horizon), 1, 'c');
+        q.push_with_seq(SimTime::from_ns(9), 2, 'a');
+        let drained = q.drain_sorted();
+        assert!(q.is_empty());
+        assert_eq!(q.processed(), 0, "drain must not count as processing");
+        let keys: Vec<(u64, u64, char)> =
+            drained.iter().map(|&(t, s, e)| (t.as_ns(), s, e)).collect();
+        assert_eq!(
+            keys,
+            vec![(9, 2, 'a'), (9, 7, 'b'), (3 * horizon, 1, 'c')]
+        );
+        // Rebuild a queue from the drained set; order survives.
+        let mut q2 = EventQueue::new();
+        for (t, s, e) in drained {
+            q2.push_with_seq(t, s, e);
+        }
+        q2.add_processed(5);
+        assert_eq!(q2.processed(), 5);
+        q2.set_now(SimTime::from_ns(4));
+        assert_eq!(q2.now(), SimTime::from_ns(4));
+        q2.set_now(SimTime::from_ns(2));
+        assert_eq!(q2.now(), SimTime::from_ns(4), "set_now never rewinds");
+        let got: Vec<char> = std::iter::from_fn(|| q2.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, vec!['a', 'b', 'c']);
     }
 
     #[test]

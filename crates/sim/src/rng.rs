@@ -12,6 +12,7 @@
 //! toolchains.
 
 /// A deterministic random number generator (xoshiro256++ core).
+#[derive(Clone, Debug)]
 pub struct DetRng {
     state: [u64; 4],
     seed: u64,

@@ -2,7 +2,7 @@
 //! lock state.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A database key. Workloads map their composite keys (warehouse id,
 /// account number, post id, ...) into this 64-bit space; see
@@ -13,31 +13,32 @@ pub type Key = u64;
 /// by the Commit phase; compared by the Validate phase.
 pub type Version = u64;
 
-/// A value payload. The shared `Rc<[u8]>` backing keeps cloning a
+/// A value payload. The shared `Arc<[u8]>` backing keeps cloning a
 /// refcount bump while transactions carry read-set snapshots around the
-/// cluster. `Rc`, not `Arc`: the whole simulated cluster lives on one
-/// thread (parallel sweeps run one cluster per worker thread and only
-/// ship plain-data results across — see DESIGN.md §13), so the atomic
-/// refcount would be pure overhead on the hottest clone path.
+/// cluster. `Arc`, not `Rc`: the multi-lane cluster scheduler ships
+/// message payloads between lane worker threads at epoch barriers
+/// (DESIGN.md §16), so value buffers must be `Send`. The uncontended
+/// atomic refcount costs a few cycles on the clone path; lane-parallel
+/// runs buy that back many times over.
 #[derive(Clone, PartialEq, Eq)]
-pub struct Value(Rc<[u8]>);
+pub struct Value(Arc<[u8]>);
 
 impl Value {
     /// Creates a value from bytes.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        Value(Rc::from(bytes))
+        Value(Arc::from(bytes))
     }
 
     /// Creates a value from an owned buffer without copying twice:
-    /// `Rc::from(Vec)` reuses one move/copy where
+    /// `Arc::from(Vec)` reuses one move/copy where
     /// `from_bytes(&vec)` would copy the bytes again.
     pub fn from_vec(bytes: Vec<u8>) -> Self {
-        Value(Rc::from(bytes))
+        Value(Arc::from(bytes))
     }
 
     /// A value of `len` copies of `fill` — handy for synthetic workloads.
     pub fn filled(len: usize, fill: u8) -> Self {
-        Value(Rc::from(vec![fill; len]))
+        Value(Arc::from(vec![fill; len]))
     }
 
     /// The payload bytes.
@@ -55,13 +56,13 @@ impl Value {
         self.0.is_empty()
     }
 
-    /// Mutable access to the bytes when this is the only `Rc` holder —
+    /// Mutable access to the bytes when this is the only `Arc` holder —
     /// lets length-preserving writes update a table-resident value
     /// without reallocating. Returns `None` if any snapshot still shares
     /// the buffer (the caller must copy-on-write via
     /// [`WritePayload::apply`]).
     pub fn bytes_mut_if_unique(&mut self) -> Option<&mut [u8]> {
-        Rc::get_mut(&mut self.0)
+        Arc::get_mut(&mut self.0)
     }
 }
 
@@ -126,7 +127,7 @@ impl WritePayload {
     /// Applies the payload to `current` in place, equivalent to
     /// `*current = self.apply(current)` but without reallocating when
     /// `current`'s buffer is uniquely owned (no outstanding read-set
-    /// snapshots hold the `Rc`). Delta ops preserve the value's length.
+    /// snapshots hold the `Arc`). Delta ops preserve the value's length.
     pub fn apply_in_place(&self, current: &mut Value) {
         match self {
             WritePayload::Full(v) => *current = v.clone(),

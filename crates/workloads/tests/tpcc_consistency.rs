@@ -49,6 +49,7 @@ fn run_and_settle(
         warmup: SimTime::from_us(200),
         measure: SimTime::from_ms(1),
         seed,
+        lanes: 1,
     };
     let recorder = HistoryRecorder::new();
     let hook = recorder.clone();

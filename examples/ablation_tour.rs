@@ -24,6 +24,7 @@ fn main() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(8),
         seed: 9,
+        lanes: 1,
     };
     let full = XenicConfig::full();
     let variants: [(&str, XenicConfig, NetConfig); 6] = [

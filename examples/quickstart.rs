@@ -59,6 +59,7 @@ fn main() {
             warmup: SimTime::from_ms(2),
             measure: SimTime::from_ms(10),
             seed: 7,
+            lanes: 1,
         },
         |_| Box::new(Counters { keys_per_shard: 20_000 }),
     );

@@ -22,6 +22,7 @@ fn main() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(8),
         seed: 3,
+        lanes: 1,
     };
     println!("Retwis (Zipf 0.5, 50% read-only, 1-10 keys/txn), 48 windows/node\n");
     println!(

@@ -149,6 +149,7 @@ fn fig8_xenic_leads_every_baseline_on_retwis() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(4),
         seed: 42,
+        lanes: 1,
     };
     let params = HwParams::paper_testbed();
     let mk = |_: usize| -> Box<dyn Workload> { Box::new(Retwis::new(RetwisConfig::sim(6))) };
@@ -180,6 +181,7 @@ fn fig9a_each_ablation_step_helps() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(4),
         seed: 42,
+        lanes: 1,
     };
     let base_cfg = XenicConfig::fig9_baseline();
     let smart = XenicConfig {
@@ -283,6 +285,7 @@ fn phase_anatomy_fits_the_message_delay_budget() {
             warmup: SimTime::from_ms(1),
             measure: SimTime::from_ms(3),
             seed: 42,
+            lanes: 1,
         },
         |_| Box::new(SingleShard { keys: 3000 }) as Box<dyn Workload>,
     );

@@ -170,6 +170,7 @@ fn all_five_systems_run_every_workload() {
         warmup: SimTime::from_ms(1),
         measure: SimTime::from_ms(3),
         seed: 5,
+        lanes: 1,
     };
     let params = HwParams::paper_testbed();
     let workloads: [(&str, WorkloadFactory); 3] = [
@@ -238,6 +239,7 @@ fn whole_stack_is_deterministic() {
                 warmup: SimTime::from_ms(1),
                 measure: SimTime::from_ms(4),
                 seed,
+                lanes: 1,
             },
             |_| {
                 Box::new(Counters {
@@ -286,6 +288,7 @@ fn half_bandwidth_lowers_peak_throughput() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(5),
         seed: 3,
+        lanes: 1,
     };
     let full = run_xenic(
         HwParams::paper_testbed(),
@@ -317,6 +320,7 @@ fn xenic_beats_best_baseline_on_paper_benchmarks() {
         warmup: SimTime::from_ms(2),
         measure: SimTime::from_ms(5),
         seed: 42,
+        lanes: 1,
     };
     let params = HwParams::paper_testbed();
     let mk = |_: usize| -> Box<dyn Workload> {
@@ -361,6 +365,7 @@ fn scan_workloads_run_under_xenic_and_fasst_serializably() {
         warmup: SimTime::from_us(500),
         measure: SimTime::from_ms(2),
         seed: 17,
+        lanes: 1,
     };
     let params = HwParams::paper_testbed();
     let workloads: [(&str, WorkloadFactory); 2] = [

@@ -1,0 +1,231 @@
+//! Lane-count invariance: the multi-lane epoch-barrier scheduler
+//! (DESIGN.md §16) must reproduce the serial scheduler bit for bit.
+//!
+//! Under `RngDiscipline::PerNode`, every event carries an intrinsic
+//! `(owner node, per-node counter)` stamp and every RNG draw comes from a
+//! per-node stream, so the whole simulation is a pure function of
+//! `(seed, config)` regardless of how nodes are spread across worker
+//! threads. These tests assert that for every workload × replication
+//! backend × fault plan in the matrix, lanes ∈ {1, 2, 4} produce
+//! identical commit stats, identical event counts, and identical
+//! whole-cluster table digests — the same style of pin
+//! `queue_differential.rs` uses for the event queue itself.
+
+use xenic::harness::{cluster_digest, run_xenic_cluster, RunOptions};
+use xenic::{ReplBackend, Workload, XenicConfig};
+use xenic_hw::HwParams;
+use xenic_net::{FaultPlan, NetConfig};
+use xenic_sim::SimTime;
+use xenic_workloads::{
+    Retwis, RetwisConfig, Smallbank, SmallbankConfig, YcsbE, YcsbEConfig,
+};
+
+/// One run's complete fingerprint.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+struct Fingerprint {
+    committed: u64,
+    aborted: u64,
+    digest: u64,
+    processed: u64,
+}
+
+fn fingerprint(
+    nodes: usize,
+    net: NetConfig,
+    cfg: XenicConfig,
+    opts: &RunOptions,
+    mk: impl Fn(usize) -> Box<dyn Workload>,
+) -> Fingerprint {
+    let params = HwParams {
+        nodes,
+        ..HwParams::paper_testbed()
+    };
+    let (r, cluster) = run_xenic_cluster(params, net, cfg, opts, mk);
+    Fingerprint {
+        committed: r.committed,
+        aborted: r.aborted,
+        digest: cluster_digest(&cluster),
+        processed: cluster.rt.queue.processed(),
+    }
+}
+
+fn quick_opts(seed: u64, lanes: usize) -> RunOptions {
+    RunOptions {
+        windows: 2,
+        warmup: SimTime::from_us(100),
+        measure: SimTime::from_us(250),
+        seed,
+        lanes,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Wl {
+    Smallbank,
+    Retwis,
+    YcsbE,
+}
+
+fn mk_workload(wl: Wl, nodes: u32) -> impl Fn(usize) -> Box<dyn Workload> {
+    move |_| match wl {
+        Wl::Smallbank => Box::new(Smallbank::new(SmallbankConfig {
+            accounts_per_node: 5_000,
+            ..SmallbankConfig::sim(nodes)
+        })),
+        Wl::Retwis => Box::new(Retwis::new(RetwisConfig::sim(nodes))),
+        Wl::YcsbE => Box::new(YcsbE::new(YcsbEConfig::sim(nodes))),
+    }
+}
+
+/// The tentpole contract: Smallbank/Retwis/YCSB-E × every replication
+/// backend × a lossy fault plan, at lanes ∈ {1, 2, 4}, all byte-identical.
+#[test]
+fn lane_count_invariance_matrix() {
+    let nodes = 6usize;
+    for wl in [Wl::Smallbank, Wl::Retwis, Wl::YcsbE] {
+        for backend in ReplBackend::ALL {
+            let net = NetConfig::full()
+                .with_per_node_rng()
+                .with_faults(FaultPlan::lossy(0.01, 0.01, 200));
+            let cfg = XenicConfig::with_backend(backend);
+            let run = |lanes: usize| {
+                fingerprint(
+                    nodes,
+                    net.clone(),
+                    cfg,
+                    &quick_opts(11, lanes),
+                    mk_workload(wl, nodes as u32),
+                )
+            };
+            let serial = run(1);
+            assert!(
+                serial.committed > 0,
+                "{}: matrix point must commit work",
+                backend.token()
+            );
+            for lanes in [2usize, 4] {
+                let par = run(lanes);
+                assert_eq!(
+                    par,
+                    serial,
+                    "backend {} lanes {} diverged from serial",
+                    backend.token(),
+                    lanes
+                );
+            }
+        }
+    }
+}
+
+/// Fault-free lane invariance on the plain full config (no plan active:
+/// engines take the pre-fault code paths, which must be just as
+/// lane-stable).
+#[test]
+fn lane_count_invariance_fault_free() {
+    let nodes = 6usize;
+    let net = NetConfig::full().with_per_node_rng();
+    let run = |lanes: usize| {
+        fingerprint(
+            nodes,
+            net.clone(),
+            XenicConfig::full(),
+            &quick_opts(3, lanes),
+            mk_workload(Wl::Retwis, nodes as u32),
+        )
+    };
+    let serial = run(1);
+    assert!(serial.committed > 0);
+    assert_eq!(run(2), serial);
+    assert_eq!(run(4), serial);
+}
+
+/// Crash/restart fault plans cross the lane scheduler too: crash events
+/// are stamped by (and routed to) the crashing node's lane, and every
+/// `crashed[]` read in the runtime is owner-lane-local.
+#[test]
+fn lane_count_invariance_crash_restart() {
+    use xenic_net::CrashEvent;
+    let nodes = 6usize;
+    let mut plan = FaultPlan::lossy(0.005, 0.0, 100);
+    plan.crashes.push(CrashEvent {
+        node: 2,
+        at_ns: 150_000,
+        restart_at_ns: Some(230_000),
+    });
+    let net = NetConfig::full().with_per_node_rng().with_faults(plan);
+    let run = |lanes: usize| {
+        fingerprint(
+            nodes,
+            net.clone(),
+            XenicConfig::full(),
+            &quick_opts(5, lanes),
+            mk_workload(Wl::Smallbank, nodes as u32),
+        )
+    };
+    let serial = run(1);
+    assert!(serial.committed > 0);
+    assert_eq!(run(2), serial);
+    assert_eq!(run(4), serial);
+}
+
+/// Under the default `Global` RNG discipline the lane scheduler is not
+/// eligible; `lanes: 4` must silently fall back to the serial scheduler
+/// and still produce identical results.
+#[test]
+fn global_discipline_falls_back_to_serial() {
+    let nodes = 6usize;
+    let net = NetConfig::full();
+    let run = |lanes: usize| {
+        fingerprint(
+            nodes,
+            net.clone(),
+            XenicConfig::full(),
+            &quick_opts(7, lanes),
+            mk_workload(Wl::Retwis, nodes as u32),
+        )
+    };
+    assert_eq!(run(4), run(1));
+}
+
+/// The first run ever above the paper's 6-node testbed: a 64-node
+/// Smallbank cluster completes deterministically on 4 lanes, matches the
+/// serial scheduler, and matches this pinned digest (update it only for
+/// a deliberate, understood simulation change).
+#[test]
+fn smallbank_64_nodes_smoke() {
+    let nodes = 64usize;
+    let net = NetConfig::full().with_per_node_rng();
+    let opts = |lanes| RunOptions {
+        windows: 2,
+        warmup: SimTime::from_us(60),
+        measure: SimTime::from_us(120),
+        seed: 13,
+        lanes,
+    };
+    let mk = |_: usize| -> Box<dyn Workload> {
+        Box::new(Smallbank::new(SmallbankConfig {
+            accounts_per_node: 1_000,
+            ..SmallbankConfig::sim(nodes as u32)
+        }))
+    };
+    let params = HwParams {
+        nodes,
+        ..HwParams::paper_testbed()
+    };
+    let (r4, c4) = run_xenic_cluster(params.clone(), net.clone(), XenicConfig::full(), &opts(4), mk);
+    let (r1, c1) = run_xenic_cluster(params, net, XenicConfig::full(), &opts(1), mk);
+    assert!(r4.committed > 0, "64-node run must commit work");
+    assert_eq!(r4.committed, r1.committed);
+    assert_eq!(r4.aborted, r1.aborted);
+    assert_eq!(cluster_digest(&c4), cluster_digest(&c1));
+    assert_eq!(c4.rt.queue.processed(), c1.rt.queue.processed());
+    // Pinned 64-node fingerprint (committed, digest, processed).
+    assert_eq!(
+        (r4.committed, cluster_digest(&c4), c4.rt.queue.processed()),
+        PIN_SMALLBANK_64,
+        "64-node smallbank fingerprint diverged"
+    );
+}
+
+/// Captured from the first verified run of `smallbank_64_nodes_smoke`.
+const PIN_SMALLBANK_64: (u64, u64, u64) = (2202, 17434623591772061208, 225339);

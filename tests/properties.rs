@@ -386,6 +386,7 @@ fn quick_run(net: NetConfig, seed: u64) -> (u64, u64, u64) {
         warmup: SimTime::from_us(500),
         measure: SimTime::from_ms(1),
         seed,
+        lanes: 1,
     };
     let mk = |_: usize| -> Box<dyn Workload> {
         Box::new(xenic_workloads::Smallbank::new(
@@ -505,6 +506,7 @@ fn hot_path_pinned_digests() {
             warmup: SimTime::from_us(200),
             measure: SimTime::from_us(500),
             seed: pin.seed,
+            lanes: 1,
         };
         let net = match &pin.plan {
             Some(p) => NetConfig::full().with_faults(p.clone()),
@@ -572,6 +574,7 @@ fn scan_cluster_digests_are_identical_serial_vs_parallel_jobs() {
             warmup: SimTime::from_us(200),
             measure: SimTime::from_ms(1),
             seed: *seed,
+            lanes: 1,
         };
         let (r, cluster) = run_xenic_cluster(
             HwParams::paper_testbed(),
@@ -666,6 +669,7 @@ fn backend_run(
         warmup: SimTime::from_us(200),
         measure: SimTime::from_ms(2),
         seed,
+        lanes: 1,
     };
     let net = match &plan {
         Some(p) => NetConfig::full().with_faults(p.clone()),
@@ -749,6 +753,7 @@ fn backend_lossy_runs_replay_bit_for_bit() {
                 warmup: SimTime::from_us(200),
                 measure: SimTime::from_ms(1),
                 seed: 21,
+                lanes: 1,
             };
             let plan = FaultPlan::lossy(0.02, 0.01, 1_000);
             let (r, cluster) = run_xenic_cluster(
@@ -800,6 +805,7 @@ fn history_recorder_is_a_pure_observer() {
             warmup: SimTime::from_us(500),
             measure: SimTime::from_ms(1),
             seed,
+            lanes: 1,
         };
         let mk = |_: usize| -> Box<dyn Workload> {
             Box::new(xenic_workloads::Smallbank::new(
@@ -905,6 +911,7 @@ fn parallel_sweep_output_is_bitwise_identical_to_serial() {
             warmup: SimTime::from_us(500),
             measure: SimTime::from_ms(1),
             seed: 42,
+            lanes: 1,
         };
         let r = run_system(sys, HwParams::paper_testbed(), &opts, &mk);
         CurvePoint {

@@ -54,6 +54,7 @@ fn traced_opts(seed: u64) -> RunOptions {
         warmup: SimTime::from_ms(1),
         measure: SimTime::from_ms(3),
         seed,
+        lanes: 1,
     }
 }
 

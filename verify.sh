@@ -42,6 +42,20 @@ echo "==> per-backend replication chaos tests"
 # replication backend (log shipping, Raft-style, Hermes-style).
 cargo test --release -q --test chaos all_backends_
 
+echo "==> lane-count invariance (release)"
+# The multi-lane epoch-barrier scheduler (DESIGN.md §16) must reproduce
+# the serial scheduler bit for bit: workload × backend × fault-plan
+# matrix at lanes {1,2,4}, plus the pinned 64-node smoke run.
+cargo test --release -q --test lanes
+
+echo "==> lane_scaling --quick"
+# Same contract on a 16-node cluster via the scaling report binary: the
+# run exits non-zero if any lane count's fingerprint (committed/aborted/
+# digest/events) diverges from serial. Wall-clock speedup is reported
+# but not gated here (CI cores vary); on a multicore host the bar is
+# `--min-speedup 1.5`.
+cargo run --release -q -p xenic-bench --bin lane_scaling -- --quick
+
 echo "==> repl_sweep --quick (DSG-gated)"
 # Availability/throughput/latency per backend at two fault rates; every
 # row's history is verified serializable, and the binary exits non-zero
