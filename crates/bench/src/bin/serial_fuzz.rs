@@ -5,16 +5,19 @@
 //! transaction's read/write sets, and verifies each history against
 //! Adya's DSG (`xenic-check`). Every point is replayable bit for bit.
 //!
-//! The sweep ends with three checker self-tests: Xenic with
+//! The sweep ends with four checker self-tests: Xenic with
 //! `weaken_validation` (Validate's version re-check skipped) **must** be
 //! rejected with a witness cycle, Xenic with `weaken_predicate_locks`
 //! (Validate's range re-walks skipped) **must** be rejected with a
-//! phantom (predicate-rw) cycle under the scan workload, and the
+//! phantom (predicate-rw) cycle under the scan workload, the
 //! Raft-style replication backend with `weaken_quorum` (commit before
 //! the majority logged, no post-commit retransmission) **must** be
 //! rejected under lossy plans — the wire eats an unretried append or
 //! commit record and the post-drain durability audit pins the
-//! evaporated commit to an exact key/version. Each failing point is
+//! evaporated commit to an exact key/version — and Xenic on the CXL
+//! substrate with `weaken_cxl_coherence` (Validate's pool re-check and
+//! coherence fence skipped, DESIGN.md §17) **must** be rejected with a
+//! G2 cycle under the skew crossfire. Each failing point is
 //! shrunk, replayed bit for bit, and its replay command printed. If the
 //! checker lets any weakened engine pass, this binary exits non-zero —
 //! a green run certifies both the engines and the checker's teeth.
@@ -84,6 +87,7 @@ fn main() {
     let ok_weaken = weaken_demo(jobs, quick);
     let ok_phantom = phantom_demo(jobs, quick);
     let ok_quorum = quorum_demo(jobs, quick);
+    let ok_cxl = cxl_demo(jobs, quick);
 
     if !failures.is_empty() {
         eprintln!("\n{} fuzz point(s) failed verification", failures.len());
@@ -101,8 +105,12 @@ fn main() {
         eprintln!("\nchecker self-test failed: weakened replication quorum was not rejected");
         std::process::exit(1);
     }
+    if !ok_cxl {
+        eprintln!("\nchecker self-test failed: weakened CXL coherence was not rejected");
+        std::process::exit(1);
+    }
     println!(
-        "\nall {} points serializable; all three checker self-tests passed",
+        "\nall {} points serializable; all four checker self-tests passed",
         points.len()
     );
 }
@@ -175,6 +183,23 @@ fn sweep_points() -> Vec<FuzzPoint> {
             pts.push(point(FuzzSystem::Fasst, WlKind::Scan, seed, plan));
         }
     }
+    // The alternative substrates (DESIGN.md §17) carry the full
+    // obligation too: BlueField's shifted PCIe/DMA schedule and CXL's
+    // pool-store log completions reorder every commit pipeline, so both
+    // run under fault-free, jittered, lossy, and crash plans.
+    for kind in [FuzzSystem::XenicBluefield, FuzzSystem::XenicCxl] {
+        for seed in 1..=2 {
+            for plan in [0, 1, 2, 5] {
+                pts.push(point(kind, WlKind::Mixed, seed, plan));
+            }
+        }
+        pts.push(point(kind, WlKind::Scan, 1, 0));
+    }
+    // Sound CXL must survive the skew crossfire that breaks the
+    // weakened-coherence engine (the control arm of `cxl_demo`).
+    for plan in [0, 1] {
+        pts.push(point(FuzzSystem::XenicCxl, WlKind::Skew, 1, plan));
+    }
     pts
 }
 
@@ -200,6 +225,9 @@ fn quick_points() -> Vec<FuzzPoint> {
         point(FuzzSystem::XenicHermes, WlKind::Mixed, 1, 2),
         point(FuzzSystem::Fasst, WlKind::Scan, 1, 0),
         point(FuzzSystem::DrtmH, WlKind::Mixed, 1, 0),
+        point(FuzzSystem::XenicBluefield, WlKind::Mixed, 1, 2),
+        point(FuzzSystem::XenicCxl, WlKind::Mixed, 1, 1),
+        point(FuzzSystem::XenicCxl, WlKind::Skew, 1, 0),
     ]
 }
 
@@ -273,6 +301,30 @@ fn quorum_demo(jobs: usize, quick: bool) -> bool {
     demo("xenic-weak-quorum", jobs, pts)
 }
 
+/// Same drill for the weakened-coherence CXL engine: with Validate's
+/// pool re-check emptied and the coherence fence skipped, a stale pool
+/// read commits under the skew crossfire and the checker must produce a
+/// G2 witness. Jitter plans widen the stale window, same as
+/// `weaken_demo`.
+fn cxl_demo(jobs: usize, quick: bool) -> bool {
+    let seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=6).collect() };
+    let plans: &[u32] = if quick { &[0, 1] } else { &[0, 1, 2, 4] };
+    let mut pts = Vec::new();
+    for &plan in plans {
+        for &seed in &seeds {
+            pts.push(FuzzPoint {
+                system: FuzzSystem::XenicWeakCxl,
+                wl: WlKind::Skew,
+                seed,
+                plan,
+                windows: 4,
+                measure_us: 800,
+            });
+        }
+    }
+    demo("xenic-weak-cxl", jobs, pts)
+}
+
 /// Runs a weakened-engine sweep, requiring at least one rejection; the
 /// first rejected point is shrunk and replayed twice to prove the
 /// witness reproduces bit for bit. Returns success.
@@ -318,8 +370,9 @@ fn replay(args: &[String]) -> i32 {
     let system = flag_val(args, "--system")
         .and_then(|s| FuzzSystem::parse(&s))
         .expect(
-            "--system <xenic|xenic-fig9|xenic-raft|xenic-hermes|xenic-weakened|\
-             xenic-weak-predicates|xenic-weak-quorum|drtmh|drtmh-nc|fasst|drtmr>",
+            "--system <xenic|xenic-fig9|xenic-raft|xenic-hermes|xenic-bluefield|\
+             xenic-cxl|xenic-weakened|xenic-weak-predicates|xenic-weak-quorum|\
+             xenic-weak-cxl|drtmh|drtmh-nc|fasst|drtmr>",
         );
     let p = FuzzPoint {
         system,

@@ -1,0 +1,276 @@
+//! Substrate × placement sweep: throughput, latency, and log-shipping
+//! behaviour of the transaction engine on each NIC substrate profile
+//! (DESIGN.md §17) under each metadata placement.
+//!
+//! Usage: `substrate_sweep [--quick] [--jobs N]`
+//!
+//! Rows are (substrate, placement, workload) points:
+//!
+//! - `onpath` (the paper's LiquidIO testbed) and `bluefield` (off-path,
+//!   behind a PCIe switch) run `nic` and `host` placements;
+//! - `cxl` (shared memory pool) additionally runs the `cxlpool`
+//!   placement, where lock words, versions, and the ordered index live
+//!   in the pool itself.
+//!
+//! Every row is DSG-gated: the committed history is recorded and
+//! verified against the Adya checker, and the binary exits non-zero on
+//! any violation. Two trend contracts are also enforced, the ones the
+//! substrate model exists to reproduce:
+//!
+//! 1. **The off-path cliff** — host-resident metadata costs p99 latency
+//!    everywhere, and strictly more on BlueField, where each reach-back
+//!    crosses the PCIe switch: p99(bluefield, host) > p99(onpath, host)
+//!    > p99(onpath, nic), per workload.
+//! 2. **The CXL log-shipping trade** — on `cxl` every commit record is a
+//!    single pool store (`cxl_log_writes > 0`, `log_ship_writes == 0`);
+//!    on the DMA substrates the complement holds.
+//!
+//! Results land in `results/substrate_sweep.csv` and the trend file
+//! `BENCH_substrates.json` at the repo root. Rows are independent
+//! deterministic simulations; `--jobs N` output is byte-identical to
+//! `--jobs 1`.
+
+use std::fs;
+use xenic::api::Workload;
+use xenic::harness::{run_xenic_cluster_with, RunOptions, RunResult};
+use xenic::{Placement, XenicConfig};
+use xenic_bench::par_points;
+use xenic_check::{check_history, CheckOptions, HistoryRecorder};
+use xenic_hw::{HwParams, SubstrateKind};
+use xenic_net::NetConfig;
+use xenic_sim::SimTime;
+use xenic_workloads::{Retwis, RetwisConfig, Smallbank, SmallbankConfig};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Wl {
+    Smallbank,
+    Retwis,
+}
+
+impl Wl {
+    fn token(self) -> &'static str {
+        match self {
+            Wl::Smallbank => "smallbank",
+            Wl::Retwis => "retwis",
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pl {
+    Nic,
+    Host,
+    CxlPool,
+}
+
+impl Pl {
+    fn placement(self) -> Placement {
+        match self {
+            Pl::Nic => Placement::nic_resident(),
+            Pl::Host => Placement::host_resident(),
+            Pl::CxlPool => Placement::cxl_pool(),
+        }
+    }
+}
+
+type Point = (SubstrateKind, Pl, Wl);
+
+fn params_for(kind: SubstrateKind) -> HwParams {
+    HwParams::with_substrate(kind)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = xenic_bench::jobs_from_args(&args);
+
+    let opts = RunOptions {
+        windows: if quick { 8 } else { 32 },
+        warmup: SimTime::from_ms(1),
+        measure: SimTime::from_ms(if quick { 1 } else { 4 }),
+        seed: 42,
+        lanes: 1,
+    };
+    let accounts = if quick { 10_000 } else { 60_000 };
+
+    let mut points: Vec<Point> = Vec::new();
+    for wl in [Wl::Smallbank, Wl::Retwis] {
+        for kind in SubstrateKind::ALL {
+            let placements: &[Pl] = match kind {
+                SubstrateKind::CxlShared => &[Pl::Nic, Pl::Host, Pl::CxlPool],
+                _ => &[Pl::Nic, Pl::Host],
+            };
+            for &pl in placements {
+                points.push((kind, pl, wl));
+            }
+        }
+    }
+
+    println!(
+        "# Substrate sweep: windows={}, every row DSG-verified",
+        opts.windows
+    );
+    println!(
+        "{:>10} {:>9} {:>10} {:>13} {:>9} {:>9} {:>8} {:>9} {:>9}",
+        "substrate", "placemnt", "workload", "tput/server", "p50[us]", "p99[us]", "aborts", "logShip", "cxlLog"
+    );
+
+    let rows = par_points(jobs, &points, |&(kind, pl, wl)| {
+        let params = params_for(kind);
+        let mk = move |_: usize| -> Box<dyn Workload> {
+            match wl {
+                Wl::Smallbank => Box::new(Smallbank::new(SmallbankConfig {
+                    accounts_per_node: accounts,
+                    ..SmallbankConfig::sim(6)
+                })),
+                Wl::Retwis => Box::new(Retwis::new(RetwisConfig::sim(6))),
+            }
+        };
+        let cfg = XenicConfig::with_placement(pl.placement());
+        let recorder = HistoryRecorder::new();
+        let hook = recorder.clone();
+        let (r, _cluster) = run_xenic_cluster_with(
+            params,
+            NetConfig::full(),
+            cfg,
+            &opts,
+            mk,
+            move |cluster| {
+                for st in &mut cluster.states {
+                    st.set_recorder(hook.clone());
+                }
+            },
+        );
+        let report = check_history(&recorder.snapshot(), &CheckOptions::strict());
+        (r, report)
+    });
+
+    let mut csv = String::from(
+        "substrate,placement,workload,tput_per_server,p50_ns,p99_ns,aborted,\
+         log_ship_writes,cxl_log_writes,serializable\n",
+    );
+    let mut json = String::from("{\n  \"scenario\": \"substrate_sweep\",\n  \"rows\": [\n");
+    let mut violations = 0usize;
+    for (i, (&(kind, pl, wl), (r, report))) in points.iter().zip(&rows).enumerate() {
+        let sub = kind.token();
+        let place = pl.placement().token();
+        let ok = report.is_serializable();
+        if !ok {
+            violations += 1;
+        }
+        println!(
+            "{:>10} {:>9} {:>10} {:>13.0} {:>9.1} {:>9.1} {:>8} {:>9} {:>9}{}",
+            sub,
+            place,
+            wl.token(),
+            r.tput_per_server,
+            r.p50_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+            r.aborted,
+            r.log_ship_writes,
+            r.cxl_log_writes,
+            if ok { "" } else { "   NOT SERIALIZABLE" },
+        );
+        if !ok {
+            println!("{}", report.describe());
+        }
+        csv.push_str(&format!(
+            "{sub},{place},{},{},{},{},{},{},{},{ok}\n",
+            wl.token(),
+            r.tput_per_server,
+            r.p50_ns,
+            r.p99_ns,
+            r.aborted,
+            r.log_ship_writes,
+            r.cxl_log_writes,
+        ));
+        json.push_str(&format!(
+            "    {{\"substrate\": \"{sub}\", \"placement\": \"{place}\", \
+             \"workload\": \"{}\", \"tput_per_server\": {:.0}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"log_ship_writes\": {}, \"cxl_log_writes\": {}, \
+             \"serializable\": {ok}}}{}\n",
+            wl.token(),
+            r.tput_per_server,
+            r.p50_ns,
+            r.p99_ns,
+            r.log_ship_writes,
+            r.cxl_log_writes,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    fs::create_dir_all("results").ok();
+    fs::write("results/substrate_sweep.csv", csv).ok();
+    fs::write("BENCH_substrates.json", json).expect("write substrate trend report");
+    println!("(CSV written to results/substrate_sweep.csv, trends to BENCH_substrates.json)");
+
+    if violations > 0 {
+        eprintln!("{violations} sweep point(s) failed DSG verification");
+        std::process::exit(1);
+    }
+
+    // Trend contracts, per workload.
+    let find = |kind: SubstrateKind, pl: Pl, wl: Wl| -> &RunResult {
+        points
+            .iter()
+            .zip(&rows)
+            .find(|(&p, _)| p == (kind, pl, wl))
+            .map(|(_, (r, _))| r)
+            .expect("point missing from sweep")
+    };
+    let mut trend_failures = 0usize;
+    for wl in [Wl::Smallbank, Wl::Retwis] {
+        let on_nic = find(SubstrateKind::OnPathLiquidIO, Pl::Nic, wl);
+        let on_host = find(SubstrateKind::OnPathLiquidIO, Pl::Host, wl);
+        let bf_host = find(SubstrateKind::OffPathBluefield, Pl::Host, wl);
+        if !(bf_host.p99_ns > on_host.p99_ns && on_host.p99_ns > on_nic.p99_ns) {
+            eprintln!(
+                "TREND VIOLATION [{}]: off-path cliff missing \
+                 (bluefield/host p99={} onpath/host p99={} onpath/nic p99={})",
+                wl.token(),
+                bf_host.p99_ns,
+                on_host.p99_ns,
+                on_nic.p99_ns
+            );
+            trend_failures += 1;
+        }
+        for &(kind, pl) in &[
+            (SubstrateKind::OnPathLiquidIO, Pl::Nic),
+            (SubstrateKind::OffPathBluefield, Pl::Nic),
+        ] {
+            let r = find(kind, pl, wl);
+            if r.log_ship_writes == 0 || r.cxl_log_writes != 0 {
+                eprintln!(
+                    "TREND VIOLATION [{}]: {} must DMA-ship its log \
+                     (log_ship={} cxl_log={})",
+                    wl.token(),
+                    kind.token(),
+                    r.log_ship_writes,
+                    r.cxl_log_writes
+                );
+                trend_failures += 1;
+            }
+        }
+        let cxl = find(SubstrateKind::CxlShared, Pl::CxlPool, wl);
+        if cxl.log_ship_writes != 0 || cxl.cxl_log_writes == 0 {
+            eprintln!(
+                "TREND VIOLATION [{}]: cxl must ship no log over DMA \
+                 (log_ship={} cxl_log={})",
+                wl.token(),
+                cxl.log_ship_writes,
+                cxl.cxl_log_writes
+            );
+            trend_failures += 1;
+        }
+    }
+    if trend_failures > 0 {
+        eprintln!("{trend_failures} trend contract(s) violated");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} (substrate, placement, workload) points verified serializable; \
+         off-path cliff and CXL log trade reproduced",
+        points.len()
+    );
+}

@@ -51,12 +51,26 @@ pub enum FuzzSystem {
     /// Xenic running the Hermes-style invalidation replication backend
     /// (broadcast invalidations, all-ack quorum; DESIGN.md §15).
     XenicHermes,
+    /// Xenic on the off-path BlueField substrate (DESIGN.md §17):
+    /// shifted PCIe/DMA latency cliffs, cheaper wire RX — a genuinely
+    /// different event schedule under the same correctness obligation.
+    XenicBluefield,
+    /// Xenic on the shared-CXL-pool substrate (DESIGN.md §17): pool
+    /// load/store latencies, per-word coherence fences in Validate, and
+    /// no DMA log shipping.
+    XenicCxl,
     /// TEST ONLY: Xenic with `weaken_validation` set. Must be rejected.
     XenicWeakened,
     /// TEST ONLY: Xenic with `weaken_predicate_locks` set (Validate's
     /// range re-walks skipped while item checks stay intact). Must be
     /// rejected on scan workloads with a phantom (G2) witness.
     XenicWeakPredicates,
+    /// TEST ONLY: the CXL substrate with `weaken_cxl_coherence` set —
+    /// Validate skips both the per-word coherence fence and the
+    /// lock/version re-check against the shared pool, trusting whatever
+    /// Execute read. Must be rejected on skew crossfire with a G2
+    /// witness cycle.
+    XenicWeakCxl,
     /// TEST ONLY: the Raft-style backend with `weaken_quorum` set (the
     /// commit point ignores the majority and the post-commit
     /// retransmission bookkeeping is dropped). Must be rejected on lossy
@@ -76,11 +90,13 @@ pub enum FuzzSystem {
 
 impl FuzzSystem {
     /// Every system expected to produce serializable histories.
-    pub const SOUND: [FuzzSystem; 8] = [
+    pub const SOUND: [FuzzSystem; 10] = [
         FuzzSystem::Xenic,
         FuzzSystem::XenicFig9,
         FuzzSystem::XenicRaft,
         FuzzSystem::XenicHermes,
+        FuzzSystem::XenicBluefield,
+        FuzzSystem::XenicCxl,
         FuzzSystem::DrtmH,
         FuzzSystem::DrtmHNc,
         FuzzSystem::Fasst,
@@ -94,8 +110,11 @@ impl FuzzSystem {
             FuzzSystem::XenicFig9 => "xenic-fig9",
             FuzzSystem::XenicRaft => "xenic-raft",
             FuzzSystem::XenicHermes => "xenic-hermes",
+            FuzzSystem::XenicBluefield => "xenic-bluefield",
+            FuzzSystem::XenicCxl => "xenic-cxl",
             FuzzSystem::XenicWeakened => "xenic-weakened",
             FuzzSystem::XenicWeakPredicates => "xenic-weak-predicates",
+            FuzzSystem::XenicWeakCxl => "xenic-weak-cxl",
             FuzzSystem::XenicWeakQuorum => "xenic-weak-quorum",
             FuzzSystem::DrtmH => "drtmh",
             FuzzSystem::DrtmHNc => "drtmh-nc",
@@ -111,8 +130,11 @@ impl FuzzSystem {
             FuzzSystem::XenicFig9,
             FuzzSystem::XenicRaft,
             FuzzSystem::XenicHermes,
+            FuzzSystem::XenicBluefield,
+            FuzzSystem::XenicCxl,
             FuzzSystem::XenicWeakened,
             FuzzSystem::XenicWeakPredicates,
+            FuzzSystem::XenicWeakCxl,
             FuzzSystem::XenicWeakQuorum,
             FuzzSystem::DrtmH,
             FuzzSystem::DrtmHNc,
@@ -133,8 +155,11 @@ impl FuzzSystem {
                 | FuzzSystem::XenicFig9
                 | FuzzSystem::XenicRaft
                 | FuzzSystem::XenicHermes
+                | FuzzSystem::XenicBluefield
+                | FuzzSystem::XenicCxl
                 | FuzzSystem::XenicWeakened
                 | FuzzSystem::XenicWeakPredicates
+                | FuzzSystem::XenicWeakCxl
                 | FuzzSystem::XenicWeakQuorum
         )
     }
@@ -498,7 +523,13 @@ pub fn run_point(p: &FuzzPoint) -> PointOutcome {
         seed: p.seed,
         lanes: 1,
     };
-    let params = HwParams::paper_testbed();
+    // The system picks its substrate (DESIGN.md §17); every substrate
+    // carries the same serializability and durability obligations.
+    let params = match p.system {
+        FuzzSystem::XenicBluefield => HwParams::off_path_bluefield(),
+        FuzzSystem::XenicCxl | FuzzSystem::XenicWeakCxl => HwParams::cxl_shared(),
+        _ => HwParams::paper_testbed(),
+    };
     let wl = p.wl;
     let mk = move |_: usize| -> Box<dyn Workload> {
         match wl {
@@ -538,6 +569,16 @@ pub fn run_point(p: &FuzzPoint) -> PointOutcome {
             &opts,
             mk,
         ),
+        FuzzSystem::XenicBluefield | FuzzSystem::XenicCxl => {
+            xenic_point(params, plan, XenicConfig::full(), &opts, mk)
+        }
+        FuzzSystem::XenicWeakCxl => {
+            let cfg = XenicConfig {
+                weaken_cxl_coherence: true,
+                ..XenicConfig::full()
+            };
+            xenic_point(params, plan, cfg, &opts, mk)
+        }
         FuzzSystem::XenicWeakQuorum => {
             let cfg = XenicConfig {
                 weaken_quorum: true,
@@ -708,6 +749,14 @@ mod tests {
             FuzzSystem::parse("xenic-weak-predicates"),
             Some(FuzzSystem::XenicWeakPredicates)
         );
+        assert_eq!(
+            FuzzSystem::parse("xenic-weak-cxl"),
+            Some(FuzzSystem::XenicWeakCxl)
+        );
+        assert_eq!(
+            FuzzSystem::parse("xenic-bluefield"),
+            Some(FuzzSystem::XenicBluefield)
+        );
         for wl in [WlKind::Mixed, WlKind::Skew, WlKind::Scan] {
             assert_eq!(WlKind::parse(wl.token()), Some(wl));
         }
@@ -763,6 +812,25 @@ mod tests {
         let out = run_point(&p);
         assert!(out.committed > 30, "committed {}", out.committed);
         assert!(out.passed(), "{}", out.report.describe());
+    }
+
+    #[test]
+    fn clean_substrate_points_verify() {
+        // Both alternative substrates carry the full serializability +
+        // durability obligation on their reshaped schedules.
+        for system in [FuzzSystem::XenicBluefield, FuzzSystem::XenicCxl] {
+            let p = FuzzPoint {
+                system,
+                wl: WlKind::Mixed,
+                seed: 11,
+                plan: 0,
+                windows: 3,
+                measure_us: 600,
+            };
+            let out = run_point(&p);
+            assert!(out.committed > 50, "{system:?} committed {}", out.committed);
+            assert!(out.passed(), "{system:?}: {}", out.report.describe());
+        }
     }
 
     #[test]

@@ -294,6 +294,8 @@ mod tests {
                     ops_per_frame: 0.0,
                     dma_vector_fill: 0.0,
                     dma_elements_per_txn: 0.0,
+                    log_ship_writes: 0,
+                    cxl_log_writes: 0,
                 },
             }],
         )];

@@ -2048,7 +2048,17 @@ fn cnic_log_resp(
 fn report_committed(st: &mut XenicNode, rt: &mut Runtime<XMsg>, seq: u64) {
     if let Some((slot, metric)) = st.host_txns.get(&seq) {
         let started = st.slots[*slot as usize].first_started;
-        st.stats.record_commit(*metric, started, rt.now());
+        // Placement latency overlay (DESIGN.md §17): the configured
+        // metadata placement's per-access surcharge for the committing
+        // attempt, added to the recorded latency only. The schedule is
+        // untouched, so placement never changes which transactions
+        // commit. Local fast paths never reach the NIC and stay
+        // placement-neutral.
+        let overlay = match &st.slots[*slot as usize].spec {
+            Some(spec) => st.cfg.placement.commit_overlay_ns(spec, &rt.params),
+            None => 0,
+        };
+        st.stats.record_commit_overlaid(*metric, started, rt.now(), overlay);
     }
     let msg = XMsg::Outcome {
         seq,
@@ -2590,14 +2600,16 @@ fn apply_commit_records(
     match appended {
         Ok(lsn) => {
             let entry_bytes = st.log.get(lsn).map(|e| e.bytes()).unwrap_or(64) as u32;
-            rt.dma_write(
+            log_record_durable(
+                st,
+                rt,
                 entry_bytes,
-                XMsg::from(DmaLogDone {
+                DmaLogDone {
                     txn,
                     reply_to: None,
                     lsn,
                     unlock,
-                }),
+                },
             );
         }
         Err(_) => {
@@ -2610,6 +2622,30 @@ fn apply_commit_records(
                 COMMIT_RETRY_NS,
             );
         }
+    }
+}
+
+/// Makes one appended commit-log record durable and schedules its
+/// `DmaLogDone` completion. On DMA substrates the record is *shipped*
+/// into this replica's host memory over the DMA engine (§4.2 step 5);
+/// on the CXL substrate it is written once into the shared pool — no
+/// per-replica log shipping, just one posted store's latency
+/// (DESIGN.md §17). The per-path counters let sweeps and trend tests
+/// assert the trade: `log_ship_writes == 0` on CXL, `cxl_log_writes ==
+/// 0` everywhere else.
+fn log_record_durable(
+    st: &mut XenicNode,
+    rt: &mut Runtime<XMsg>,
+    entry_bytes: u32,
+    done: DmaLogDone,
+) {
+    if rt.params.ships_log_via_dma() {
+        st.stats.log_ship_writes.inc();
+        rt.dma_write(entry_bytes, XMsg::from(done));
+    } else {
+        st.stats.cxl_log_writes.inc();
+        let store_ns = rt.params.cxl_log_write_ns();
+        rt.send_local(Exec::Nic, XMsg::from(done), store_ns);
     }
 }
 
@@ -3148,6 +3184,23 @@ fn snic_validate(
     } else {
         scan_checks
     };
+    // CXL substrate (DESIGN.md §17): the lock and version words verified
+    // below live in the shared pool, so Validate pays one cross-node
+    // coherence fence per word before reading it. The TEST ONLY
+    // `weaken_cxl_coherence` knob skips both the charge *and* the
+    // lock-word fence — words are trusted as read during Execute —
+    // seeding exactly the G2 cycles `serial_fuzz`'s negative self-test
+    // must catch. On non-CXL substrates `coherence_ns()` is zero and
+    // the knob is a no-op.
+    let coherence_ns = rt.params.coherence_ns();
+    let checks = if coherence_ns > 0 && st.cfg.weaken_cxl_coherence {
+        CheckSet::new()
+    } else {
+        checks
+    };
+    if coherence_ns > 0 && !checks.is_empty() {
+        rt.charge(coherence_ns * checks.len() as u64);
+    }
     // Predicate re-walk (DESIGN.md §14): replay each scan over
     // `[lo, hi_obs]` and require the identical (key, version) sequence.
     // A key inserted into the range since Execute — committed (version
@@ -3289,14 +3342,16 @@ pub(crate) fn snic_log(
                 st.backup_log_acked.insert((txn, shard), false);
             }
             let entry_bytes = st.log.get(lsn).map(|e| e.bytes()).unwrap_or(64) as u32;
-            rt.dma_write(
+            log_record_durable(
+                st,
+                rt,
                 entry_bytes,
-                XMsg::from(DmaLogDone {
+                DmaLogDone {
                     txn,
                     reply_to: Some(reply_to),
                     lsn,
                     unlock: KeySet::new(),
-                }),
+                },
             );
         }
         Err(_) => {

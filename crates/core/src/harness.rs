@@ -43,6 +43,13 @@ pub struct RunResult {
     /// DMA elements per committed metric transaction in the window
     /// (PCIe pressure; rises as the NIC cache shrinks, §4.3.3).
     pub dma_elements_per_txn: f64,
+    /// Commit-log records DMA-shipped into replica host memory during
+    /// the window. Zero by contract on the CXL substrate (DESIGN.md
+    /// §17).
+    pub log_ship_writes: u64,
+    /// Commit-log records written once into the shared CXL pool. Zero
+    /// on every other substrate.
+    pub cxl_log_writes: u64,
 }
 
 /// Harness options.
@@ -305,6 +312,16 @@ fn collect(
         .iter()
         .map(|s| s.stats.committed_all.get())
         .sum();
+    let log_ship_writes: u64 = cluster
+        .states
+        .iter()
+        .map(|s| s.stats.log_ship_writes.get())
+        .sum();
+    let cxl_log_writes: u64 = cluster
+        .states
+        .iter()
+        .map(|s| s.stats.cxl_log_writes.get())
+        .sum();
     RunResult {
         tput_per_server: committed as f64 / secs / nodes as f64,
         p50_ns: latency.median(),
@@ -323,6 +340,8 @@ fn collect(
         } else {
             dma_elements as f64 / all_committed as f64
         },
+        log_ship_writes,
+        cxl_log_writes,
     }
 }
 

@@ -117,7 +117,7 @@ mod parallelism_tests {
 }
 
 pub use api::{local_of, make_key, shard_of, Partitioning, ShipMode, TxnSpec, UpdateOp, Workload};
-pub use config::{ReplBackend, XenicConfig};
+pub use config::{Loc, LogicPool, Placement, ReplBackend, XenicConfig};
 pub use engine::{Xenic, XenicNode};
 pub use harness::{
     run_xenic, run_xenic_cluster, run_xenic_cluster_with, run_xenic_recorded, RunOptions, RunResult,

@@ -70,8 +70,11 @@ impl DmaEngine {
             pcie_free: SimTime::ZERO,
             element_ns: p.dma_element_ns,
             submit_ns: p.dma_submit_ns,
-            read_latency_ns: p.dma_read_latency_ns,
-            write_latency_ns: p.dma_write_latency_ns,
+            // Substrate-resolved (DESIGN.md §17): identical to the raw
+            // fields on-path, switch-hop-shifted on BlueField, pool
+            // access latencies on CXL.
+            read_latency_ns: p.dma_read_lat_ns(),
+            write_latency_ns: p.dma_write_lat_ns(),
             pcie_gbps: p.pcie_gbps,
             max_vector: p.dma_max_vector,
             elements_done: 0,

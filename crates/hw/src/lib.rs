@@ -24,9 +24,11 @@ pub mod dma;
 pub mod link;
 pub mod params;
 pub mod rdma;
+pub mod substrate;
 
 pub use cores::{CoreClass, CorePool};
 pub use dma::{DmaEngine, DmaKind, DmaOp};
 pub use link::Port;
 pub use params::HwParams;
 pub use rdma::{RdmaNic, Verb};
+pub use substrate::{BluefieldParams, CxlParams, Substrate, SubstrateKind};

@@ -6,6 +6,8 @@
 //! consistent composition from the quantities that *are* stated (see the
 //! field docs). EXPERIMENTS.md records the derivations.
 
+use crate::substrate::{Substrate, SubstrateKind};
+
 /// Hardware parameters for one testbed node (host + LiquidIO 3 SmartNIC +
 /// CX5 RDMA NIC) and the fabric between nodes.
 #[derive(Clone, Debug)]
@@ -139,6 +141,13 @@ pub struct HwParams {
     /// Poll-loop aggregation window on a NIC core, ns: outputs accumulated
     /// within one burst iteration share a frame.
     pub nic_poll_burst_ns: u64,
+
+    // ---- Substrate profile (DESIGN.md §17) ----
+    /// Which hardware substrate the calibrated fields describe. On
+    /// [`Substrate::OnPathLiquidIO`] every substrate accessor below is
+    /// an exact identity over the raw fields; the BlueField and CXL
+    /// profiles override the paths that genuinely differ.
+    pub substrate: Substrate,
 }
 
 impl HwParams {
@@ -190,6 +199,126 @@ impl HwParams {
 
             xenic_op_header_bytes: 24,
             nic_poll_burst_ns: 1500,
+
+            substrate: Substrate::OnPathLiquidIO,
+        }
+    }
+
+    /// The off-path BlueField-style profile: same cluster shape and
+    /// fabric, NIC cores behind an internal PCIe switch (DESIGN.md §17).
+    pub fn off_path_bluefield() -> Self {
+        HwParams {
+            substrate: Substrate::of(SubstrateKind::OffPathBluefield),
+            ..Self::paper_testbed()
+        }
+    }
+
+    /// The shared-CXL-pool profile: loads/stores on a shared pool, no
+    /// per-replica DMA log shipping (DESIGN.md §17).
+    pub fn cxl_shared() -> Self {
+        HwParams {
+            substrate: Substrate::of(SubstrateKind::CxlShared),
+            ..Self::paper_testbed()
+        }
+    }
+
+    /// `paper_testbed()` with `substrate` swapped — the canonical way to
+    /// build a profile for sweeps.
+    pub fn with_substrate(kind: SubstrateKind) -> Self {
+        HwParams {
+            substrate: Substrate::of(kind),
+            ..Self::paper_testbed()
+        }
+    }
+
+    // ---- Substrate accessors (DESIGN.md §17) ----
+    //
+    // Every cost that *differs* between substrates is charged through
+    // one of these instead of a raw field read. On OnPathLiquidIO each
+    // accessor returns the calibrated field unchanged, which is what
+    // keeps every historical pinned digest byte-identical.
+
+    /// One-way host→NIC message latency, ns.
+    pub fn pcie_up_lat_ns(&self) -> u64 {
+        match &self.substrate {
+            Substrate::OffPathBluefield(b) => self.pcie_msg_oneway_ns + b.switch_up_extra_ns,
+            _ => self.pcie_msg_oneway_ns,
+        }
+    }
+
+    /// One-way NIC→host message delivery latency, ns.
+    pub fn pcie_down_lat_ns(&self) -> u64 {
+        match &self.substrate {
+            Substrate::OffPathBluefield(b) => self.pcie_down_ns + b.switch_down_extra_ns,
+            _ => self.pcie_down_ns,
+        }
+    }
+
+    /// NIC-core RX cost for one arriving frame, ns (`batched` = burst
+    /// amortization active).
+    pub fn rx_frame_cpu_ns(&self, batched: bool) -> u64 {
+        match &self.substrate {
+            Substrate::OffPathBluefield(b) => {
+                if batched {
+                    b.rx_frame_ns
+                } else {
+                    b.rx_pkt_ns
+                }
+            }
+            _ => {
+                if batched {
+                    self.nic_burst_per_frame_ns
+                } else {
+                    self.nic_pkt_rx_ns
+                }
+            }
+        }
+    }
+
+    /// DMA read (host memory → NIC) completion latency, ns. On the CXL
+    /// profile a "DMA read" is a load from the shared pool.
+    pub fn dma_read_lat_ns(&self) -> u64 {
+        match &self.substrate {
+            Substrate::OffPathBluefield(b) => self.dma_read_latency_ns + b.dma_read_extra_ns,
+            Substrate::CxlShared(c) => c.read_ns,
+            Substrate::OnPathLiquidIO => self.dma_read_latency_ns,
+        }
+    }
+
+    /// DMA write (NIC → host memory) completion latency, ns. On the CXL
+    /// profile a "DMA write" is a posted store into the shared pool.
+    pub fn dma_write_lat_ns(&self) -> u64 {
+        match &self.substrate {
+            Substrate::OffPathBluefield(b) => self.dma_write_latency_ns + b.dma_write_extra_ns,
+            Substrate::CxlShared(c) => c.write_ns,
+            Substrate::OnPathLiquidIO => self.dma_write_latency_ns,
+        }
+    }
+
+    /// Whether commit-log records are *shipped* to each replica's host
+    /// memory over the DMA engine (the paper's §4.2 step 5). False only
+    /// on the CXL profile, where a record is written once into the
+    /// shared pool ([`Self::cxl_log_write_ns`]).
+    pub fn ships_log_via_dma(&self) -> bool {
+        !matches!(self.substrate, Substrate::CxlShared(_))
+    }
+
+    /// Latency of one commit-record store into the shared CXL pool, ns.
+    /// Only meaningful when [`Self::ships_log_via_dma`] is false.
+    pub fn cxl_log_write_ns(&self) -> u64 {
+        match &self.substrate {
+            Substrate::CxlShared(c) => c.write_ns,
+            _ => self.dma_write_latency_ns,
+        }
+    }
+
+    /// Cross-node coherence fence on a contended lock/version word, ns.
+    /// Zero on every substrate except CXL, where Validate pays it per
+    /// word verified.
+    pub fn coherence_ns(&self) -> u64 {
+        match &self.substrate {
+            Substrate::CxlShared(c) => c.coherence_ns,
+            _ => 0,
         }
     }
 
@@ -305,6 +434,48 @@ mod tests {
         let p = HwParams::paper_testbed_half_bandwidth();
         assert_eq!(p.net_gbps, 50.0);
         assert_eq!(p.nodes, 6);
+    }
+
+    #[test]
+    fn onpath_accessors_are_exact_identities() {
+        // The contract that keeps every historical pin byte-identical:
+        // on the default substrate each accessor returns the calibrated
+        // field unchanged.
+        let p = HwParams::paper_testbed();
+        assert_eq!(p.substrate.kind(), SubstrateKind::OnPathLiquidIO);
+        assert_eq!(p.pcie_up_lat_ns(), p.pcie_msg_oneway_ns);
+        assert_eq!(p.pcie_down_lat_ns(), p.pcie_down_ns);
+        assert_eq!(p.rx_frame_cpu_ns(true), p.nic_burst_per_frame_ns);
+        assert_eq!(p.rx_frame_cpu_ns(false), p.nic_pkt_rx_ns);
+        assert_eq!(p.dma_read_lat_ns(), p.dma_read_latency_ns);
+        assert_eq!(p.dma_write_lat_ns(), p.dma_write_latency_ns);
+        assert!(p.ships_log_via_dma());
+        assert_eq!(p.coherence_ns(), 0);
+    }
+
+    #[test]
+    fn bluefield_shifts_the_cliffs() {
+        let b = HwParams::off_path_bluefield();
+        let on = HwParams::paper_testbed();
+        // Host↔NIC and DMA-to-host pay the switch hop…
+        assert!(b.pcie_up_lat_ns() > on.pcie_up_lat_ns());
+        assert!(b.pcie_down_lat_ns() > on.pcie_down_lat_ns());
+        assert!(b.dma_read_lat_ns() > on.dma_read_lat_ns());
+        assert!(b.dma_write_lat_ns() > on.dma_write_lat_ns());
+        // …while wire RX is cheaper in both modes.
+        assert!(b.rx_frame_cpu_ns(true) < on.rx_frame_cpu_ns(true));
+        assert!(b.rx_frame_cpu_ns(false) < on.rx_frame_cpu_ns(false));
+        assert!(b.ships_log_via_dma());
+    }
+
+    #[test]
+    fn cxl_drops_log_shipping_and_charges_coherence() {
+        let c = HwParams::cxl_shared();
+        assert!(!c.ships_log_via_dma());
+        assert!(c.coherence_ns() > 0);
+        // Pool accesses undercut the LiquidIO DMA completion latencies.
+        assert!(c.dma_read_lat_ns() < HwParams::paper_testbed().dma_read_lat_ns());
+        assert!(c.cxl_log_write_ns() < HwParams::paper_testbed().dma_write_lat_ns());
     }
 
     #[test]

@@ -754,10 +754,12 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         } else {
             self.nodes[node].pcie.recv_frame(t0, total)
         };
+        // Substrate-resolved (DESIGN.md §17): off-path profiles pay the
+        // internal PCIe switch hop on every host↔NIC crossing.
         let lat = if up {
-            self.params.pcie_msg_oneway_ns
+            self.params.pcie_up_lat_ns()
         } else {
-            self.params.pcie_down_ns
+            self.params.pcie_down_lat_ns()
         };
         let arrival = done + lat;
         for (exec, msg, _) in msgs.drain(..) {
@@ -880,11 +882,9 @@ impl<M: Clone + fmt::Debug> Runtime<M> {
         } else {
             let now = self.now();
             let rx_done = self.nodes[dst].lio.recv_frame(now, payload_bytes);
-            let rx_cpu = if self.cfg.eth_aggregation {
-                self.params.nic_burst_per_frame_ns
-            } else {
-                self.params.nic_pkt_rx_ns
-            };
+            // Substrate-resolved (DESIGN.md §17): off-path hardware RX
+            // steering undercuts the LiquidIO's software poll loop.
+            let rx_cpu = self.params.rx_frame_cpu_ns(self.cfg.eth_aggregation);
             let (_, _, frame_ready) = self.nodes[dst].nic.reserve(rx_done, rx_cpu);
             for (exec, msg) in msgs.drain(..) {
                 self.push_ev(

@@ -36,10 +36,18 @@ fn fingerprint(
     opts: &RunOptions,
     mk: impl Fn(usize) -> Box<dyn Workload>,
 ) -> Fingerprint {
-    let params = HwParams {
-        nodes,
-        ..HwParams::paper_testbed()
-    };
+    fingerprint_on(HwParams::paper_testbed(), nodes, net, cfg, opts, mk)
+}
+
+fn fingerprint_on(
+    base: HwParams,
+    nodes: usize,
+    net: NetConfig,
+    cfg: XenicConfig,
+    opts: &RunOptions,
+    mk: impl Fn(usize) -> Box<dyn Workload>,
+) -> Fingerprint {
+    let params = HwParams { nodes, ..base };
     let (r, cluster) = run_xenic_cluster(params, net, cfg, opts, mk);
     Fingerprint {
         committed: r.committed,
@@ -166,6 +174,40 @@ fn lane_count_invariance_crash_restart() {
     assert!(serial.committed > 0);
     assert_eq!(run(2), serial);
     assert_eq!(run(4), serial);
+}
+
+/// The alternative substrates (DESIGN.md §17) cross the lane scheduler
+/// too: BlueField's shifted PCIe/DMA latencies and CXL's local
+/// pool-store log completions are all owner-stamped events, so under
+/// `RngDiscipline::PerNode` every substrate must be fingerprint-
+/// identical at lanes {1, 2, 4}.
+#[test]
+fn lane_count_invariance_substrates() {
+    let nodes = 6usize;
+    for base in [HwParams::off_path_bluefield(), HwParams::cxl_shared()] {
+        let token = base.substrate.token();
+        for wl in [Wl::Smallbank, Wl::Retwis] {
+            let net = NetConfig::full()
+                .with_per_node_rng()
+                .with_faults(FaultPlan::lossy(0.01, 0.01, 200));
+            let run = |lanes: usize| {
+                fingerprint_on(
+                    base.clone(),
+                    nodes,
+                    net.clone(),
+                    XenicConfig::full(),
+                    &quick_opts(11, lanes),
+                    mk_workload(wl, nodes as u32),
+                )
+            };
+            let serial = run(1);
+            assert!(serial.committed > 0, "{token}: substrate point must commit work");
+            for lanes in [2usize, 4] {
+                let par = run(lanes);
+                assert_eq!(par, serial, "{token} lanes {lanes} diverged from serial");
+            }
+        }
+    }
 }
 
 /// Under the default `Global` RNG discipline the lane scheduler is not

@@ -30,9 +30,10 @@ cargo run --release -q -p xenic-bench --features alloc-count --bin perf_report -
     --quick --alloc-budget retwis_fig8=1200,chaos_replay=1300,tpcc_mix=4500,ycsbe_mix=2000,tpcc_stock=6500
 
 echo "==> serial_fuzz --quick"
-# Includes all three checker self-tests: xenic-weakened (skipped version
-# re-checks), xenic-weak-predicates (skipped range re-walks), and
-# xenic-weak-quorum (Raft-style backend commits before its majority)
+# Includes all four checker self-tests: xenic-weakened (skipped version
+# re-checks), xenic-weak-predicates (skipped range re-walks),
+# xenic-weak-quorum (Raft-style backend commits before its majority),
+# and xenic-weak-cxl (CXL coherence fence and pool re-check skipped)
 # must each be rejected with a shrunk, bit-for-bit-replayable witness.
 cargo run --release -q -p xenic-bench --bin serial_fuzz -- --quick
 
@@ -61,6 +62,19 @@ echo "==> repl_sweep --quick (DSG-gated)"
 # row's history is verified serializable, and the binary exits non-zero
 # on any violation.
 cargo run --release -q -p xenic-bench --bin repl_sweep -- --quick
+
+echo "==> substrate conformance suite (release)"
+# The substrate/placement contract (DESIGN.md §17): OnPathLiquidIO
+# byte-identical to the pre-refactor pins (p50/p99 included), pinned
+# BlueField/CXL fingerprints, the off-path cliff ordering, the CXL
+# zero-log-shipping trade, and placement differentials (same outcomes,
+# different latency) under chaos for every replication backend.
+cargo test --release -q --test substrate
+
+echo "==> substrate_sweep --quick (DSG- and trend-gated)"
+# Substrate × placement × workload; every row verified serializable and
+# the off-path cliff + CXL log trade enforced as hard orderings.
+cargo run --release -q -p xenic-bench --bin substrate_sweep -- --quick
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
